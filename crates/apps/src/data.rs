@@ -1,0 +1,212 @@
+//! Application partition types and synthetic data generators.
+//!
+//! The paper's machine-learning benchmarks run over a 100 GB dataset split
+//! into thousands of partitions; what matters for the control-plane
+//! evaluation is the *shape* of the computation (task counts, dependencies,
+//! reductions), not the bytes themselves. These generators produce synthetic
+//! datasets whose per-task compute cost can be dialed to match the paper's
+//! task durations.
+
+use nimbus_core::impl_app_data;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A partition of labeled points for logistic regression and k-means.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointsPartition {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Row-major features: `points × dim`.
+    pub xs: Vec<f64>,
+    /// Labels in `{-1.0, +1.0}` (ignored by k-means).
+    pub ys: Vec<f64>,
+}
+
+impl PointsPartition {
+    /// Number of points in the partition.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Returns true if the partition has no points.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// The `i`-th feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.xs[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl_app_data!(PointsPartition, |p: &PointsPartition| {
+    (p.xs.len() + p.ys.len()) * std::mem::size_of::<f64>() + std::mem::size_of::<PointsPartition>()
+});
+
+/// Partial sums produced by one k-means assignment task: per-cluster feature
+/// sums and counts, plus the partition's contribution to the objective.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterAccumulator {
+    /// Number of clusters.
+    pub k: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Per-cluster feature sums (`k × dim`, row-major).
+    pub sums: Vec<f64>,
+    /// Per-cluster point counts.
+    pub counts: Vec<f64>,
+    /// Sum of squared distances to assigned centroids.
+    pub objective: f64,
+}
+
+impl ClusterAccumulator {
+    /// A zeroed accumulator for `k` clusters of dimension `dim`.
+    pub fn zeros(k: usize, dim: usize) -> Self {
+        Self {
+            k,
+            dim,
+            sums: vec![0.0; k * dim],
+            counts: vec![0.0; k],
+            objective: 0.0,
+        }
+    }
+
+    /// Adds another accumulator into this one.
+    pub fn merge(&mut self, other: &ClusterAccumulator) {
+        if self.sums.len() != other.sums.len() {
+            *self = ClusterAccumulator::zeros(other.k, other.dim);
+        }
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.objective += other.objective;
+    }
+}
+
+impl_app_data!(ClusterAccumulator, |c: &ClusterAccumulator| {
+    (c.sums.len() + c.counts.len() + 1) * std::mem::size_of::<f64>()
+        + std::mem::size_of::<ClusterAccumulator>()
+});
+
+/// Generates a linearly separable (with noise) classification dataset
+/// partition, deterministic in `(seed, partition)`.
+pub fn generate_classification_partition(
+    seed: u64,
+    partition: u32,
+    points: usize,
+    dim: usize,
+) -> PointsPartition {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((partition as u64) << 32));
+    // A fixed "true" separating hyperplane derived from the seed.
+    let mut truth_rng = StdRng::seed_from_u64(seed);
+    let truth: Vec<f64> = (0..dim).map(|_| truth_rng.gen_range(-1.0..1.0)).collect();
+    let mut xs = Vec::with_capacity(points * dim);
+    let mut ys = Vec::with_capacity(points);
+    for _ in 0..points {
+        let row: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let margin: f64 = row.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let noisy = margin + rng.gen_range(-0.1..0.1);
+        ys.push(if noisy >= 0.0 { 1.0 } else { -1.0 });
+        xs.extend(row);
+    }
+    PointsPartition { dim, xs, ys }
+}
+
+/// Generates a clustered dataset partition around `k` well-separated
+/// centers, deterministic in `(seed, partition)`.
+pub fn generate_clustered_partition(
+    seed: u64,
+    partition: u32,
+    points: usize,
+    dim: usize,
+    k: usize,
+) -> PointsPartition {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((partition as u64) << 32) ^ 0x5eed);
+    let mut center_rng = StdRng::seed_from_u64(seed ^ 0xc1u64);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| center_rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let mut xs = Vec::with_capacity(points * dim);
+    let ys = vec![0.0; points];
+    for _ in 0..points {
+        let c = &centers[rng.gen_range(0..k)];
+        for d in 0..dim {
+            xs.push(c[d] + rng.gen_range(-0.5..0.5));
+        }
+    }
+    PointsPartition { dim, xs, ys }
+}
+
+/// The true cluster centers used by [`generate_clustered_partition`].
+pub fn true_centers(seed: u64, k: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut center_rng = StdRng::seed_from_u64(seed ^ 0xc1u64);
+    (0..k)
+        .map(|_| (0..dim).map(|_| center_rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_partition_is_deterministic() {
+        let a = generate_classification_partition(7, 3, 100, 8);
+        let b = generate_classification_partition(7, 3, 100, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.row(5).len(), 8);
+        assert!(a.ys.iter().all(|y| *y == 1.0 || *y == -1.0));
+        let c = generate_classification_partition(7, 4, 100, 8);
+        assert_ne!(a, c, "different partitions get different data");
+    }
+
+    #[test]
+    fn labels_correlate_with_truth() {
+        let p = generate_classification_partition(11, 0, 500, 4);
+        let mut truth_rng = StdRng::seed_from_u64(11);
+        let truth: Vec<f64> = (0..4).map(|_| truth_rng.gen_range(-1.0..1.0)).collect();
+        let agree = (0..p.len())
+            .filter(|i| {
+                let margin: f64 = p.row(*i).iter().zip(&truth).map(|(a, b)| a * b).sum();
+                (margin >= 0.0) == (p.ys[*i] > 0.0)
+            })
+            .count();
+        assert!(agree as f64 / p.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn clustered_partition_points_near_centers() {
+        let p = generate_clustered_partition(3, 0, 200, 2, 4);
+        let centers = true_centers(3, 4, 2);
+        for i in 0..p.len() {
+            let row = p.row(i);
+            let min_d2: f64 = centers
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d2 < 1.0, "point {i} is too far from every center");
+        }
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = ClusterAccumulator::zeros(2, 2);
+        let mut b = ClusterAccumulator::zeros(2, 2);
+        b.sums = vec![1.0, 2.0, 3.0, 4.0];
+        b.counts = vec![1.0, 2.0];
+        b.objective = 5.0;
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.sums, vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.counts, vec![2.0, 4.0]);
+        assert_eq!(a.objective, 10.0);
+        // Merging into a mismatched accumulator resizes it first.
+        let mut c = ClusterAccumulator::default();
+        c.merge(&b);
+        assert_eq!(c.sums, b.sums);
+    }
+}

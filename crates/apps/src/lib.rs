@@ -1,0 +1,22 @@
+//! # nimbus-apps
+//!
+//! The workloads used by the execution-templates evaluation: logistic
+//! regression and k-means clustering (the paper's machine-learning
+//! benchmarks, Figures 7–10) and a water-simulation proxy with the
+//! triply nested, data-dependent control flow of the paper's PhysBAM
+//! benchmark (Figure 11), plus synthetic data generators and the
+//! application-level two-level reduction trees they share.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod kmeans;
+pub mod logistic_regression;
+pub mod reduction;
+pub mod water;
+
+pub use data::{ClusterAccumulator, PointsPartition};
+pub use kmeans::{KMeansConfig, KMeansResult};
+pub use logistic_regression::{LogisticRegressionConfig, LrResult};
+pub use water::{GridSlab, WaterConfig, WaterResult};

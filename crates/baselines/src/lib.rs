@@ -1,0 +1,24 @@
+//! # nimbus-baselines
+//!
+//! The comparison systems of the paper's evaluation, re-expressed over the
+//! same substrate so the comparisons isolate control-plane behaviour:
+//!
+//! * [`spark_like`] — a centralized per-task scheduler (Spark-opt): the
+//!   controller dispatches every task individually and workers never cache
+//!   execution state. On the real runtime this is Nimbus with templates
+//!   disabled; in the simulator it is the `CentralizedPerTask` model.
+//! * [`naiad_like`] — a static distributed dataflow (Naiad-opt /
+//!   TensorFlow-like): the execution plan is installed once on the workers
+//!   and any scheduling change requires a full re-installation.
+//! * [`mpi_like`] — application-level messaging with no control plane during
+//!   execution, the hand-tuned comparison point of the water simulation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mpi_like;
+pub mod naiad_like;
+pub mod spark_like;
+
+pub use naiad_like::StaticDataflowDriver;
+pub use spark_like::spark_like_config;

@@ -1,0 +1,63 @@
+//! MPI-like application-level messaging.
+//!
+//! PhysBAM's hand-tuned MPI libraries partition the simulation statically and
+//! exchange data directly between ranks with no scheduler in the loop. They
+//! cannot rebalance load and offer no fault tolerance — which is why the
+//! paper reports that developers rarely use them in practice despite the
+//! performance. For the evaluation, this baseline contributes the
+//! zero-control-plane lower bound on iteration time (Figure 11); it is
+//! modeled analytically rather than executed, since by construction it has no
+//! control-plane code path to exercise.
+
+use nimbus_sim::{simulate_iteration, ClusterModel, ControlPlane, IterationBreakdown, WorkloadModel};
+
+/// Characteristics of an MPI-style static execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MpiLike {
+    /// Number of ranks (one per worker).
+    pub ranks: u32,
+}
+
+impl MpiLike {
+    /// Creates a model with one rank per worker.
+    pub fn new(ranks: u32) -> Self {
+        Self { ranks }
+    }
+
+    /// Iteration time of a workload under static, scheduler-free execution.
+    pub fn iteration(&self, workload: &WorkloadModel) -> IterationBreakdown {
+        simulate_iteration(
+            &ControlPlane::ApplicationMpi,
+            &ClusterModel::new(self.ranks),
+            workload,
+        )
+    }
+
+    /// Static execution cannot rebalance: a load imbalance factor directly
+    /// inflates iteration time by the same factor.
+    pub fn iteration_with_imbalance(
+        &self,
+        workload: &WorkloadModel,
+        imbalance: f64,
+    ) -> IterationBreakdown {
+        let mut b = self.iteration(workload);
+        b.total_us *= imbalance.max(1.0);
+        b.control_us = 0.0;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpi_has_no_control_plane_but_suffers_imbalance() {
+        let mpi = MpiLike::new(64);
+        let workload = WorkloadModel::water_simulation_frame();
+        let balanced = mpi.iteration(&workload);
+        assert_eq!(balanced.control_us, 0.0);
+        let imbalanced = mpi.iteration_with_imbalance(&workload, 1.4);
+        assert!(imbalanced.total_us > balanced.total_us * 1.39);
+    }
+}

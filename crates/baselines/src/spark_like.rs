@@ -1,0 +1,34 @@
+//! Spark-like centralized per-task scheduling.
+//!
+//! The paper's "Spark-opt" baseline replaces Spark task bodies with
+//! spin-waits so the comparison isolates the control plane. The equivalent
+//! configuration here disables execution templates: every stage of every
+//! iteration flows through the controller as individual task submissions and
+//! per-task command dispatches, and workers receive one `ExecuteCommands`
+//! batch per task instead of a template instantiation.
+
+use std::time::Duration;
+
+use nimbus_runtime::ClusterConfig;
+
+/// Returns a cluster configuration that behaves like a centralized per-task
+/// scheduler: templates disabled, optional spin-wait task duration to
+/// equalize task cost with other control planes.
+pub fn spark_like_config(workers: usize, spin_wait: Option<Duration>) -> ClusterConfig {
+    let mut config = ClusterConfig::new(workers).without_templates();
+    config.spin_wait = spin_wait;
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_disables_templates() {
+        let c = spark_like_config(4, Some(Duration::from_micros(200)));
+        assert!(!c.enable_templates);
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.spin_wait, Some(Duration::from_micros(200)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 1: per-task cost of template installation versus central scheduling.
+//!
+//! Paper values: installing a task into the controller template costs 25 µs,
+//! into the worker template 15 µs (controller side) + 9 µs (worker side);
+//! centrally scheduling a task costs 134 µs in Nimbus and 166 µs in Spark.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nimbus_bench::{record_block, BenchCluster, BlockShape};
+use nimbus_core::template::cache::WorkerTemplateCache;
+
+fn shape() -> BlockShape {
+    BlockShape {
+        workers: 50,
+        tasks_per_worker: 40,
+    }
+}
+
+fn bench_installation(c: &mut Criterion) {
+    let tasks = shape().tasks() as u64 + 1;
+    let mut group = c.benchmark_group("table1_installation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tasks));
+
+    // Generating and installing the controller template plus the controller
+    // half of the worker templates from an already-recorded block.
+    group.bench_function("generate_templates_from_recorded_block", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = BenchCluster::new(shape());
+                cluster.tm.start_recording("bench_inner").unwrap();
+                for spec in cluster.iteration_specs() {
+                    cluster.schedule_one(&spec);
+                }
+                cluster
+            },
+            |mut cluster| {
+                cluster
+                    .tm
+                    .finish_recording("bench_inner", &cluster.dm, &cluster.ids)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Installing the worker halves into a worker's template cache.
+    let (cluster, _ct, group_id) = record_block(shape());
+    let templates: Vec<_> = cluster
+        .tm
+        .registry
+        .group(group_id)
+        .unwrap()
+        .per_worker
+        .values()
+        .cloned()
+        .collect();
+    group.bench_function("install_worker_templates_on_workers", |b| {
+        b.iter_batched(
+            WorkerTemplateCache::new,
+            |mut cache| {
+                for t in &templates {
+                    cache.install(t.clone());
+                }
+                cache.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Central per-task scheduling (the cost templates amortize away).
+    group.bench_function("centrally_schedule_block_per_task", |b| {
+        b.iter_batched(
+            || BenchCluster::new(shape()),
+            |mut cluster| {
+                let mut commands = 0usize;
+                for spec in cluster.iteration_specs() {
+                    commands += cluster.schedule_one(&spec);
+                }
+                commands
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_installation);
+criterion_main!(benches);

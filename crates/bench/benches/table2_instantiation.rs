@@ -1,0 +1,76 @@
+//! Table 2: per-task cost of template instantiation.
+//!
+//! Paper values: instantiating a controller template costs 0.2 µs per task;
+//! a worker template costs 1.7 µs per task when it validates automatically
+//! (back-to-back execution of the same block) and 7.3 µs with a full
+//! validation pass, for a steady-state throughput above 500 000 tasks/s.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nimbus_bench::{record_block, BlockShape};
+use nimbus_core::ids::TaskId;
+use nimbus_core::template::InstantiationParams;
+
+fn shape() -> BlockShape {
+    BlockShape {
+        workers: 50,
+        tasks_per_worker: 40,
+    }
+}
+
+fn bench_instantiation(c: &mut Criterion) {
+    let tasks = shape().tasks() as u64 + 1;
+    let mut group = c.benchmark_group("table2_instantiation");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(tasks));
+
+    // Controller-template instantiation: fill fresh task ids and parameters.
+    let (mut cluster, ct, group_id) = record_block(shape());
+    let controller_template = cluster.tm.registry.controller_template(ct).unwrap().clone();
+    let ids: Vec<TaskId> = (0..controller_template.task_count() as u64)
+        .map(|i| TaskId(1_000 + i))
+        .collect();
+    group.bench_function("instantiate_controller_template", |b| {
+        b.iter(|| {
+            controller_template
+                .instantiate(&ids, &InstantiationParams::Defaults)
+                .unwrap()
+                .len()
+        });
+    });
+
+    // Worker-template instantiation on the worker: expand the cached skeleton
+    // into concrete commands from one instantiation message.
+    let plan = cluster.plan_instantiation(group_id);
+    let (worker, instantiation) = plan.per_worker[0].clone();
+    let worker_template = cluster.tm.registry.group(group_id).unwrap().per_worker[&worker].clone();
+    group.bench_function("expand_worker_template_on_worker", |b| {
+        b.iter(|| worker_template.instantiate(&instantiation).unwrap().len());
+    });
+
+    // Auto-validated plan: repeated execution of the same self-validating
+    // block skips validation entirely (the >500k tasks/s path).
+    cluster.plan_instantiation(group_id);
+    group.bench_function("plan_instantiation_auto_validated", |b| {
+        b.iter(|| {
+            let plan = cluster.plan_instantiation(group_id);
+            assert!(plan.auto_validated);
+            plan.expected_commands
+        });
+    });
+
+    // Fully validated plan: a different block executed in between forces a
+    // precondition check against the data manager.
+    group.bench_function("plan_instantiation_full_validation", |b| {
+        b.iter(|| {
+            cluster.tm.last_executed = None;
+            let plan = cluster.plan_instantiation(group_id);
+            assert!(!plan.auto_validated);
+            plan.expected_commands
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_instantiation);
+criterion_main!(benches);

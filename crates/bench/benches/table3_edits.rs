@@ -1,0 +1,106 @@
+//! Table 3: the cost of dynamic scheduling changes.
+//!
+//! Paper values: a single edit costs ≈41 µs and the cost scales linearly with
+//! the number of edits; migrating 5% of an 8 000-task job (800 edits) costs
+//! tens of milliseconds, still far below the ~203 ms of a complete template
+//! installation — and any change at all in a Naiad-like static dataflow costs
+//! the full ~230 ms re-installation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nimbus_bench::{record_block, BenchCluster, BlockShape};
+use nimbus_core::template::{SkeletonEntry, SkeletonKind, TemplateEdit};
+
+fn shape() -> BlockShape {
+    BlockShape {
+        workers: 50,
+        tasks_per_worker: 40,
+    }
+}
+
+fn bench_edits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_edits");
+    group.sample_size(20);
+
+    // A single edit applied in place to an installed worker template.
+    let (cluster, _ct, group_id) = record_block(shape());
+    let worker_template = cluster
+        .tm
+        .registry
+        .group(group_id)
+        .unwrap()
+        .per_worker
+        .values()
+        .next()
+        .unwrap()
+        .clone();
+    group.bench_function("apply_single_edit", |b| {
+        b.iter_batched(
+            || worker_template.clone(),
+            |mut t| {
+                t.apply_edits(&[TemplateEdit::RemoveEntry { index: 0 }]).unwrap();
+                t.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Migrating 5% of the block's tasks: plan the edits on the controller and
+    // apply them through one instantiation (Figure 10's per-migration cost).
+    let five_percent = (shape().tasks() as usize) / 20;
+    group.bench_function("plan_and_apply_5pct_migration_edits", |b| {
+        b.iter_batched(
+            || record_block(shape()),
+            |(mut cluster, _ct, group_id)| {
+                let planned = cluster.plan_migrations("bench_inner", five_percent);
+                let plan = cluster.plan_instantiation(group_id);
+                (planned, plan.expected_commands)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // The alternative to edits: a complete re-installation of the templates.
+    group.bench_function("complete_reinstallation", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = BenchCluster::new(shape());
+                cluster.tm.start_recording("bench_inner").unwrap();
+                for spec in cluster.iteration_specs() {
+                    cluster.schedule_one(&spec);
+                }
+                cluster
+            },
+            |mut cluster| {
+                cluster
+                    .tm
+                    .finish_recording("bench_inner", &cluster.dm, &cluster.ids)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Bulk in-place edits scale linearly (Table 3's "cost scales with the
+    // number of edits").
+    group.bench_function("apply_100_edits_in_place", |b| {
+        let edits: Vec<TemplateEdit> = (0..100)
+            .map(|i| TemplateEdit::ReplaceEntry {
+                index: i % worker_template.len(),
+                entry: SkeletonEntry::new(SkeletonKind::Nop),
+            })
+            .collect();
+        b.iter_batched(
+            || worker_template.clone(),
+            |mut t| {
+                t.apply_edits(&edits).unwrap();
+                t.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_edits);
+criterion_main!(benches);

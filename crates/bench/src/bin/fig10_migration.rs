@@ -1,0 +1,22 @@
+//! Figure 10: migrating 5% of tasks every 5 iterations — edits versus full
+//! dataflow re-installation.
+
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let rows = experiments::fig10_migration(&profile);
+    print_rows("Figure 10: cumulative time, 20 iterations", "iteration", &rows);
+    let last = rows.last().expect("rows");
+    let nimbus = last.get("nimbus_elapsed_s").unwrap();
+    let naiad = last.get("naiad_elapsed_s").unwrap();
+    print_table(
+        "Figure 10: paper vs reproduced",
+        &[
+            TableRow::new("Nimbus 20 iterations (s)", "~1.3", format!("{nimbus:.2}")),
+            TableRow::new("Naiad-opt 20 iterations (s)", "~2.4", format!("{naiad:.2}")),
+            TableRow::new("speedup", "~2x", format!("{:.2}x", naiad / nimbus)),
+        ],
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 11: outer-loop iteration time of the particle-levelset water
+//! simulation for MPI, Nimbus with templates, and Nimbus without templates.
+//! Also runs the in-process water-simulation proxy end to end to show that
+//! execution templates support its triply nested, data-dependent control
+//! flow.
+
+use nimbus_apps::water;
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_runtime::{AppSetup, Cluster, ClusterConfig};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let rows = experiments::fig11_water_simulation(&profile);
+    print_rows("Figure 11: water simulation frame time", "row", &rows);
+    let sim = &rows[0];
+    print_table(
+        "Figure 11: paper vs reproduced (seconds per frame)",
+        &[
+            TableRow::new("MPI", "31.7", format!("{:.1}", sim.get("mpi_s").unwrap())),
+            TableRow::new("Nimbus", "36.5", format!("{:.1}", sim.get("nimbus_s").unwrap())),
+            TableRow::new(
+                "Nimbus w/o templates",
+                "196.8",
+                format!("{:.1}", sim.get("nimbus_without_templates_s").unwrap()),
+            ),
+        ],
+    );
+
+    // End-to-end functional check on the real runtime (small grid).
+    let config = water::WaterConfig::default();
+    let mut setup = AppSetup::new();
+    water::register(&mut setup, &config);
+    let cluster = Cluster::start(ClusterConfig::new(4), setup);
+    let report = cluster
+        .run_driver(|ctx| water::run(ctx, &config))
+        .expect("water proxy completes");
+    println!(
+        "\nWater proxy on the in-process runtime: {} frames, {} sub-steps, {} pressure iterations, \
+         {} templates installed, {} template instantiations",
+        report.output.frames,
+        report.output.substeps,
+        report.output.pressure_iterations,
+        report.controller.controller_templates_installed,
+        report.controller.controller_template_instantiations,
+    );
+}

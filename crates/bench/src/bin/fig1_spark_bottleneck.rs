@@ -1,0 +1,34 @@
+//! Figure 1: the control plane of a centralized per-task scheduler becomes
+//! the bottleneck — parallelizing Spark MLlib logistic regression reduces
+//! computation time but increases completion time.
+
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let rows = experiments::fig1_spark_bottleneck(&profile);
+    print_rows("Figure 1: Spark MLlib LR, 30-100 workers", "workers", &rows);
+    let at30 = rows.first().expect("rows");
+    let at100 = rows.last().expect("rows");
+    print_table(
+        "Figure 1: paper vs reproduced",
+        &[
+            TableRow::new(
+                "completion @30 workers (s)",
+                "1.44",
+                format!("{:.2}", at30.get("iteration_s").unwrap()),
+            ),
+            TableRow::new(
+                "completion @100 workers (s)",
+                "1.73",
+                format!("{:.2}", at100.get("iteration_s").unwrap()),
+            ),
+            TableRow::new("shape", "completion grows while computation shrinks", {
+                let grows = at100.get("iteration_s") > at30.get("iteration_s");
+                let shrinks = at100.get("computation_s") < at30.get("computation_s");
+                format!("grows={grows}, shrinks={shrinks}")
+            }),
+        ],
+    );
+}

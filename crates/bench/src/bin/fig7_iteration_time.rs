@@ -1,0 +1,32 @@
+//! Figure 7: iteration time of logistic regression and k-means on 20/50/100
+//! workers for Spark-opt, Naiad-opt, and Nimbus (execution templates).
+
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let lr = experiments::fig7_iteration_time(&profile, false);
+    print_rows("Figure 7a: logistic regression", "workers", &lr);
+    let km = experiments::fig7_iteration_time(&profile, true);
+    print_rows("Figure 7b: k-means", "workers", &km);
+
+    let lr100 = lr.last().expect("rows");
+    print_table(
+        "Figure 7a @100 workers: paper vs reproduced (seconds)",
+        &[
+            TableRow::new("Spark-opt", "1.43", format!("{:.2}", lr100.get("spark_opt_s").unwrap())),
+            TableRow::new("Naiad-opt", "0.08", format!("{:.2}", lr100.get("naiad_opt_s").unwrap())),
+            TableRow::new("Nimbus", "0.06", format!("{:.2}", lr100.get("nimbus_s").unwrap())),
+        ],
+    );
+    let km100 = km.last().expect("rows");
+    print_table(
+        "Figure 7b @100 workers: paper vs reproduced (seconds)",
+        &[
+            TableRow::new("Spark-opt", "1.57", format!("{:.2}", km100.get("spark_opt_s").unwrap())),
+            TableRow::new("Naiad-opt", "0.11", format!("{:.2}", km100.get("naiad_opt_s").unwrap())),
+            TableRow::new("Nimbus", "0.10", format!("{:.2}", km100.get("nimbus_s").unwrap())),
+        ],
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 8: task throughput of Nimbus and Spark as the worker count grows.
+
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let rows = experiments::fig8_task_throughput(&profile);
+    print_rows("Figure 8: task throughput vs workers", "workers", &rows);
+    let last = rows.last().expect("rows");
+    print_table(
+        "Figure 8 @100 workers: paper vs reproduced (tasks/second)",
+        &[
+            TableRow::new("Spark saturation", "~6,000", format!("{:.0}", last.get("spark_tasks_per_s").unwrap())),
+            TableRow::new("Nimbus", "~128,000", format!("{:.0}", last.get("nimbus_tasks_per_s").unwrap())),
+            TableRow::new(
+                "Nimbus peak (Table 2)",
+                ">500,000",
+                format!("{:.0}", profile.template_steady_state_throughput()),
+            ),
+        ],
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 9: a 35-iteration timeline showing template installation at
+//! iteration 10, eviction of 50 workers at iteration 20, and their return at
+//! iteration 30.
+
+use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_sim::{experiments, CostProfile};
+
+fn main() {
+    let profile = CostProfile::paper();
+    let rows = experiments::fig9_dynamic_scheduling(&profile);
+    print_rows("Figure 9: dynamic adaptation timeline", "iteration", &rows);
+    let pick = |i: usize| rows[i - 1].get("iteration_s").unwrap();
+    print_table(
+        "Figure 9 key iterations: paper vs reproduced (seconds)",
+        &[
+            TableRow::new("templates disabled (iter 5)", "~1.07", format!("{:.2}", pick(5))),
+            TableRow::new("installing (iter 10)", "~1.3", format!("{:.2}", pick(10))),
+            TableRow::new("steady state (iter 15)", "~0.06", format!("{:.2}", pick(15))),
+            TableRow::new("after eviction (iter 25)", "~0.12", format!("{:.2}", pick(25))),
+            TableRow::new("after restore (iter 32)", "~0.06", format!("{:.2}", pick(32))),
+        ],
+    );
+}

@@ -1,0 +1,216 @@
+//! Shared fixtures for the microbenchmarks.
+//!
+//! The paper's microbenchmarks (Tables 1–3) use a logistic-regression job
+//! with one controller template of 8 000 tasks split into 100 worker
+//! templates of 80 tasks each. [`BenchCluster`] reproduces that scenario
+//! directly against the controller's data structures — no worker threads —
+//! so Criterion measures pure control-plane cost, exactly what the paper
+//! reports.
+
+use nimbus_controller::{
+    expand_task, AssignmentPolicy, Bookkeeping, DataManager, IdGens, TemplateManager,
+};
+use nimbus_core::data::DatasetDef;
+use nimbus_core::ids::{
+    FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, TemplateId,
+    WorkerId,
+};
+use nimbus_core::lineage::LineageLog;
+use nimbus_core::task::TaskSpec;
+use nimbus_core::template::{InstantiationParams, WorkerTemplate};
+use nimbus_core::TaskParams;
+
+/// Shape of the benchmarked basic block.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockShape {
+    /// Number of workers (the paper uses 100).
+    pub workers: u32,
+    /// Application tasks per worker (the paper uses 80).
+    pub tasks_per_worker: u32,
+}
+
+impl BlockShape {
+    /// The paper's microbenchmark shape: 8 000 tasks over 100 workers.
+    pub fn paper() -> Self {
+        Self {
+            workers: 100,
+            tasks_per_worker: 80,
+        }
+    }
+
+    /// Total tasks in the block.
+    pub fn tasks(&self) -> u32 {
+        self.workers * self.tasks_per_worker
+    }
+}
+
+/// A controller-only cluster for control-plane microbenchmarks.
+pub struct BenchCluster {
+    /// The controller's data manager.
+    pub dm: DataManager,
+    /// Dependency bookkeeping for the per-task path.
+    pub bk: Bookkeeping,
+    /// Identifier generators.
+    pub ids: IdGens,
+    /// Template manager.
+    pub tm: TemplateManager,
+    /// Lineage log.
+    pub lineage: LineageLog,
+    /// Active workers.
+    pub workers: Vec<WorkerId>,
+    shape: BlockShape,
+}
+
+const GRADIENT_FN: FunctionId = FunctionId(1);
+const UPDATE_FN: FunctionId = FunctionId(2);
+const TDATA: LogicalObjectId = LogicalObjectId(1);
+const GRADIENT: LogicalObjectId = LogicalObjectId(2);
+const WEIGHTS: LogicalObjectId = LogicalObjectId(3);
+
+impl BenchCluster {
+    /// Creates a cluster with the datasets of an LR-like job.
+    pub fn new(shape: BlockShape) -> Self {
+        let workers: Vec<WorkerId> = (0..shape.workers).map(WorkerId).collect();
+        let mut dm = DataManager::new(AssignmentPolicy::hash());
+        dm.define_dataset(DatasetDef::new(TDATA, "tdata", shape.tasks()));
+        dm.define_dataset(DatasetDef::new(GRADIENT, "gradient", shape.tasks()));
+        dm.define_dataset(DatasetDef::new(WEIGHTS, "weights", 1));
+        Self {
+            dm,
+            bk: Bookkeeping::new(),
+            ids: IdGens::new(),
+            tm: TemplateManager::new(),
+            lineage: LineageLog::new(),
+            workers,
+            shape,
+        }
+    }
+
+    /// The task stream of one iteration of the benchmarked block.
+    pub fn iteration_specs(&self) -> Vec<TaskSpec> {
+        let mut specs = Vec::with_capacity(self.shape.tasks() as usize + 1);
+        let weights = LogicalPartition::new(WEIGHTS, PartitionIndex(0));
+        for p in 0..self.shape.tasks() {
+            specs.push(
+                TaskSpec::new(
+                    TaskId(self.ids.tasks.next_raw()),
+                    StageId(1),
+                    GRADIENT_FN,
+                )
+                .with_reads(vec![
+                    LogicalPartition::new(TDATA, PartitionIndex(p)),
+                    weights,
+                ])
+                .with_writes(vec![LogicalPartition::new(GRADIENT, PartitionIndex(p))])
+                .with_preferred_worker(WorkerId(p % self.shape.workers))
+                .with_params(TaskParams::from_scalar(p as f64)),
+            );
+        }
+        // A final update task writes the weights, so the block has a
+        // precondition/postcondition structure like the paper's inner loop.
+        specs.push(
+            TaskSpec::new(TaskId(self.ids.tasks.next_raw()), StageId(2), UPDATE_FN)
+                .with_reads(vec![LogicalPartition::new(GRADIENT, PartitionIndex(0))])
+                .with_writes(vec![weights])
+                .with_preferred_worker(WorkerId(0))
+                .with_params(TaskParams::from_scalar(0.5)),
+        );
+        specs
+    }
+
+    /// Expands and dispatches one task through the per-task scheduling path
+    /// (the "Nimbus schedule task" row of Table 1). Returns the number of
+    /// commands produced.
+    pub fn schedule_one(&mut self, spec: &TaskSpec) -> usize {
+        let expanded = expand_task(
+            spec,
+            &self.workers,
+            &mut self.dm,
+            &mut self.bk,
+            &self.ids,
+            &mut self.lineage,
+        )
+        .expect("expansion succeeds");
+        self.tm.record_task(spec, &expanded);
+        expanded.commands.len()
+    }
+
+    /// Records and installs the block, returning the controller template id,
+    /// the worker-template group id, and the per-worker templates.
+    pub fn install_block(&mut self, name: &str) -> (TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>) {
+        self.tm.start_recording(name).expect("no block recording");
+        for spec in self.iteration_specs() {
+            self.schedule_one(&spec);
+        }
+        self.tm
+            .finish_recording(name, &self.dm, &self.ids)
+            .expect("template generation succeeds")
+    }
+
+    /// Plans one instantiation of an installed group (validation, patching,
+    /// per-worker messages, bookkeeping updates).
+    pub fn plan_instantiation(&mut self, group: TemplateId) -> nimbus_controller::InstantiationPlan {
+        self.tm
+            .plan_instantiation(
+                group,
+                &InstantiationParams::Defaults,
+                &mut self.dm,
+                &mut self.bk,
+                &self.ids,
+            )
+            .expect("instantiation plan succeeds")
+    }
+
+    /// Queues `count` task migrations for the block (exercising edits).
+    pub fn plan_migrations(&mut self, block: &str, count: usize) -> usize {
+        let workers = self.workers.clone();
+        self.tm
+            .plan_migrations(block, count, &workers, &mut self.dm)
+            .expect("migration planning succeeds")
+    }
+
+    /// The benchmark shape.
+    pub fn shape(&self) -> BlockShape {
+        self.shape
+    }
+}
+
+/// Convenience: builds a cluster and installs one block, returning everything
+/// needed by instantiation and edit benchmarks.
+pub fn record_block(shape: BlockShape) -> (BenchCluster, TemplateId, TemplateId) {
+    let mut cluster = BenchCluster::new(shape);
+    let (ct, group, _installs) = cluster.install_block("bench_inner");
+    (cluster, ct, group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_and_installation() {
+        let shape = BlockShape {
+            workers: 10,
+            tasks_per_worker: 8,
+        };
+        let (mut cluster, ct, group) = record_block(shape);
+        let template = cluster.tm.registry.controller_template(ct).unwrap();
+        assert_eq!(template.task_count(), 81);
+        let g = cluster.tm.registry.group(group).unwrap();
+        assert_eq!(g.per_worker.len(), 10);
+        assert!(g.is_self_validating());
+        // First instantiation needs a full validation (and usually a patch);
+        // the second auto-validates.
+        let first = cluster.plan_instantiation(group);
+        assert!(!first.auto_validated);
+        let second = cluster.plan_instantiation(group);
+        assert!(second.auto_validated);
+        assert_eq!(second.task_count, 81);
+        // Migration planning produces pending edits.
+        let planned = cluster.plan_migrations("bench_inner", 4);
+        assert_eq!(planned, 4);
+        let third = cluster.plan_instantiation(group);
+        let edits: usize = third.per_worker.iter().map(|(_, i)| i.edits.len()).sum();
+        assert!(edits >= 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! # nimbus-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation:
+//!
+//! * Criterion benches (`benches/table{1,2,3}_*.rs`) measure the per-task
+//!   costs of template installation, instantiation, and edits on this
+//!   machine — the counterparts of Tables 1–3.
+//! * Figure binaries (`src/bin/fig*.rs`) run the cluster simulator (and,
+//!   where feasible, the real in-process runtime) to reproduce the shape of
+//!   Figures 1 and 7–11, printing paper-vs-reproduced values side by side.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fixtures;
+pub mod report;
+
+pub use fixtures::{record_block, BenchCluster, BlockShape};
+pub use report::{print_rows, print_table, TableRow};

@@ -1,0 +1,82 @@
+//! Plain-text reporting helpers for the figure binaries.
+
+use nimbus_sim::Row;
+
+/// One row of a paper-vs-reproduced table.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// The quantity being reported.
+    pub label: String,
+    /// The value the paper reports.
+    pub paper: String,
+    /// The value this reproduction measured or simulated.
+    pub reproduced: String,
+}
+
+impl TableRow {
+    /// Creates a row.
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        reproduced: impl Into<String>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            paper: paper.into(),
+            reproduced: reproduced.into(),
+        }
+    }
+}
+
+/// Prints a paper-vs-reproduced table.
+pub fn print_table(title: &str, rows: &[TableRow]) {
+    println!("\n=== {title} ===");
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(8).max(8);
+    let paper_w = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(5);
+    println!("{:label_w$}  {:>paper_w$}  reproduced", "metric", "paper");
+    for r in rows {
+        println!("{:label_w$}  {:>paper_w$}  {}", r.label, r.paper, r.reproduced);
+    }
+}
+
+/// Prints simulator rows as a column-per-series table.
+pub fn print_rows(title: &str, x_label: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let headers: Vec<&str> = rows[0].values.iter().map(|(n, _)| *n).collect();
+    print!("{x_label:>12}");
+    for h in &headers {
+        print!("  {h:>22}");
+    }
+    println!();
+    for row in rows {
+        print!("{:>12.1}", row.x);
+        for h in &headers {
+            print!("  {:>22.4}", row.get(h).unwrap_or(f64::NAN));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_construct() {
+        let r = TableRow::new("single edit", "41 us", "38.2 us");
+        assert_eq!(r.label, "single edit");
+        print_table("Table 3", &[r]);
+        print_rows(
+            "fig",
+            "workers",
+            &[Row {
+                x: 10.0,
+                values: vec![("a", 1.0)],
+            }],
+        );
+    }
+}

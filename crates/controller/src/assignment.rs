@@ -1,0 +1,101 @@
+//! Partition-to-worker assignment policies.
+//!
+//! The paper deliberately does not study scheduling *policy* (Section 6);
+//! these are simple, pluggable policies that decide where a partition lives
+//! when it is first touched or when the worker allocation changes.
+
+use nimbus_core::ids::{LogicalPartition, WorkerId};
+
+/// How the controller assigns partitions to workers.
+#[derive(Debug, Clone)]
+pub enum AssignmentPolicy {
+    /// Partition index modulo the number of workers: deterministic and
+    /// balanced when datasets have the same partition count (the common case
+    /// for the paper's workloads).
+    Hash,
+    /// Strict round-robin over the worker list in first-touch order.
+    RoundRobin {
+        /// Next index into the worker list.
+        next: usize,
+    },
+}
+
+impl Default for AssignmentPolicy {
+    fn default() -> Self {
+        AssignmentPolicy::Hash
+    }
+}
+
+impl AssignmentPolicy {
+    /// Creates the default (hash) policy.
+    pub fn hash() -> Self {
+        AssignmentPolicy::Hash
+    }
+
+    /// Creates a round-robin policy.
+    pub fn round_robin() -> Self {
+        AssignmentPolicy::RoundRobin { next: 0 }
+    }
+
+    /// Picks a worker for a partition from the active worker list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty; callers check allocation first.
+    pub fn assign(&mut self, lp: LogicalPartition, workers: &[WorkerId]) -> WorkerId {
+        assert!(!workers.is_empty(), "assignment requires at least one worker");
+        match self {
+            AssignmentPolicy::Hash => {
+                let idx = (lp.partition.raw() as usize) % workers.len();
+                workers[idx]
+            }
+            AssignmentPolicy::RoundRobin { next } => {
+                let idx = *next % workers.len();
+                *next = next.wrapping_add(1);
+                workers[idx]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::ids::{LogicalObjectId, PartitionIndex};
+
+    fn lp(p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(1), PartitionIndex(p))
+    }
+
+    fn workers(n: u32) -> Vec<WorkerId> {
+        (0..n).map(WorkerId).collect()
+    }
+
+    #[test]
+    fn hash_policy_is_deterministic_and_balanced() {
+        let mut p = AssignmentPolicy::hash();
+        let ws = workers(4);
+        assert_eq!(p.assign(lp(0), &ws), WorkerId(0));
+        assert_eq!(p.assign(lp(5), &ws), WorkerId(1));
+        assert_eq!(p.assign(lp(5), &ws), WorkerId(1));
+        let mut counts = [0usize; 4];
+        for i in 0..100 {
+            counts[p.assign(lp(i), &ws).raw() as usize] += 1;
+        }
+        assert!(counts.iter().all(|c| *c == 25));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = AssignmentPolicy::round_robin();
+        let ws = workers(3);
+        let picks: Vec<_> = (0..6).map(|i| p.assign(lp(i), &ws).raw()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_worker_list_panics() {
+        AssignmentPolicy::hash().assign(lp(0), &[]);
+    }
+}

@@ -1,0 +1,745 @@
+//! The centralized Nimbus controller.
+//!
+//! The controller receives the driver's task stream, transforms it into an
+//! execution plan (assigning partitions to workers and inserting copy
+//! commands), and dispatches commands to workers. Execution templates sit on
+//! top of this per-task path: basic blocks are recorded as they are scheduled
+//! and replayed through one small instantiation message per worker on later
+//! executions, with validation, patching, and edits handling dynamic control
+//! flow and scheduling changes.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use nimbus_core::checkpoint::{CheckpointDescriptor, CheckpointEntry, CheckpointLog};
+use nimbus_core::graph::AssignedCommand;
+use nimbus_core::ids::{CheckpointId, LogicalPartition, TaskId, WorkerId};
+use nimbus_core::lineage::LineageLog;
+use nimbus_core::task::TaskSpec;
+use nimbus_core::template::InstantiationParams;
+use nimbus_core::{Command, CommandKind, ControlPlaneStats};
+use nimbus_net::{
+    ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, Message, NodeId,
+    WorkerToController,
+};
+
+use crate::assignment::AssignmentPolicy;
+use crate::data_manager::DataManager;
+use crate::error::{ControllerError, ControllerResult};
+use crate::expansion::{expand_task, refresh_instance, Bookkeeping, IdGens};
+use crate::template_manager::TemplateManager;
+
+/// Static controller configuration.
+pub struct ControllerConfig {
+    /// The initial worker allocation.
+    pub workers: Vec<WorkerId>,
+    /// Partition assignment policy.
+    pub policy: AssignmentPolicy,
+    /// Whether execution templates are enabled (disabled = pure centralized
+    /// per-task scheduling, the Spark-like baseline).
+    pub enable_templates: bool,
+    /// Automatically checkpoint after this many template instantiations.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl ControllerConfig {
+    /// Creates a configuration with templates enabled and no auto checkpoints.
+    pub fn new(workers: Vec<WorkerId>) -> Self {
+        Self {
+            workers,
+            policy: AssignmentPolicy::hash(),
+            enable_templates: true,
+            checkpoint_every: None,
+        }
+    }
+}
+
+enum PendingSync {
+    None,
+    Barrier,
+    FetchDrain(LogicalPartition),
+    FetchValue(LogicalPartition),
+    CheckpointDrain { marker: u64, notify: bool },
+    CheckpointSave { marker: u64, notify: bool, descriptor: CheckpointDescriptor },
+    Recovering { marker: u64, remaining_halts: usize },
+}
+
+/// The centralized controller node.
+pub struct Controller {
+    endpoint: Endpoint,
+    workers: Vec<WorkerId>,
+    all_workers: Vec<WorkerId>,
+    dm: DataManager,
+    bk: Bookkeeping,
+    ids: IdGens,
+    tm: TemplateManager,
+    lineage: LineageLog,
+    checkpoints: CheckpointLog,
+    outstanding: u64,
+    enable_templates: bool,
+    checkpoint_every: Option<u64>,
+    instantiations_since_checkpoint: u64,
+    sync: PendingSync,
+    deferred: VecDeque<Envelope>,
+    stats: ControlPlaneStats,
+    running: bool,
+}
+
+impl Controller {
+    /// Creates a controller bound to a transport endpoint.
+    pub fn new(config: ControllerConfig, endpoint: Endpoint) -> Self {
+        Self {
+            endpoint,
+            all_workers: config.workers.clone(),
+            workers: config.workers,
+            dm: DataManager::new(config.policy),
+            bk: Bookkeeping::new(),
+            ids: IdGens::new(),
+            tm: TemplateManager::new(),
+            lineage: LineageLog::new(),
+            checkpoints: CheckpointLog::new(),
+            outstanding: 0,
+            enable_templates: config.enable_templates,
+            checkpoint_every: config.checkpoint_every,
+            instantiations_since_checkpoint: 0,
+            sync: PendingSync::None,
+            deferred: VecDeque::new(),
+            stats: ControlPlaneStats::new(),
+            running: true,
+        }
+    }
+
+    /// Read-only access to the accumulated control-plane statistics.
+    pub fn stats(&self) -> &ControlPlaneStats {
+        &self.stats
+    }
+
+    /// Runs the controller until the driver shuts the job down; returns the
+    /// accumulated control-plane statistics.
+    pub fn run(mut self) -> ControlPlaneStats {
+        while self.running {
+            let envelope = match self.next_envelope() {
+                Some(e) => e,
+                None => break,
+            };
+            self.handle(envelope);
+        }
+        self.stats
+    }
+
+    fn next_envelope(&mut self) -> Option<Envelope> {
+        if let Some(e) = self.deferred.pop_front() {
+            return Some(e);
+        }
+        self.endpoint.recv().ok()
+    }
+
+    fn handle(&mut self, envelope: Envelope) {
+        match envelope.message {
+            Message::Driver(msg) => {
+                let start = Instant::now();
+                self.handle_driver(msg);
+                self.stats.control_plane_time += start.elapsed();
+            }
+            Message::FromWorker(msg) => self.handle_worker(msg),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driver interface
+    // ------------------------------------------------------------------
+
+    fn handle_driver(&mut self, msg: DriverMessage) {
+        match msg {
+            DriverMessage::DefineDataset(def) => {
+                self.dm.define_dataset(def);
+                self.reply(ControllerToDriver::Ack);
+            }
+            DriverMessage::SubmitTask(spec) => {
+                if let Err(e) = self.submit_task(spec) {
+                    self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    });
+                }
+            }
+            DriverMessage::StartTemplate { name } => {
+                let result = if self.enable_templates {
+                    self.tm.start_recording(&name)
+                } else {
+                    Ok(())
+                };
+                match result {
+                    Ok(()) => self.reply(ControllerToDriver::Ack),
+                    Err(e) => self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    }),
+                }
+            }
+            DriverMessage::FinishTemplate { name } => {
+                if !self.enable_templates {
+                    self.reply(ControllerToDriver::TemplateInstalled { name });
+                    return;
+                }
+                match self.finish_template(&name) {
+                    Ok(()) => self.reply(ControllerToDriver::TemplateInstalled { name }),
+                    Err(e) => self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    }),
+                }
+            }
+            DriverMessage::InstantiateTemplate { name, params } => {
+                if let Err(e) = self.instantiate_block(&name, &params) {
+                    self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    });
+                }
+            }
+            DriverMessage::FetchValue { partition } => {
+                if self.outstanding == 0 {
+                    self.start_fetch(partition);
+                } else {
+                    self.sync = PendingSync::FetchDrain(partition);
+                }
+            }
+            DriverMessage::Barrier => {
+                if self.outstanding == 0 {
+                    self.reply(ControllerToDriver::BarrierReached);
+                } else {
+                    self.sync = PendingSync::Barrier;
+                }
+            }
+            DriverMessage::EnableTemplates(enabled) => {
+                self.enable_templates = enabled;
+                self.reply(ControllerToDriver::Ack);
+            }
+            DriverMessage::Checkpoint { marker } => {
+                if self.outstanding == 0 {
+                    self.start_checkpoint(marker, true);
+                } else {
+                    self.sync = PendingSync::CheckpointDrain {
+                        marker,
+                        notify: true,
+                    };
+                }
+            }
+            DriverMessage::MigrateTasks { name, count } => {
+                let workers = self.workers.clone();
+                match self.tm.plan_migrations(&name, count, &workers, &mut self.dm) {
+                    Ok(planned) => {
+                        self.stats.edits_applied += planned as u64;
+                        self.reply(ControllerToDriver::Ack);
+                    }
+                    Err(e) => self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    }),
+                }
+            }
+            DriverMessage::SetWorkerAllocation { workers } => {
+                match self.change_allocation(workers) {
+                    Ok(()) => self.reply(ControllerToDriver::Ack),
+                    Err(e) => self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    }),
+                }
+            }
+            DriverMessage::FailWorker { worker } => {
+                if let Err(e) = self.begin_recovery(worker) {
+                    self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    });
+                }
+            }
+            DriverMessage::Shutdown => {
+                for w in &self.all_workers {
+                    let _ = self.endpoint.send(
+                        NodeId::Worker(*w),
+                        Message::ToWorker(ControllerToWorker::Shutdown),
+                    );
+                }
+                self.reply(ControllerToDriver::JobTerminated);
+                self.running = false;
+            }
+        }
+    }
+
+    fn submit_task(&mut self, spec: TaskSpec) -> ControllerResult<()> {
+        let expanded = expand_task(
+            &spec,
+            &self.workers,
+            &mut self.dm,
+            &mut self.bk,
+            &self.ids,
+            &mut self.lineage,
+        )?;
+        self.tm.record_task(&spec, &expanded);
+        self.stats.tasks_scheduled_directly += 1;
+        self.stats.copies_inserted += expanded
+            .commands
+            .iter()
+            .filter(|c| c.command.kind.is_network_copy())
+            .count() as u64
+            / 2;
+        self.dispatch(expanded.commands)?;
+        Ok(())
+    }
+
+    fn finish_template(&mut self, name: &str) -> ControllerResult<()> {
+        let (_ct, _group, installs) = self.tm.finish_recording(name, &self.dm, &self.ids)?;
+        self.stats.controller_templates_installed += 1;
+        self.stats.worker_template_groups_generated += 1;
+        self.stats.worker_templates_installed += installs.len() as u64;
+        for (worker, template) in installs {
+            self.send_worker(worker, ControllerToWorker::InstallTemplate { template })?;
+        }
+        Ok(())
+    }
+
+    fn instantiate_block(
+        &mut self,
+        name: &str,
+        params: &InstantiationParams,
+    ) -> ControllerResult<()> {
+        let ct = self
+            .tm
+            .registry
+            .controller_template_by_name(name)
+            .ok_or_else(|| ControllerError::UnknownBlock(name.to_string()))?;
+        let ct_id = ct.id;
+        let task_count = ct.task_count();
+        self.stats.controller_template_instantiations += 1;
+        self.instantiations_since_checkpoint += 1;
+
+        let group = self
+            .tm
+            .registry
+            .find_group_for_workers(ct_id, &self.workers)
+            .map(|g| g.id);
+
+        match group {
+            Some(group_id) if self.enable_templates => {
+                let plan = self.tm.plan_instantiation(
+                    group_id,
+                    params,
+                    &mut self.dm,
+                    &mut self.bk,
+                    &self.ids,
+                )?;
+                if plan.auto_validated {
+                    self.stats.auto_validations += 1;
+                } else {
+                    self.stats.full_validations += 1;
+                }
+                if !plan.patch_commands.is_empty() {
+                    self.stats.patches_applied += 1;
+                    if plan.patch_cache_hit {
+                        self.stats.patch_cache_hits += 1;
+                    } else {
+                        self.stats.patch_cache_misses += 1;
+                    }
+                    self.dispatch(plan.patch_commands)?;
+                }
+                let edit_count: usize =
+                    plan.per_worker.iter().map(|(_, i)| i.edits.len()).sum();
+                self.stats.edits_applied += edit_count as u64;
+                self.stats.worker_template_instantiations += plan.per_worker.len() as u64;
+                self.stats.tasks_from_templates += plan.task_count;
+                self.outstanding += plan.expected_commands;
+                for (worker, instantiation) in plan.per_worker {
+                    self.send_worker(
+                        worker,
+                        ControllerToWorker::InstantiateTemplate(instantiation),
+                    )?;
+                }
+            }
+            _ => {
+                // No worker templates match the current allocation (or
+                // templates are disabled): schedule the block task by task,
+                // recording a fresh group if templates are enabled.
+                let task_base = self.ids.tasks.next_block(task_count as u64);
+                let task_ids: Vec<TaskId> =
+                    (0..task_count as u64).map(|i| TaskId(task_base + i)).collect();
+                let ct = self
+                    .tm
+                    .registry
+                    .controller_template_by_name(name)
+                    .expect("checked above");
+                let specs = ct.instantiate(&task_ids, params)?;
+                let record = self.enable_templates && !self.tm.is_recording();
+                if record {
+                    self.tm.start_recording(name)?;
+                }
+                for spec in &specs {
+                    // Placement hints from the old assignment may point at
+                    // evicted workers; expansion falls back to the current
+                    // allocation automatically.
+                    let expanded = expand_task(
+                        spec,
+                        &self.workers,
+                        &mut self.dm,
+                        &mut self.bk,
+                        &self.ids,
+                        &mut self.lineage,
+                    )?;
+                    self.tm.record_task(spec, &expanded);
+                    self.stats.tasks_scheduled_directly += 1;
+                    self.dispatch(expanded.commands)?;
+                }
+                if record {
+                    self.finish_template(name)?;
+                }
+            }
+        }
+
+        if let Some(every) = self.checkpoint_every {
+            if self.instantiations_since_checkpoint >= every
+                && matches!(self.sync, PendingSync::None)
+            {
+                let marker = self.instantiations_since_checkpoint;
+                self.sync = PendingSync::CheckpointDrain {
+                    marker,
+                    notify: false,
+                };
+                self.instantiations_since_checkpoint = 0;
+                self.advance_sync();
+            }
+        }
+        Ok(())
+    }
+
+    fn change_allocation(&mut self, new_workers: Vec<WorkerId>) -> ControllerResult<()> {
+        if new_workers.is_empty() {
+            return Err(ControllerError::NoWorkers);
+        }
+        let evicted: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .copied()
+            .filter(|w| !new_workers.contains(w))
+            .collect();
+        for w in &new_workers {
+            if !self.all_workers.contains(w) {
+                self.all_workers.push(*w);
+            }
+        }
+        // Drain evicted workers: move the latest copy of every partition they
+        // exclusively hold onto a surviving worker, then forget their
+        // instances.
+        for w in &evicted {
+            let partitions: Vec<LogicalPartition> = self
+                .dm
+                .instances
+                .on_worker(*w)
+                .iter()
+                .map(|i| i.logical)
+                .collect();
+            let mut commands = Vec::new();
+            for lp in partitions {
+                let holders = self.dm.instances.latest_holders(lp, &self.dm.versions);
+                let only_here = holders.iter().all(|h| h.worker == *w) && !holders.is_empty();
+                if only_here {
+                    self.dm.set_home(lp, {
+                        // Re-home deterministically among the new allocation.
+                        let idx = (lp.partition.raw() as usize) % new_workers.len();
+                        new_workers[idx]
+                    });
+                    let target = self.dm.current_home(lp).expect("home just set");
+                    refresh_instance(lp, target, &mut self.dm, &mut self.bk, &self.ids, &mut commands)?;
+                }
+            }
+            self.dispatch(commands)?;
+            self.dm.drop_worker(*w);
+        }
+        self.workers = new_workers;
+        Ok(())
+    }
+
+    fn begin_recovery(&mut self, failed: WorkerId) -> ControllerResult<()> {
+        self.stats.failures_handled += 1;
+        let marker = self
+            .checkpoints
+            .latest()
+            .map(|c| c.progress_marker)
+            .ok_or(ControllerError::NoCheckpoint)?;
+        // The failed worker leaves the allocation but stays in `all_workers`:
+        // the in-process "failed" thread still needs a shutdown message at
+        // job end (a real deployment would simply have lost the process).
+        self.workers.retain(|w| *w != failed);
+        if self.workers.is_empty() {
+            return Err(ControllerError::NoWorkers);
+        }
+        // Halt every surviving worker: they terminate ongoing commands and
+        // flush their queues (Section 4.4).
+        let survivors = self.workers.clone();
+        for w in survivors {
+            self.send_worker(w, ControllerToWorker::Halt)?;
+        }
+        self.sync = PendingSync::Recovering {
+            marker,
+            remaining_halts: self.workers.len(),
+        };
+        Ok(())
+    }
+
+    fn complete_recovery(&mut self, marker: u64) {
+        let descriptor = self
+            .checkpoints
+            .latest()
+            .cloned()
+            .expect("recovery requires a checkpoint");
+        // Reset execution state to the snapshot.
+        self.outstanding = 0;
+        self.bk.clear();
+        self.dm.versions = descriptor.versions.clone();
+        self.dm.instances = descriptor.instances.clone();
+        // Forget instances that lived on workers no longer in the allocation.
+        let snapshot_workers: Vec<WorkerId> = self
+            .dm
+            .instances
+            .iter()
+            .map(|i| i.worker)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        for w in snapshot_workers {
+            if !self.workers.contains(&w) {
+                self.dm.drop_worker(w);
+            }
+        }
+        // Reload every checkpointed partition into memory, re-homing the ones
+        // whose instance disappeared with the failed worker.
+        let mut commands: Vec<AssignedCommand> = Vec::new();
+        for entry in descriptor.manifest.clone() {
+            let target = if self.workers.contains(&entry.worker) {
+                entry.worker
+            } else {
+                let idx = (entry.partition.partition.raw() as usize) % self.workers.len();
+                self.workers[idx]
+            };
+            let instance = crate::expansion::ensure_instance_commands(
+                entry.partition,
+                target,
+                &mut self.dm,
+                &mut self.bk,
+                &self.ids,
+                &mut commands,
+            );
+            let id = self.ids.command();
+            let load = Command::new(
+                id,
+                CommandKind::LoadData {
+                    object: instance.id,
+                    key: entry.key.clone(),
+                },
+            )
+            .with_before(self.bk.write_deps(instance.id));
+            self.bk.note_write(instance.id, id);
+            commands.push(AssignedCommand {
+                command: load,
+                worker: target,
+            });
+            self.dm.record_refresh(entry.partition, instance.id);
+        }
+        let _ = self.dispatch(commands);
+        // Templates built for the old allocation will be regenerated lazily;
+        // cached patches may reference lost objects.
+        self.tm.last_executed = None;
+        self.tm.patch_cache = nimbus_core::PatchCache::new();
+        self.reply(ControllerToDriver::RecoveryComplete { marker });
+    }
+
+    // ------------------------------------------------------------------
+    // Worker interface
+    // ------------------------------------------------------------------
+
+    fn handle_worker(&mut self, msg: WorkerToController) {
+        match msg {
+            WorkerToController::CommandsCompleted {
+                commands,
+                compute_micros,
+                ..
+            } => {
+                let n = commands.len() as u64;
+                self.outstanding = self.outstanding.saturating_sub(n);
+                self.stats.computation_time += std::time::Duration::from_micros(compute_micros);
+                if self.outstanding == 0 {
+                    self.advance_sync();
+                }
+            }
+            WorkerToController::TemplateInstalled { .. } => {}
+            WorkerToController::ValueFetched { value, .. } => {
+                if let PendingSync::FetchValue(partition) = self.sync {
+                    self.sync = PendingSync::None;
+                    self.reply(ControllerToDriver::ValueFetched { partition, value });
+                }
+            }
+            WorkerToController::Halted { .. } => {
+                if let PendingSync::Recovering {
+                    marker,
+                    remaining_halts,
+                } = &mut self.sync
+                {
+                    *remaining_halts = remaining_halts.saturating_sub(1);
+                    if *remaining_halts == 0 {
+                        let marker = *marker;
+                        self.sync = PendingSync::None;
+                        self.complete_recovery(marker);
+                    }
+                }
+            }
+            WorkerToController::Heartbeat { .. } => {}
+        }
+    }
+
+    fn advance_sync(&mut self) {
+        match std::mem::replace(&mut self.sync, PendingSync::None) {
+            PendingSync::None => {}
+            PendingSync::Barrier => self.reply(ControllerToDriver::BarrierReached),
+            PendingSync::FetchDrain(partition) => self.start_fetch(partition),
+            PendingSync::FetchValue(partition) => {
+                // Still waiting for the worker's reply.
+                self.sync = PendingSync::FetchValue(partition);
+            }
+            PendingSync::CheckpointDrain { marker, notify } => {
+                self.start_checkpoint(marker, notify);
+            }
+            PendingSync::CheckpointSave {
+                marker,
+                notify,
+                descriptor,
+            } => {
+                self.checkpoints.commit(descriptor);
+                self.stats.checkpoints_committed += 1;
+                if notify {
+                    self.reply(ControllerToDriver::CheckpointCommitted { marker });
+                }
+            }
+            PendingSync::Recovering {
+                marker,
+                remaining_halts,
+            } => {
+                self.sync = PendingSync::Recovering {
+                    marker,
+                    remaining_halts,
+                };
+            }
+        }
+    }
+
+    fn start_fetch(&mut self, partition: LogicalPartition) {
+        match self.dm.latest_holder(partition, None) {
+            Some(instance) => {
+                if self
+                    .send_worker(
+                        instance.worker,
+                        ControllerToWorker::FetchValue {
+                            object: instance.id,
+                        },
+                    )
+                    .is_ok()
+                {
+                    self.sync = PendingSync::FetchValue(partition);
+                } else {
+                    self.reply(ControllerToDriver::Error {
+                        message: format!("worker {} unreachable", instance.worker),
+                    });
+                }
+            }
+            None => self.reply(ControllerToDriver::Error {
+                message: format!("no instance of {partition} exists"),
+            }),
+        }
+    }
+
+    fn start_checkpoint(&mut self, marker: u64, notify: bool) {
+        let ckpt_id = CheckpointId(self.ids.checkpoints.next_raw());
+        let mut manifest = Vec::new();
+        let mut commands: Vec<AssignedCommand> = Vec::new();
+        for lp in self.dm.known_partitions() {
+            let Some(holder) = self.dm.latest_holder(lp, None) else {
+                continue;
+            };
+            let key = format!("ckpt/{}/{}/{}", ckpt_id, lp.object, lp.partition);
+            let id = self.ids.command();
+            let save = Command::new(
+                id,
+                CommandKind::SaveData {
+                    object: holder.id,
+                    key: key.clone(),
+                },
+            )
+            .with_before(self.bk.read_deps(holder.id));
+            self.bk.note_read(holder.id, id);
+            commands.push(AssignedCommand {
+                command: save,
+                worker: holder.worker,
+            });
+            manifest.push(CheckpointEntry {
+                partition: lp,
+                version: self.dm.versions.current(lp),
+                worker: holder.worker,
+                key,
+            });
+        }
+        let descriptor = CheckpointDescriptor {
+            id: ckpt_id,
+            versions: self.dm.versions.clone(),
+            instances: self.dm.instances.clone(),
+            manifest,
+            progress_marker: marker,
+        };
+        let has_commands = !commands.is_empty();
+        let _ = self.dispatch(commands);
+        self.sync = PendingSync::CheckpointSave {
+            marker,
+            notify,
+            descriptor,
+        };
+        if !has_commands {
+            self.advance_sync();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch helpers
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, commands: Vec<AssignedCommand>) -> ControllerResult<()> {
+        if commands.is_empty() {
+            return Ok(());
+        }
+        // Group into one message per worker while preserving program order.
+        let mut order: Vec<WorkerId> = Vec::new();
+        let mut per_worker: std::collections::HashMap<WorkerId, Vec<Command>> =
+            std::collections::HashMap::new();
+        for ac in commands {
+            if !per_worker.contains_key(&ac.worker) {
+                order.push(ac.worker);
+            }
+            per_worker.entry(ac.worker).or_default().push(ac.command);
+        }
+        for worker in order {
+            let batch = per_worker.remove(&worker).unwrap_or_default();
+            self.outstanding += batch.len() as u64;
+            self.stats.commands_dispatched += batch.len() as u64;
+            self.send_worker(worker, ControllerToWorker::ExecuteCommands { commands: batch })?;
+        }
+        Ok(())
+    }
+
+    fn send_worker(&mut self, worker: WorkerId, msg: ControllerToWorker) -> ControllerResult<()> {
+        let message = Message::ToWorker(msg);
+        self.stats
+            .record_message(message.tag(), message.wire_size());
+        self.endpoint
+            .send(NodeId::Worker(worker), message)
+            .map_err(|e| ControllerError::Net(e.to_string()))
+    }
+
+    fn reply(&mut self, msg: ControllerToDriver) {
+        let message = Message::ToDriver(msg);
+        self.stats
+            .record_message(message.tag(), message.wire_size());
+        let _ = self.endpoint.send(NodeId::Driver, message);
+    }
+}

@@ -1,0 +1,467 @@
+//! Expansion of logical tasks into concrete worker commands.
+//!
+//! This is the controller's per-task scheduling path: given a logical task,
+//! pick its worker, make sure every partition it reads is present and
+//! up to date on that worker (inserting create and copy commands as needed),
+//! emit the task command with a correct before set, and update the version
+//! and dependency bookkeeping. The same code runs when a basic block is being
+//! recorded into a template — the resulting commands are what the worker
+//! templates cache.
+
+use std::collections::HashMap;
+
+use nimbus_core::graph::AssignedCommand;
+use nimbus_core::ids::{
+    CommandId, IdGenerator, LogicalPartition, PhysicalObjectId, TransferId, WorkerId,
+};
+use nimbus_core::lineage::{LineageLog, LineageRecord};
+use nimbus_core::task::TaskSpec;
+use nimbus_core::{Command, CommandKind};
+
+use crate::data_manager::DataManager;
+use crate::error::{ControllerError, ControllerResult};
+
+/// Identifier generators owned by the controller.
+pub struct IdGens {
+    /// Command identifiers.
+    pub commands: IdGenerator,
+    /// Data transfer identifiers.
+    pub transfers: IdGenerator,
+    /// Task identifiers (used when instantiating templates).
+    pub tasks: IdGenerator,
+    /// Template identifiers.
+    pub templates: IdGenerator,
+    /// Checkpoint identifiers.
+    pub checkpoints: IdGenerator,
+}
+
+impl IdGens {
+    /// Creates fresh generators.
+    pub fn new() -> Self {
+        Self {
+            commands: IdGenerator::new(),
+            transfers: IdGenerator::new(),
+            tasks: IdGenerator::starting_at(1_000_000),
+            templates: IdGenerator::new(),
+            checkpoints: IdGenerator::new(),
+        }
+    }
+
+    /// Next command id.
+    pub fn command(&self) -> CommandId {
+        CommandId(self.commands.next_raw())
+    }
+
+    /// Next transfer id.
+    pub fn transfer(&self) -> TransferId {
+        TransferId(self.transfers.next_raw())
+    }
+}
+
+impl Default for IdGens {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-object dependency bookkeeping used to build before sets on the
+/// per-task scheduling path.
+#[derive(Default)]
+pub struct Bookkeeping {
+    last_writer: HashMap<PhysicalObjectId, CommandId>,
+    readers_since_write: HashMap<PhysicalObjectId, Vec<CommandId>>,
+}
+
+impl Bookkeeping {
+    /// Creates empty bookkeeping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dependencies a reader of `obj` must wait for.
+    pub fn read_deps(&self, obj: PhysicalObjectId) -> Vec<CommandId> {
+        self.last_writer.get(&obj).copied().into_iter().collect()
+    }
+
+    /// Dependencies a writer of `obj` must wait for (last writer plus every
+    /// reader since then).
+    pub fn write_deps(&self, obj: PhysicalObjectId) -> Vec<CommandId> {
+        let mut deps: Vec<CommandId> = self.last_writer.get(&obj).copied().into_iter().collect();
+        if let Some(rs) = self.readers_since_write.get(&obj) {
+            deps.extend(rs.iter().copied());
+        }
+        deps
+    }
+
+    /// Notes that `cmd` reads `obj`.
+    pub fn note_read(&mut self, obj: PhysicalObjectId, cmd: CommandId) {
+        self.readers_since_write.entry(obj).or_default().push(cmd);
+    }
+
+    /// Notes that `cmd` writes `obj`.
+    pub fn note_write(&mut self, obj: PhysicalObjectId, cmd: CommandId) {
+        self.last_writer.insert(obj, cmd);
+        self.readers_since_write.insert(obj, Vec::new());
+    }
+
+    /// Forgets everything (used after halting workers during recovery).
+    pub fn clear(&mut self) {
+        self.last_writer.clear();
+        self.readers_since_write.clear();
+    }
+}
+
+fn dedup_before(mut before: Vec<CommandId>, this: CommandId) -> Vec<CommandId> {
+    before.retain(|c| *c != this);
+    before.sort_unstable();
+    before.dedup();
+    before
+}
+
+/// Emits the command that creates an instance on a worker, if needed, and
+/// returns the instance.
+pub fn ensure_instance_commands(
+    lp: LogicalPartition,
+    worker: WorkerId,
+    dm: &mut DataManager,
+    bk: &mut Bookkeeping,
+    ids: &IdGens,
+    out: &mut Vec<AssignedCommand>,
+) -> nimbus_core::PhysicalInstance {
+    let (instance, created) = dm.ensure_instance(lp, worker);
+    if created {
+        let id = ids.command();
+        let command = Command::new(
+            id,
+            CommandKind::CreateData {
+                object: instance.id,
+                logical: lp,
+            },
+        )
+        .with_before(dedup_before(bk.write_deps(instance.id), id));
+        bk.note_write(instance.id, id);
+        out.push(AssignedCommand { command, worker });
+    }
+    instance
+}
+
+/// Makes sure the instance of `lp` on `worker` holds the latest version,
+/// emitting a local copy or a send/receive pair if it is stale. Returns the
+/// up-to-date instance on `worker`.
+pub fn refresh_instance(
+    lp: LogicalPartition,
+    worker: WorkerId,
+    dm: &mut DataManager,
+    bk: &mut Bookkeeping,
+    ids: &IdGens,
+    out: &mut Vec<AssignedCommand>,
+) -> ControllerResult<nimbus_core::PhysicalInstance> {
+    let instance = ensure_instance_commands(lp, worker, dm, bk, ids, out);
+    if dm.is_up_to_date(instance.id) {
+        return Ok(instance);
+    }
+    let holder = dm
+        .latest_holder(lp, Some(worker))
+        .ok_or(ControllerError::UnknownPartition(lp))?;
+    if holder.worker == worker {
+        // A fresher copy exists on the same worker: local copy.
+        let id = ids.command();
+        let command = Command::new(
+            id,
+            CommandKind::LocalCopy {
+                from: holder.id,
+                to: instance.id,
+            },
+        )
+        .with_before(dedup_before(
+            [bk.read_deps(holder.id), bk.write_deps(instance.id)].concat(),
+            id,
+        ));
+        bk.note_read(holder.id, id);
+        bk.note_write(instance.id, id);
+        out.push(AssignedCommand { command, worker });
+    } else {
+        let transfer = ids.transfer();
+        let send_id = ids.command();
+        let send = Command::new(
+            send_id,
+            CommandKind::SendCopy {
+                from: holder.id,
+                to_worker: worker,
+                transfer,
+            },
+        )
+        .with_before(dedup_before(bk.read_deps(holder.id), send_id));
+        bk.note_read(holder.id, send_id);
+        out.push(AssignedCommand {
+            command: send,
+            worker: holder.worker,
+        });
+
+        let recv_id = ids.command();
+        let recv = Command::new(
+            recv_id,
+            CommandKind::ReceiveCopy {
+                to: instance.id,
+                from_worker: holder.worker,
+                transfer,
+            },
+        )
+        .with_before(dedup_before(bk.write_deps(instance.id), recv_id));
+        bk.note_write(instance.id, recv_id);
+        out.push(AssignedCommand {
+            command: recv,
+            worker,
+        });
+    }
+    dm.record_refresh(lp, instance.id);
+    Ok(instance)
+}
+
+/// The result of expanding one logical task.
+pub struct ExpandedTask {
+    /// Commands to dispatch, in program order (creates, copies, the task).
+    pub commands: Vec<AssignedCommand>,
+    /// The identifier of the task command itself.
+    pub task_command: CommandId,
+    /// The worker the task was placed on.
+    pub worker: WorkerId,
+}
+
+/// Expands a logical task into concrete commands on its chosen worker.
+///
+/// Placement: the task's `preferred_worker` wins if it is part of the active
+/// allocation; otherwise the home of its first written partition; otherwise
+/// the home of its first read partition.
+pub fn expand_task(
+    spec: &TaskSpec,
+    workers: &[WorkerId],
+    dm: &mut DataManager,
+    bk: &mut Bookkeeping,
+    ids: &IdGens,
+    lineage: &mut LineageLog,
+) -> ControllerResult<ExpandedTask> {
+    if workers.is_empty() {
+        return Err(ControllerError::NoWorkers);
+    }
+    let worker = match spec.preferred_worker {
+        Some(w) if workers.contains(&w) => w,
+        _ => {
+            let anchor = spec
+                .writes
+                .first()
+                .or_else(|| spec.reads.first())
+                .copied()
+                .ok_or_else(|| {
+                    ControllerError::Core(nimbus_core::CoreError::Invariant(format!(
+                        "task {} has no data accesses",
+                        spec.id
+                    )))
+                })?;
+            dm.home_of(anchor, workers)?
+        }
+    };
+
+    let mut commands = Vec::new();
+    let mut read_phys = Vec::with_capacity(spec.reads.len());
+    for lp in &spec.reads {
+        let inst = refresh_instance(*lp, worker, dm, bk, ids, &mut commands)?;
+        read_phys.push(inst.id);
+    }
+    let mut write_phys = Vec::with_capacity(spec.writes.len());
+    for lp in &spec.writes {
+        // Data objects are mutable and tasks update them in place
+        // (Section 3.3), so a write target must hold the partition's current
+        // value before the task runs — important when a partition has just
+        // been re-homed and the new worker's instance was only created.
+        let inst = refresh_instance(*lp, worker, dm, bk, ids, &mut commands)?;
+        write_phys.push(inst.id);
+    }
+
+    let task_command = ids.command();
+    let mut before = Vec::new();
+    for obj in &read_phys {
+        before.extend(bk.read_deps(*obj));
+    }
+    for obj in &write_phys {
+        before.extend(bk.write_deps(*obj));
+    }
+    let command = Command::new(
+        task_command,
+        CommandKind::RunTask {
+            function: spec.function,
+            task: spec.id,
+        },
+    )
+    .with_reads(read_phys.clone())
+    .with_writes(write_phys.clone())
+    .with_before(dedup_before(before, task_command))
+    .with_params(spec.params.clone());
+    commands.push(AssignedCommand { command, worker });
+
+    for obj in &read_phys {
+        bk.note_read(*obj, task_command);
+    }
+    for (lp, obj) in spec.writes.iter().zip(&write_phys) {
+        let version = dm.record_write(*lp, *obj);
+        bk.note_write(*obj, task_command);
+        lineage.record(LineageRecord {
+            partition: *lp,
+            version,
+            task: spec.id,
+            stage: spec.stage,
+        });
+    }
+
+    Ok(ExpandedTask {
+        commands,
+        task_command,
+        worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::AssignmentPolicy;
+    use nimbus_core::data::DatasetDef;
+    use nimbus_core::ids::{FunctionId, LogicalObjectId, PartitionIndex, StageId, TaskId};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    fn setup() -> (DataManager, Bookkeeping, IdGens, LineageLog) {
+        let mut dm = DataManager::new(AssignmentPolicy::hash());
+        dm.define_dataset(DatasetDef::new(LogicalObjectId(1), "tdata", 4));
+        dm.define_dataset(DatasetDef::new(LogicalObjectId(2), "grad", 4));
+        dm.define_dataset(DatasetDef::new(LogicalObjectId(3), "coeff", 1));
+        (dm, Bookkeeping::new(), IdGens::new(), LineageLog::new())
+    }
+
+    fn task(id: u64, reads: Vec<LogicalPartition>, writes: Vec<LogicalPartition>) -> TaskSpec {
+        TaskSpec::new(TaskId(id), StageId(1), FunctionId(1))
+            .with_reads(reads)
+            .with_writes(writes)
+    }
+
+    #[test]
+    fn first_expansion_creates_instances_and_task() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0), WorkerId(1)];
+        let spec = task(1, vec![lp(1, 0)], vec![lp(2, 0)]);
+        let out = expand_task(&spec, &workers, &mut dm, &mut bk, &ids, &mut lineage).unwrap();
+        // Two creates (read + write instances) plus the task.
+        assert_eq!(out.commands.len(), 3);
+        assert_eq!(out.worker, WorkerId(0));
+        let kinds: Vec<_> = out.commands.iter().map(|c| c.command.kind.tag()).collect();
+        assert_eq!(kinds, vec!["create", "create", "task"]);
+        // The task depends on both creates.
+        assert_eq!(out.commands[2].command.before.len(), 2);
+        assert_eq!(lineage.len(), 1);
+        assert_eq!(dm.versions.current(lp(2, 0)), nimbus_core::Version(1));
+    }
+
+    #[test]
+    fn repeat_expansion_emits_only_the_task() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0), WorkerId(1)];
+        let spec = task(1, vec![lp(1, 0)], vec![lp(2, 0)]);
+        expand_task(&spec, &workers, &mut dm, &mut bk, &ids, &mut lineage).unwrap();
+        let out =
+            expand_task(&task(2, vec![lp(1, 0)], vec![lp(2, 0)]), &workers, &mut dm, &mut bk, &ids, &mut lineage)
+                .unwrap();
+        assert_eq!(out.commands.len(), 1);
+        assert!(out.commands[0].command.kind.is_task());
+        // RAW on the create of tdata, WAW on the previous task's write.
+        assert!(!out.commands[0].command.before.is_empty());
+    }
+
+    #[test]
+    fn remote_read_inserts_send_receive_pair() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0), WorkerId(1)];
+        // coeff partition 0 is written by a task on worker 0.
+        expand_task(
+            &task(1, vec![], vec![lp(3, 0)]).with_preferred_worker(WorkerId(0)),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage,
+        )
+        .unwrap();
+        // A task on worker 1 reads coeff: the controller must move it.
+        let out = expand_task(
+            &task(2, vec![lp(3, 0)], vec![lp(2, 1)]).with_preferred_worker(WorkerId(1)),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage,
+        )
+        .unwrap();
+        let kinds: Vec<_> = out.commands.iter().map(|c| c.command.kind.tag()).collect();
+        assert_eq!(kinds, vec!["create", "send", "receive", "create", "task"]);
+        let send = &out.commands[1];
+        let recv = &out.commands[2];
+        assert_eq!(send.worker, WorkerId(0));
+        assert_eq!(recv.worker, WorkerId(1));
+        // The task reads the worker-1 instance refreshed by the receive.
+        let task_cmd = &out.commands[4].command;
+        assert!(task_cmd.before.contains(&recv.command.id));
+        // After the refresh, worker 1's copy is a latest holder too.
+        assert_eq!(dm.instances.latest_holders(lp(3, 0), &dm.versions).len(), 2);
+    }
+
+    #[test]
+    fn stale_local_copy_uses_local_copy_command() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0)];
+        // Two instances of coeff on the same worker can arise after
+        // migrations; emulate by registering a second instance directly.
+        expand_task(
+            &task(1, vec![], vec![lp(3, 0)]).with_preferred_worker(WorkerId(0)),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage,
+        )
+        .unwrap();
+        let (stale, created) = dm.ensure_instance(lp(3, 0), WorkerId(0));
+        assert!(!created, "same worker already has an instance");
+        assert!(dm.is_up_to_date(stale.id));
+    }
+
+    #[test]
+    fn preferred_worker_outside_allocation_falls_back() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0)];
+        let out = expand_task(
+            &task(1, vec![lp(1, 2)], vec![lp(2, 2)]).with_preferred_worker(WorkerId(7)),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage,
+        )
+        .unwrap();
+        assert_eq!(out.worker, WorkerId(0));
+    }
+
+    #[test]
+    fn task_without_accesses_is_rejected() {
+        let (mut dm, mut bk, ids, mut lineage) = setup();
+        let workers = vec![WorkerId(0)];
+        assert!(expand_task(
+            &task(1, vec![], vec![]),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage
+        )
+        .is_err());
+    }
+}

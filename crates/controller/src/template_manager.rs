@@ -1,0 +1,1022 @@
+//! Template management on the controller: recording basic blocks, generating
+//! controller and worker templates, planning instantiations (with validation
+//! and patching), and planning migration edits.
+//!
+//! This module implements Section 4 of the paper. Recording happens while the
+//! block's tasks are being scheduled normally; at the end of the block the
+//! recorded task stream is post-processed into table-based templates. On
+//! later executions of the block the controller validates preconditions
+//! (skipping validation entirely for back-to-back runs of a self-validating
+//! template), patches data placement if needed, and sends one small
+//! instantiation message per worker.
+
+use std::collections::{HashMap, HashSet};
+
+use nimbus_core::graph::AssignedCommand;
+use nimbus_core::ids::{
+    CommandId, LogicalPartition, PhysicalObjectId, TaskId, TemplateId, TransferId, WorkerId,
+};
+use nimbus_core::task::TaskSpec;
+use nimbus_core::template::{
+    compute_patch, validate_preconditions, ControllerTaskEntry, ControllerTemplate,
+    InstantiationParams, Patch, PatchCache, PatchDirective, Precondition, SkeletonEntry,
+    SkeletonKind, TemplateEdit, TemplateRegistry, WorkerInstantiation, WorkerTemplate,
+    WorkerTemplateGroup,
+};
+use nimbus_core::{Command, CommandKind, TaskParams};
+
+use crate::data_manager::DataManager;
+use crate::error::{ControllerError, ControllerResult};
+use crate::expansion::{Bookkeeping, ExpandedTask, IdGens};
+
+/// State accumulated while a basic block is being recorded.
+pub struct RecordingState {
+    /// The block name the driver supplied.
+    pub name: String,
+    entries: Vec<ControllerTaskEntry>,
+    commands: Vec<AssignedCommand>,
+    entry_of_command: HashMap<CommandId, usize>,
+    lp_last_writer: HashMap<LogicalPartition, usize>,
+    lp_readers: HashMap<LogicalPartition, Vec<usize>>,
+}
+
+impl RecordingState {
+    /// Starts recording a block.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            entries: Vec::new(),
+            commands: Vec::new(),
+            entry_of_command: HashMap::new(),
+            lp_last_writer: HashMap::new(),
+            lp_readers: HashMap::new(),
+        }
+    }
+
+    /// Records one task (already expanded and dispatched) into the block.
+    pub fn record_task(&mut self, spec: &TaskSpec, expanded: &ExpandedTask) {
+        let index = self.entries.len();
+        let mut before = Vec::new();
+        for lp in &spec.reads {
+            if let Some(w) = self.lp_last_writer.get(lp) {
+                before.push(*w);
+            }
+        }
+        for lp in &spec.writes {
+            if let Some(w) = self.lp_last_writer.get(lp) {
+                before.push(*w);
+            }
+            if let Some(rs) = self.lp_readers.get(lp) {
+                before.extend(rs.iter().copied());
+            }
+        }
+        before.retain(|b| *b < index);
+        before.sort_unstable();
+        before.dedup();
+
+        self.entries.push(ControllerTaskEntry {
+            index,
+            stage: spec.stage,
+            function: spec.function,
+            reads: spec.reads.clone(),
+            writes: spec.writes.clone(),
+            before,
+            assigned_worker: expanded.worker,
+            default_params: spec.params.clone(),
+        });
+        for lp in &spec.reads {
+            self.lp_readers.entry(*lp).or_default().push(index);
+        }
+        for lp in &spec.writes {
+            self.lp_last_writer.insert(*lp, index);
+            self.lp_readers.insert(*lp, Vec::new());
+        }
+        self.commands.extend(expanded.commands.iter().cloned());
+        self.entry_of_command.insert(expanded.task_command, index);
+    }
+
+    /// Number of tasks recorded so far.
+    pub fn task_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Everything the controller must send to execute a planned instantiation.
+pub struct InstantiationPlan {
+    /// The worker-template group being instantiated.
+    pub group: TemplateId,
+    /// Patch commands to dispatch before the instantiation messages.
+    pub patch_commands: Vec<AssignedCommand>,
+    /// One instantiation message per worker.
+    pub per_worker: Vec<(WorkerId, WorkerInstantiation)>,
+    /// True if validation was skipped (back-to-back self-validating run).
+    pub auto_validated: bool,
+    /// True if a cached patch was reused.
+    pub patch_cache_hit: bool,
+    /// Number of worker commands this instantiation will produce.
+    pub expected_commands: u64,
+    /// Number of tasks this instantiation schedules.
+    pub task_count: u64,
+}
+
+/// Controller-side template bookkeeping.
+pub struct TemplateManager {
+    /// Installed controller templates and worker-template groups.
+    pub registry: TemplateRegistry,
+    /// Cached patches.
+    pub patch_cache: PatchCache,
+    /// The group that executed most recently (for auto-validation and patch
+    /// cache keys).
+    pub last_executed: Option<TemplateId>,
+    recording: Option<RecordingState>,
+    /// Edits planned but not yet shipped, per group and worker.
+    pending_edits: HashMap<TemplateId, HashMap<WorkerId, Vec<TemplateEdit>>>,
+}
+
+impl Default for TemplateManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TemplateManager {
+    /// Creates an empty template manager.
+    pub fn new() -> Self {
+        Self {
+            registry: TemplateRegistry::new(),
+            patch_cache: PatchCache::new(),
+            last_executed: None,
+            recording: None,
+            pending_edits: HashMap::new(),
+        }
+    }
+
+    /// Returns true if a block is currently being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Name of the block currently being recorded, if any.
+    pub fn recording_name(&self) -> Option<&str> {
+        self.recording.as_ref().map(|r| r.name.as_str())
+    }
+
+    /// Starts recording a basic block.
+    pub fn start_recording(&mut self, name: &str) -> ControllerResult<()> {
+        if let Some(r) = &self.recording {
+            return Err(ControllerError::RecordingStateMismatch(format!(
+                "cannot start '{name}' while '{}' is still recording",
+                r.name
+            )));
+        }
+        self.recording = Some(RecordingState::new(name));
+        Ok(())
+    }
+
+    /// Records an expanded task into the open block, if one is recording.
+    pub fn record_task(&mut self, spec: &TaskSpec, expanded: &ExpandedTask) {
+        if let Some(r) = &mut self.recording {
+            r.record_task(spec, expanded);
+        }
+    }
+
+    /// Finishes recording: builds and installs the controller template and
+    /// the worker-template group, and returns the worker templates that must
+    /// be installed on workers.
+    pub fn finish_recording(
+        &mut self,
+        name: &str,
+        dm: &DataManager,
+        ids: &IdGens,
+    ) -> ControllerResult<(TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>)> {
+        let recording = self.recording.take().ok_or_else(|| {
+            ControllerError::RecordingStateMismatch(format!(
+                "finish of '{name}' without a matching start"
+            ))
+        })?;
+        if recording.name != name {
+            return Err(ControllerError::RecordingStateMismatch(format!(
+                "finish of '{name}' while recording '{}'",
+                recording.name
+            )));
+        }
+        let ct_id = TemplateId(ids.templates.next_raw());
+        let controller_template =
+            ControllerTemplate::new(ct_id, recording.name.clone(), recording.entries.clone())?;
+        let group_id = TemplateId(ids.templates.next_raw());
+        let group = build_group(
+            group_id,
+            &controller_template,
+            &recording.commands,
+            &recording.entry_of_command,
+            dm,
+        )?;
+        let installs: Vec<(WorkerId, WorkerTemplate)> = group
+            .per_worker
+            .iter()
+            .map(|(w, t)| (*w, t.clone()))
+            .collect();
+        self.registry.install_controller_template(controller_template);
+        self.registry.install_group(group);
+        Ok((ct_id, group_id, installs))
+    }
+
+    /// Installs a pre-built group (used when regenerating templates after an
+    /// allocation change).
+    pub fn install_group(&mut self, group: WorkerTemplateGroup) -> Vec<(WorkerId, WorkerTemplate)> {
+        let installs: Vec<(WorkerId, WorkerTemplate)> = group
+            .per_worker
+            .iter()
+            .map(|(w, t)| (*w, t.clone()))
+            .collect();
+        self.registry.install_group(group);
+        installs
+    }
+
+    /// Queues migration edits for the group currently serving `block`,
+    /// migrating up to `count` tasks to other workers of the allocation.
+    /// Returns how many tasks were actually planned for migration.
+    pub fn plan_migrations(
+        &mut self,
+        block: &str,
+        count: usize,
+        workers: &[WorkerId],
+        dm: &mut DataManager,
+    ) -> ControllerResult<usize> {
+        if workers.len() < 2 || count == 0 {
+            return Ok(0);
+        }
+        let ct = self
+            .registry
+            .controller_template_by_name(block)
+            .ok_or_else(|| ControllerError::UnknownBlock(block.to_string()))?;
+        let ct_id = ct.id;
+        let group_id = self
+            .registry
+            .find_group_for_workers(ct_id, workers)
+            .map(|g| g.id)
+            .ok_or_else(|| ControllerError::UnknownBlock(block.to_string()))?;
+        let group = self.registry.group_mut(group_id)?;
+
+        let mut planned = 0usize;
+        let worker_list: Vec<WorkerId> = group.workers();
+        let mut edits_by_worker: HashMap<WorkerId, Vec<TemplateEdit>> = HashMap::new();
+
+        'outer: for (wi, source) in worker_list.iter().enumerate() {
+            let dest = worker_list[(wi + 1) % worker_list.len()];
+            if dest == *source {
+                continue;
+            }
+            // Collect candidate task entries on the source worker.
+            let candidates: Vec<(usize, SkeletonEntry)> = {
+                let st = group
+                    .per_worker
+                    .get(source)
+                    .expect("group worker list matches per_worker");
+                st.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.kind.is_task() && e.writes.len() == 1)
+                    .map(|(i, e)| (i, e.clone()))
+                    .collect()
+            };
+            for (entry_index, entry) in candidates {
+                if planned >= count {
+                    break 'outer;
+                }
+                let SkeletonKind::RunTask {
+                    function,
+                    task_slot,
+                } = entry.kind
+                else {
+                    continue;
+                };
+                let source_output = entry.writes[0];
+                let Some(output_lp) = dm.instances.get(source_output).map(|i| i.logical) else {
+                    continue;
+                };
+                // The migrated task gets dedicated destination-side instances
+                // for its inputs and output. Dedicated (rather than shared)
+                // instances keep it independent of the destination's resident
+                // entries — in particular of the end-of-block refresh copies —
+                // so the edit cannot introduce ordering cycles; the inputs
+                // become preconditions that validation and patching refresh
+                // with the block-entry versions every iteration.
+                let mut dest_edits: Vec<TemplateEdit> = Vec::new();
+                let mut dest_inputs = Vec::new();
+                let mut new_preconditions = Vec::new();
+                let mut ok = true;
+                for input in &entry.reads {
+                    let Some(lp) = dm.instances.get(*input).map(|i| i.logical) else {
+                        ok = false;
+                        break;
+                    };
+                    let inst = dm.create_dedicated_instance(lp, dest);
+                    dest_edits.push(TemplateEdit::AddEntry {
+                        entry: SkeletonEntry::new(SkeletonKind::CreateData {
+                            object: inst.id,
+                            logical: lp,
+                        }),
+                    });
+                    dest_inputs.push(inst.id);
+                    new_preconditions.push(Precondition::new(dest, inst.id, lp));
+                }
+                if !ok {
+                    continue;
+                }
+                let dest_output = dm.create_dedicated_instance(output_lp, dest);
+                dest_edits.push(TemplateEdit::AddEntry {
+                    entry: SkeletonEntry::new(SkeletonKind::CreateData {
+                        object: dest_output.id,
+                        logical: output_lp,
+                    }),
+                });
+                // Nimbus data objects are mutable: a task may update its
+                // output in place, so the migrated task's output object must
+                // also hold the block-entry version when the block starts.
+                new_preconditions.push(Precondition::new(dest, dest_output.id, output_lp));
+
+                // Destination runs the task and sends the result back to the
+                // source object; the source's old task slot becomes the
+                // matching receive so downstream dependencies are preserved.
+                let return_slot = group.transfer_slots;
+                group.transfer_slots += 1;
+                let controller_entry = group
+                    .task_slot_map
+                    .get(source)
+                    .and_then(|m| m.get(task_slot))
+                    .copied();
+                let dest_task_slot = group
+                    .per_worker
+                    .get(&dest)
+                    .map(|t| t.task_slots)
+                    .unwrap_or(0)
+                    + dest_edits
+                        .iter()
+                        .filter(|e| {
+                            matches!(e, TemplateEdit::AddEntry { entry } if entry.kind.is_task())
+                        })
+                        .count();
+                let task_entry = SkeletonEntry::new(SkeletonKind::RunTask {
+                    function,
+                    task_slot: dest_task_slot,
+                })
+                .with_reads(dest_inputs.clone())
+                .with_writes(vec![dest_output.id])
+                .with_param_slot(dest_task_slot)
+                .with_default_params(entry.default_params.clone());
+                dest_edits.push(TemplateEdit::AddEntry { entry: task_entry });
+                dest_edits.push(TemplateEdit::AddEntry {
+                    entry: SkeletonEntry::new(SkeletonKind::SendCopy {
+                        from: dest_output.id,
+                        to_worker: *source,
+                        transfer_slot: return_slot,
+                    })
+                    .with_reads(vec![dest_output.id]),
+                });
+                let source_edit = TemplateEdit::ReplaceEntry {
+                    index: entry_index,
+                    entry: SkeletonEntry::new(SkeletonKind::ReceiveCopy {
+                        to: source_output,
+                        from_worker: dest,
+                        transfer_slot: return_slot,
+                    })
+                    .with_writes(vec![source_output]),
+                };
+
+                // Bookkeeping on the group mirror.
+                if let Some(ce) = controller_entry {
+                    group.task_slot_map.entry(dest).or_default().push(ce);
+                }
+                if let Some(off) = group.exit_offsets.get(&source_output).copied() {
+                    group.exit_offsets.insert(dest_output.id, off);
+                }
+                group.preconditions.extend(new_preconditions);
+
+                edits_by_worker.entry(*source).or_default().push(source_edit);
+                edits_by_worker.entry(dest).or_default().extend(dest_edits);
+                planned += 1;
+            }
+        }
+
+        if planned > 0 {
+            self.patch_cache.invalidate_target(group_id);
+            let pending = self.pending_edits.entry(group_id).or_default();
+            for (w, edits) in edits_by_worker {
+                pending.entry(w).or_default().extend(edits);
+            }
+        }
+        Ok(planned)
+    }
+
+    /// Number of edits queued for the given group.
+    pub fn pending_edit_count(&self, group: TemplateId) -> usize {
+        self.pending_edits
+            .get(&group)
+            .map(|m| m.values().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Plans the execution of an installed group: validation, patching,
+    /// per-worker instantiation messages, and data-state updates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_instantiation(
+        &mut self,
+        group_id: TemplateId,
+        params: &InstantiationParams,
+        dm: &mut DataManager,
+        bk: &mut Bookkeeping,
+        ids: &IdGens,
+    ) -> ControllerResult<InstantiationPlan> {
+        let edits = self.pending_edits.remove(&group_id).unwrap_or_default();
+        let has_edits = !edits.is_empty();
+
+        // Apply pending edits to the controller's mirror of the skeletons so
+        // both sides stay identical.
+        {
+            let group = self.registry.group_mut(group_id)?;
+            for (worker, worker_edits) in &edits {
+                if let Some(t) = group.per_worker.get_mut(worker) {
+                    t.apply_edits(worker_edits)?;
+                }
+            }
+        }
+        let group = self.registry.group(group_id)?.clone();
+        let controller_template = self.registry.controller_template(group.controller_template)?;
+
+        // Validation and patching (Section 4.2).
+        let mut auto_validated = false;
+        let mut patch_cache_hit = false;
+        let mut patch_commands: Vec<AssignedCommand> = Vec::new();
+        if self.last_executed == Some(group_id) && group.is_self_validating() && !has_edits {
+            auto_validated = true;
+        } else {
+            let violated =
+                validate_preconditions(&group.preconditions, &dm.instances, &dm.versions);
+            if !violated.is_empty() {
+                let cached = self.patch_cache.lookup(self.last_executed, group_id);
+                let patch = match cached {
+                    Some(p) if patch_covers(&p, &violated, dm) => {
+                        patch_cache_hit = true;
+                        p
+                    }
+                    _ => {
+                        let p = compute_patch(group_id, &violated, &dm.instances, &dm.versions)?;
+                        self.patch_cache.store(self.last_executed, group_id, p.clone());
+                        p
+                    }
+                };
+                patch_commands = emit_patch_commands(&patch, dm, bk, ids);
+            }
+        }
+
+        // Parameters and fresh task identifiers.
+        let per_entry_params = controller_template.resolve_params(params)?;
+        let task_count = controller_template.task_count();
+        let task_base = ids.tasks.next_block(task_count as u64);
+        let base_transfer = ids.transfers.next_block(group.transfer_slots.max(1) as u64);
+
+        // Patch commands are dispatched (and counted) separately by the
+        // controller; expected_commands covers only the template's entries.
+        let mut per_worker = Vec::with_capacity(group.per_worker.len());
+        let mut expected_commands = 0u64;
+        let mut workers: Vec<WorkerId> = group.per_worker.keys().copied().collect();
+        workers.sort_unstable();
+        for worker in workers {
+            let template = &group.per_worker[&worker];
+            let live_entries = template
+                .entries
+                .iter()
+                .filter(|e| !e.kind.is_nop())
+                .count() as u64;
+            expected_commands += live_entries;
+            let base_command = ids.commands.next_block(template.len().max(1) as u64);
+            let slot_map = group.task_slot_map.get(&worker).cloned().unwrap_or_default();
+            let task_ids: Vec<TaskId> = slot_map
+                .iter()
+                .map(|entry| TaskId(task_base + *entry as u64))
+                .collect();
+            let params_vec: Vec<TaskParams> = slot_map
+                .iter()
+                .map(|entry| {
+                    per_entry_params
+                        .get(*entry)
+                        .cloned()
+                        .unwrap_or_else(TaskParams::empty)
+                })
+                .collect();
+            per_worker.push((
+                worker,
+                WorkerInstantiation {
+                    template: group_id,
+                    base_command_id: base_command,
+                    base_transfer_id: base_transfer,
+                    task_ids,
+                    params: params_vec,
+                    edits: edits.get(&worker).cloned().unwrap_or_default(),
+                },
+            ));
+        }
+
+        // Advance the version map and instance versions according to the
+        // cached per-block write totals and exit offsets.
+        let mut entry_versions: HashMap<LogicalPartition, u64> = HashMap::new();
+        for lp in group.write_totals.keys() {
+            entry_versions.insert(*lp, dm.versions.current(*lp).raw());
+        }
+        for po in group.exit_offsets.keys() {
+            if let Some(inst) = dm.instances.get(*po) {
+                entry_versions
+                    .entry(inst.logical)
+                    .or_insert_with(|| dm.versions.current(inst.logical).raw());
+            }
+        }
+        for (lp, total) in &group.write_totals {
+            dm.versions.bump_by(*lp, *total);
+        }
+        for (po, offset) in &group.exit_offsets {
+            if let Some(inst) = dm.instances.get(*po) {
+                let lp = inst.logical;
+                let base = entry_versions.get(&lp).copied().unwrap_or(0);
+                let _ = dm
+                    .instances
+                    .set_version(*po, nimbus_core::Version(base + *offset));
+            }
+        }
+
+        self.last_executed = Some(group_id);
+        Ok(InstantiationPlan {
+            group: group_id,
+            patch_commands,
+            per_worker,
+            auto_validated,
+            patch_cache_hit,
+            expected_commands,
+            task_count: task_count as u64,
+        })
+    }
+}
+
+/// Returns true if a cached patch still repairs all violated preconditions
+/// with up-to-date sources.
+fn patch_covers(patch: &Patch, violated: &[Precondition], dm: &DataManager) -> bool {
+    violated.iter().all(|pre| {
+        patch.directives.iter().any(|d| match d {
+            PatchDirective::LocalCopy { to, from, .. } => {
+                *to == pre.physical && dm.is_up_to_date(*from)
+            }
+            PatchDirective::Transfer { to, from, .. } => {
+                *to == pre.physical && dm.is_up_to_date(*from)
+            }
+        })
+    })
+}
+
+/// Converts patch directives into dispatchable commands, updating the data
+/// manager and dependency bookkeeping.
+pub fn emit_patch_commands(
+    patch: &Patch,
+    dm: &mut DataManager,
+    bk: &mut Bookkeeping,
+    ids: &IdGens,
+) -> Vec<AssignedCommand> {
+    let mut out = Vec::with_capacity(patch.directives.len() * 2);
+    // Destinations introduced by edits may not exist on the worker yet (their
+    // create entries ship with the next instantiation); prepend an idempotent
+    // create so the copy always has somewhere to land.
+    let ensure_exists = |to: &PhysicalObjectId, worker: WorkerId, out: &mut Vec<AssignedCommand>, dm: &DataManager, bk: &mut Bookkeeping, ids: &IdGens| {
+        if let Some(inst) = dm.instances.get(*to) {
+            let id = ids.command();
+            let command = Command::new(
+                id,
+                CommandKind::CreateData {
+                    object: *to,
+                    logical: inst.logical,
+                },
+            );
+            bk.note_write(*to, id);
+            out.push(AssignedCommand { command, worker });
+        }
+    };
+    for d in &patch.directives {
+        match d {
+            PatchDirective::LocalCopy { worker, from, to } => {
+                ensure_exists(to, *worker, &mut out, dm, bk, ids);
+                let id = ids.command();
+                let mut before = bk.read_deps(*from);
+                before.extend(bk.write_deps(*to));
+                before.sort_unstable();
+                before.dedup();
+                let command = Command::new(
+                    id,
+                    CommandKind::LocalCopy {
+                        from: *from,
+                        to: *to,
+                    },
+                )
+                .with_before(before);
+                bk.note_read(*from, id);
+                bk.note_write(*to, id);
+                out.push(AssignedCommand {
+                    command,
+                    worker: *worker,
+                });
+                if let Some(inst) = dm.instances.get(*to) {
+                    dm.record_refresh(inst.logical, *to);
+                }
+            }
+            PatchDirective::Transfer {
+                from_worker,
+                from,
+                to_worker,
+                to,
+            } => {
+                ensure_exists(to, *to_worker, &mut out, dm, bk, ids);
+                let transfer = ids.transfer();
+                let send_id = ids.command();
+                let send = Command::new(
+                    send_id,
+                    CommandKind::SendCopy {
+                        from: *from,
+                        to_worker: *to_worker,
+                        transfer,
+                    },
+                )
+                .with_before(bk.read_deps(*from));
+                bk.note_read(*from, send_id);
+                out.push(AssignedCommand {
+                    command: send,
+                    worker: *from_worker,
+                });
+                let recv_id = ids.command();
+                let recv = Command::new(
+                    recv_id,
+                    CommandKind::ReceiveCopy {
+                        to: *to,
+                        from_worker: *from_worker,
+                        transfer,
+                    },
+                )
+                .with_before(bk.write_deps(*to));
+                bk.note_write(*to, recv_id);
+                out.push(AssignedCommand {
+                    command: recv,
+                    worker: *to_worker,
+                });
+                if let Some(inst) = dm.instances.get(*to) {
+                    dm.record_refresh(inst.logical, *to);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns the objects a command implicitly reads and writes (copy sources
+/// and destinations included).
+fn accesses(command: &Command) -> (Vec<PhysicalObjectId>, Vec<PhysicalObjectId>) {
+    let mut reads = command.read_set.clone();
+    let mut writes = command.write_set.clone();
+    match &command.kind {
+        CommandKind::LocalCopy { from, to } => {
+            reads.push(*from);
+            writes.push(*to);
+        }
+        CommandKind::SendCopy { from, .. } => reads.push(*from),
+        CommandKind::ReceiveCopy { to, .. } => writes.push(*to),
+        CommandKind::LoadData { object, .. } => writes.push(*object),
+        CommandKind::SaveData { object, .. } => reads.push(*object),
+        CommandKind::CreateData { object, .. } => writes.push(*object),
+        CommandKind::DestroyData { object } => writes.push(*object),
+        CommandKind::RunTask { .. } => {}
+    }
+    reads.sort_unstable();
+    reads.dedup();
+    writes.sort_unstable();
+    writes.dedup();
+    reads.retain(|r| !writes.contains(r));
+    (reads, writes)
+}
+
+struct PerWorkerBuild {
+    entries: Vec<SkeletonEntry>,
+    task_slots: usize,
+    obj_last_writer: HashMap<PhysicalObjectId, usize>,
+    obj_readers: HashMap<PhysicalObjectId, Vec<usize>>,
+    written: HashSet<PhysicalObjectId>,
+}
+
+impl PerWorkerBuild {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            task_slots: 0,
+            obj_last_writer: HashMap::new(),
+            obj_readers: HashMap::new(),
+            written: HashSet::new(),
+        }
+    }
+}
+
+/// Builds a worker-template group from the commands recorded for one basic
+/// block (Section 4.1).
+pub fn build_group(
+    group_id: TemplateId,
+    controller_template: &ControllerTemplate,
+    commands: &[AssignedCommand],
+    entry_of_command: &HashMap<CommandId, usize>,
+    dm: &DataManager,
+) -> ControllerResult<WorkerTemplateGroup> {
+    let mut builds: HashMap<WorkerId, PerWorkerBuild> = HashMap::new();
+    let mut local_index: HashMap<CommandId, (WorkerId, usize)> = HashMap::new();
+    let mut transfer_slots: HashMap<TransferId, usize> = HashMap::new();
+    let mut task_slot_map: HashMap<WorkerId, Vec<usize>> = HashMap::new();
+    let mut preconditions: Vec<Precondition> = Vec::new();
+    let mut precondition_objs: HashSet<PhysicalObjectId> = HashSet::new();
+
+    // Exit-offset simulation state (program order).
+    let mut lp_writes: HashMap<LogicalPartition, u64> = HashMap::new();
+    let mut obj_offset: HashMap<PhysicalObjectId, u64> = HashMap::new();
+    let mut transfer_offset: HashMap<TransferId, u64> = HashMap::new();
+
+    for ac in commands {
+        // Data creation is one-time setup, not part of the repetitive block:
+        // replaying a create neither allocates anything new (workers treat it
+        // as idempotent) nor refreshes the object's contents, so it must not
+        // count as an in-block write for precondition analysis. Drop it from
+        // the template; dependencies on it resolve through the worker's local
+        // completion history.
+        if matches!(ac.command.kind, CommandKind::CreateData { .. }) {
+            continue;
+        }
+        let worker = ac.worker;
+        let build = builds.entry(worker).or_insert_with(PerWorkerBuild::new);
+        let index = build.entries.len();
+        local_index.insert(ac.command.id, (worker, index));
+
+        let (reads, writes) = accesses(&ac.command);
+        // Preconditions: objects read before any in-block write.
+        for obj in &reads {
+            if !build.written.contains(obj) && !precondition_objs.contains(obj) {
+                if let Some(inst) = dm.instances.get(*obj) {
+                    preconditions.push(Precondition::new(worker, *obj, inst.logical));
+                    precondition_objs.insert(*obj);
+                }
+            }
+        }
+
+        let next_slot = transfer_slots.len();
+        let kind = match &ac.command.kind {
+            CommandKind::CreateData { object, logical } => {
+                obj_offset.insert(*object, 0);
+                SkeletonKind::CreateData {
+                    object: *object,
+                    logical: *logical,
+                }
+            }
+            CommandKind::DestroyData { object } => SkeletonKind::DestroyData { object: *object },
+            CommandKind::LocalCopy { from, to } => {
+                let off = obj_offset.get(from).copied().unwrap_or(0);
+                obj_offset.insert(*to, off);
+                SkeletonKind::LocalCopy {
+                    from: *from,
+                    to: *to,
+                }
+            }
+            CommandKind::SendCopy {
+                from,
+                to_worker,
+                transfer,
+            } => {
+                let slot = *transfer_slots.entry(*transfer).or_insert(next_slot);
+                transfer_offset.insert(*transfer, obj_offset.get(from).copied().unwrap_or(0));
+                SkeletonKind::SendCopy {
+                    from: *from,
+                    to_worker: *to_worker,
+                    transfer_slot: slot,
+                }
+            }
+            CommandKind::ReceiveCopy {
+                to,
+                from_worker,
+                transfer,
+            } => {
+                let slot = *transfer_slots.entry(*transfer).or_insert(next_slot);
+                let off = transfer_offset.get(transfer).copied().unwrap_or(0);
+                obj_offset.insert(*to, off);
+                SkeletonKind::ReceiveCopy {
+                    to: *to,
+                    from_worker: *from_worker,
+                    transfer_slot: slot,
+                }
+            }
+            CommandKind::LoadData { object, key } => {
+                obj_offset.insert(*object, 0);
+                SkeletonKind::LoadData {
+                    object: *object,
+                    key: key.clone(),
+                }
+            }
+            CommandKind::SaveData { object, key } => SkeletonKind::SaveData {
+                object: *object,
+                key: key.clone(),
+            },
+            CommandKind::RunTask { function, .. } => {
+                let slot = build.task_slots;
+                build.task_slots += 1;
+                let entry_index = entry_of_command.get(&ac.command.id).copied().unwrap_or(0);
+                task_slot_map.entry(worker).or_default().push(entry_index);
+                for obj in &ac.command.write_set {
+                    if let Some(inst) = dm.instances.get(*obj) {
+                        let count = lp_writes.entry(inst.logical).or_insert(0);
+                        *count += 1;
+                        obj_offset.insert(*obj, *count);
+                    }
+                }
+                SkeletonKind::RunTask {
+                    function: *function,
+                    task_slot: slot,
+                }
+            }
+        };
+
+        let before: Vec<usize> = ac
+            .command
+            .before
+            .iter()
+            .filter_map(|dep| match local_index.get(dep) {
+                Some((w, idx)) if *w == worker => Some(*idx),
+                _ => None,
+            })
+            .collect();
+        let param_slot = match &kind {
+            SkeletonKind::RunTask { task_slot, .. } => Some(*task_slot),
+            _ => None,
+        };
+        let entry = SkeletonEntry {
+            kind,
+            reads: ac.command.read_set.clone(),
+            writes: ac.command.write_set.clone(),
+            before,
+            param_slot,
+            default_params: ac.command.params.clone(),
+        };
+        for obj in &reads {
+            build.obj_readers.entry(*obj).or_default().push(index);
+        }
+        for obj in &writes {
+            build.obj_last_writer.insert(*obj, index);
+            build.obj_readers.insert(*obj, Vec::new());
+            build.written.insert(*obj);
+        }
+        build.entries.push(entry);
+    }
+
+    // Append end-of-block refresh copies so the template meets its own
+    // preconditions at exit (auto-validation of tight loops, Section 4.2).
+    let mut next_transfer_slot = transfer_slots.len();
+    let mut postconditions = Vec::new();
+    for pre in &preconditions {
+        let total = lp_writes.get(&pre.logical).copied().unwrap_or(0);
+        let current = obj_offset.get(&pre.physical).copied().unwrap_or(0);
+        if current == total {
+            postconditions.push(*pre);
+            continue;
+        }
+        // Find a source object holding the block-exit version of the same
+        // partition, preferring one on the same worker.
+        let candidates: Vec<PhysicalObjectId> = obj_offset
+            .iter()
+            .filter(|(po, off)| {
+                **off == total
+                    && dm
+                        .instances
+                        .get(**po)
+                        .map(|i| i.logical == pre.logical)
+                        .unwrap_or(false)
+            })
+            .map(|(po, _)| *po)
+            .collect();
+        let source = candidates
+            .iter()
+            .find(|po| dm.instances.get(**po).map(|i| i.worker) == Some(pre.worker))
+            .or_else(|| candidates.first())
+            .copied();
+        let Some(source) = source else {
+            continue;
+        };
+        let source_worker = dm
+            .instances
+            .get(source)
+            .map(|i| i.worker)
+            .unwrap_or(pre.worker);
+        if source_worker == pre.worker {
+            let build = builds.entry(pre.worker).or_insert_with(PerWorkerBuild::new);
+            let index = build.entries.len();
+            let mut before: Vec<usize> = build
+                .obj_last_writer
+                .get(&source)
+                .copied()
+                .into_iter()
+                .collect();
+            before.extend(build.obj_last_writer.get(&pre.physical).copied());
+            before.extend(
+                build
+                    .obj_readers
+                    .get(&pre.physical)
+                    .cloned()
+                    .unwrap_or_default(),
+            );
+            before.sort_unstable();
+            before.dedup();
+            build.entries.push(
+                SkeletonEntry::new(SkeletonKind::LocalCopy {
+                    from: source,
+                    to: pre.physical,
+                })
+                .with_before(before),
+            );
+            build.obj_last_writer.insert(pre.physical, index);
+            build.obj_readers.entry(source).or_default().push(index);
+        } else {
+            let slot = next_transfer_slot;
+            next_transfer_slot += 1;
+            {
+                let src_build = builds
+                    .entry(source_worker)
+                    .or_insert_with(PerWorkerBuild::new);
+                let src_index = src_build.entries.len();
+                let before: Vec<usize> = src_build
+                    .obj_last_writer
+                    .get(&source)
+                    .copied()
+                    .into_iter()
+                    .collect();
+                src_build.entries.push(
+                    SkeletonEntry::new(SkeletonKind::SendCopy {
+                        from: source,
+                        to_worker: pre.worker,
+                        transfer_slot: slot,
+                    })
+                    .with_reads(vec![source])
+                    .with_before(before),
+                );
+                src_build.obj_readers.entry(source).or_default().push(src_index);
+            }
+            {
+                let dst_build = builds.entry(pre.worker).or_insert_with(PerWorkerBuild::new);
+                let dst_index = dst_build.entries.len();
+                let mut before: Vec<usize> = dst_build
+                    .obj_last_writer
+                    .get(&pre.physical)
+                    .copied()
+                    .into_iter()
+                    .collect();
+                before.extend(
+                    dst_build
+                        .obj_readers
+                        .get(&pre.physical)
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                before.sort_unstable();
+                before.dedup();
+                dst_build.entries.push(
+                    SkeletonEntry::new(SkeletonKind::ReceiveCopy {
+                        to: pre.physical,
+                        from_worker: source_worker,
+                        transfer_slot: slot,
+                    })
+                    .with_writes(vec![pre.physical])
+                    .with_before(before),
+                );
+                dst_build.obj_last_writer.insert(pre.physical, dst_index);
+            }
+        }
+        obj_offset.insert(pre.physical, total);
+        postconditions.push(*pre);
+    }
+
+    let mut per_worker = HashMap::new();
+    for (worker, build) in builds {
+        let template = WorkerTemplate::new(
+            group_id,
+            controller_template.id,
+            worker,
+            build.entries,
+        )?;
+        per_worker.insert(worker, template);
+    }
+
+    Ok(WorkerTemplateGroup {
+        id: group_id,
+        controller_template: controller_template.id,
+        per_worker,
+        preconditions,
+        postconditions,
+        transfer_slots: next_transfer_slot,
+        write_totals: lp_writes,
+        exit_offsets: obj_offset,
+        task_slot_map,
+    })
+}

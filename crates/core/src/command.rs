@@ -1,0 +1,280 @@
+//! Control-plane commands (Section 3.4 of the paper).
+//!
+//! The Nimbus control plane has four major command families: data commands
+//! create and destroy data objects on workers, copy commands move data
+//! between objects (locally or over the network), file commands load and save
+//! objects from durable storage, and task commands run application functions.
+//!
+//! Every command has five fields: a unique identifier, a read set, a write
+//! set, a *before set* of commands that must complete first, and an opaque
+//! parameter block. Task commands additionally name the application function
+//! to run. A before set only ever references commands on the **same worker**;
+//! cross-worker dependencies are expressed through send/receive copy pairs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{
+    CommandId, FunctionId, LogicalPartition, PhysicalObjectId, TaskId, TransferId, WorkerId,
+};
+use crate::params::TaskParams;
+
+/// The operation a command performs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Allocate a physical data object on the worker for a logical partition.
+    CreateData {
+        /// The physical object to allocate.
+        object: PhysicalObjectId,
+        /// The logical partition the object will hold.
+        logical: LogicalPartition,
+    },
+    /// Free a physical data object on the worker.
+    DestroyData {
+        /// The physical object to free.
+        object: PhysicalObjectId,
+    },
+    /// Copy one physical object into another on the same worker.
+    LocalCopy {
+        /// Source object.
+        from: PhysicalObjectId,
+        /// Destination object.
+        to: PhysicalObjectId,
+    },
+    /// Send the contents of a physical object to another worker.
+    ///
+    /// Send commands follow a push model: the sender starts transmitting as
+    /// soon as the before set is satisfied, without waiting for the receiver.
+    SendCopy {
+        /// Source object on this worker.
+        from: PhysicalObjectId,
+        /// Worker that will receive the data.
+        to_worker: WorkerId,
+        /// Transfer identifier matching the receiver's `ReceiveCopy`.
+        transfer: TransferId,
+    },
+    /// Receive data from another worker into a local physical object.
+    ///
+    /// The command completes once the matching transfer has arrived *and* its
+    /// before set is satisfied; only then does the worker flip the object's
+    /// buffer pointer so the new value becomes visible.
+    ReceiveCopy {
+        /// Destination object on this worker.
+        to: PhysicalObjectId,
+        /// Worker the data is coming from.
+        from_worker: WorkerId,
+        /// Transfer identifier matching the sender's `SendCopy`.
+        transfer: TransferId,
+    },
+    /// Load a physical object from durable storage.
+    LoadData {
+        /// Destination object.
+        object: PhysicalObjectId,
+        /// Storage key to read.
+        key: String,
+    },
+    /// Save a physical object to durable storage.
+    SaveData {
+        /// Source object.
+        object: PhysicalObjectId,
+        /// Storage key to write.
+        key: String,
+    },
+    /// Execute an application function over the read and write sets.
+    RunTask {
+        /// The application function to execute.
+        function: FunctionId,
+        /// The driver-level task this command realizes.
+        task: TaskId,
+    },
+}
+
+impl CommandKind {
+    /// Returns a short human-readable tag for statistics and tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CommandKind::CreateData { .. } => "create",
+            CommandKind::DestroyData { .. } => "destroy",
+            CommandKind::LocalCopy { .. } => "local_copy",
+            CommandKind::SendCopy { .. } => "send",
+            CommandKind::ReceiveCopy { .. } => "receive",
+            CommandKind::LoadData { .. } => "load",
+            CommandKind::SaveData { .. } => "save",
+            CommandKind::RunTask { .. } => "task",
+        }
+    }
+
+    /// Returns true if this is an application task command.
+    pub fn is_task(&self) -> bool {
+        matches!(self, CommandKind::RunTask { .. })
+    }
+
+    /// Returns true if this command moves data between workers.
+    pub fn is_network_copy(&self) -> bool {
+        matches!(
+            self,
+            CommandKind::SendCopy { .. } | CommandKind::ReceiveCopy { .. }
+        )
+    }
+}
+
+/// A fully specified control-plane command addressed to a single worker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Unique identifier of this command.
+    pub id: CommandId,
+    /// The operation to perform.
+    pub kind: CommandKind,
+    /// Physical objects read by the command.
+    pub read_set: Vec<PhysicalObjectId>,
+    /// Physical objects written by the command.
+    pub write_set: Vec<PhysicalObjectId>,
+    /// Commands on the same worker that must complete before this one runs.
+    pub before: Vec<CommandId>,
+    /// Opaque parameters passed to the command (task arguments, constants).
+    pub params: TaskParams,
+}
+
+impl Command {
+    /// Creates a command with empty read/write/before sets.
+    pub fn new(id: CommandId, kind: CommandKind) -> Self {
+        Self {
+            id,
+            kind,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            before: Vec::new(),
+            params: TaskParams::empty(),
+        }
+    }
+
+    /// Builder-style setter for the read set.
+    pub fn with_reads(mut self, reads: Vec<PhysicalObjectId>) -> Self {
+        self.read_set = reads;
+        self
+    }
+
+    /// Builder-style setter for the write set.
+    pub fn with_writes(mut self, writes: Vec<PhysicalObjectId>) -> Self {
+        self.write_set = writes;
+        self
+    }
+
+    /// Builder-style setter for the before set.
+    pub fn with_before(mut self, before: Vec<CommandId>) -> Self {
+        self.before = before;
+        self
+    }
+
+    /// Builder-style setter for the parameter block.
+    pub fn with_params(mut self, params: TaskParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns the task id if this command runs an application task.
+    pub fn task_id(&self) -> Option<TaskId> {
+        match self.kind {
+            CommandKind::RunTask { task, .. } => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Returns the function id if this command runs an application task.
+    pub fn function_id(&self) -> Option<FunctionId> {
+        match self.kind {
+            CommandKind::RunTask { function, .. } => Some(function),
+            _ => None,
+        }
+    }
+
+    /// Returns every physical object touched by this command.
+    pub fn touched_objects(&self) -> impl Iterator<Item = PhysicalObjectId> + '_ {
+        self.read_set.iter().chain(self.write_set.iter()).copied()
+    }
+
+    /// Rough estimate of the wire size of this command in bytes, used for
+    /// control-plane traffic accounting.
+    pub fn wire_size(&self) -> usize {
+        let fixed = 8 + 16; // id + kind discriminant and payload
+        fixed
+            + self.read_set.len() * 8
+            + self.write_set.len() * 8
+            + self.before.len() * 8
+            + self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogicalObjectId, PartitionIndex};
+
+    fn sample_task() -> Command {
+        Command::new(
+            CommandId(1),
+            CommandKind::RunTask {
+                function: FunctionId(3),
+                task: TaskId(10),
+            },
+        )
+        .with_reads(vec![PhysicalObjectId(1), PhysicalObjectId(2)])
+        .with_writes(vec![PhysicalObjectId(3)])
+        .with_before(vec![CommandId(0)])
+        .with_params(TaskParams::from_scalar(1.5))
+    }
+
+    #[test]
+    fn task_accessors() {
+        let c = sample_task();
+        assert_eq!(c.task_id(), Some(TaskId(10)));
+        assert_eq!(c.function_id(), Some(FunctionId(3)));
+        assert!(c.kind.is_task());
+        assert_eq!(c.kind.tag(), "task");
+        assert_eq!(c.touched_objects().count(), 3);
+    }
+
+    #[test]
+    fn non_task_accessors() {
+        let c = Command::new(
+            CommandId(2),
+            CommandKind::CreateData {
+                object: PhysicalObjectId(5),
+                logical: LogicalPartition::new(LogicalObjectId(1), PartitionIndex(0)),
+            },
+        );
+        assert_eq!(c.task_id(), None);
+        assert_eq!(c.function_id(), None);
+        assert!(!c.kind.is_task());
+        assert!(!c.kind.is_network_copy());
+    }
+
+    #[test]
+    fn network_copy_detection() {
+        let send = CommandKind::SendCopy {
+            from: PhysicalObjectId(1),
+            to_worker: WorkerId(2),
+            transfer: TransferId(9),
+        };
+        let recv = CommandKind::ReceiveCopy {
+            to: PhysicalObjectId(1),
+            from_worker: WorkerId(2),
+            transfer: TransferId(9),
+        };
+        assert!(send.is_network_copy());
+        assert!(recv.is_network_copy());
+        assert_eq!(send.tag(), "send");
+        assert_eq!(recv.tag(), "receive");
+    }
+
+    #[test]
+    fn wire_size_scales_with_sets() {
+        let small = Command::new(
+            CommandId(1),
+            CommandKind::DestroyData {
+                object: PhysicalObjectId(1),
+            },
+        );
+        let big = sample_task();
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

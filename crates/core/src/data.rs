@@ -1,0 +1,168 @@
+//! Logical datasets and physical data object instances.
+//!
+//! Nimbus data objects are mutable (Section 3.3): each logical partition can
+//! have several physical instances spread over workers, each holding some
+//! version of the partition. The controller tracks which instance holds the
+//! latest version so tasks always read up-to-date values; stale instances are
+//! refreshed through copy commands.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{
+    LogicalObjectId, LogicalPartition, PartitionIndex, PhysicalObjectId, Version, WorkerId,
+};
+
+/// Definition of a logical dataset as declared by the driver program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetDef {
+    /// The logical object identifier.
+    pub id: LogicalObjectId,
+    /// Human-readable dataset name (unique within a job).
+    pub name: String,
+    /// Number of partitions the dataset is split into.
+    pub partitions: u32,
+}
+
+impl DatasetDef {
+    /// Creates a dataset definition.
+    pub fn new(id: LogicalObjectId, name: impl Into<String>, partitions: u32) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            partitions,
+        }
+    }
+
+    /// Iterates over the logical partitions of this dataset.
+    pub fn logical_partitions(&self) -> impl Iterator<Item = LogicalPartition> + '_ {
+        let id = self.id;
+        (0..self.partitions).map(move |p| LogicalPartition::new(id, PartitionIndex(p)))
+    }
+
+    /// Returns the logical partition at the given index.
+    pub fn partition(&self, index: u32) -> LogicalPartition {
+        LogicalPartition::new(self.id, PartitionIndex(index))
+    }
+}
+
+/// A physical instance of a logical partition living on a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalInstance {
+    /// The physical object identifier (unique across the cluster).
+    pub id: PhysicalObjectId,
+    /// The logical partition this instance holds.
+    pub logical: LogicalPartition,
+    /// The worker whose memory holds the instance.
+    pub worker: WorkerId,
+    /// The version of the logical partition currently held.
+    pub version: Version,
+}
+
+impl PhysicalInstance {
+    /// Creates an instance at version zero.
+    pub fn new(id: PhysicalObjectId, logical: LogicalPartition, worker: WorkerId) -> Self {
+        Self {
+            id,
+            logical,
+            worker,
+            version: Version::ZERO,
+        }
+    }
+}
+
+/// Registry of dataset definitions, addressable by id or name.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DatasetRegistry {
+    by_id: HashMap<LogicalObjectId, DatasetDef>,
+    by_name: HashMap<String, LogicalObjectId>,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dataset definition. Re-registering the same id replaces it.
+    pub fn register(&mut self, def: DatasetDef) {
+        self.by_name.insert(def.name.clone(), def.id);
+        self.by_id.insert(def.id, def);
+    }
+
+    /// Looks up a dataset by id.
+    pub fn get(&self, id: LogicalObjectId) -> Option<&DatasetDef> {
+        self.by_id.get(&id)
+    }
+
+    /// Looks up a dataset by name.
+    pub fn get_by_name(&self, name: &str) -> Option<&DatasetDef> {
+        self.by_name.get(name).and_then(|id| self.by_id.get(id))
+    }
+
+    /// Returns the number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns true if no datasets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over all registered datasets.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetDef> {
+        self.by_id.values()
+    }
+
+    /// Total number of logical partitions across all datasets.
+    pub fn total_partitions(&self) -> u64 {
+        self.by_id.values().map(|d| d.partitions as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_partition_iteration() {
+        let d = DatasetDef::new(LogicalObjectId(1), "tdata", 4);
+        let parts: Vec<_> = d.logical_partitions().collect();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[2], d.partition(2));
+        assert_eq!(parts[2].partition.raw(), 2);
+    }
+
+    #[test]
+    fn registry_lookup_by_id_and_name() {
+        let mut reg = DatasetRegistry::new();
+        reg.register(DatasetDef::new(LogicalObjectId(1), "tdata", 8));
+        reg.register(DatasetDef::new(LogicalObjectId(2), "coeff", 8));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(LogicalObjectId(2)).unwrap().name, "coeff");
+        assert_eq!(reg.get_by_name("tdata").unwrap().id, LogicalObjectId(1));
+        assert!(reg.get_by_name("missing").is_none());
+        assert_eq!(reg.total_partitions(), 16);
+    }
+
+    #[test]
+    fn registry_replaces_on_reregister() {
+        let mut reg = DatasetRegistry::new();
+        reg.register(DatasetDef::new(LogicalObjectId(1), "a", 2));
+        reg.register(DatasetDef::new(LogicalObjectId(1), "a", 4));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(LogicalObjectId(1)).unwrap().partitions, 4);
+    }
+
+    #[test]
+    fn physical_instance_starts_at_version_zero() {
+        let inst = PhysicalInstance::new(
+            PhysicalObjectId(9),
+            LogicalPartition::new(LogicalObjectId(1), PartitionIndex(0)),
+            WorkerId(3),
+        );
+        assert_eq!(inst.version, Version::ZERO);
+    }
+}

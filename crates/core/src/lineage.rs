@@ -1,0 +1,142 @@
+//! Data lineage bookkeeping.
+//!
+//! The controller records, for every version of every logical partition, the
+//! task that produced it. For iterative jobs with frequent global
+//! synchronization points lineage-based recovery degenerates to checkpointing
+//! (Section 4.4), but the lineage log is still used for bookkeeping, for
+//! deciding which objects a checkpoint must persist, and for debugging.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LogicalPartition, StageId, TaskId, Version};
+
+/// One lineage record: `task` (in `stage`) produced `version` of `partition`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineageRecord {
+    /// The partition written.
+    pub partition: LogicalPartition,
+    /// The version produced.
+    pub version: Version,
+    /// The task that produced it.
+    pub task: TaskId,
+    /// The stage the task belonged to.
+    pub stage: StageId,
+}
+
+/// Append-only log of lineage records with per-partition indexing.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LineageLog {
+    records: Vec<LineageRecord>,
+    by_partition: HashMap<LogicalPartition, Vec<usize>>,
+}
+
+impl LineageLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, record: LineageRecord) {
+        self.by_partition
+            .entry(record.partition)
+            .or_default()
+            .push(self.records.len());
+        self.records.push(record);
+    }
+
+    /// Returns the producer of a specific version of a partition, if known.
+    pub fn producer(&self, partition: LogicalPartition, version: Version) -> Option<&LineageRecord> {
+        self.by_partition.get(&partition).and_then(|idxs| {
+            idxs.iter()
+                .rev()
+                .map(|i| &self.records[*i])
+                .find(|r| r.version == version)
+        })
+    }
+
+    /// Returns the full history of a partition, oldest first.
+    pub fn history(&self, partition: LogicalPartition) -> Vec<&LineageRecord> {
+        self.by_partition
+            .get(&partition)
+            .map(|idxs| idxs.iter().map(|i| &self.records[*i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drops every record at or below `version` for all partitions. Called
+    /// after a checkpoint commits: history the checkpoint already covers is
+    /// no longer needed for recovery.
+    pub fn truncate_through(&mut self, cutoff: &HashMap<LogicalPartition, Version>) {
+        let records = std::mem::take(&mut self.records);
+        self.by_partition.clear();
+        for r in records {
+            let keep = match cutoff.get(&r.partition) {
+                Some(v) => r.version > *v,
+                None => true,
+            };
+            if keep {
+                self.record(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogicalObjectId, PartitionIndex};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    fn rec(o: u64, p: u32, v: u64, t: u64) -> LineageRecord {
+        LineageRecord {
+            partition: lp(o, p),
+            version: Version(v),
+            task: TaskId(t),
+            stage: StageId(1),
+        }
+    }
+
+    #[test]
+    fn record_and_query_producer() {
+        let mut log = LineageLog::new();
+        log.record(rec(1, 0, 1, 10));
+        log.record(rec(1, 0, 2, 20));
+        log.record(rec(1, 1, 1, 30));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.producer(lp(1, 0), Version(2)).unwrap().task, TaskId(20));
+        assert_eq!(log.producer(lp(1, 0), Version(1)).unwrap().task, TaskId(10));
+        assert!(log.producer(lp(1, 0), Version(3)).is_none());
+        assert_eq!(log.history(lp(1, 0)).len(), 2);
+        assert!(log.history(lp(9, 9)).is_empty());
+    }
+
+    #[test]
+    fn truncate_after_checkpoint() {
+        let mut log = LineageLog::new();
+        log.record(rec(1, 0, 1, 10));
+        log.record(rec(1, 0, 2, 20));
+        log.record(rec(1, 1, 1, 30));
+        let mut cutoff = HashMap::new();
+        cutoff.insert(lp(1, 0), Version(1));
+        log.truncate_through(&cutoff);
+        assert_eq!(log.len(), 2);
+        assert!(log.producer(lp(1, 0), Version(1)).is_none());
+        assert!(log.producer(lp(1, 0), Version(2)).is_some());
+        assert!(log.producer(lp(1, 1), Version(1)).is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! Task parameter blobs.
+//!
+//! Every command carries an opaque binary parameter block (Section 3.4 of the
+//! paper). Parameters are the *variable* part of an execution template: the
+//! task structure is cached, while parameters (model coefficients, iteration
+//! counters, thresholds) are passed at every instantiation.
+//!
+//! The encoding is a tiny, self-describing little-endian layout so the
+//! control plane does not depend on a heavyweight serialization framework for
+//! its hot path.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, CoreResult};
+
+/// An opaque, cheaply-cloneable parameter block attached to a task or command.
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TaskParams {
+    bytes: Bytes,
+}
+
+impl std::fmt::Debug for TaskParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskParams({} bytes)", self.bytes.len())
+    }
+}
+
+impl TaskParams {
+    /// An empty parameter block.
+    pub fn empty() -> Self {
+        Self {
+            bytes: Bytes::new(),
+        }
+    }
+
+    /// Wraps raw bytes as a parameter block.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
+        Self {
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Encodes a slice of `f64` values.
+    pub fn from_f64s(values: &[f64]) -> Self {
+        let mut buf = BytesMut::with_capacity(8 + values.len() * 8);
+        buf.put_u64_le(values.len() as u64);
+        for v in values {
+            buf.put_f64_le(*v);
+        }
+        Self {
+            bytes: buf.freeze(),
+        }
+    }
+
+    /// Encodes a slice of `u64` values.
+    pub fn from_u64s(values: &[u64]) -> Self {
+        let mut buf = BytesMut::with_capacity(8 + values.len() * 8);
+        buf.put_u64_le(values.len() as u64);
+        for v in values {
+            buf.put_u64_le(*v);
+        }
+        Self {
+            bytes: buf.freeze(),
+        }
+    }
+
+    /// Encodes a single scalar.
+    pub fn from_scalar(value: f64) -> Self {
+        Self::from_f64s(&[value])
+    }
+
+    /// Decodes the block as a vector of `f64` values.
+    pub fn as_f64s(&self) -> CoreResult<Vec<f64>> {
+        let mut buf = self.bytes.clone();
+        if buf.remaining() < 8 {
+            return Err(CoreError::MalformedParams(
+                "missing length prefix".to_string(),
+            ));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len * 8 {
+            return Err(CoreError::MalformedParams(format!(
+                "expected {} f64 values, only {} bytes remain",
+                len,
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(buf.get_f64_le());
+        }
+        Ok(out)
+    }
+
+    /// Decodes the block as a vector of `u64` values.
+    pub fn as_u64s(&self) -> CoreResult<Vec<u64>> {
+        let mut buf = self.bytes.clone();
+        if buf.remaining() < 8 {
+            return Err(CoreError::MalformedParams(
+                "missing length prefix".to_string(),
+            ));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len * 8 {
+            return Err(CoreError::MalformedParams(format!(
+                "expected {} u64 values, only {} bytes remain",
+                len,
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(buf.get_u64_le());
+        }
+        Ok(out)
+    }
+
+    /// Decodes the block as a single scalar.
+    pub fn as_scalar(&self) -> CoreResult<f64> {
+        let v = self.as_f64s()?;
+        v.first().copied().ok_or_else(|| {
+            CoreError::MalformedParams("expected at least one scalar value".to_string())
+        })
+    }
+
+    /// Returns the raw bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Returns the size in bytes (used for control-plane traffic accounting).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns true if the parameter block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for TaskParams {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl From<&[f64]> for TaskParams {
+    fn from(values: &[f64]) -> Self {
+        Self::from_f64s(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let p = TaskParams::from_f64s(&[1.0, -2.5, 3.25]);
+        assert_eq!(p.as_f64s().unwrap(), vec![1.0, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let p = TaskParams::from_u64s(&[7, 8, 9]);
+        assert_eq!(p.as_u64s().unwrap(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let p = TaskParams::from_scalar(0.125);
+        assert_eq!(p.as_scalar().unwrap(), 0.125);
+    }
+
+    #[test]
+    fn empty_params_reject_decoding() {
+        let p = TaskParams::empty();
+        assert!(p.is_empty());
+        assert!(p.as_f64s().is_err());
+        assert!(p.as_scalar().is_err());
+    }
+
+    #[test]
+    fn truncated_params_are_rejected() {
+        let good = TaskParams::from_f64s(&[1.0, 2.0]);
+        let truncated = TaskParams::from_bytes(good.bytes().slice(0..12));
+        assert!(truncated.as_f64s().is_err());
+    }
+
+    #[test]
+    fn len_accounts_for_header() {
+        let p = TaskParams::from_f64s(&[1.0, 2.0]);
+        assert_eq!(p.len(), 8 + 16);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Logical tasks as submitted by the driver program.
+//!
+//! A driver program describes computation in terms of *stages* over logical
+//! data objects; each stage expands into one task per partition. Tasks are
+//! logical: they reference `(object, partition)` pairs, not physical memory.
+//! The controller turns logical tasks into concrete [`crate::command::Command`]s
+//! by assigning partitions to workers, resolving versions, and inserting copy
+//! commands for remote reads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FunctionId, LogicalPartition, StageId, TaskId, WorkerId};
+use crate::params::TaskParams;
+
+/// A logical task produced by expanding one stage over one partition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Unique identifier assigned by the driver (or by template instantiation).
+    pub id: TaskId,
+    /// The stage this task belongs to.
+    pub stage: StageId,
+    /// The application function to execute.
+    pub function: FunctionId,
+    /// Logical partitions read by the task.
+    pub reads: Vec<LogicalPartition>,
+    /// Logical partitions written by the task.
+    pub writes: Vec<LogicalPartition>,
+    /// Runtime parameters for this execution.
+    pub params: TaskParams,
+    /// Optional placement hint; the controller may override it.
+    pub preferred_worker: Option<WorkerId>,
+}
+
+impl TaskSpec {
+    /// Creates a task with empty read and write sets.
+    pub fn new(id: TaskId, stage: StageId, function: FunctionId) -> Self {
+        Self {
+            id,
+            stage,
+            function,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            params: TaskParams::empty(),
+            preferred_worker: None,
+        }
+    }
+
+    /// Builder-style setter for the read set.
+    pub fn with_reads(mut self, reads: Vec<LogicalPartition>) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    /// Builder-style setter for the write set.
+    pub fn with_writes(mut self, writes: Vec<LogicalPartition>) -> Self {
+        self.writes = writes;
+        self
+    }
+
+    /// Builder-style setter for the parameter block.
+    pub fn with_params(mut self, params: TaskParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Builder-style setter for the placement hint.
+    pub fn with_preferred_worker(mut self, worker: WorkerId) -> Self {
+        self.preferred_worker = Some(worker);
+        self
+    }
+
+    /// Returns every logical partition this task touches (reads then writes).
+    pub fn touched_partitions(&self) -> impl Iterator<Item = LogicalPartition> + '_ {
+        self.reads.iter().chain(self.writes.iter()).copied()
+    }
+
+    /// Returns true if the task writes the given partition.
+    pub fn writes_partition(&self, lp: LogicalPartition) -> bool {
+        self.writes.contains(&lp)
+    }
+
+    /// Returns true if the task reads the given partition.
+    pub fn reads_partition(&self, lp: LogicalPartition) -> bool {
+        self.reads.contains(&lp)
+    }
+}
+
+/// The structural signature of a task: everything except its identifier and
+/// parameters. Two tasks with equal signatures occupy the same slot in a
+/// template across iterations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskSignature {
+    /// The stage the task belongs to.
+    pub stage: StageId,
+    /// The function the task runs.
+    pub function: FunctionId,
+    /// Ordered read set.
+    pub reads: Vec<LogicalPartition>,
+    /// Ordered write set.
+    pub writes: Vec<LogicalPartition>,
+}
+
+impl From<&TaskSpec> for TaskSignature {
+    fn from(spec: &TaskSpec) -> Self {
+        Self {
+            stage: spec.stage,
+            function: spec.function,
+            reads: spec.reads.clone(),
+            writes: spec.writes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogicalObjectId, PartitionIndex};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let t = TaskSpec::new(TaskId(1), StageId(2), FunctionId(3))
+            .with_reads(vec![lp(1, 0), lp(2, 0)])
+            .with_writes(vec![lp(3, 0)])
+            .with_params(TaskParams::from_scalar(2.0))
+            .with_preferred_worker(WorkerId(7));
+        assert_eq!(t.reads.len(), 2);
+        assert!(t.reads_partition(lp(1, 0)));
+        assert!(t.writes_partition(lp(3, 0)));
+        assert!(!t.writes_partition(lp(1, 0)));
+        assert_eq!(t.preferred_worker, Some(WorkerId(7)));
+        assert_eq!(t.touched_partitions().count(), 3);
+    }
+
+    #[test]
+    fn signature_ignores_id_and_params() {
+        let a = TaskSpec::new(TaskId(1), StageId(2), FunctionId(3))
+            .with_reads(vec![lp(1, 0)])
+            .with_params(TaskParams::from_scalar(1.0));
+        let b = TaskSpec::new(TaskId(99), StageId(2), FunctionId(3))
+            .with_reads(vec![lp(1, 0)])
+            .with_params(TaskParams::from_scalar(42.0));
+        assert_eq!(TaskSignature::from(&a), TaskSignature::from(&b));
+    }
+
+    #[test]
+    fn signature_distinguishes_structure() {
+        let a = TaskSpec::new(TaskId(1), StageId(2), FunctionId(3)).with_reads(vec![lp(1, 0)]);
+        let b = TaskSpec::new(TaskId(1), StageId(2), FunctionId(3)).with_reads(vec![lp(1, 1)]);
+        assert_ne!(TaskSignature::from(&a), TaskSignature::from(&b));
+    }
+}

@@ -1,0 +1,372 @@
+//! Controller templates: the driver→controller half of execution templates.
+//!
+//! A controller template caches the complete list of tasks in a basic block
+//! across all workers: function identifiers, logical read/write sets, the
+//! results of dependency analysis (before-sets as indices), and the partition
+//! assignment decisions (Section 2.2). Instantiating a controller template
+//! turns an array of fresh task identifiers and a parameter binding into the
+//! same stream of [`TaskSpec`]s the driver would otherwise have sent task by
+//! task — at a small fraction of the cost.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{FunctionId, LogicalPartition, StageId, TaskId, TemplateId, WorkerId};
+use crate::params::TaskParams;
+use crate::task::TaskSpec;
+
+/// One cached task slot within a controller template.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerTaskEntry {
+    /// Position of this entry within the template (also its task-id slot).
+    pub index: usize,
+    /// The stage the original task belonged to.
+    pub stage: StageId,
+    /// The application function to run.
+    pub function: FunctionId,
+    /// Logical partitions read by the task.
+    pub reads: Vec<LogicalPartition>,
+    /// Logical partitions written by the task.
+    pub writes: Vec<LogicalPartition>,
+    /// Indices of entries that must run before this one (task-level
+    /// dependency analysis cached at template creation).
+    pub before: Vec<usize>,
+    /// The worker the task was assigned to when the template was created.
+    pub assigned_worker: WorkerId,
+    /// Parameters recorded at template creation, used when an instantiation
+    /// does not override them.
+    pub default_params: TaskParams,
+}
+
+/// Parameter binding supplied when instantiating a controller template.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub enum InstantiationParams {
+    /// Reuse the parameters recorded when the template was created.
+    #[default]
+    Defaults,
+    /// Supply one parameter block per task slot (same order as the entries).
+    PerTask(Vec<TaskParams>),
+    /// Supply one parameter block per stage; tasks of unlisted stages reuse
+    /// their defaults.
+    PerStage(HashMap<StageId, TaskParams>),
+}
+
+impl InstantiationParams {
+    /// Resolves the parameters for the entry at `index`.
+    fn resolve(&self, entry: &ControllerTaskEntry, index: usize) -> CoreResult<TaskParams> {
+        match self {
+            InstantiationParams::Defaults => Ok(entry.default_params.clone()),
+            InstantiationParams::PerTask(all) => all
+                .get(index)
+                .cloned()
+                .ok_or(CoreError::ParamArityMismatch {
+                    expected: index + 1,
+                    actual: all.len(),
+                }),
+            InstantiationParams::PerStage(by_stage) => Ok(by_stage
+                .get(&entry.stage)
+                .cloned()
+                .unwrap_or_else(|| entry.default_params.clone())),
+        }
+    }
+}
+
+/// A controller template: the cached task stream of one basic block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerTemplate {
+    /// Unique identifier of the template.
+    pub id: TemplateId,
+    /// The basic-block name the driver used when recording the template.
+    pub name: String,
+    /// Cached task entries in program order.
+    pub entries: Vec<ControllerTaskEntry>,
+    /// Stages appearing in this block, in first-appearance order.
+    pub stages: Vec<StageId>,
+}
+
+impl ControllerTemplate {
+    /// Creates a template from recorded entries.
+    ///
+    /// Returns an error if the block recorded no tasks or if any dependency
+    /// index is out of range or non-causal (an entry may only depend on
+    /// earlier entries).
+    pub fn new(
+        id: TemplateId,
+        name: impl Into<String>,
+        entries: Vec<ControllerTaskEntry>,
+    ) -> CoreResult<Self> {
+        if entries.is_empty() {
+            return Err(CoreError::EmptyTemplate);
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.index != i {
+                return Err(CoreError::Invariant(format!(
+                    "entry index {} does not match position {}",
+                    e.index, i
+                )));
+            }
+            for dep in &e.before {
+                if *dep >= i {
+                    return Err(CoreError::Invariant(format!(
+                        "entry {} depends on entry {} which does not precede it",
+                        i, dep
+                    )));
+                }
+            }
+        }
+        let mut stages = Vec::new();
+        for e in &entries {
+            if !stages.contains(&e.stage) {
+                stages.push(e.stage);
+            }
+        }
+        Ok(Self {
+            id,
+            name: name.into(),
+            entries,
+            stages,
+        })
+    }
+
+    /// Number of task slots (the length of the task-id array an
+    /// instantiation must supply).
+    pub fn task_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns the entries assigned to a given worker.
+    pub fn entries_for_worker(&self, worker: WorkerId) -> Vec<&ControllerTaskEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.assigned_worker == worker)
+            .collect()
+    }
+
+    /// Returns the set of workers this template's tasks are assigned to.
+    pub fn workers(&self) -> Vec<WorkerId> {
+        let mut ws: Vec<WorkerId> = self.entries.iter().map(|e| e.assigned_worker).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// Returns a copy of this template with a different worker assignment,
+    /// produced when the controller re-plans a block for a new worker set.
+    pub fn with_assignment(&self, id: TemplateId, assignment: &HashMap<usize, WorkerId>) -> Self {
+        let mut clone = self.clone();
+        clone.id = id;
+        for e in &mut clone.entries {
+            if let Some(w) = assignment.get(&e.index) {
+                e.assigned_worker = *w;
+            }
+        }
+        clone
+    }
+
+    /// Instantiates the template: fills in fresh task identifiers and the
+    /// parameter binding and returns the resulting task stream.
+    ///
+    /// This is the cheap, table-driven path exercised on every iteration of a
+    /// cached basic block (Table 2 of the paper reports ~0.2 µs per task).
+    pub fn instantiate(
+        &self,
+        task_ids: &[TaskId],
+        params: &InstantiationParams,
+    ) -> CoreResult<Vec<TaskSpec>> {
+        if task_ids.len() != self.entries.len() {
+            return Err(CoreError::TaskIdArityMismatch {
+                expected: self.entries.len(),
+                actual: task_ids.len(),
+            });
+        }
+        if let InstantiationParams::PerTask(p) = params {
+            if p.len() != self.entries.len() {
+                return Err(CoreError::ParamArityMismatch {
+                    expected: self.entries.len(),
+                    actual: p.len(),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            let spec = TaskSpec {
+                id: task_ids[i],
+                stage: entry.stage,
+                function: entry.function,
+                reads: entry.reads.clone(),
+                writes: entry.writes.clone(),
+                params: params.resolve(entry, i)?,
+                preferred_worker: Some(entry.assigned_worker),
+            };
+            out.push(spec);
+        }
+        Ok(out)
+    }
+
+    /// Resolves the per-entry parameter blocks for an instantiation without
+    /// building the full task stream (the worker-template fast path only
+    /// needs the parameters and fresh task identifiers).
+    pub fn resolve_params(&self, params: &InstantiationParams) -> CoreResult<Vec<TaskParams>> {
+        if let InstantiationParams::PerTask(p) = params {
+            if p.len() != self.entries.len() {
+                return Err(CoreError::ParamArityMismatch {
+                    expected: self.entries.len(),
+                    actual: p.len(),
+                });
+            }
+        }
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| params.resolve(e, i))
+            .collect()
+    }
+
+    /// Total logical partitions written by one execution of this block,
+    /// counted with multiplicity (used to advance the version map).
+    pub fn write_counts(&self) -> HashMap<LogicalPartition, u64> {
+        let mut counts: HashMap<LogicalPartition, u64> = HashMap::new();
+        for e in &self.entries {
+            for w in &e.writes {
+                *counts.entry(*w).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogicalObjectId, PartitionIndex};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    fn entry(index: usize, worker: u32, stage: u64, before: Vec<usize>) -> ControllerTaskEntry {
+        ControllerTaskEntry {
+            index,
+            stage: StageId(stage),
+            function: FunctionId(1),
+            reads: vec![lp(1, index as u32)],
+            writes: vec![lp(2, index as u32)],
+            before,
+            assigned_worker: WorkerId(worker),
+            default_params: TaskParams::from_scalar(index as f64),
+        }
+    }
+
+    fn sample() -> ControllerTemplate {
+        ControllerTemplate::new(
+            TemplateId(1),
+            "inner",
+            vec![
+                entry(0, 0, 1, vec![]),
+                entry(1, 1, 1, vec![]),
+                entry(2, 0, 2, vec![0, 1]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        assert!(matches!(
+            ControllerTemplate::new(TemplateId(1), "x", vec![]),
+            Err(CoreError::EmptyTemplate)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_causal_dependency() {
+        let bad = vec![entry(0, 0, 1, vec![1]), entry(1, 0, 1, vec![])];
+        assert!(ControllerTemplate::new(TemplateId(1), "x", bad).is_err());
+    }
+
+    #[test]
+    fn rejects_misnumbered_entries() {
+        let mut e = entry(0, 0, 1, vec![]);
+        e.index = 5;
+        assert!(ControllerTemplate::new(TemplateId(1), "x", vec![e]).is_err());
+    }
+
+    #[test]
+    fn instantiation_fills_ids_and_defaults() {
+        let t = sample();
+        let ids = vec![TaskId(100), TaskId(101), TaskId(102)];
+        let specs = t.instantiate(&ids, &InstantiationParams::Defaults).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].id, TaskId(100));
+        assert_eq!(specs[2].id, TaskId(102));
+        assert_eq!(specs[1].params.as_scalar().unwrap(), 1.0);
+        assert_eq!(specs[2].preferred_worker, Some(WorkerId(0)));
+    }
+
+    #[test]
+    fn instantiation_with_per_task_params() {
+        let t = sample();
+        let ids = vec![TaskId(1), TaskId(2), TaskId(3)];
+        let params = InstantiationParams::PerTask(vec![
+            TaskParams::from_scalar(10.0),
+            TaskParams::from_scalar(20.0),
+            TaskParams::from_scalar(30.0),
+        ]);
+        let specs = t.instantiate(&ids, &params).unwrap();
+        assert_eq!(specs[1].params.as_scalar().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn instantiation_with_per_stage_params() {
+        let t = sample();
+        let ids = vec![TaskId(1), TaskId(2), TaskId(3)];
+        let mut by_stage = HashMap::new();
+        by_stage.insert(StageId(2), TaskParams::from_scalar(9.0));
+        let specs = t
+            .instantiate(&ids, &InstantiationParams::PerStage(by_stage))
+            .unwrap();
+        // Stage 1 tasks keep their defaults, stage 2 task gets the override.
+        assert_eq!(specs[0].params.as_scalar().unwrap(), 0.0);
+        assert_eq!(specs[2].params.as_scalar().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn arity_mismatches_are_rejected() {
+        let t = sample();
+        assert!(matches!(
+            t.instantiate(&[TaskId(1)], &InstantiationParams::Defaults),
+            Err(CoreError::TaskIdArityMismatch { expected: 3, actual: 1 })
+        ));
+        assert!(matches!(
+            t.instantiate(
+                &[TaskId(1), TaskId(2), TaskId(3)],
+                &InstantiationParams::PerTask(vec![TaskParams::empty()])
+            ),
+            Err(CoreError::ParamArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn worker_queries_and_write_counts() {
+        let t = sample();
+        assert_eq!(t.task_count(), 3);
+        assert_eq!(t.workers(), vec![WorkerId(0), WorkerId(1)]);
+        assert_eq!(t.entries_for_worker(WorkerId(0)).len(), 2);
+        assert_eq!(t.write_counts()[&lp(2, 0)], 1);
+        assert_eq!(t.stages, vec![StageId(1), StageId(2)]);
+    }
+
+    #[test]
+    fn reassignment_produces_new_template() {
+        let t = sample();
+        let mut assignment = HashMap::new();
+        assignment.insert(1usize, WorkerId(0));
+        let t2 = t.with_assignment(TemplateId(2), &assignment);
+        assert_eq!(t2.id, TemplateId(2));
+        assert_eq!(t2.workers(), vec![WorkerId(0)]);
+        // Original untouched.
+        assert_eq!(t.workers(), vec![WorkerId(0), WorkerId(1)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Execution templates: parameterizable, cached lists of tasks.
+//!
+//! An execution template caches the *fixed* structure of a basic block — the
+//! list of tasks, their functions, dependencies, relative ordering, and data
+//! access references — while the *variable* part (task identifiers and
+//! runtime parameters) is supplied at each instantiation (Section 2.1 of the
+//! paper).
+//!
+//! There are two kinds of template, one per control-plane interface:
+//!
+//! * [`ControllerTemplate`] caches the driver→controller interface: the
+//!   complete list of tasks in a basic block across all workers, together
+//!   with the results of dependency analysis and partition assignment.
+//! * [`WorkerTemplate`] caches the controller→worker interface: the portion
+//!   of the block that runs on one worker, as a command skeleton the worker
+//!   expands locally. The controller keeps the cluster-wide view of a block's
+//!   worker templates in a [`WorkerTemplateGroup`], which also tracks the
+//!   preconditions needed for validation and patching.
+//!
+//! Templates support two further operations: [`edit`](crate::template::edit)
+//! (in-place modification for small scheduling changes) and
+//! [`patch`](crate::template::patch) (data movement to satisfy preconditions
+//! under dynamic control flow).
+
+pub mod cache;
+pub mod controller_template;
+pub mod edit;
+pub mod patch;
+pub mod precondition;
+pub mod worker_template;
+
+pub use cache::{PatchCache, TemplateRegistry};
+pub use controller_template::{ControllerTaskEntry, ControllerTemplate, InstantiationParams};
+pub use edit::TemplateEdit;
+pub use patch::{compute_patch, Patch, PatchDirective, PatchKey};
+pub use precondition::{validate_preconditions, Precondition};
+pub use worker_template::{
+    SkeletonEntry, SkeletonKind, WorkerInstantiation, WorkerTemplate, WorkerTemplateGroup,
+};

@@ -1,0 +1,291 @@
+//! Patches: data movement that makes a template's preconditions hold.
+//!
+//! A basic block can be entered from many positions in the driver program
+//! (first iteration of a loop, re-entry after the outer loop, an edge case
+//! behind an `if`). When the system state at instantiation time does not meet
+//! a worker template's preconditions, the controller *patches* it: it sends
+//! copy directives that move the latest version of each required partition to
+//! where the template expects it (Section 2.4, 4.2). Patches are cached and
+//! re-used because dynamic control flow is typically narrow.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{PhysicalObjectId, TemplateId, WorkerId};
+use crate::template::precondition::Precondition;
+use crate::versioning::{InstanceMap, VersionMap};
+
+/// One data movement required to satisfy a precondition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatchDirective {
+    /// Copy between two objects on the same worker.
+    LocalCopy {
+        /// The worker performing the copy.
+        worker: WorkerId,
+        /// Source object (holds the latest version).
+        from: PhysicalObjectId,
+        /// Destination object (the template's precondition target).
+        to: PhysicalObjectId,
+    },
+    /// Copy an object from one worker to another.
+    Transfer {
+        /// Worker holding the latest version.
+        from_worker: WorkerId,
+        /// Source object.
+        from: PhysicalObjectId,
+        /// Worker that needs the data.
+        to_worker: WorkerId,
+        /// Destination object.
+        to: PhysicalObjectId,
+    },
+}
+
+impl PatchDirective {
+    /// Returns true if the directive crosses workers.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, PatchDirective::Transfer { .. })
+    }
+}
+
+/// A patch: the copy directives that make a template group's preconditions
+/// hold, given the data state it was computed against.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Patch {
+    /// The worker-template group this patch prepares.
+    pub target: TemplateId,
+    /// Copy directives, in any order (they touch disjoint destinations).
+    pub directives: Vec<PatchDirective>,
+}
+
+impl Patch {
+    /// Returns true if nothing needs to move.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Number of directives.
+    pub fn len(&self) -> usize {
+        self.directives.len()
+    }
+
+    /// Number of cross-worker transfers in the patch.
+    pub fn remote_transfers(&self) -> usize {
+        self.directives.iter().filter(|d| d.is_remote()).count()
+    }
+}
+
+/// Cache key for patches: what executed immediately before the target
+/// template. Control flow is dynamic but narrow, so this small key has a very
+/// high hit rate in practice (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatchKey {
+    /// The worker-template group that executed previously (if any).
+    pub previous: Option<TemplateId>,
+    /// The group about to be instantiated.
+    pub target: TemplateId,
+}
+
+/// Computes the patch that satisfies `violated` preconditions given the
+/// current instance and version maps.
+///
+/// For each violated precondition the controller finds an instance holding
+/// the latest version of the partition and emits a local copy (same worker)
+/// or a transfer (different worker). Returns an error if no instance holds
+/// the latest version — that means the data was lost and recovery, not
+/// patching, is required.
+pub fn compute_patch(
+    target: TemplateId,
+    violated: &[Precondition],
+    instances: &InstanceMap,
+    versions: &VersionMap,
+) -> CoreResult<Patch> {
+    let mut directives = Vec::with_capacity(violated.len());
+    for pre in violated {
+        let holders = instances.latest_holders(pre.logical, versions);
+        if holders.is_empty() {
+            return Err(CoreError::UnsatisfiablePrecondition(pre.logical));
+        }
+        // Prefer a holder on the same worker (cheap local copy), otherwise
+        // pick the first remote holder deterministically.
+        let local = holders.iter().find(|h| h.worker == pre.worker);
+        match local {
+            Some(h) if h.id == pre.physical => {
+                // Already satisfied (can happen when the caller passes the
+                // full precondition list instead of only violations).
+                continue;
+            }
+            Some(h) => directives.push(PatchDirective::LocalCopy {
+                worker: pre.worker,
+                from: h.id,
+                to: pre.physical,
+            }),
+            None => {
+                let h = holders[0];
+                directives.push(PatchDirective::Transfer {
+                    from_worker: h.worker,
+                    from: h.id,
+                    to_worker: pre.worker,
+                    to: pre.physical,
+                });
+            }
+        }
+    }
+    Ok(Patch { target, directives })
+}
+
+/// A cache of previously computed patches, keyed by what executed before the
+/// target template.
+#[derive(Clone, Debug, Default)]
+pub struct PatchCacheInner {
+    entries: HashMap<PatchKey, Patch>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PatchCacheInner {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached patch.
+    pub fn lookup(&mut self, key: PatchKey) -> Option<Patch> {
+        match self.entries.get(&key) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a patch.
+    pub fn store(&mut self, key: PatchKey, patch: Patch) {
+        self.entries.insert(key, patch);
+    }
+
+    /// Invalidates every cached patch targeting `template` (needed after the
+    /// template is edited or re-installed).
+    pub fn invalidate_target(&mut self, template: TemplateId) {
+        self.entries.retain(|k, _| k.target != template);
+    }
+
+    /// Number of cached patches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PhysicalInstance;
+    use crate::ids::{LogicalObjectId, LogicalPartition, PartitionIndex};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    fn setup() -> (InstanceMap, VersionMap) {
+        let mut instances = InstanceMap::new();
+        let mut versions = VersionMap::new();
+        // param lives on worker 0 (fresh) and worker 1 (stale).
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        let v1 = versions.bump(lp(1, 0));
+        instances.set_version(PhysicalObjectId(1), v1).unwrap();
+        (instances, versions)
+    }
+
+    #[test]
+    fn patch_prefers_local_copy() {
+        let (mut instances, versions) = setup();
+        // Add a second, stale object on worker 0 that the template expects.
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(3), lp(1, 0), WorkerId(0)));
+        let violated = vec![Precondition::new(WorkerId(0), PhysicalObjectId(3), lp(1, 0))];
+        let patch = compute_patch(TemplateId(9), &violated, &instances, &versions).unwrap();
+        assert_eq!(patch.len(), 1);
+        assert_eq!(
+            patch.directives[0],
+            PatchDirective::LocalCopy {
+                worker: WorkerId(0),
+                from: PhysicalObjectId(1),
+                to: PhysicalObjectId(3)
+            }
+        );
+        assert_eq!(patch.remote_transfers(), 0);
+    }
+
+    #[test]
+    fn patch_emits_transfer_for_remote_holder() {
+        let (instances, versions) = setup();
+        let violated = vec![Precondition::new(WorkerId(1), PhysicalObjectId(2), lp(1, 0))];
+        let patch = compute_patch(TemplateId(9), &violated, &instances, &versions).unwrap();
+        assert_eq!(patch.len(), 1);
+        assert_eq!(
+            patch.directives[0],
+            PatchDirective::Transfer {
+                from_worker: WorkerId(0),
+                from: PhysicalObjectId(1),
+                to_worker: WorkerId(1),
+                to: PhysicalObjectId(2)
+            }
+        );
+        assert_eq!(patch.remote_transfers(), 1);
+    }
+
+    #[test]
+    fn satisfied_precondition_produces_no_directive() {
+        let (instances, versions) = setup();
+        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        let patch = compute_patch(TemplateId(9), &pre, &instances, &versions).unwrap();
+        assert!(patch.is_empty());
+    }
+
+    #[test]
+    fn lost_data_is_an_error() {
+        let (mut instances, versions) = setup();
+        instances.remove(PhysicalObjectId(1));
+        let violated = vec![Precondition::new(WorkerId(1), PhysicalObjectId(2), lp(1, 0))];
+        assert!(matches!(
+            compute_patch(TemplateId(9), &violated, &instances, &versions),
+            Err(CoreError::UnsatisfiablePrecondition(_))
+        ));
+    }
+
+    #[test]
+    fn patch_cache_hit_miss_and_invalidation() {
+        let mut cache = PatchCacheInner::new();
+        let key = PatchKey {
+            previous: Some(TemplateId(1)),
+            target: TemplateId(2),
+        };
+        assert!(cache.lookup(key).is_none());
+        cache.store(
+            key,
+            Patch {
+                target: TemplateId(2),
+                directives: vec![],
+            },
+        );
+        assert!(cache.lookup(key).is_some());
+        assert_eq!(cache.stats(), (1, 1));
+        cache.invalidate_target(TemplateId(2));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Worker-template preconditions and their validation.
+//!
+//! Each worker template carries a list of preconditions: physical data
+//! objects that must hold the latest version of their logical partition when
+//! the template is instantiated (Section 2.4). Before instantiating a worker
+//! template the controller validates these against its instance and version
+//! maps; violations are repaired by a [`crate::template::patch::Patch`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LogicalPartition, PhysicalObjectId, WorkerId};
+use crate::versioning::{InstanceMap, VersionMap};
+
+/// A single precondition: `physical` on `worker` must hold the latest version
+/// of `logical` when the template is instantiated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Precondition {
+    /// The worker whose memory must hold the up-to-date object.
+    pub worker: WorkerId,
+    /// The physical object instance that must be up to date.
+    pub physical: PhysicalObjectId,
+    /// The logical partition whose latest version is required.
+    pub logical: LogicalPartition,
+}
+
+impl Precondition {
+    /// Creates a precondition.
+    pub fn new(worker: WorkerId, physical: PhysicalObjectId, logical: LogicalPartition) -> Self {
+        Self {
+            worker,
+            physical,
+            logical,
+        }
+    }
+}
+
+/// Checks a list of preconditions against the controller's data state.
+///
+/// Returns the subset of preconditions that do **not** hold. An empty return
+/// value means the template validates and can be instantiated directly.
+pub fn validate_preconditions(
+    preconditions: &[Precondition],
+    instances: &InstanceMap,
+    versions: &VersionMap,
+) -> Vec<Precondition> {
+    preconditions
+        .iter()
+        .filter(|p| !instances.is_up_to_date(p.physical, versions))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PhysicalInstance;
+    use crate::ids::{LogicalObjectId, PartitionIndex, Version};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    #[test]
+    fn all_preconditions_hold_when_instances_are_fresh() {
+        let mut instances = InstanceMap::new();
+        let versions = VersionMap::new();
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        assert!(validate_preconditions(&pre, &instances, &versions).is_empty());
+    }
+
+    #[test]
+    fn stale_instance_is_reported() {
+        let mut instances = InstanceMap::new();
+        let mut versions = VersionMap::new();
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        // Worker 1 wrote the partition; worker 0's copy is now stale.
+        let v1 = versions.bump(lp(1, 0));
+        instances.set_version(PhysicalObjectId(2), v1).unwrap();
+
+        let pre = vec![
+            Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0)),
+            Precondition::new(WorkerId(1), PhysicalObjectId(2), lp(1, 0)),
+        ];
+        let violated = validate_preconditions(&pre, &instances, &versions);
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0].physical, PhysicalObjectId(1));
+    }
+
+    #[test]
+    fn missing_instance_counts_as_violation() {
+        let instances = InstanceMap::new();
+        let versions = VersionMap::new();
+        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(9), lp(1, 0))];
+        assert_eq!(validate_preconditions(&pre, &instances, &versions).len(), 1);
+    }
+
+    #[test]
+    fn explicit_version_set_satisfies_precondition() {
+        let mut instances = InstanceMap::new();
+        let mut versions = VersionMap::new();
+        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        versions.set(lp(1, 0), Version(5));
+        instances.set_version(PhysicalObjectId(1), Version(5)).unwrap();
+        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        assert!(validate_preconditions(&pre, &instances, &versions).is_empty());
+    }
+}

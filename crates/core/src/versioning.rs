@@ -1,0 +1,287 @@
+//! Version tracking for mutable data objects.
+//!
+//! The controller keeps two views of data state:
+//!
+//! * a [`VersionMap`] recording, for each logical partition, the latest
+//!   version *according to program order* (advanced whenever a submitted task
+//!   writes the partition), and
+//! * an [`InstanceMap`] recording every physical instance in the cluster and
+//!   the version it currently holds.
+//!
+//! Together they answer the two questions the control plane keeps asking:
+//! "which instance holds the latest value of X?" and "is the instance worker
+//! W would read stale?". Template preconditions are validated against these
+//! maps and patches are computed from them.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::PhysicalInstance;
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{LogicalPartition, PhysicalObjectId, Version, WorkerId};
+
+/// Latest version of every logical partition according to program order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionMap {
+    latest: HashMap<LogicalPartition, Version>,
+}
+
+impl VersionMap {
+    /// Creates an empty version map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the latest version of a partition (zero if never written).
+    pub fn current(&self, lp: LogicalPartition) -> Version {
+        self.latest.get(&lp).copied().unwrap_or(Version::ZERO)
+    }
+
+    /// Advances the version of a partition after a write and returns the new
+    /// version.
+    pub fn bump(&mut self, lp: LogicalPartition) -> Version {
+        let entry = self.latest.entry(lp).or_insert(Version::ZERO);
+        *entry = entry.next();
+        *entry
+    }
+
+    /// Advances the version of a partition by `count` writes.
+    pub fn bump_by(&mut self, lp: LogicalPartition, count: u64) -> Version {
+        let entry = self.latest.entry(lp).or_insert(Version::ZERO);
+        *entry = Version(entry.raw() + count);
+        *entry
+    }
+
+    /// Sets the version of a partition explicitly (used when restoring from a
+    /// checkpoint).
+    pub fn set(&mut self, lp: LogicalPartition, version: Version) {
+        self.latest.insert(lp, version);
+    }
+
+    /// Number of partitions tracked.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Returns true if no partition has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// Iterates over `(partition, latest version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LogicalPartition, Version)> + '_ {
+        self.latest.iter().map(|(lp, v)| (*lp, *v))
+    }
+}
+
+/// Every physical instance in the cluster, indexed by object, partition, and
+/// worker.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InstanceMap {
+    instances: HashMap<PhysicalObjectId, PhysicalInstance>,
+    by_partition: HashMap<LogicalPartition, Vec<PhysicalObjectId>>,
+    by_worker: HashMap<WorkerId, Vec<PhysicalObjectId>>,
+}
+
+impl InstanceMap {
+    /// Creates an empty instance map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new physical instance.
+    pub fn insert(&mut self, instance: PhysicalInstance) {
+        self.by_partition
+            .entry(instance.logical)
+            .or_default()
+            .push(instance.id);
+        self.by_worker
+            .entry(instance.worker)
+            .or_default()
+            .push(instance.id);
+        self.instances.insert(instance.id, instance);
+    }
+
+    /// Removes an instance (for example when a worker is evicted).
+    pub fn remove(&mut self, id: PhysicalObjectId) -> Option<PhysicalInstance> {
+        let instance = self.instances.remove(&id)?;
+        if let Some(v) = self.by_partition.get_mut(&instance.logical) {
+            v.retain(|x| *x != id);
+        }
+        if let Some(v) = self.by_worker.get_mut(&instance.worker) {
+            v.retain(|x| *x != id);
+        }
+        Some(instance)
+    }
+
+    /// Removes every instance hosted by a worker, returning them.
+    pub fn remove_worker(&mut self, worker: WorkerId) -> Vec<PhysicalInstance> {
+        let ids = self.by_worker.remove(&worker).unwrap_or_default();
+        let mut removed = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(instance) = self.instances.remove(&id) {
+                if let Some(v) = self.by_partition.get_mut(&instance.logical) {
+                    v.retain(|x| *x != id);
+                }
+                removed.push(instance);
+            }
+        }
+        removed
+    }
+
+    /// Looks up an instance by its physical id.
+    pub fn get(&self, id: PhysicalObjectId) -> Option<&PhysicalInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Updates the version held by an instance.
+    pub fn set_version(&mut self, id: PhysicalObjectId, version: Version) -> CoreResult<()> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownPhysicalObject(id))?;
+        inst.version = version;
+        Ok(())
+    }
+
+    /// Returns every instance holding the given partition.
+    pub fn instances_of(&self, lp: LogicalPartition) -> Vec<&PhysicalInstance> {
+        self.by_partition
+            .get(&lp)
+            .map(|ids| ids.iter().filter_map(|id| self.instances.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the instance of a partition hosted by a given worker, if any.
+    pub fn instance_on_worker(
+        &self,
+        lp: LogicalPartition,
+        worker: WorkerId,
+    ) -> Option<&PhysicalInstance> {
+        self.by_partition.get(&lp).and_then(|ids| {
+            ids.iter()
+                .filter_map(|id| self.instances.get(id))
+                .find(|inst| inst.worker == worker)
+        })
+    }
+
+    /// Returns the instances that hold the latest version of a partition
+    /// according to the supplied version map.
+    pub fn latest_holders(
+        &self,
+        lp: LogicalPartition,
+        versions: &VersionMap,
+    ) -> Vec<&PhysicalInstance> {
+        let latest = versions.current(lp);
+        self.instances_of(lp)
+            .into_iter()
+            .filter(|inst| inst.version == latest)
+            .collect()
+    }
+
+    /// Returns true if the instance identified by `id` holds the latest
+    /// version of its partition.
+    pub fn is_up_to_date(&self, id: PhysicalObjectId, versions: &VersionMap) -> bool {
+        match self.instances.get(&id) {
+            Some(inst) => inst.version == versions.current(inst.logical),
+            None => false,
+        }
+    }
+
+    /// Returns all instances hosted by a worker.
+    pub fn on_worker(&self, worker: WorkerId) -> Vec<&PhysicalInstance> {
+        self.by_worker
+            .get(&worker)
+            .map(|ids| ids.iter().filter_map(|id| self.instances.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of instances tracked.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Returns true if there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Iterates over all instances.
+    pub fn iter(&self) -> impl Iterator<Item = &PhysicalInstance> {
+        self.instances.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LogicalObjectId, PartitionIndex};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    #[test]
+    fn version_map_bump_and_current() {
+        let mut vm = VersionMap::new();
+        assert_eq!(vm.current(lp(1, 0)), Version::ZERO);
+        assert_eq!(vm.bump(lp(1, 0)), Version(1));
+        assert_eq!(vm.bump(lp(1, 0)), Version(2));
+        assert_eq!(vm.current(lp(1, 0)), Version(2));
+        assert_eq!(vm.bump_by(lp(1, 0), 3), Version(5));
+        assert_eq!(vm.len(), 1);
+    }
+
+    #[test]
+    fn instance_map_tracks_latest_holders() {
+        let mut vm = VersionMap::new();
+        let mut im = InstanceMap::new();
+        let a = PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0));
+        let b = PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1));
+        im.insert(a);
+        im.insert(b);
+
+        // Both hold version 0 and version 0 is latest: both are holders.
+        assert_eq!(im.latest_holders(lp(1, 0), &vm).len(), 2);
+
+        // Worker 0 writes the partition: only its instance is up to date.
+        let v1 = vm.bump(lp(1, 0));
+        im.set_version(PhysicalObjectId(1), v1).unwrap();
+        let holders = im.latest_holders(lp(1, 0), &vm);
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].worker, WorkerId(0));
+        assert!(im.is_up_to_date(PhysicalObjectId(1), &vm));
+        assert!(!im.is_up_to_date(PhysicalObjectId(2), &vm));
+    }
+
+    #[test]
+    fn instance_on_worker_lookup() {
+        let mut im = InstanceMap::new();
+        im.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        im.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 1), WorkerId(0)));
+        assert!(im.instance_on_worker(lp(1, 0), WorkerId(0)).is_some());
+        assert!(im.instance_on_worker(lp(1, 0), WorkerId(1)).is_none());
+        assert_eq!(im.on_worker(WorkerId(0)).len(), 2);
+    }
+
+    #[test]
+    fn remove_worker_drops_instances() {
+        let mut im = InstanceMap::new();
+        im.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        im.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        let removed = im.remove_worker(WorkerId(0));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(im.len(), 1);
+        assert!(im.instances_of(lp(1, 0)).iter().all(|i| i.worker == WorkerId(1)));
+    }
+
+    #[test]
+    fn set_version_on_unknown_instance_fails() {
+        let mut im = InstanceMap::new();
+        assert!(matches!(
+            im.set_version(PhysicalObjectId(77), Version(1)),
+            Err(CoreError::UnknownPhysicalObject(_))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the core control-plane invariants.
+
+use proptest::prelude::*;
+
+use nimbus_core::ids::{CommandId, FunctionId, PhysicalObjectId, StageId, TaskId, TemplateId, WorkerId};
+use nimbus_core::template::{
+    ControllerTaskEntry, ControllerTemplate, InstantiationParams, SkeletonEntry, SkeletonKind,
+    TemplateEdit, WorkerInstantiation, WorkerTemplate,
+};
+use nimbus_core::versioning::VersionMap;
+use nimbus_core::{Command, CommandGraph, CommandKind, LogicalPartition, TaskParams};
+
+fn arb_params() -> impl Strategy<Value = TaskParams> {
+    prop::collection::vec(-1e6f64..1e6, 0..8).prop_map(|v| TaskParams::from_f64s(&v))
+}
+
+proptest! {
+    /// Parameter blocks decode to exactly the values they encoded.
+    #[test]
+    fn params_round_trip(values in prop::collection::vec(-1e9f64..1e9, 0..64)) {
+        let p = TaskParams::from_f64s(&values);
+        prop_assert_eq!(p.as_f64s().unwrap(), values);
+    }
+
+    /// A command graph built with only backward dependencies always has a
+    /// topological order that respects every before edge.
+    #[test]
+    fn command_graph_topological_order_respects_dependencies(
+        deps in prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..4), 1..40)
+    ) {
+        let mut graph = CommandGraph::new();
+        for (i, dep_ix) in deps.iter().enumerate() {
+            let before: Vec<CommandId> = if i == 0 {
+                Vec::new()
+            } else {
+                let mut b: Vec<CommandId> = dep_ix
+                    .iter()
+                    .map(|ix| CommandId(ix.index(i) as u64 + 1))
+                    .collect();
+                b.sort_unstable();
+                b.dedup();
+                b
+            };
+            let command = Command::new(
+                CommandId(i as u64 + 1),
+                CommandKind::RunTask { function: FunctionId(1), task: TaskId(i as u64) },
+            )
+            .with_before(before);
+            graph.add(command, WorkerId(0)).unwrap();
+        }
+        prop_assert!(graph.validate().is_ok());
+        let order = graph.topological_order().unwrap();
+        prop_assert_eq!(order.len(), deps.len());
+        let pos = |id: CommandId| order.iter().position(|x| *x == id).unwrap();
+        for ac in graph.iter() {
+            for dep in &ac.command.before {
+                prop_assert!(pos(*dep) < pos(ac.command.id));
+            }
+        }
+    }
+
+    /// Version maps only move forward, no matter the interleaving of writes.
+    #[test]
+    fn version_map_is_monotonic(writes in prop::collection::vec(0u32..8, 1..200)) {
+        let mut versions = VersionMap::new();
+        let mut last = std::collections::HashMap::new();
+        for p in writes {
+            let lp = LogicalPartition::new(nimbus_core::LogicalObjectId(1), nimbus_core::PartitionIndex(p));
+            let v = versions.bump(lp);
+            let prev = last.insert(lp, v);
+            if let Some(prev) = prev {
+                prop_assert!(v > prev);
+            }
+        }
+    }
+
+    /// Instantiating a controller template preserves structure and applies
+    /// exactly the supplied task identifiers, independent of parameters.
+    #[test]
+    fn controller_template_instantiation_preserves_structure(
+        task_count in 1usize..40,
+        params in prop::collection::vec(arb_params(), 40),
+        base in 1u64..1_000_000,
+    ) {
+        let entries: Vec<ControllerTaskEntry> = (0..task_count)
+            .map(|i| ControllerTaskEntry {
+                index: i,
+                stage: StageId(1 + (i % 3) as u64),
+                function: FunctionId(7),
+                reads: vec![LogicalPartition::new(nimbus_core::LogicalObjectId(1), nimbus_core::PartitionIndex(i as u32))],
+                writes: vec![LogicalPartition::new(nimbus_core::LogicalObjectId(2), nimbus_core::PartitionIndex(i as u32))],
+                before: if i == 0 { vec![] } else { vec![i - 1] },
+                assigned_worker: WorkerId((i % 4) as u32),
+                default_params: TaskParams::empty(),
+            })
+            .collect();
+        let template = ControllerTemplate::new(TemplateId(1), "block", entries).unwrap();
+        let ids: Vec<TaskId> = (0..task_count as u64).map(|i| TaskId(base + i)).collect();
+        let per_task = InstantiationParams::PerTask(params[..task_count].to_vec());
+        let specs = template.instantiate(&ids, &per_task).unwrap();
+        prop_assert_eq!(specs.len(), task_count);
+        for (i, spec) in specs.iter().enumerate() {
+            prop_assert_eq!(spec.id, ids[i]);
+            prop_assert_eq!(spec.function, FunctionId(7));
+            prop_assert_eq!(&spec.params, &params[i]);
+            prop_assert_eq!(spec.preferred_worker, Some(WorkerId((i % 4) as u32)));
+        }
+    }
+
+    /// Removing entries via edits never changes the command identifiers of
+    /// the surviving entries (index stability, Section 4.3) and never makes
+    /// instantiation fail.
+    #[test]
+    fn edits_keep_surviving_indices_stable(
+        entry_count in 2usize..30,
+        remove in prop::collection::vec(any::<prop::sample::Index>(), 1..8),
+    ) {
+        let entries: Vec<SkeletonEntry> = (0..entry_count)
+            .map(|i| {
+                SkeletonEntry::new(SkeletonKind::RunTask { function: FunctionId(1), task_slot: i })
+                    .with_writes(vec![PhysicalObjectId(i as u64 + 1)])
+                    .with_before(if i == 0 { vec![] } else { vec![i - 1] })
+                    .with_param_slot(i)
+            })
+            .collect();
+        let mut template =
+            WorkerTemplate::new(TemplateId(1), TemplateId(1), WorkerId(0), entries).unwrap();
+        let instantiation = WorkerInstantiation {
+            template: TemplateId(1),
+            base_command_id: 100,
+            base_transfer_id: 0,
+            task_ids: (0..entry_count as u64).map(TaskId).collect(),
+            params: vec![TaskParams::empty(); entry_count],
+            edits: vec![],
+        };
+        let before_edit = template.instantiate(&instantiation).unwrap();
+        let removed: std::collections::HashSet<usize> =
+            remove.iter().map(|ix| ix.index(entry_count)).collect();
+        let edits: Vec<TemplateEdit> = removed
+            .iter()
+            .map(|i| TemplateEdit::RemoveEntry { index: *i })
+            .collect();
+        template.apply_edits(&edits).unwrap();
+        let after_edit = template.instantiate(&instantiation).unwrap();
+        prop_assert_eq!(after_edit.len(), entry_count - removed.len());
+        // Every surviving command keeps the exact identifier it had before.
+        let before_ids: std::collections::HashMap<_, _> = before_edit
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.id))
+            .collect();
+        for command in &after_edit {
+            let original_index = (command.id.raw() - 100) as usize;
+            prop_assert!(!removed.contains(&original_index));
+            prop_assert_eq!(command.id, before_ids[&original_index]);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The driver context: a synchronous handle to the controller.
+//!
+//! A driver program defines datasets, submits stages, and wraps its loop
+//! bodies in named basic blocks. The first execution of a block records an
+//! execution template; later executions of the same block run the body again
+//! locally (to collect fresh parameters and honour data-dependent control
+//! flow) but send the controller a single template-instantiation message
+//! instead of one message per task.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use nimbus_core::data::DatasetDef;
+use nimbus_core::ids::{IdGenerator, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, WorkerId};
+use nimbus_core::task::TaskSpec;
+use nimbus_core::template::InstantiationParams;
+use nimbus_core::TaskParams;
+use nimbus_net::{ControllerToDriver, DriverMessage, Endpoint, Message, NodeId};
+
+use crate::error::{DriverError, DriverResult};
+use crate::stage::{PartitionMapping, StageSpec};
+
+/// A handle to a defined dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetHandle {
+    /// The logical object identifier.
+    pub id: LogicalObjectId,
+    /// The dataset's name.
+    pub name: String,
+    /// The number of partitions.
+    pub partitions: u32,
+}
+
+impl DatasetHandle {
+    /// The logical partition at `index`.
+    pub fn partition(&self, index: u32) -> LogicalPartition {
+        LogicalPartition::new(self.id, PartitionIndex(index))
+    }
+}
+
+enum BlockMode {
+    /// Outside any block: stages are submitted task by task.
+    Direct,
+    /// Inside the first execution of a block: stages are submitted task by
+    /// task while the controller records the template.
+    Recording,
+    /// Inside a repeat execution: stage submissions only collect parameters;
+    /// one instantiation message is sent at block end.
+    Replay { params: Vec<TaskParams> },
+}
+
+/// The driver program's connection to the controller.
+pub struct DriverContext {
+    endpoint: Endpoint,
+    dataset_ids: IdGenerator,
+    task_ids: IdGenerator,
+    stage_ids: IdGenerator,
+    recorded_blocks: HashSet<String>,
+    templates_enabled: bool,
+    mode: BlockMode,
+    reply_timeout: Duration,
+    /// Number of controller round trips performed (for tests and metrics).
+    pub control_round_trips: u64,
+    /// Number of task-submission messages sent (for tests and metrics).
+    pub tasks_submitted: u64,
+    /// Number of template instantiation messages sent.
+    pub instantiations_sent: u64,
+}
+
+impl DriverContext {
+    /// Creates a context over a registered driver endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        Self {
+            endpoint,
+            dataset_ids: IdGenerator::new(),
+            task_ids: IdGenerator::new(),
+            stage_ids: IdGenerator::new(),
+            recorded_blocks: HashSet::new(),
+            templates_enabled: true,
+            mode: BlockMode::Direct,
+            reply_timeout: Duration::from_secs(60),
+            control_round_trips: 0,
+            tasks_submitted: 0,
+            instantiations_sent: 0,
+        }
+    }
+
+    /// Sets the timeout used while waiting for controller replies.
+    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+        self.reply_timeout = timeout;
+    }
+
+    /// Returns whether templates are currently enabled on this driver.
+    pub fn templates_enabled(&self) -> bool {
+        self.templates_enabled
+    }
+
+    fn send(&mut self, msg: DriverMessage) -> DriverResult<()> {
+        self.endpoint
+            .send(NodeId::Controller, Message::Driver(msg))
+            .map_err(|e| DriverError::Net(e.to_string()))
+    }
+
+    fn wait_reply(&mut self, what: &str) -> DriverResult<ControllerToDriver> {
+        self.control_round_trips += 1;
+        let deadline = std::time::Instant::now() + self.reply_timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| DriverError::Timeout(what.to_string()))?;
+            let envelope = self
+                .endpoint
+                .recv_timeout(remaining)
+                .map_err(|_| DriverError::Timeout(what.to_string()))?;
+            match envelope.message {
+                Message::ToDriver(ControllerToDriver::Error { message }) => {
+                    return Err(DriverError::Controller(message));
+                }
+                Message::ToDriver(reply) => return Ok(reply),
+                _ => continue,
+            }
+        }
+    }
+
+    fn expect_ack(&mut self, what: &str) -> DriverResult<()> {
+        match self.wait_reply(what)? {
+            ControllerToDriver::Ack
+            | ControllerToDriver::TemplateInstalled { .. }
+            | ControllerToDriver::BarrierReached
+            | ControllerToDriver::CheckpointCommitted { .. }
+            | ControllerToDriver::RecoveryComplete { .. } => Ok(()),
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to {what}: {}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Defines a dataset with `partitions` partitions.
+    pub fn define_dataset(&mut self, name: &str, partitions: u32) -> DriverResult<DatasetHandle> {
+        let id = LogicalObjectId(self.dataset_ids.next_raw());
+        self.send(DriverMessage::DefineDataset(DatasetDef::new(
+            id, name, partitions,
+        )))?;
+        self.expect_ack("define_dataset")?;
+        Ok(DatasetHandle {
+            id,
+            name: name.to_string(),
+            partitions,
+        })
+    }
+
+    /// Submits one stage: expands it into one task per partition.
+    pub fn submit_stage(&mut self, stage: StageSpec) -> DriverResult<()> {
+        let tasks = stage.task_count();
+        match &mut self.mode {
+            BlockMode::Replay { params } => {
+                // Replay: only collect this execution's parameters, in the
+                // same task order as the recorded template.
+                for p in 0..tasks {
+                    params.push(stage.params.for_partition(p));
+                }
+                Ok(())
+            }
+            _ => {
+                let stage_id = StageId(self.stage_ids.next_raw());
+                for p in 0..tasks {
+                    let reads = stage
+                        .reads
+                        .iter()
+                        .map(|a| match a.mapping {
+                            PartitionMapping::Same => a.dataset.partition(p),
+                            PartitionMapping::Fixed(fp) => {
+                                LogicalPartition::new(a.dataset.id, fp)
+                            }
+                        })
+                        .collect();
+                    let writes = stage
+                        .writes
+                        .iter()
+                        .map(|a| match a.mapping {
+                            PartitionMapping::Same => a.dataset.partition(p),
+                            PartitionMapping::Fixed(fp) => {
+                                LogicalPartition::new(a.dataset.id, fp)
+                            }
+                        })
+                        .collect();
+                    let spec = TaskSpec {
+                        id: TaskId(self.task_ids.next_raw()),
+                        stage: stage_id,
+                        function: stage.function,
+                        reads,
+                        writes,
+                        params: stage.params.for_partition(p),
+                        preferred_worker: None,
+                    };
+                    self.tasks_submitted += 1;
+                    self.send(DriverMessage::SubmitTask(spec))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes a named basic block.
+    ///
+    /// The first time a block runs (with templates enabled) the body's stages
+    /// are submitted normally while the controller records a template; the
+    /// block ends by installing the template. Subsequent executions run the
+    /// body locally to collect parameters and send a single instantiation
+    /// message. With templates disabled the body is submitted normally every
+    /// time.
+    pub fn block(
+        &mut self,
+        name: &str,
+        body: impl FnOnce(&mut DriverContext) -> DriverResult<()>,
+    ) -> DriverResult<()> {
+        if !matches!(self.mode, BlockMode::Direct) {
+            return Err(DriverError::Misuse(format!(
+                "block '{name}' started while another block is active"
+            )));
+        }
+        if !self.templates_enabled {
+            return body(self);
+        }
+        if self.recorded_blocks.contains(name) {
+            self.mode = BlockMode::Replay { params: Vec::new() };
+            let result = body(self);
+            let params = match std::mem::replace(&mut self.mode, BlockMode::Direct) {
+                BlockMode::Replay { params } => params,
+                _ => Vec::new(),
+            };
+            result?;
+            self.instantiations_sent += 1;
+            self.send(DriverMessage::InstantiateTemplate {
+                name: name.to_string(),
+                params: InstantiationParams::PerTask(params),
+            })
+        } else {
+            self.send(DriverMessage::StartTemplate {
+                name: name.to_string(),
+            })?;
+            self.expect_ack("start_template")?;
+            self.mode = BlockMode::Recording;
+            let result = body(self);
+            self.mode = BlockMode::Direct;
+            result?;
+            self.send(DriverMessage::FinishTemplate {
+                name: name.to_string(),
+            })?;
+            self.expect_ack("finish_template")?;
+            self.recorded_blocks.insert(name.to_string());
+            Ok(())
+        }
+    }
+
+    /// Fetches the current scalar value of one partition (synchronizes with
+    /// all outstanding work first). This is how data-dependent loops read
+    /// their convergence criteria.
+    pub fn fetch_scalar(&mut self, dataset: &DatasetHandle, partition: u32) -> DriverResult<f64> {
+        let lp = dataset.partition(partition);
+        self.send(DriverMessage::FetchValue { partition: lp })?;
+        match self.wait_reply("fetch_value")? {
+            ControllerToDriver::ValueFetched { value, .. } => Ok(value),
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to fetch: {}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Waits until every outstanding command in the cluster has completed.
+    pub fn barrier(&mut self) -> DriverResult<()> {
+        self.send(DriverMessage::Barrier)?;
+        self.expect_ack("barrier")
+    }
+
+    /// Requests a checkpoint tagged with an application progress marker.
+    pub fn checkpoint(&mut self, marker: u64) -> DriverResult<()> {
+        self.send(DriverMessage::Checkpoint { marker })?;
+        self.expect_ack("checkpoint")
+    }
+
+    /// Enables or disables execution templates at runtime (Figure 9 starts
+    /// with templates disabled and turns them on at iteration 10).
+    pub fn enable_templates(&mut self, enabled: bool) -> DriverResult<()> {
+        self.templates_enabled = enabled;
+        if !enabled {
+            self.recorded_blocks.clear();
+        }
+        self.send(DriverMessage::EnableTemplates(enabled))?;
+        self.expect_ack("enable_templates")
+    }
+
+    /// Asks the controller to migrate `count` tasks of a block before its
+    /// next execution (exercises template edits).
+    pub fn migrate_tasks(&mut self, block: &str, count: usize) -> DriverResult<()> {
+        self.send(DriverMessage::MigrateTasks {
+            name: block.to_string(),
+            count,
+        })?;
+        self.expect_ack("migrate_tasks")
+    }
+
+    /// Informs the controller of a new worker allocation (cluster-manager
+    /// events in Figure 9).
+    pub fn set_worker_allocation(&mut self, workers: Vec<WorkerId>) -> DriverResult<()> {
+        self.send(DriverMessage::SetWorkerAllocation { workers })?;
+        self.expect_ack("set_worker_allocation")
+    }
+
+    /// Injects an abrupt worker failure and waits for recovery to finish.
+    /// Returns the progress marker of the checkpoint execution resumed from.
+    pub fn fail_worker(&mut self, worker: WorkerId) -> DriverResult<u64> {
+        self.send(DriverMessage::FailWorker { worker })?;
+        match self.wait_reply("fail_worker")? {
+            ControllerToDriver::RecoveryComplete { marker } => Ok(marker),
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to fail_worker: {}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Shuts the job down and waits for the controller to confirm.
+    pub fn shutdown(&mut self) -> DriverResult<()> {
+        self.send(DriverMessage::Shutdown)?;
+        match self.wait_reply("shutdown")? {
+            ControllerToDriver::JobTerminated => Ok(()),
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to shutdown: {}",
+                other.tag()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Driver-side error types.
+
+use std::fmt;
+
+/// Errors surfaced to the driver program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The controller rejected a request.
+    Controller(String),
+    /// The transport failed or timed out.
+    Net(String),
+    /// The driver used the block API incorrectly (for example nesting two
+    /// blocks with the same name).
+    Misuse(String),
+    /// A reply from the controller did not arrive in time.
+    Timeout(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Controller(m) => write!(f, "controller error: {m}"),
+            DriverError::Net(m) => write!(f, "transport error: {m}"),
+            DriverError::Misuse(m) => write!(f, "driver misuse: {m}"),
+            DriverError::Timeout(m) => write!(f, "timed out waiting for {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Result alias for driver operations.
+pub type DriverResult<T> = Result<T, DriverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DriverError::Timeout("barrier".into())
+            .to_string()
+            .contains("barrier"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # nimbus-driver
+//!
+//! The driver program API: dataset definitions, stage builders, and named
+//! basic blocks that transparently record and re-instantiate execution
+//! templates. Data-dependent control flow (convergence loops, error
+//! thresholds) is expressed with ordinary Rust `while`/`if` around
+//! [`DriverContext::fetch_scalar`] — exactly the structure of Figure 3 in the
+//! paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod error;
+pub mod stage;
+
+pub use context::{DatasetHandle, DriverContext};
+pub use error::{DriverError, DriverResult};
+pub use stage::{PartitionMapping, StageAccess, StageParams, StageSpec};

@@ -1,0 +1,355 @@
+//! Wire-size accounting codec.
+//!
+//! The evaluation attributes bytes to the control plane without requiring an
+//! actual wire format: [`serialized_size`] runs any [`serde::Serialize`]
+//! value through a counting serializer that models a compact binary encoding
+//! (fixed-width integers, length-prefixed sequences and strings, one byte per
+//! enum discriminant). This is the same accounting a real codec would
+//! produce, without allocating buffers on the control-plane hot path.
+
+use serde::ser::{self, Serialize};
+
+/// Returns the number of bytes `value` would occupy in a compact binary
+/// encoding.
+pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> usize {
+    let mut counter = ByteCounter { bytes: 0 };
+    // Counting cannot fail: every serializer method only adds to the counter.
+    value
+        .serialize(&mut counter)
+        .expect("byte counting serializer never fails");
+    counter.bytes
+}
+
+/// Error type required by the `Serializer` trait; counting never fails.
+#[derive(Debug)]
+pub struct CountError(String);
+
+impl std::fmt::Display for CountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CountError {}
+
+impl ser::Error for CountError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        CountError(msg.to_string())
+    }
+}
+
+struct ByteCounter {
+    bytes: usize,
+}
+
+impl ByteCounter {
+    fn add(&mut self, n: usize) {
+        self.bytes += n;
+    }
+}
+
+macro_rules! count_fixed {
+    ($name:ident, $ty:ty, $n:expr) => {
+        fn $name(self, _v: $ty) -> Result<(), CountError> {
+            self.add($n);
+            Ok(())
+        }
+    };
+}
+
+impl<'a> ser::Serializer for &'a mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+    type SerializeSeq = &'a mut ByteCounter;
+    type SerializeTuple = &'a mut ByteCounter;
+    type SerializeTupleStruct = &'a mut ByteCounter;
+    type SerializeTupleVariant = &'a mut ByteCounter;
+    type SerializeMap = &'a mut ByteCounter;
+    type SerializeStruct = &'a mut ByteCounter;
+    type SerializeStructVariant = &'a mut ByteCounter;
+
+    count_fixed!(serialize_bool, bool, 1);
+    count_fixed!(serialize_i8, i8, 1);
+    count_fixed!(serialize_i16, i16, 2);
+    count_fixed!(serialize_i32, i32, 4);
+    count_fixed!(serialize_i64, i64, 8);
+    count_fixed!(serialize_u8, u8, 1);
+    count_fixed!(serialize_u16, u16, 2);
+    count_fixed!(serialize_u32, u32, 4);
+    count_fixed!(serialize_u64, u64, 8);
+    count_fixed!(serialize_f32, f32, 4);
+    count_fixed!(serialize_f64, f64, 8);
+    count_fixed!(serialize_char, char, 4);
+
+    fn serialize_str(self, v: &str) -> Result<(), CountError> {
+        self.add(4 + v.len());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CountError> {
+        self.add(4 + v.len());
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CountError> {
+        self.add(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CountError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CountError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CountError> {
+        self.add(1);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        self.add(1);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, CountError> {
+        self.add(4);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, CountError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, CountError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, CountError> {
+        self.add(1);
+        Ok(self)
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, CountError> {
+        self.add(4);
+        Ok(self)
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, CountError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, CountError> {
+        self.add(1);
+        Ok(self)
+    }
+}
+
+impl ser::SerializeSeq for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CountError> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut ByteCounter {
+    type Ok = ();
+    type Error = CountError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CountError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CountError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Small {
+        a: u32,
+        b: bool,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Payload { values: Vec<u64>, label: String },
+    }
+
+    #[test]
+    fn primitives_have_fixed_sizes() {
+        assert_eq!(serialized_size(&7u64), 8);
+        assert_eq!(serialized_size(&7u32), 4);
+        assert_eq!(serialized_size(&true), 1);
+        assert_eq!(serialized_size(&1.5f64), 8);
+    }
+
+    #[test]
+    fn struct_size_is_sum_of_fields() {
+        assert_eq!(serialized_size(&Small { a: 1, b: false }), 5);
+    }
+
+    #[test]
+    fn sequences_and_strings_are_length_prefixed() {
+        assert_eq!(serialized_size(&vec![1u64, 2, 3]), 4 + 24);
+        assert_eq!(serialized_size("abc"), 4 + 3);
+        assert_eq!(serialized_size(&Some(1u64)), 9);
+        assert_eq!(serialized_size(&Option::<u64>::None), 1);
+    }
+
+    #[test]
+    fn enum_variants_add_a_discriminant_byte() {
+        assert_eq!(serialized_size(&Kind::Unit), 1);
+        let k = Kind::Payload {
+            values: vec![1, 2],
+            label: "x".to_string(),
+        };
+        assert_eq!(serialized_size(&k), 1 + 4 + 16 + 4 + 1);
+    }
+
+    #[test]
+    fn core_types_serialize() {
+        let cmd = nimbus_core::Command::new(
+            nimbus_core::CommandId(1),
+            nimbus_core::CommandKind::DestroyData {
+                object: nimbus_core::PhysicalObjectId(4),
+            },
+        );
+        assert!(serialized_size(&cmd) > 8);
+    }
+}

@@ -1,0 +1,394 @@
+//! Control-plane and data-plane message types.
+//!
+//! Messages mirror the three interfaces in Figure 2 of the paper: the driver
+//! talks to the controller, the controller talks to workers, and workers talk
+//! to each other (data plane) and back to the controller (completion and
+//! status reports).
+
+use serde::{Deserialize, Serialize};
+
+use nimbus_core::data::DatasetDef;
+use nimbus_core::ids::{
+    CommandId, LogicalPartition, PhysicalObjectId, TemplateId, TransferId, WorkerId,
+};
+use nimbus_core::task::TaskSpec;
+use nimbus_core::template::{InstantiationParams, WorkerInstantiation, WorkerTemplate};
+use nimbus_core::Command;
+
+use crate::payload::DataPayload;
+
+/// Identifies a node in the cluster for message addressing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// The driver program.
+    Driver,
+    /// The centralized controller.
+    Controller,
+    /// A worker node.
+    Worker(WorkerId),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Driver => write!(f, "driver"),
+            NodeId::Controller => write!(f, "controller"),
+            NodeId::Worker(w) => write!(f, "worker-{w}"),
+        }
+    }
+}
+
+/// Messages from the driver program to the controller.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum DriverMessage {
+    /// Declare a logical dataset and its partitioning.
+    DefineDataset(DatasetDef),
+    /// Submit one logical task (the non-template path).
+    SubmitTask(TaskSpec),
+    /// Mark the start of a basic block; the controller starts recording a
+    /// controller template under this name.
+    StartTemplate {
+        /// Basic-block name.
+        name: String,
+    },
+    /// Mark the end of the basic block; the controller finishes and installs
+    /// the controller template.
+    FinishTemplate {
+        /// Basic-block name.
+        name: String,
+    },
+    /// Execute a previously installed basic block again.
+    InstantiateTemplate {
+        /// Basic-block name.
+        name: String,
+        /// Parameter binding for this execution.
+        params: InstantiationParams,
+    },
+    /// Ask for the current value of a (single-partition) logical object.
+    /// Used by data-dependent loops (error thresholds, convergence tests).
+    FetchValue {
+        /// The partition whose value the driver needs.
+        partition: LogicalPartition,
+    },
+    /// Wait until every outstanding task has completed.
+    Barrier,
+    /// Enable or disable template usage (used by the evaluation to compare
+    /// against the centrally-scheduled baseline).
+    EnableTemplates(bool),
+    /// Request a checkpoint with an application-level progress marker.
+    Checkpoint {
+        /// Opaque progress marker (for example the iteration index).
+        marker: u64,
+    },
+    /// Ask the controller to migrate `count` tasks of the named basic block
+    /// to different workers on its next instantiation (exercises edits).
+    MigrateTasks {
+        /// Basic-block name.
+        name: String,
+        /// Number of tasks to migrate.
+        count: usize,
+    },
+    /// Inform the controller that the cluster manager changed the job's
+    /// worker allocation.
+    SetWorkerAllocation {
+        /// The workers now available to the job.
+        workers: Vec<WorkerId>,
+    },
+    /// Simulate an abrupt worker failure (fault-recovery experiments). The
+    /// controller halts the remaining workers and restores the latest
+    /// checkpoint.
+    FailWorker {
+        /// The worker that failed.
+        worker: WorkerId,
+    },
+    /// Terminate the job.
+    Shutdown,
+}
+
+impl DriverMessage {
+    /// Short tag for statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DriverMessage::DefineDataset(_) => "define_dataset",
+            DriverMessage::SubmitTask(_) => "submit_task",
+            DriverMessage::StartTemplate { .. } => "start_template",
+            DriverMessage::FinishTemplate { .. } => "finish_template",
+            DriverMessage::InstantiateTemplate { .. } => "instantiate_template",
+            DriverMessage::FetchValue { .. } => "fetch_value",
+            DriverMessage::Barrier => "barrier",
+            DriverMessage::EnableTemplates(_) => "enable_templates",
+            DriverMessage::Checkpoint { .. } => "checkpoint",
+            DriverMessage::MigrateTasks { .. } => "migrate_tasks",
+            DriverMessage::SetWorkerAllocation { .. } => "set_workers",
+            DriverMessage::FailWorker { .. } => "fail_worker",
+            DriverMessage::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Messages from the controller back to the driver program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ControllerToDriver {
+    /// The requested value (scalars only; larger objects stay on workers).
+    ValueFetched {
+        /// The partition that was read.
+        partition: LogicalPartition,
+        /// Its current value.
+        value: f64,
+    },
+    /// All outstanding tasks have completed.
+    BarrierReached,
+    /// A basic block finished recording and its templates are installed.
+    TemplateInstalled {
+        /// Basic-block name.
+        name: String,
+    },
+    /// A checkpoint committed.
+    CheckpointCommitted {
+        /// The driver-supplied progress marker.
+        marker: u64,
+    },
+    /// Recovery from a worker failure finished; execution state matches the
+    /// checkpoint with this progress marker.
+    RecoveryComplete {
+        /// The progress marker of the restored checkpoint.
+        marker: u64,
+    },
+    /// The controller accepted a request that needs no data in response.
+    Ack,
+    /// The controller could not process a request.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The job has terminated and the controller is shutting down.
+    JobTerminated,
+}
+
+impl ControllerToDriver {
+    /// Short tag for statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ControllerToDriver::ValueFetched { .. } => "value_fetched",
+            ControllerToDriver::BarrierReached => "barrier_reached",
+            ControllerToDriver::TemplateInstalled { .. } => "template_installed",
+            ControllerToDriver::CheckpointCommitted { .. } => "checkpoint_committed",
+            ControllerToDriver::RecoveryComplete { .. } => "recovery_complete",
+            ControllerToDriver::Ack => "ack",
+            ControllerToDriver::Error { .. } => "error",
+            ControllerToDriver::JobTerminated => "job_terminated",
+        }
+    }
+}
+
+/// Messages from the controller to a worker.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ControllerToWorker {
+    /// Execute a batch of concrete commands (the per-task dispatch path,
+    /// also used for patches and checkpoint load/save commands).
+    ExecuteCommands {
+        /// The commands to enqueue.
+        commands: Vec<Command>,
+    },
+    /// Install a worker template in the worker's template cache.
+    InstallTemplate {
+        /// The template to install.
+        template: WorkerTemplate,
+    },
+    /// Instantiate a previously installed worker template.
+    InstantiateTemplate(WorkerInstantiation),
+    /// Read a scalar value out of a physical object and report it back.
+    FetchValue {
+        /// The object to read.
+        object: PhysicalObjectId,
+    },
+    /// Stop executing, flush queues, and acknowledge (fault recovery).
+    Halt,
+    /// Shut the worker down at the end of the job.
+    Shutdown,
+}
+
+impl ControllerToWorker {
+    /// Short tag for statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ControllerToWorker::ExecuteCommands { .. } => "execute_commands",
+            ControllerToWorker::InstallTemplate { .. } => "install_template",
+            ControllerToWorker::InstantiateTemplate(_) => "instantiate_template",
+            ControllerToWorker::FetchValue { .. } => "fetch_value",
+            ControllerToWorker::Halt => "halt",
+            ControllerToWorker::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Messages from a worker to the controller.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WorkerToController {
+    /// A batch of commands completed on the worker.
+    CommandsCompleted {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// The completed command identifiers.
+        commands: Vec<CommandId>,
+        /// Microseconds of application compute time in this batch.
+        compute_micros: u64,
+    },
+    /// A worker template finished installing.
+    TemplateInstalled {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// The installed template.
+        template: TemplateId,
+    },
+    /// The value requested by `FetchValue`.
+    ValueFetched {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// The object that was read.
+        object: PhysicalObjectId,
+        /// Its current scalar value.
+        value: f64,
+    },
+    /// The worker halted in response to a `Halt` command.
+    Halted {
+        /// The reporting worker.
+        worker: WorkerId,
+    },
+    /// Periodic liveness and load report.
+    Heartbeat {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// Number of commands queued but not yet runnable.
+        queued: usize,
+        /// Number of commands ready or running.
+        ready: usize,
+    },
+}
+
+impl WorkerToController {
+    /// Short tag for statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WorkerToController::CommandsCompleted { .. } => "commands_completed",
+            WorkerToController::TemplateInstalled { .. } => "worker_template_installed",
+            WorkerToController::ValueFetched { .. } => "worker_value_fetched",
+            WorkerToController::Halted { .. } => "halted",
+            WorkerToController::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
+/// A worker-to-worker data transfer (the data plane).
+#[derive(Clone, Debug)]
+pub struct DataTransfer {
+    /// The transfer this payload belongs to (matches a `ReceiveCopy`).
+    pub transfer: TransferId,
+    /// The sending worker.
+    pub from_worker: WorkerId,
+    /// The data being moved.
+    pub payload: DataPayload,
+}
+
+/// Any message carried by the transport.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Driver → controller.
+    Driver(DriverMessage),
+    /// Controller → driver.
+    ToDriver(ControllerToDriver),
+    /// Controller → worker.
+    ToWorker(ControllerToWorker),
+    /// Worker → controller.
+    FromWorker(WorkerToController),
+    /// Worker → worker data transfer.
+    Data(DataTransfer),
+}
+
+impl Message {
+    /// Short tag for statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Driver(m) => m.tag(),
+            Message::ToDriver(m) => m.tag(),
+            Message::ToWorker(m) => m.tag(),
+            Message::FromWorker(m) => m.tag(),
+            Message::Data(_) => "data_transfer",
+        }
+    }
+
+    /// Returns true if this is a data-plane message.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Message::Data(_))
+    }
+
+    /// Approximate wire size in bytes. Control messages use the counting
+    /// codec; data transfers use their payload size plus a small header.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Driver(m) => crate::codec::serialized_size(m),
+            Message::ToDriver(m) => crate::codec::serialized_size(m),
+            Message::ToWorker(m) => crate::codec::serialized_size(m),
+            Message::FromWorker(m) => crate::codec::serialized_size(m),
+            Message::Data(d) => 24 + d.payload.size(),
+        }
+    }
+}
+
+/// A routed message: sender, recipient, and payload.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The sending node.
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// The message.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::Driver.to_string(), "driver");
+        assert_eq!(NodeId::Worker(WorkerId(3)).to_string(), "worker-3");
+    }
+
+    #[test]
+    fn tags_cover_variants() {
+        assert_eq!(Message::Driver(DriverMessage::Barrier).tag(), "barrier");
+        assert_eq!(
+            Message::FromWorker(WorkerToController::Halted {
+                worker: WorkerId(1)
+            })
+            .tag(),
+            "halted"
+        );
+        let data = Message::Data(DataTransfer {
+            transfer: TransferId(1),
+            from_worker: WorkerId(0),
+            payload: DataPayload::Bytes(Bytes::from_static(&[0; 8])),
+        });
+        assert!(data.is_data());
+        assert_eq!(data.tag(), "data_transfer");
+        assert_eq!(data.wire_size(), 32);
+    }
+
+    #[test]
+    fn control_message_wire_size_is_positive_and_scales() {
+        let small = Message::Driver(DriverMessage::Barrier);
+        let task = nimbus_core::TaskSpec::new(
+            nimbus_core::TaskId(1),
+            nimbus_core::StageId(1),
+            nimbus_core::FunctionId(1),
+        );
+        let big = Message::Driver(DriverMessage::SubmitTask(
+            task.with_reads(vec![LogicalPartition::default(); 16]),
+        ));
+        assert!(small.wire_size() > 0);
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,79 @@
+//! Data-plane payloads exchanged directly between workers.
+
+use bytes::Bytes;
+use nimbus_core::appdata::AppData;
+
+/// The payload of a worker-to-worker data transfer.
+///
+/// In a multi-machine deployment this would always be serialized bytes; the
+/// in-process transport can instead hand over a cloned data object directly,
+/// which is what Nimbus' in-memory copies amount to. Either way the size is
+/// tracked so the evaluation can account for data-plane traffic.
+pub enum DataPayload {
+    /// Serialized object contents.
+    Bytes(Bytes),
+    /// A cloned application data object handed over in process.
+    Object(Box<dyn AppData>),
+}
+
+impl DataPayload {
+    /// Approximate size of the payload in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            DataPayload::Bytes(b) => b.len(),
+            DataPayload::Object(o) => o.approx_size(),
+        }
+    }
+
+    /// Returns a short label describing the payload variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DataPayload::Bytes(_) => "bytes",
+            DataPayload::Object(_) => "object",
+        }
+    }
+}
+
+impl Clone for DataPayload {
+    fn clone(&self) -> Self {
+        match self {
+            DataPayload::Bytes(b) => DataPayload::Bytes(b.clone()),
+            DataPayload::Object(o) => DataPayload::Object(o.clone_box()),
+        }
+    }
+}
+
+impl std::fmt::Debug for DataPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DataPayload::{}({} bytes)", self.kind(), self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::appdata::VecF64;
+
+    #[test]
+    fn payload_size_and_kind() {
+        let b = DataPayload::Bytes(Bytes::from_static(&[0u8; 16]));
+        assert_eq!(b.size(), 16);
+        assert_eq!(b.kind(), "bytes");
+        let o = DataPayload::Object(Box::new(VecF64::zeros(100)));
+        assert!(o.size() >= 800);
+        assert_eq!(o.kind(), "object");
+    }
+
+    #[test]
+    fn payload_clone_preserves_contents() {
+        let o = DataPayload::Object(Box::new(VecF64::new(vec![1.0, 2.0])));
+        let c = o.clone();
+        match c {
+            DataPayload::Object(obj) => {
+                let v = nimbus_core::downcast_ref::<VecF64>(obj.as_ref()).unwrap();
+                assert_eq!(v.values, vec![1.0, 2.0]);
+            }
+            _ => panic!("clone changed variant"),
+        }
+    }
+}

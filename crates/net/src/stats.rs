@@ -1,0 +1,63 @@
+//! Network traffic statistics.
+
+use std::collections::HashMap;
+
+/// Counters kept by the transport, split into control plane and data plane.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Control-plane bytes delivered.
+    pub control_bytes: u64,
+    /// Data-plane bytes delivered.
+    pub data_bytes: u64,
+    /// Message counts by tag.
+    pub by_tag: HashMap<String, u64>,
+}
+
+impl NetworkStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delivered message.
+    pub fn record(&mut self, tag: &str, bytes: usize, is_data: bool) {
+        self.messages += 1;
+        if is_data {
+            self.data_bytes += bytes as u64;
+        } else {
+            self.control_bytes += bytes as u64;
+        }
+        *self.by_tag.entry(tag.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total bytes delivered over both planes.
+    pub fn total_bytes(&self) -> u64 {
+        self.control_bytes + self.data_bytes
+    }
+
+    /// Count of messages with a given tag.
+    pub fn count(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splits_planes() {
+        let mut s = NetworkStats::new();
+        s.record("submit_task", 100, false);
+        s.record("data_transfer", 1000, true);
+        s.record("submit_task", 50, false);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.control_bytes, 150);
+        assert_eq!(s.data_bytes, 1000);
+        assert_eq!(s.total_bytes(), 1150);
+        assert_eq!(s.count("submit_task"), 2);
+        assert_eq!(s.count("missing"), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! In-process transport: the cluster's message fabric.
+//!
+//! A [`Network`] is a registry of node endpoints connected by unbounded
+//! channels. It satisfies the two control-plane requirements from Section 3.1
+//! that involve communication: workers exchange data directly (any endpoint
+//! can send to any other endpoint without relaying through the controller)
+//! and the controller is just another endpoint, not a router.
+//!
+//! An optional [`LatencyModel`] delays deliveries to emulate a datacenter
+//! network; with latency disabled, channels deliver immediately, which is the
+//! configuration used by unit tests and microbenchmarks.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::message::{Envelope, Message, NodeId};
+use crate::stats::NetworkStats;
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node is not registered on the network.
+    UnknownNode(String),
+    /// The destination endpoint has been dropped.
+    Disconnected(String),
+    /// A blocking receive timed out.
+    Timeout,
+    /// The inbox is empty (non-blocking receive).
+    Empty,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Disconnected(n) => write!(f, "node {n} disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Empty => write!(f, "inbox empty"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for transport operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Delivery latency model applied to every message.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum LatencyModel {
+    /// Deliver immediately (default; used by tests and microbenchmarks).
+    #[default]
+    None,
+    /// Add a fixed one-way delay to every message.
+    Fixed(Duration),
+}
+
+impl LatencyModel {
+    fn delay(&self) -> Option<Duration> {
+        match self {
+            LatencyModel::None => None,
+            LatencyModel::Fixed(d) if d.is_zero() => None,
+            LatencyModel::Fixed(d) => Some(*d),
+        }
+    }
+}
+
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    envelope: Envelope,
+    to: Sender<Envelope>,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so the binary heap pops the earliest deadline first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct DelayQueue {
+    heap: Mutex<BinaryHeap<Delayed>>,
+    cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+struct NetworkInner {
+    senders: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    stats: Mutex<NetworkStats>,
+    latency: LatencyModel,
+    delay_queue: Arc<DelayQueue>,
+    delayer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    seq: Mutex<u64>,
+}
+
+/// The in-process message fabric connecting driver, controller, and workers.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new(LatencyModel::None)
+    }
+}
+
+impl Network {
+    /// Creates a network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        let inner = Arc::new(NetworkInner {
+            senders: RwLock::new(HashMap::new()),
+            stats: Mutex::new(NetworkStats::new()),
+            latency,
+            delay_queue: Arc::new(DelayQueue::default()),
+            delayer: Mutex::new(None),
+            seq: Mutex::new(0),
+        });
+        let net = Self { inner };
+        if latency.delay().is_some() {
+            net.start_delayer();
+        }
+        net
+    }
+
+    fn start_delayer(&self) {
+        let queue = Arc::clone(&self.inner.delay_queue);
+        let handle = std::thread::Builder::new()
+            .name("nimbus-net-delayer".to_string())
+            .spawn(move || loop {
+                let mut heap = queue.heap.lock();
+                if *queue.shutdown.lock() {
+                    return;
+                }
+                let now = Instant::now();
+                match heap.peek() {
+                    Some(d) if d.due <= now => {
+                        let d = heap.pop().expect("peeked entry exists");
+                        drop(heap);
+                        // A dropped receiver just means the node left; ignore.
+                        let _ = d.to.send(d.envelope);
+                    }
+                    Some(d) => {
+                        let wait = d.due - now;
+                        queue.cv.wait_for(&mut heap, wait);
+                    }
+                    None => {
+                        queue.cv.wait_for(&mut heap, Duration::from_millis(50));
+                    }
+                }
+            })
+            .expect("spawn delayer thread");
+        *self.inner.delayer.lock() = Some(handle);
+    }
+
+    /// Registers a node and returns its endpoint. Re-registering a node
+    /// replaces its inbox (pending messages to the old inbox are dropped).
+    pub fn register(&self, node: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.inner.senders.write().insert(node, tx);
+        Endpoint {
+            node,
+            receiver: rx,
+            network: self.clone(),
+        }
+    }
+
+    /// Removes a node from the network; subsequent sends to it fail.
+    pub fn unregister(&self, node: NodeId) {
+        self.inner.senders.write().remove(&node);
+    }
+
+    /// Returns true if the node is currently registered.
+    pub fn is_registered(&self, node: NodeId) -> bool {
+        self.inner.senders.read().contains_key(&node)
+    }
+
+    /// Sends a message from `from` to `to`.
+    pub fn send(&self, from: NodeId, to: NodeId, message: Message) -> NetResult<()> {
+        let sender = {
+            let senders = self.inner.senders.read();
+            senders
+                .get(&to)
+                .cloned()
+                .ok_or_else(|| NetError::UnknownNode(to.to_string()))?
+        };
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.record(message.tag(), message.wire_size(), message.is_data());
+        }
+        let envelope = Envelope { from, to, message };
+        match self.inner.latency.delay() {
+            None => sender
+                .send(envelope)
+                .map_err(|_| NetError::Disconnected(to.to_string())),
+            Some(delay) => {
+                let seq = {
+                    let mut s = self.inner.seq.lock();
+                    *s += 1;
+                    *s
+                };
+                let mut heap = self.inner.delay_queue.heap.lock();
+                heap.push(Delayed {
+                    due: Instant::now() + delay,
+                    seq,
+                    envelope,
+                    to: sender,
+                });
+                self.inner.delay_queue.cv.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns a snapshot of the traffic counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Returns the registered node count.
+    pub fn node_count(&self) -> usize {
+        self.inner.senders.read().len()
+    }
+}
+
+impl Drop for NetworkInner {
+    fn drop(&mut self) {
+        *self.delay_queue.shutdown.lock() = true;
+        self.delay_queue.cv.notify_all();
+        if let Some(handle) = self.delayer.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One node's connection to the network.
+pub struct Endpoint {
+    node: NodeId,
+    receiver: Receiver<Envelope>,
+    network: Network,
+}
+
+impl Endpoint {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a message to another node.
+    pub fn send(&self, to: NodeId, message: Message) -> NetResult<()> {
+        self.network.send(self.node, to, message)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> NetResult<Envelope> {
+        self.receiver.try_recv().map_err(|_| NetError::Empty)
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> NetResult<Envelope> {
+        self.receiver
+            .recv()
+            .map_err(|_| NetError::Disconnected(self.node.to_string()))
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
+        self.receiver
+            .recv_timeout(timeout)
+            .map_err(|_| NetError::Timeout)
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// The network this endpoint is attached to.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{DriverMessage, Message};
+    use nimbus_core::WorkerId;
+
+    #[test]
+    fn register_send_receive() {
+        let net = Network::new(LatencyModel::None);
+        let controller = net.register(NodeId::Controller);
+        let driver = net.register(NodeId::Driver);
+        assert_eq!(net.node_count(), 2);
+
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId::Driver);
+        assert!(matches!(env.message, Message::Driver(DriverMessage::Barrier)));
+        assert_eq!(controller.pending(), 0);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = Network::new(LatencyModel::None);
+        let driver = net.register(NodeId::Driver);
+        let err = driver
+            .send(
+                NodeId::Worker(WorkerId(9)),
+                Message::Driver(DriverMessage::Barrier),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn unregister_then_send_fails() {
+        let net = Network::new(LatencyModel::None);
+        let _w = net.register(NodeId::Worker(WorkerId(0)));
+        let driver = net.register(NodeId::Driver);
+        net.unregister(NodeId::Worker(WorkerId(0)));
+        assert!(!net.is_registered(NodeId::Worker(WorkerId(0))));
+        assert!(driver
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::Driver(DriverMessage::Barrier)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let net = Network::new(LatencyModel::None);
+        let controller = net.register(NodeId::Controller);
+        let driver = net.register(NodeId::Driver);
+        for _ in 0..3 {
+            driver
+                .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+                .unwrap();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.count("barrier"), 3);
+        assert!(stats.control_bytes > 0);
+        drop(controller);
+    }
+
+    #[test]
+    fn fixed_latency_delays_delivery() {
+        let net = Network::new(LatencyModel::Fixed(Duration::from_millis(20)));
+        let controller = net.register(NodeId::Controller);
+        let driver = net.register(NodeId::Driver);
+        let start = Instant::now();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        // Should not be there immediately.
+        assert!(controller.try_recv().is_err());
+        let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        assert!(matches!(env.message, Message::Driver(DriverMessage::Barrier)));
+    }
+
+    #[test]
+    fn latency_preserves_ordering_per_sender() {
+        let net = Network::new(LatencyModel::Fixed(Duration::from_millis(5)));
+        let controller = net.register(NodeId::Controller);
+        let driver = net.register(NodeId::Driver);
+        for i in 0..10u64 {
+            driver
+                .send(
+                    NodeId::Controller,
+                    Message::Driver(DriverMessage::Checkpoint { marker: i }),
+                )
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
+            if let Message::Driver(DriverMessage::Checkpoint { marker }) = env.message {
+                got.push(marker);
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_on_empty_inbox() {
+        let net = Network::new(LatencyModel::None);
+        let controller = net.register(NodeId::Controller);
+        assert!(matches!(
+            controller.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        ));
+        assert!(matches!(controller.try_recv(), Err(NetError::Empty)));
+    }
+}

@@ -1,0 +1,273 @@
+//! The in-process Nimbus cluster: controller and worker threads wired over
+//! the in-process transport, plus a synchronous driver handle.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nimbus_controller::{Controller, ControllerConfig};
+use nimbus_core::ids::WorkerId;
+use nimbus_core::ControlPlaneStats;
+use nimbus_driver::{DriverContext, DriverError, DriverResult};
+use nimbus_net::{Network, NetworkStats, NodeId};
+use nimbus_worker::{ObjectVault, Worker, WorkerConfig, WorkerStats};
+
+use crate::config::{AppSetup, ClusterConfig};
+
+/// Everything the cluster reports after a job finishes.
+pub struct ClusterReport<T> {
+    /// The value returned by the driver program.
+    pub output: T,
+    /// Control-plane statistics accumulated by the controller.
+    pub controller: ControlPlaneStats,
+    /// Per-worker execution statistics.
+    pub workers: Vec<WorkerStats>,
+    /// Transport traffic statistics.
+    pub network: NetworkStats,
+}
+
+/// A running in-process cluster.
+pub struct Cluster {
+    network: Network,
+    controller: Option<JoinHandle<ControlPlaneStats>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    vault: Arc<ObjectVault>,
+    worker_ids: Vec<WorkerId>,
+}
+
+impl Cluster {
+    /// Starts a cluster: spawns the controller and `config.workers` worker
+    /// threads, all connected to a fresh in-process network.
+    pub fn start(config: ClusterConfig, setup: AppSetup) -> Self {
+        assert!(config.workers > 0, "a cluster needs at least one worker");
+        let network = Network::new(config.latency);
+        let vault = Arc::new(ObjectVault::new());
+        let (functions, factories) = setup.into_shared();
+
+        let worker_ids: Vec<WorkerId> = (0..config.workers as u32).map(WorkerId).collect();
+
+        // Workers first so the controller can address them immediately.
+        let mut workers = Vec::with_capacity(config.workers);
+        for id in &worker_ids {
+            let endpoint = network.register(NodeId::Worker(*id));
+            let mut worker_config = WorkerConfig::new(
+                *id,
+                Arc::clone(&functions),
+                Arc::clone(&factories),
+                Arc::clone(&vault),
+            );
+            worker_config.spin_wait = config.spin_wait;
+            worker_config.completion_batch = config.completion_batch;
+            let worker = Worker::new(worker_config, endpoint);
+            let handle = std::thread::Builder::new()
+                .name(format!("nimbus-worker-{id}"))
+                .spawn(move || worker.run())
+                .expect("spawn worker thread");
+            workers.push(handle);
+        }
+
+        let controller_endpoint = network.register(NodeId::Controller);
+        let mut controller_config = ControllerConfig::new(worker_ids.clone());
+        controller_config.policy = config.policy.clone();
+        controller_config.enable_templates = config.enable_templates;
+        controller_config.checkpoint_every = config.checkpoint_every;
+        let controller = Controller::new(controller_config, controller_endpoint);
+        let controller_handle = std::thread::Builder::new()
+            .name("nimbus-controller".to_string())
+            .spawn(move || controller.run())
+            .expect("spawn controller thread");
+
+        Self {
+            network,
+            controller: Some(controller_handle),
+            workers,
+            vault,
+            worker_ids,
+        }
+    }
+
+    /// The identifiers of the cluster's workers.
+    pub fn worker_ids(&self) -> &[WorkerId] {
+        &self.worker_ids
+    }
+
+    /// The shared durable-storage vault (useful for inspecting checkpoints).
+    pub fn vault(&self) -> Arc<ObjectVault> {
+        Arc::clone(&self.vault)
+    }
+
+    /// The underlying network (for traffic statistics).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Creates the driver context connected to this cluster.
+    pub fn driver(&self) -> DriverContext {
+        let endpoint = self.network.register(NodeId::Driver);
+        DriverContext::new(endpoint)
+    }
+
+    /// Runs a driver program to completion, shuts the cluster down, and
+    /// returns the driver's output together with every statistics block.
+    pub fn run_driver<T>(
+        self,
+        body: impl FnOnce(&mut DriverContext) -> DriverResult<T>,
+    ) -> DriverResult<ClusterReport<T>> {
+        let mut driver = self.driver();
+        let result = body(&mut driver);
+        // Always attempt an orderly shutdown so threads exit even on error.
+        let shutdown = driver.shutdown();
+        let output = result?;
+        shutdown?;
+        self.join(output)
+    }
+
+    /// Joins all threads after the driver has shut the job down.
+    fn join<T>(mut self, output: T) -> DriverResult<ClusterReport<T>> {
+        let controller = self
+            .controller
+            .take()
+            .expect("controller handle present")
+            .join()
+            .map_err(|_| DriverError::Net("controller thread panicked".to_string()))?;
+        let mut workers = Vec::with_capacity(self.workers.len());
+        for handle in self.workers.drain(..) {
+            workers.push(
+                handle
+                    .join()
+                    .map_err(|_| DriverError::Net("worker thread panicked".to_string()))?,
+            );
+        }
+        Ok(ClusterReport {
+            output,
+            controller,
+            workers,
+            network: self.network.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::appdata::{Scalar, VecF64};
+    use nimbus_core::ids::FunctionId;
+    use nimbus_core::TaskParams;
+    use nimbus_driver::StageSpec;
+
+    const ADD: FunctionId = FunctionId(1);
+    const SUM_INTO: FunctionId = FunctionId(2);
+
+    fn setup() -> AppSetup {
+        let mut setup = AppSetup::new();
+        setup.functions.register(ADD, "add", |ctx| {
+            let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+            let v = ctx.write::<VecF64>(0)?;
+            for x in v.values.iter_mut() {
+                *x += delta;
+            }
+            Ok(())
+        });
+        setup.functions.register(SUM_INTO, "sum_into", |ctx| {
+            let mut total = 0.0;
+            for i in 0..ctx.read_count() {
+                total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
+            }
+            ctx.write::<Scalar>(0)?.value = total;
+            Ok(())
+        });
+        setup
+    }
+
+    fn register_factories(setup: &mut AppSetup, data_id: u64, scalar_id: u64, len: usize) {
+        setup.factories.register(
+            nimbus_core::LogicalObjectId(data_id),
+            Box::new(move |_| Box::new(VecF64::zeros(len))),
+        );
+        setup.factories.register(
+            nimbus_core::LogicalObjectId(scalar_id),
+            Box::new(|_| Box::new(Scalar::new(0.0))),
+        );
+    }
+
+    #[test]
+    fn end_to_end_iterative_job_with_templates() {
+        let mut setup = setup();
+        register_factories(&mut setup, 1, 2, 4);
+        let cluster = Cluster::start(ClusterConfig::new(2), setup);
+        let report = cluster
+            .run_driver(|ctx| {
+                let data = ctx.define_dataset("data", 4)?;
+                let total = ctx.define_dataset("total", 1)?;
+                for i in 0..5u64 {
+                    ctx.block("inner", |ctx| {
+                        ctx.submit_stage(
+                            StageSpec::new("add", ADD)
+                                .write(&data)
+                                .params(TaskParams::from_scalar(1.0)),
+                        )?;
+                        ctx.submit_stage(
+                            StageSpec::new("sum", SUM_INTO)
+                                .read_partition(&data, 0)
+                                .read_partition(&data, 1)
+                                .read_partition(&data, 2)
+                                .read_partition(&data, 3)
+                                .write_partition(&total, 0)
+                                .partitions(1),
+                        )?;
+                        Ok(())
+                    })?;
+                    let value = ctx.fetch_scalar(&total, 0)?;
+                    // After iteration i every element is i+1; 4 partitions x 4 elements.
+                    assert_eq!(value, ((i + 1) * 16) as f64, "iteration {i}");
+                }
+                Ok(ctx.instantiations_sent)
+            })
+            .unwrap();
+        // 5 iterations: the first records, the remaining 4 instantiate.
+        assert_eq!(report.output, 4);
+        assert_eq!(report.controller.controller_templates_installed, 1);
+        assert_eq!(report.controller.controller_template_instantiations, 4);
+        assert!(report.controller.tasks_from_templates >= 4 * 5);
+        assert!(report.controller.auto_validations >= 3);
+        let total_tasks: u64 = report.workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(total_tasks, 5 * 5);
+    }
+
+    #[test]
+    fn same_results_with_templates_disabled() {
+        let mut setup = setup();
+        register_factories(&mut setup, 1, 2, 4);
+        let cluster = Cluster::start(ClusterConfig::new(2).without_templates(), setup);
+        let report = cluster
+            .run_driver(|ctx| {
+                ctx.enable_templates(false)?;
+                let data = ctx.define_dataset("data", 4)?;
+                let total = ctx.define_dataset("total", 1)?;
+                for _ in 0..3 {
+                    ctx.block("inner", |ctx| {
+                        ctx.submit_stage(
+                            StageSpec::new("add", ADD)
+                                .write(&data)
+                                .params(TaskParams::from_scalar(2.0)),
+                        )?;
+                        ctx.submit_stage(
+                            StageSpec::new("sum", SUM_INTO)
+                                .read_partition(&data, 0)
+                                .read_partition(&data, 1)
+                                .read_partition(&data, 2)
+                                .read_partition(&data, 3)
+                                .write_partition(&total, 0)
+                                .partitions(1),
+                        )?;
+                        Ok(())
+                    })?;
+                }
+                ctx.fetch_scalar(&total, 0)
+            })
+            .unwrap();
+        assert_eq!(report.output, 3.0 * 2.0 * 16.0);
+        assert_eq!(report.controller.controller_templates_installed, 0);
+        assert_eq!(report.controller.tasks_from_templates, 0);
+        assert_eq!(report.controller.tasks_scheduled_directly, 15);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cluster configuration and application setup.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nimbus_controller::AssignmentPolicy;
+use nimbus_net::LatencyModel;
+use nimbus_worker::{DataFactoryRegistry, FunctionRegistry};
+
+/// Static configuration of an in-process cluster.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Network latency model applied to every message.
+    pub latency: LatencyModel,
+    /// Whether execution templates are enabled at start.
+    pub enable_templates: bool,
+    /// Optional artificial task duration (spin-wait), matching the paper's
+    /// equal-duration methodology for cross-framework comparisons.
+    pub spin_wait: Option<Duration>,
+    /// Automatically checkpoint after this many template instantiations.
+    pub checkpoint_every: Option<u64>,
+    /// Partition assignment policy.
+    pub policy: AssignmentPolicy,
+    /// Worker completion-report batch size.
+    pub completion_batch: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster with `workers` workers, templates enabled, no latency.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            latency: LatencyModel::None,
+            enable_templates: true,
+            spin_wait: None,
+            checkpoint_every: None,
+            policy: AssignmentPolicy::hash(),
+            completion_batch: 64,
+        }
+    }
+
+    /// Disables execution templates (the centrally-scheduled baseline).
+    pub fn without_templates(mut self) -> Self {
+        self.enable_templates = false;
+        self
+    }
+
+    /// Sets a fixed one-way message latency.
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = LatencyModel::Fixed(latency);
+        self
+    }
+
+    /// Sets the artificial per-task spin-wait duration.
+    pub fn with_spin_wait(mut self, duration: Duration) -> Self {
+        self.spin_wait = Some(duration);
+        self
+    }
+
+    /// Enables automatic checkpoints every `n` template instantiations.
+    pub fn with_checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n);
+        self
+    }
+}
+
+/// The application side of cluster setup: registered task functions and
+/// dataset factories, shared by every worker.
+#[derive(Default)]
+pub struct AppSetup {
+    /// Registered application functions.
+    pub functions: FunctionRegistry,
+    /// Registered dataset factories.
+    pub factories: DataFactoryRegistry,
+}
+
+impl AppSetup {
+    /// Creates an empty setup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes the setup into shared registries.
+    pub fn into_shared(self) -> (Arc<FunctionRegistry>, Arc<DataFactoryRegistry>) {
+        (Arc::new(self.functions), Arc::new(self.factories))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = ClusterConfig::new(4)
+            .without_templates()
+            .with_latency(Duration::from_micros(50))
+            .with_spin_wait(Duration::from_micros(100))
+            .with_checkpoint_every(5);
+        assert_eq!(c.workers, 4);
+        assert!(!c.enable_templates);
+        assert_eq!(c.latency, LatencyModel::Fixed(Duration::from_micros(50)));
+        assert_eq!(c.spin_wait, Some(Duration::from_micros(100)));
+        assert_eq!(c.checkpoint_every, Some(5));
+    }
+}

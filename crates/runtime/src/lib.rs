@@ -1,0 +1,15 @@
+//! # nimbus-runtime
+//!
+//! The in-process Nimbus cluster: one controller thread, N worker threads,
+//! and a synchronous driver handle, all connected by the `nimbus-net`
+//! transport. This is the substrate the examples, integration tests, and
+//! microbenchmarks (Tables 1–3 of the paper) run on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod config;
+
+pub use cluster::{Cluster, ClusterReport};
+pub use config::{AppSetup, ClusterConfig};

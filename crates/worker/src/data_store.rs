@@ -1,0 +1,260 @@
+//! The worker's in-memory store of mutable data objects.
+//!
+//! Nimbus tasks operate on mutable data objects in place (Section 3.3): a
+//! physical object is allocated once, then read and written by many tasks
+//! across iterations. The store maps physical object identifiers to boxed
+//! application data plus the logical partition they hold.
+
+use std::collections::HashMap;
+
+use nimbus_core::appdata::AppData;
+use nimbus_core::ids::{LogicalObjectId, LogicalPartition, PhysicalObjectId};
+
+use crate::error::{WorkerError, WorkerResult};
+
+/// One stored object: its contents and the logical partition it holds.
+pub struct StoredObject {
+    /// The application data.
+    pub data: Box<dyn AppData>,
+    /// The logical partition this object is an instance of.
+    pub logical: LogicalPartition,
+}
+
+/// Factory that creates the initial contents of a partition of a dataset.
+pub type DataFactory = Box<dyn Fn(LogicalPartition) -> Box<dyn AppData> + Send + Sync>;
+
+/// Registry of per-dataset data factories, consulted by `CreateData` commands.
+#[derive(Default)]
+pub struct DataFactoryRegistry {
+    factories: HashMap<LogicalObjectId, DataFactory>,
+}
+
+impl DataFactoryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the factory for a dataset.
+    pub fn register(&mut self, object: LogicalObjectId, factory: DataFactory) {
+        self.factories.insert(object, factory);
+    }
+
+    /// Creates the initial contents for a partition.
+    pub fn create(&self, lp: LogicalPartition) -> WorkerResult<Box<dyn AppData>> {
+        self.factories
+            .get(&lp.object)
+            .map(|f| f(lp))
+            .ok_or(WorkerError::NoFactory(lp.object))
+    }
+
+    /// Returns true if a factory is registered for the dataset.
+    pub fn contains(&self, object: LogicalObjectId) -> bool {
+        self.factories.contains_key(&object)
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Returns true if no factories are registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+/// The worker's object store.
+#[derive(Default)]
+pub struct DataStore {
+    objects: HashMap<PhysicalObjectId, StoredObject>,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an object with the given contents. Creating an object that
+    /// already exists is idempotent and keeps the existing contents (the
+    /// controller may replay create commands after recovery).
+    pub fn create(&mut self, id: PhysicalObjectId, logical: LogicalPartition, data: Box<dyn AppData>) {
+        self.objects
+            .entry(id)
+            .or_insert(StoredObject { data, logical });
+    }
+
+    /// Destroys an object, returning an error if it does not exist.
+    pub fn destroy(&mut self, id: PhysicalObjectId) -> WorkerResult<()> {
+        self.objects
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(WorkerError::UnknownObject(id))
+    }
+
+    /// Returns true if the object exists.
+    pub fn contains(&self, id: PhysicalObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Immutable access to an object's data.
+    pub fn get(&self, id: PhysicalObjectId) -> WorkerResult<&dyn AppData> {
+        self.objects
+            .get(&id)
+            .map(|o| o.data.as_ref())
+            .ok_or(WorkerError::UnknownObject(id))
+    }
+
+    /// Mutable access to an object's data.
+    pub fn get_mut(&mut self, id: PhysicalObjectId) -> WorkerResult<&mut Box<dyn AppData>> {
+        self.objects
+            .get_mut(&id)
+            .map(|o| &mut o.data)
+            .ok_or(WorkerError::UnknownObject(id))
+    }
+
+    /// The logical partition an object holds.
+    pub fn logical_of(&self, id: PhysicalObjectId) -> WorkerResult<LogicalPartition> {
+        self.objects
+            .get(&id)
+            .map(|o| o.logical)
+            .ok_or(WorkerError::UnknownObject(id))
+    }
+
+    /// Replaces an object's contents (receive-copy semantics: the new buffer
+    /// becomes visible atomically from the task queue's point of view).
+    pub fn replace(&mut self, id: PhysicalObjectId, data: Box<dyn AppData>) -> WorkerResult<()> {
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .ok_or(WorkerError::UnknownObject(id))?;
+        obj.data = data;
+        Ok(())
+    }
+
+    /// Clones an object's contents (send/local copy source).
+    pub fn clone_data(&self, id: PhysicalObjectId) -> WorkerResult<Box<dyn AppData>> {
+        self.get(id).map(|d| d.clone_box())
+    }
+
+    /// Temporarily removes an object so the executor can hand out a mutable
+    /// reference without aliasing the store; pair with [`DataStore::put_back`].
+    pub fn take(&mut self, id: PhysicalObjectId) -> WorkerResult<StoredObject> {
+        self.objects
+            .remove(&id)
+            .ok_or(WorkerError::UnknownObject(id))
+    }
+
+    /// Puts an object taken with [`DataStore::take`] back.
+    pub fn put_back(&mut self, id: PhysicalObjectId, object: StoredObject) {
+        self.objects.insert(id, object);
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns true if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over `(id, logical partition, approximate size)` of all
+    /// objects — used by checkpointing to persist live state.
+    pub fn manifest(&self) -> Vec<(PhysicalObjectId, LogicalPartition, usize)> {
+        self.objects
+            .iter()
+            .map(|(id, o)| (*id, o.logical, o.data.approx_size()))
+            .collect()
+    }
+
+    /// Total approximate bytes held by the store.
+    pub fn resident_bytes(&self) -> usize {
+        self.objects.values().map(|o| o.data.approx_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::appdata::{downcast_ref, VecF64};
+    use nimbus_core::ids::PartitionIndex;
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    #[test]
+    fn create_get_destroy() {
+        let mut store = DataStore::new();
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(4)));
+        assert!(store.contains(PhysicalObjectId(1)));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.logical_of(PhysicalObjectId(1)).unwrap(), lp(1, 0));
+        let data = store.get(PhysicalObjectId(1)).unwrap();
+        assert_eq!(downcast_ref::<VecF64>(data).unwrap().values.len(), 4);
+        store.destroy(PhysicalObjectId(1)).unwrap();
+        assert!(store.is_empty());
+        assert!(store.destroy(PhysicalObjectId(1)).is_err());
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let mut store = DataStore::new();
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::new(vec![7.0])));
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(10)));
+        let data = store.get(PhysicalObjectId(1)).unwrap();
+        assert_eq!(downcast_ref::<VecF64>(data).unwrap().values, vec![7.0]);
+    }
+
+    #[test]
+    fn replace_and_clone() {
+        let mut store = DataStore::new();
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(2)));
+        store
+            .replace(PhysicalObjectId(1), Box::new(VecF64::new(vec![1.0, 2.0])))
+            .unwrap();
+        let cloned = store.clone_data(PhysicalObjectId(1)).unwrap();
+        assert_eq!(
+            downcast_ref::<VecF64>(cloned.as_ref()).unwrap().values,
+            vec![1.0, 2.0]
+        );
+        assert!(store.replace(PhysicalObjectId(2), Box::new(VecF64::zeros(1))).is_err());
+    }
+
+    #[test]
+    fn take_and_put_back() {
+        let mut store = DataStore::new();
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(2)));
+        let obj = store.take(PhysicalObjectId(1)).unwrap();
+        assert!(!store.contains(PhysicalObjectId(1)));
+        store.put_back(PhysicalObjectId(1), obj);
+        assert!(store.contains(PhysicalObjectId(1)));
+    }
+
+    #[test]
+    fn factory_registry() {
+        let mut reg = DataFactoryRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(
+            LogicalObjectId(1),
+            Box::new(|lp| Box::new(VecF64::new(vec![lp.partition.raw() as f64]))),
+        );
+        assert!(reg.contains(LogicalObjectId(1)));
+        assert_eq!(reg.len(), 1);
+        let data = reg.create(lp(1, 3)).unwrap();
+        assert_eq!(downcast_ref::<VecF64>(data.as_ref()).unwrap().values, vec![3.0]);
+        assert!(reg.create(lp(2, 0)).is_err());
+    }
+
+    #[test]
+    fn manifest_and_resident_bytes() {
+        let mut store = DataStore::new();
+        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(100)));
+        store.create(PhysicalObjectId(2), lp(1, 1), Box::new(VecF64::zeros(100)));
+        assert_eq!(store.manifest().len(), 2);
+        assert!(store.resident_bytes() >= 1600);
+    }
+}

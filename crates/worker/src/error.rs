@@ -1,0 +1,95 @@
+//! Worker-side error types.
+
+use std::fmt;
+
+use nimbus_core::ids::{CommandId, FunctionId, LogicalObjectId, PhysicalObjectId, TransferId};
+use nimbus_core::CoreError;
+
+/// Errors produced by the worker runtime.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// A command referenced a physical object not present in the store.
+    UnknownObject(PhysicalObjectId),
+    /// No data factory is registered for a dataset.
+    NoFactory(LogicalObjectId),
+    /// A task referenced a function not present in the registry.
+    UnknownFunction(FunctionId),
+    /// An application task returned an error.
+    TaskFailed {
+        /// The failing command.
+        command: CommandId,
+        /// The application's error message.
+        message: String,
+    },
+    /// A receive command completed but no payload had arrived for it.
+    MissingTransfer(TransferId),
+    /// The object's concrete type did not match what the task expected.
+    TypeMismatch {
+        /// What the task expected.
+        expected: &'static str,
+        /// What the store held.
+        actual: &'static str,
+    },
+    /// An index into a task's read or write set was out of range.
+    AccessOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The set length.
+        len: usize,
+    },
+    /// An error bubbled up from the core data structures.
+    Core(CoreError),
+    /// The transport failed.
+    Net(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::UnknownObject(id) => write!(f, "unknown physical object {id}"),
+            WorkerError::NoFactory(obj) => {
+                write!(f, "no data factory registered for dataset {obj}")
+            }
+            WorkerError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            WorkerError::TaskFailed { command, message } => {
+                write!(f, "task command {command} failed: {message}")
+            }
+            WorkerError::MissingTransfer(t) => write!(f, "no payload arrived for transfer {t}"),
+            WorkerError::TypeMismatch { expected, actual } => {
+                write!(f, "data type mismatch: expected {expected}, found {actual}")
+            }
+            WorkerError::AccessOutOfRange { index, len } => {
+                write!(f, "data access index {index} out of range (set has {len} objects)")
+            }
+            WorkerError::Core(e) => write!(f, "core error: {e}"),
+            WorkerError::Net(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<CoreError> for WorkerError {
+    fn from(e: CoreError) -> Self {
+        WorkerError::Core(e)
+    }
+}
+
+/// Result alias for worker operations.
+pub type WorkerResult<T> = Result<T, WorkerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WorkerError::TaskFailed {
+            command: CommandId(3),
+            message: "division by zero".to_string(),
+        };
+        assert!(e.to_string().contains("division by zero"));
+        let e: WorkerError = CoreError::EmptyTemplate.into();
+        assert!(e.to_string().contains("core error"));
+    }
+}

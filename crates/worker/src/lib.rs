@@ -1,0 +1,30 @@
+//! # nimbus-worker
+//!
+//! The Nimbus worker runtime: a command queue with local dependency
+//! resolution, a store of mutable data objects, an executor for application
+//! functions, a cache of installed worker templates, and the event loop tying
+//! them together.
+//!
+//! Workers satisfy the control-plane requirements from Section 3.1 of the
+//! paper: they decide locally when commands become runnable and exchange data
+//! directly with their peers, so the centralized controller never sits on the
+//! data path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data_store;
+pub mod error;
+pub mod executor;
+pub mod queue;
+pub mod stats;
+pub mod vault;
+pub mod worker;
+
+pub use data_store::{DataFactory, DataFactoryRegistry, DataStore, StoredObject};
+pub use error::{WorkerError, WorkerResult};
+pub use executor::{Executor, FunctionRegistry, TaskContext, TaskFn};
+pub use queue::CommandQueue;
+pub use stats::WorkerStats;
+pub use vault::ObjectVault;
+pub use worker::{extract_scalar, Worker, WorkerConfig};

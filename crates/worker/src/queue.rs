@@ -1,0 +1,380 @@
+//! The worker's command queue with local dependency resolution.
+//!
+//! Requirement 1 of Section 3.1: workers maintain a queue of tasks and
+//! locally determine when tasks are runnable, without consulting the
+//! controller. A command becomes runnable when every command in its before
+//! set has completed on this worker and — for receive-copy commands — its
+//! data transfer has arrived.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use nimbus_core::ids::{CommandId, PhysicalObjectId, TransferId};
+use nimbus_core::{Command, CommandKind};
+use nimbus_net::DataPayload;
+
+/// Local data-dependency tracker.
+///
+/// Commands arrive at a worker in program order but their before sets only
+/// cover dependencies *within* one dispatch (a template instantiation or one
+/// `ExecuteCommands` batch). The tracker augments each enqueued command with
+/// dependencies on earlier commands that touch the same physical objects, so
+/// successive instantiations of a template (and patches injected between
+/// them) are ordered correctly without any controller involvement.
+#[derive(Default)]
+struct ObjectDeps {
+    last_writer: HashMap<PhysicalObjectId, CommandId>,
+    readers_since_write: HashMap<PhysicalObjectId, Vec<CommandId>>,
+}
+
+impl ObjectDeps {
+    /// Computes extra dependencies for a command and updates the tracker.
+    fn augment(&mut self, command: &Command) -> Vec<CommandId> {
+        let mut extra = Vec::new();
+        let (reads, writes) = command_accesses(command);
+        for obj in &reads {
+            if let Some(w) = self.last_writer.get(obj) {
+                extra.push(*w);
+            }
+        }
+        for obj in &writes {
+            if let Some(w) = self.last_writer.get(obj) {
+                extra.push(*w);
+            }
+            if let Some(rs) = self.readers_since_write.get(obj) {
+                extra.extend(rs.iter().copied());
+            }
+        }
+        for obj in reads {
+            self.readers_since_write.entry(obj).or_default().push(command.id);
+        }
+        for obj in writes {
+            self.last_writer.insert(obj, command.id);
+            self.readers_since_write.insert(obj, Vec::new());
+        }
+        extra.retain(|c| *c != command.id);
+        extra.sort_unstable();
+        extra.dedup();
+        extra
+    }
+
+    fn clear(&mut self) {
+        self.last_writer.clear();
+        self.readers_since_write.clear();
+    }
+}
+
+/// Returns the physical objects a command reads and writes, including the
+/// implicit accesses of copy, load, and save commands.
+fn command_accesses(command: &Command) -> (Vec<PhysicalObjectId>, Vec<PhysicalObjectId>) {
+    let mut reads = command.read_set.clone();
+    let mut writes = command.write_set.clone();
+    match &command.kind {
+        CommandKind::LocalCopy { from, to } => {
+            reads.push(*from);
+            writes.push(*to);
+        }
+        CommandKind::SendCopy { from, .. } => reads.push(*from),
+        CommandKind::ReceiveCopy { to, .. } => writes.push(*to),
+        CommandKind::LoadData { object, .. } => writes.push(*object),
+        CommandKind::SaveData { object, .. } => reads.push(*object),
+        CommandKind::CreateData { object, .. } => writes.push(*object),
+        CommandKind::DestroyData { object } => writes.push(*object),
+        CommandKind::RunTask { .. } => {}
+    }
+    reads.sort_unstable();
+    reads.dedup();
+    writes.sort_unstable();
+    writes.dedup();
+    // An object both read and written counts as a write for ordering.
+    reads.retain(|r| !writes.contains(r));
+    (reads, writes)
+}
+
+/// Tracks pending, ready, and completed commands on one worker.
+#[derive(Default)]
+pub struct CommandQueue {
+    /// Commands whose dependencies are not yet satisfied.
+    pending: HashMap<CommandId, PendingCommand>,
+    /// Reverse dependency index: completed command -> commands waiting on it.
+    dependents: HashMap<CommandId, Vec<CommandId>>,
+    /// Commands ready to execute, in arrival order.
+    ready: VecDeque<Command>,
+    /// Commands that have completed on this worker.
+    completed: HashSet<CommandId>,
+    /// Data that arrived before its receive command was enqueued (or whose
+    /// receive is still blocked on local dependencies).
+    arrived: HashMap<TransferId, DataPayload>,
+    /// Receive commands waiting for their transfer to arrive.
+    waiting_for_data: HashMap<TransferId, CommandId>,
+    /// Local data-dependency augmentation across dispatch batches.
+    object_deps: ObjectDeps,
+}
+
+struct PendingCommand {
+    command: Command,
+    unmet_deps: usize,
+    needs_data: Option<TransferId>,
+}
+
+impl CommandQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a batch of commands.
+    pub fn add_commands(&mut self, commands: Vec<Command>) {
+        for command in commands {
+            self.add_command(command);
+        }
+    }
+
+    /// Enqueues a single command, augmenting its before set with locally
+    /// tracked data dependencies on earlier commands touching the same
+    /// objects.
+    pub fn add_command(&mut self, command: Command) {
+        let extra = self.object_deps.augment(&command);
+        let unmet: Vec<CommandId> = command
+            .before
+            .iter()
+            .chain(extra.iter())
+            .filter(|dep| !self.completed.contains(*dep) && **dep != command.id)
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        let needs_data = match &command.kind {
+            CommandKind::ReceiveCopy { transfer, .. } if !self.arrived.contains_key(transfer) => {
+                Some(*transfer)
+            }
+            _ => None,
+        };
+        if unmet.is_empty() && needs_data.is_none() {
+            self.ready.push_back(command);
+            return;
+        }
+        let id = command.id;
+        for dep in &unmet {
+            self.dependents.entry(*dep).or_default().push(id);
+        }
+        if let Some(t) = needs_data {
+            self.waiting_for_data.insert(t, id);
+        }
+        self.pending.insert(
+            id,
+            PendingCommand {
+                command,
+                unmet_deps: unmet.len(),
+                needs_data,
+            },
+        );
+    }
+
+    /// Records the arrival of a data transfer. The payload is retained until
+    /// the matching receive command executes and claims it.
+    pub fn data_arrived(&mut self, transfer: TransferId, payload: DataPayload) {
+        self.arrived.insert(transfer, payload);
+        if let Some(id) = self.waiting_for_data.remove(&transfer) {
+            if let Some(p) = self.pending.get_mut(&id) {
+                p.needs_data = None;
+                if p.unmet_deps == 0 {
+                    let p = self.pending.remove(&id).expect("pending entry exists");
+                    self.ready.push_back(p.command);
+                }
+            }
+        }
+    }
+
+    /// Claims the payload for a transfer (called when the receive executes).
+    pub fn take_payload(&mut self, transfer: TransferId) -> Option<DataPayload> {
+        self.arrived.remove(&transfer)
+    }
+
+    /// Marks a command as completed, releasing its dependents.
+    pub fn complete(&mut self, id: CommandId) {
+        self.completed.insert(id);
+        let Some(waiters) = self.dependents.remove(&id) else {
+            return;
+        };
+        for waiter in waiters {
+            if let Some(p) = self.pending.get_mut(&waiter) {
+                p.unmet_deps = p.unmet_deps.saturating_sub(1);
+                if p.unmet_deps == 0 && p.needs_data.is_none() {
+                    let p = self.pending.remove(&waiter).expect("pending entry exists");
+                    self.ready.push_back(p.command);
+                }
+            }
+        }
+    }
+
+    /// Pops the next runnable command, if any.
+    pub fn pop_ready(&mut self) -> Option<Command> {
+        self.ready.pop_front()
+    }
+
+    /// Number of commands ready to run.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of commands blocked on dependencies or data.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of completed commands retained for dependency resolution.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Returns true if no work is queued (pending or ready).
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.ready.is_empty()
+    }
+
+    /// Discards all queued work (used by the `Halt` fault-recovery command)
+    /// and returns how many commands were dropped.
+    pub fn flush(&mut self) -> usize {
+        let dropped = self.pending.len() + self.ready.len();
+        self.pending.clear();
+        self.dependents.clear();
+        self.ready.clear();
+        self.waiting_for_data.clear();
+        self.arrived.clear();
+        self.object_deps.clear();
+        dropped
+    }
+
+    /// Drops completion records older than the current job phase. The
+    /// controller guarantees dependencies never span a checkpoint, so this
+    /// keeps memory bounded on long runs.
+    pub fn prune_completed(&mut self) {
+        self.completed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use nimbus_core::ids::{FunctionId, PhysicalObjectId, TaskId, WorkerId};
+
+    fn task(id: u64, before: Vec<u64>) -> Command {
+        Command::new(
+            CommandId(id),
+            CommandKind::RunTask {
+                function: FunctionId(1),
+                task: TaskId(id),
+            },
+        )
+        .with_before(before.into_iter().map(CommandId).collect())
+    }
+
+    fn receive(id: u64, transfer: u64, before: Vec<u64>) -> Command {
+        Command::new(
+            CommandId(id),
+            CommandKind::ReceiveCopy {
+                to: PhysicalObjectId(1),
+                from_worker: WorkerId(1),
+                transfer: TransferId(transfer),
+            },
+        )
+        .with_before(before.into_iter().map(CommandId).collect())
+    }
+
+    fn payload() -> DataPayload {
+        DataPayload::Bytes(Bytes::from_static(&[1, 2, 3]))
+    }
+
+    #[test]
+    fn independent_commands_are_immediately_ready() {
+        let mut q = CommandQueue::new();
+        q.add_commands(vec![task(1, vec![]), task(2, vec![])]);
+        assert_eq!(q.ready_len(), 2);
+        assert_eq!(q.pending_len(), 0);
+        assert!(q.pop_ready().is_some());
+        assert!(q.pop_ready().is_some());
+        assert!(q.pop_ready().is_none());
+    }
+
+    #[test]
+    fn dependencies_gate_readiness() {
+        let mut q = CommandQueue::new();
+        q.add_commands(vec![task(1, vec![]), task(2, vec![1]), task(3, vec![1, 2])]);
+        assert_eq!(q.ready_len(), 1);
+        let first = q.pop_ready().unwrap();
+        assert_eq!(first.id, CommandId(1));
+        q.complete(CommandId(1));
+        assert_eq!(q.ready_len(), 1);
+        let second = q.pop_ready().unwrap();
+        assert_eq!(second.id, CommandId(2));
+        q.complete(CommandId(2));
+        assert_eq!(q.pop_ready().unwrap().id, CommandId(3));
+        q.complete(CommandId(3));
+        assert!(q.is_idle());
+        assert_eq!(q.completed_len(), 3);
+    }
+
+    #[test]
+    fn dependency_on_already_completed_command_is_satisfied() {
+        let mut q = CommandQueue::new();
+        q.add_command(task(1, vec![]));
+        q.pop_ready().unwrap();
+        q.complete(CommandId(1));
+        q.add_command(task(2, vec![1]));
+        assert_eq!(q.ready_len(), 1);
+    }
+
+    #[test]
+    fn receive_waits_for_both_deps_and_data() {
+        let mut q = CommandQueue::new();
+        q.add_commands(vec![task(1, vec![]), receive(2, 7, vec![1])]);
+        q.pop_ready().unwrap();
+        q.complete(CommandId(1));
+        // Dependency met but no data yet.
+        assert_eq!(q.ready_len(), 0);
+        q.data_arrived(TransferId(7), payload());
+        assert_eq!(q.ready_len(), 1);
+        assert!(q.take_payload(TransferId(7)).is_some());
+        assert!(q.take_payload(TransferId(7)).is_none());
+    }
+
+    #[test]
+    fn data_arriving_before_receive_is_buffered() {
+        let mut q = CommandQueue::new();
+        q.data_arrived(TransferId(7), payload());
+        q.add_command(receive(2, 7, vec![]));
+        assert_eq!(q.ready_len(), 1);
+    }
+
+    #[test]
+    fn data_arriving_before_deps_met_does_not_unblock_early() {
+        let mut q = CommandQueue::new();
+        q.add_commands(vec![task(1, vec![]), receive(2, 7, vec![1])]);
+        q.data_arrived(TransferId(7), payload());
+        assert_eq!(q.ready_len(), 1, "only the task is ready");
+        q.pop_ready().unwrap();
+        q.complete(CommandId(1));
+        assert_eq!(q.ready_len(), 1, "receive unblocks after dependency completes");
+    }
+
+    #[test]
+    fn flush_discards_everything() {
+        let mut q = CommandQueue::new();
+        q.add_commands(vec![task(1, vec![]), task(2, vec![1]), receive(3, 9, vec![])]);
+        let dropped = q.flush();
+        assert_eq!(dropped, 3);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn prune_completed_clears_history() {
+        let mut q = CommandQueue::new();
+        q.add_command(task(1, vec![]));
+        q.pop_ready().unwrap();
+        q.complete(CommandId(1));
+        assert_eq!(q.completed_len(), 1);
+        q.prune_completed();
+        assert_eq!(q.completed_len(), 0);
+    }
+}

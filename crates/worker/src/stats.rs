@@ -1,0 +1,102 @@
+//! Per-worker execution statistics.
+
+use std::time::Duration;
+
+/// Counters kept by each worker and reported to the evaluation harness.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Total commands executed (all kinds).
+    pub commands_executed: u64,
+    /// Application task commands executed.
+    pub tasks_executed: u64,
+    /// Data objects created.
+    pub creates: u64,
+    /// Local copies performed.
+    pub local_copies: u64,
+    /// Send-copy commands executed.
+    pub sends: u64,
+    /// Receive-copy commands executed.
+    pub receives: u64,
+    /// Load commands executed.
+    pub loads: u64,
+    /// Save commands executed.
+    pub saves: u64,
+    /// Worker templates installed.
+    pub templates_installed: u64,
+    /// Worker-template instantiations expanded.
+    pub template_instantiations: u64,
+    /// Template edits applied.
+    pub edits_applied: u64,
+    /// Total application compute time.
+    pub compute_time: Duration,
+    /// Data-plane bytes sent to other workers.
+    pub bytes_sent: u64,
+    /// Data-plane bytes received from other workers.
+    pub bytes_received: u64,
+    /// Commands that failed (with messages capped to keep memory bounded).
+    pub failures: Vec<String>,
+}
+
+impl WorkerStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a failure message (keeps at most 64).
+    pub fn record_failure(&mut self, message: String) {
+        if self.failures.len() < 64 {
+            self.failures.push(message);
+        }
+    }
+
+    /// Merges another worker's counters into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.commands_executed += other.commands_executed;
+        self.tasks_executed += other.tasks_executed;
+        self.creates += other.creates;
+        self.local_copies += other.local_copies;
+        self.sends += other.sends;
+        self.receives += other.receives;
+        self.loads += other.loads;
+        self.saves += other.saves;
+        self.templates_installed += other.templates_installed;
+        self.template_instantiations += other.template_instantiations;
+        self.edits_applied += other.edits_applied;
+        self.compute_time += other.compute_time;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        for f in &other.failures {
+            self.record_failure(f.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums() {
+        let mut a = WorkerStats::new();
+        a.tasks_executed = 3;
+        a.compute_time = Duration::from_millis(5);
+        let mut b = WorkerStats::new();
+        b.tasks_executed = 4;
+        b.compute_time = Duration::from_millis(10);
+        b.record_failure("x".to_string());
+        a.merge(&b);
+        assert_eq!(a.tasks_executed, 7);
+        assert_eq!(a.compute_time, Duration::from_millis(15));
+        assert_eq!(a.failures.len(), 1);
+    }
+
+    #[test]
+    fn failure_cap() {
+        let mut s = WorkerStats::new();
+        for i in 0..100 {
+            s.record_failure(format!("f{i}"));
+        }
+        assert_eq!(s.failures.len(), 64);
+    }
+}

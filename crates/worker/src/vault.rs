@@ -1,0 +1,99 @@
+//! Shared object vault emulating durable storage.
+//!
+//! File commands (`LoadData`/`SaveData`) and checkpoints persist objects to
+//! "durable storage". In this in-process reproduction that storage is a
+//! process-wide key-value vault shared by every worker; a multi-machine
+//! deployment would back the same interface with a distributed store. Values
+//! are cloned application objects, so saving and loading does not require the
+//! application to define a serialization format.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use nimbus_core::appdata::AppData;
+
+/// A process-wide store of named, cloned application objects.
+#[derive(Default)]
+pub struct ObjectVault {
+    objects: Mutex<HashMap<String, Box<dyn AppData>>>,
+}
+
+impl ObjectVault {
+    /// Creates an empty vault.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a clone of `data` under `key`, replacing any previous value.
+    pub fn put(&self, key: &str, data: Box<dyn AppData>) {
+        self.objects.lock().insert(key.to_string(), data);
+    }
+
+    /// Returns a clone of the object stored under `key`.
+    pub fn get(&self, key: &str) -> Option<Box<dyn AppData>> {
+        self.objects.lock().get(key).map(|d| d.clone_box())
+    }
+
+    /// Returns true if `key` exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.lock().contains_key(key)
+    }
+
+    /// Removes a key.
+    pub fn delete(&self, key: &str) {
+        self.objects.lock().remove(key);
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Returns true if the vault is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.lock().is_empty()
+    }
+
+    /// Total approximate bytes stored.
+    pub fn resident_bytes(&self) -> usize {
+        self.objects.lock().values().map(|d| d.approx_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::appdata::{downcast_ref, VecF64};
+
+    #[test]
+    fn put_get_delete() {
+        let vault = ObjectVault::new();
+        assert!(vault.is_empty());
+        vault.put("ckpt/1", Box::new(VecF64::new(vec![1.0, 2.0])));
+        assert!(vault.contains("ckpt/1"));
+        assert_eq!(vault.len(), 1);
+        let data = vault.get("ckpt/1").unwrap();
+        assert_eq!(downcast_ref::<VecF64>(data.as_ref()).unwrap().values, vec![1.0, 2.0]);
+        assert!(vault.get("missing").is_none());
+        vault.delete("ckpt/1");
+        assert!(vault.is_empty());
+    }
+
+    #[test]
+    fn get_returns_an_independent_clone() {
+        let vault = ObjectVault::new();
+        vault.put("k", Box::new(VecF64::new(vec![1.0])));
+        let mut copy = vault.get("k").unwrap();
+        nimbus_core::downcast_mut::<VecF64>(copy.as_mut()).unwrap().values[0] = 9.0;
+        let original = vault.get("k").unwrap();
+        assert_eq!(downcast_ref::<VecF64>(original.as_ref()).unwrap().values, vec![1.0]);
+    }
+
+    #[test]
+    fn resident_bytes_accounts_contents() {
+        let vault = ObjectVault::new();
+        vault.put("a", Box::new(VecF64::zeros(1000)));
+        assert!(vault.resident_bytes() >= 8000);
+    }
+}

@@ -1,0 +1,667 @@
+//! The worker event loop.
+//!
+//! A worker owns a command queue, a data store, a template cache, and an
+//! executor. It receives control messages from the controller and data
+//! transfers from peer workers, locally resolves dependencies, executes
+//! runnable commands, and reports completions back to the controller in
+//! batches.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nimbus_core::appdata::{downcast_ref, AppData, Scalar, VecF64};
+use nimbus_core::ids::{CommandId, WorkerId};
+use nimbus_core::template::cache::WorkerTemplateCache;
+use nimbus_core::{Command, CommandKind};
+use nimbus_net::{
+    ControllerToWorker, DataPayload, DataTransfer, Endpoint, Envelope, Message, NodeId,
+    WorkerToController,
+};
+
+use crate::data_store::{DataFactoryRegistry, DataStore};
+use crate::error::{WorkerError, WorkerResult};
+use crate::executor::{Executor, FunctionRegistry};
+use crate::queue::CommandQueue;
+use crate::stats::WorkerStats;
+use crate::vault::ObjectVault;
+
+/// Static configuration of a worker.
+pub struct WorkerConfig {
+    /// This worker's identifier.
+    pub id: WorkerId,
+    /// Registered application functions.
+    pub functions: Arc<FunctionRegistry>,
+    /// Registered dataset factories (initial partition contents).
+    pub factories: Arc<DataFactoryRegistry>,
+    /// Shared durable-storage emulation for file commands and checkpoints.
+    pub vault: Arc<ObjectVault>,
+    /// Optional artificial per-task duration (spin wait), matching how the
+    /// paper equalizes task durations across frameworks.
+    pub spin_wait: Option<Duration>,
+    /// How many completions to accumulate before reporting to the controller.
+    pub completion_batch: usize,
+}
+
+impl WorkerConfig {
+    /// Creates a configuration with default batching and no spin wait.
+    pub fn new(
+        id: WorkerId,
+        functions: Arc<FunctionRegistry>,
+        factories: Arc<DataFactoryRegistry>,
+        vault: Arc<ObjectVault>,
+    ) -> Self {
+        Self {
+            id,
+            functions,
+            factories,
+            vault,
+            spin_wait: None,
+            completion_batch: 64,
+        }
+    }
+}
+
+/// A Nimbus worker node.
+pub struct Worker {
+    id: WorkerId,
+    endpoint: Endpoint,
+    store: DataStore,
+    queue: CommandQueue,
+    templates: WorkerTemplateCache,
+    executor: Executor,
+    factories: Arc<DataFactoryRegistry>,
+    vault: Arc<ObjectVault>,
+    stats: WorkerStats,
+    completion_batch: usize,
+    completed: Vec<CommandId>,
+    compute_micros: u64,
+    running: bool,
+}
+
+impl Worker {
+    /// Creates a worker bound to a transport endpoint.
+    pub fn new(config: WorkerConfig, endpoint: Endpoint) -> Self {
+        let mut executor = Executor::new(config.id, Arc::clone(&config.functions));
+        executor.spin_wait = config.spin_wait;
+        Self {
+            id: config.id,
+            endpoint,
+            store: DataStore::new(),
+            queue: CommandQueue::new(),
+            templates: WorkerTemplateCache::new(),
+            executor,
+            factories: config.factories,
+            vault: config.vault,
+            stats: WorkerStats::new(),
+            completion_batch: config.completion_batch.max(1),
+            completed: Vec::new(),
+            compute_micros: 0,
+            running: true,
+        }
+    }
+
+    /// This worker's identifier.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Read-only access to the execution statistics.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    /// Runs until a `Shutdown` message arrives. Returns the final statistics.
+    pub fn run(mut self) -> WorkerStats {
+        while self.running {
+            self.step(Duration::from_millis(5));
+        }
+        // Final flush so the controller sees everything.
+        self.flush_completions(true);
+        self.stats
+    }
+
+    /// Processes at most one blocking receive (bounded by `idle_wait`), then
+    /// drains any further queued messages and executes runnable commands.
+    /// Exposed for deterministic single-threaded tests.
+    pub fn step(&mut self, idle_wait: Duration) {
+        if self.queue.ready_len() == 0 {
+            match self.endpoint.recv_timeout(idle_wait) {
+                Ok(envelope) => self.handle(envelope),
+                Err(nimbus_net::NetError::Timeout) => {}
+                Err(_) => {
+                    self.running = false;
+                    return;
+                }
+            }
+        }
+        // Drain whatever else arrived without blocking.
+        while let Ok(envelope) = self.endpoint.try_recv() {
+            self.handle(envelope);
+        }
+        // Execute a bounded burst of ready commands, then yield back to
+        // message processing so data transfers keep flowing.
+        let mut executed = 0usize;
+        while executed < 64 {
+            let Some(command) = self.queue.pop_ready() else {
+                break;
+            };
+            self.execute(command);
+            executed += 1;
+        }
+        let idle = self.queue.is_idle();
+        self.flush_completions(idle);
+    }
+
+    fn handle(&mut self, envelope: Envelope) {
+        match envelope.message {
+            Message::ToWorker(msg) => self.handle_control(msg),
+            Message::Data(transfer) => self.handle_data(transfer),
+            other => {
+                self.stats
+                    .record_failure(format!("unexpected message {:?} at worker {}", other.tag(), self.id));
+            }
+        }
+    }
+
+    fn handle_control(&mut self, msg: ControllerToWorker) {
+        match msg {
+            ControllerToWorker::ExecuteCommands { commands } => {
+                self.queue.add_commands(commands);
+            }
+            ControllerToWorker::InstallTemplate { template } => {
+                let id = template.id;
+                self.templates.install(template);
+                self.stats.templates_installed += 1;
+                self.send_to_controller(WorkerToController::TemplateInstalled {
+                    worker: self.id,
+                    template: id,
+                });
+            }
+            ControllerToWorker::InstantiateTemplate(inst) => {
+                let result: WorkerResult<Vec<Command>> = (|| {
+                    let template = self.templates.get_mut(inst.template)?;
+                    if !inst.edits.is_empty() {
+                        template.apply_edits(&inst.edits)?;
+                    }
+                    Ok(template.instantiate(&inst)?)
+                })();
+                match result {
+                    Ok(commands) => {
+                        self.stats.template_instantiations += 1;
+                        self.stats.edits_applied += inst.edits.len() as u64;
+                        self.queue.add_commands(commands);
+                    }
+                    Err(e) => self.stats.record_failure(format!(
+                        "instantiation of template {} failed: {e}",
+                        inst.template
+                    )),
+                }
+            }
+            ControllerToWorker::FetchValue { object } => {
+                let value = self
+                    .store
+                    .get(object)
+                    .ok()
+                    .and_then(extract_scalar)
+                    .unwrap_or(f64::NAN);
+                self.send_to_controller(WorkerToController::ValueFetched {
+                    worker: self.id,
+                    object,
+                    value,
+                });
+            }
+            ControllerToWorker::Halt => {
+                self.queue.flush();
+                self.completed.clear();
+                self.compute_micros = 0;
+                self.send_to_controller(WorkerToController::Halted { worker: self.id });
+            }
+            ControllerToWorker::Shutdown => {
+                self.running = false;
+            }
+        }
+    }
+
+    fn handle_data(&mut self, transfer: DataTransfer) {
+        self.stats.bytes_received += transfer.payload.size() as u64;
+        self.queue.data_arrived(transfer.transfer, transfer.payload);
+    }
+
+    fn execute(&mut self, command: Command) {
+        let id = command.id;
+        if let Err(e) = self.execute_inner(&command) {
+            self.stats
+                .record_failure(format!("command {id} ({}) failed: {e}", command.kind.tag()));
+        }
+        self.stats.commands_executed += 1;
+        self.queue.complete(id);
+        self.completed.push(id);
+        if self.completed.len() >= self.completion_batch {
+            self.flush_completions(false);
+        }
+    }
+
+    fn execute_inner(&mut self, command: &Command) -> WorkerResult<()> {
+        match &command.kind {
+            CommandKind::CreateData { object, logical } => {
+                if !self.store.contains(*object) {
+                    let data = self.factories.create(*logical)?;
+                    self.store.create(*object, *logical, data);
+                }
+                self.stats.creates += 1;
+                Ok(())
+            }
+            CommandKind::DestroyData { object } => {
+                self.store.destroy(*object)?;
+                Ok(())
+            }
+            CommandKind::LocalCopy { from, to } => {
+                let data = self.store.clone_data(*from)?;
+                if self.store.contains(*to) {
+                    self.store.replace(*to, data)?;
+                } else {
+                    let logical = self.store.logical_of(*from)?;
+                    self.store.create(*to, logical, data);
+                }
+                self.stats.local_copies += 1;
+                Ok(())
+            }
+            CommandKind::SendCopy {
+                from,
+                to_worker,
+                transfer,
+            } => {
+                let data = self.store.clone_data(*from)?;
+                let payload = DataPayload::Object(data);
+                self.stats.bytes_sent += payload.size() as u64;
+                self.stats.sends += 1;
+                self.endpoint
+                    .send(
+                        NodeId::Worker(*to_worker),
+                        Message::Data(DataTransfer {
+                            transfer: *transfer,
+                            from_worker: self.id,
+                            payload,
+                        }),
+                    )
+                    .map_err(|e| WorkerError::Net(e.to_string()))
+            }
+            CommandKind::ReceiveCopy { to, transfer, .. } => {
+                let payload = self
+                    .queue
+                    .take_payload(*transfer)
+                    .ok_or(WorkerError::MissingTransfer(*transfer))?;
+                let data = match payload {
+                    DataPayload::Object(o) => o,
+                    DataPayload::Bytes(_) => {
+                        return Err(WorkerError::TypeMismatch {
+                            expected: "in-process object payload",
+                            actual: "raw bytes",
+                        })
+                    }
+                };
+                if self.store.contains(*to) {
+                    self.store.replace(*to, data)?;
+                } else {
+                    // The controller creates objects before copying into
+                    // them; if the create raced behind, synthesize it from
+                    // the payload to keep the pipeline moving.
+                    return Err(WorkerError::UnknownObject(*to));
+                }
+                self.stats.receives += 1;
+                Ok(())
+            }
+            CommandKind::LoadData { object, key } => {
+                let data = self
+                    .vault
+                    .get(key)
+                    .ok_or_else(|| WorkerError::Net(format!("missing vault key {key}")))?;
+                self.store.replace(*object, data)?;
+                self.stats.loads += 1;
+                Ok(())
+            }
+            CommandKind::SaveData { object, key } => {
+                let data = self.store.clone_data(*object)?;
+                self.vault.put(key, data);
+                self.stats.saves += 1;
+                Ok(())
+            }
+            CommandKind::RunTask { .. } => {
+                let elapsed = self.executor.run_task(command, &mut self.store)?;
+                self.stats.tasks_executed += 1;
+                self.stats.compute_time += elapsed;
+                self.compute_micros += elapsed.as_micros() as u64;
+                Ok(())
+            }
+        }
+    }
+
+    fn flush_completions(&mut self, force: bool) {
+        if self.completed.is_empty() {
+            return;
+        }
+        if !force && self.completed.len() < self.completion_batch {
+            return;
+        }
+        let commands = std::mem::take(&mut self.completed);
+        let compute_micros = std::mem::take(&mut self.compute_micros);
+        self.send_to_controller(WorkerToController::CommandsCompleted {
+            worker: self.id,
+            commands,
+            compute_micros,
+        });
+    }
+
+    fn send_to_controller(&mut self, msg: WorkerToController) {
+        if let Err(e) = self
+            .endpoint
+            .send(NodeId::Controller, Message::FromWorker(msg))
+        {
+            self.stats
+                .record_failure(format!("send to controller failed: {e}"));
+        }
+    }
+}
+
+/// Extracts a scalar value from a data object for `FetchValue` requests:
+/// [`Scalar`]s return their value, [`VecF64`]s their first element.
+pub fn extract_scalar(data: &dyn AppData) -> Option<f64> {
+    if let Some(s) = downcast_ref::<Scalar>(data) {
+        return Some(s.value);
+    }
+    if let Some(v) = downcast_ref::<VecF64>(data) {
+        return v.values.first().copied();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::ids::{
+        FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, PhysicalObjectId, TaskId,
+        TemplateId, TransferId,
+    };
+    use nimbus_core::template::{SkeletonEntry, SkeletonKind, WorkerInstantiation, WorkerTemplate};
+    use nimbus_core::TaskParams;
+    use nimbus_net::{LatencyModel, Network};
+
+    fn lp(o: u64, p: u32) -> LogicalPartition {
+        LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
+    }
+
+    fn setup() -> (Network, Endpoint, Worker) {
+        let net = Network::new(LatencyModel::None);
+        let controller = net.register(NodeId::Controller);
+        let endpoint = net.register(NodeId::Worker(WorkerId(0)));
+        let mut functions = FunctionRegistry::new();
+        functions.register(FunctionId(1), "add_one", |ctx| {
+            let v = ctx.write::<VecF64>(0)?;
+            for x in v.values.iter_mut() {
+                *x += 1.0;
+            }
+            Ok(())
+        });
+        let mut factories = DataFactoryRegistry::new();
+        factories.register(LogicalObjectId(1), Box::new(|_| Box::new(VecF64::zeros(3))));
+        factories.register(LogicalObjectId(2), Box::new(|_| Box::new(Scalar::new(0.0))));
+        let config = WorkerConfig::new(
+            WorkerId(0),
+            Arc::new(functions),
+            Arc::new(factories),
+            Arc::new(ObjectVault::new()),
+        );
+        let worker = Worker::new(config, endpoint);
+        (net, controller, worker)
+    }
+
+    fn create_cmd(id: u64, object: u64, dataset: u64, part: u32) -> Command {
+        Command::new(
+            CommandId(id),
+            CommandKind::CreateData {
+                object: PhysicalObjectId(object),
+                logical: lp(dataset, part),
+            },
+        )
+    }
+
+    fn task_cmd(id: u64, object: u64, before: Vec<u64>) -> Command {
+        Command::new(
+            CommandId(id),
+            CommandKind::RunTask {
+                function: FunctionId(1),
+                task: TaskId(id),
+            },
+        )
+        .with_writes(vec![PhysicalObjectId(object)])
+        .with_before(before.into_iter().map(CommandId).collect())
+    }
+
+    fn drive(worker: &mut Worker, steps: usize) {
+        for _ in 0..steps {
+            worker.step(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn executes_commands_and_reports_completions() {
+        let (_net, controller, mut worker) = setup();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::ExecuteCommands {
+                    commands: vec![create_cmd(1, 10, 1, 0), task_cmd(2, 10, vec![1])],
+                }),
+            )
+            .unwrap();
+        drive(&mut worker, 4);
+        assert_eq!(worker.stats().tasks_executed, 1);
+        assert_eq!(worker.stats().creates, 1);
+        // The controller got a completion report covering both commands.
+        let mut completed = Vec::new();
+        while let Ok(env) = controller.try_recv() {
+            if let Message::FromWorker(WorkerToController::CommandsCompleted { commands, .. }) =
+                env.message
+            {
+                completed.extend(commands);
+            }
+        }
+        assert!(completed.contains(&CommandId(1)));
+        assert!(completed.contains(&CommandId(2)));
+    }
+
+    #[test]
+    fn install_and_instantiate_template() {
+        let (_net, controller, mut worker) = setup();
+        let entries = vec![
+            SkeletonEntry::new(SkeletonKind::CreateData {
+                object: PhysicalObjectId(10),
+                logical: lp(1, 0),
+            }),
+            SkeletonEntry::new(SkeletonKind::RunTask {
+                function: FunctionId(1),
+                task_slot: 0,
+            })
+            .with_writes(vec![PhysicalObjectId(10)])
+            .with_before(vec![0])
+            .with_param_slot(0),
+        ];
+        let template =
+            WorkerTemplate::new(TemplateId(5), TemplateId(1), WorkerId(0), entries).unwrap();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::InstallTemplate { template }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        assert_eq!(worker.stats().templates_installed, 1);
+
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::InstantiateTemplate(
+                    WorkerInstantiation {
+                        template: TemplateId(5),
+                        base_command_id: 100,
+                        base_transfer_id: 0,
+                        task_ids: vec![TaskId(1)],
+                        params: vec![TaskParams::empty()],
+                        edits: vec![],
+                    },
+                )),
+            )
+            .unwrap();
+        drive(&mut worker, 4);
+        assert_eq!(worker.stats().template_instantiations, 1);
+        assert_eq!(worker.stats().tasks_executed, 1);
+    }
+
+    #[test]
+    fn data_transfer_feeds_receive_command() {
+        let (net, controller, mut worker) = setup();
+        let peer = net.register(NodeId::Worker(WorkerId(1)));
+        // Create the destination object, then receive into it.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::ExecuteCommands {
+                    commands: vec![
+                        create_cmd(1, 10, 1, 0),
+                        Command::new(
+                            CommandId(2),
+                            CommandKind::ReceiveCopy {
+                                to: PhysicalObjectId(10),
+                                from_worker: WorkerId(1),
+                                transfer: TransferId(7),
+                            },
+                        )
+                        .with_before(vec![CommandId(1)]),
+                    ],
+                }),
+            )
+            .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.stats().receives, 0, "blocked on data");
+        peer.send(
+            NodeId::Worker(WorkerId(0)),
+            Message::Data(DataTransfer {
+                transfer: TransferId(7),
+                from_worker: WorkerId(1),
+                payload: DataPayload::Object(Box::new(VecF64::new(vec![9.0, 9.0, 9.0]))),
+            }),
+        )
+        .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.stats().receives, 1);
+        let v = downcast_ref::<VecF64>(worker.store.get(PhysicalObjectId(10)).unwrap()).unwrap();
+        assert_eq!(v.values, vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn fetch_value_returns_scalar() {
+        let (_net, controller, mut worker) = setup();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::ExecuteCommands {
+                    commands: vec![create_cmd(1, 20, 2, 0)],
+                }),
+            )
+            .unwrap();
+        drive(&mut worker, 3);
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::FetchValue {
+                    object: PhysicalObjectId(20),
+                }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        let mut fetched = None;
+        while let Ok(env) = controller.try_recv() {
+            if let Message::FromWorker(WorkerToController::ValueFetched { value, .. }) = env.message {
+                fetched = Some(value);
+            }
+        }
+        assert_eq!(fetched, Some(0.0));
+    }
+
+    #[test]
+    fn halt_flushes_queue_and_acknowledges() {
+        let (_net, controller, mut worker) = setup();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::ExecuteCommands {
+                    commands: vec![task_cmd(5, 99, vec![4])],
+                }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::Halt),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        let mut halted = false;
+        while let Ok(env) = controller.try_recv() {
+            if matches!(
+                env.message,
+                Message::FromWorker(WorkerToController::Halted { .. })
+            ) {
+                halted = true;
+            }
+        }
+        assert!(halted);
+        assert!(worker.queue.is_idle());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_vault() {
+        let (_net, controller, mut worker) = setup();
+        let commands = vec![
+            create_cmd(1, 10, 1, 0),
+            task_cmd(2, 10, vec![1]),
+            Command::new(
+                CommandId(3),
+                CommandKind::SaveData {
+                    object: PhysicalObjectId(10),
+                    key: "ckpt/10".to_string(),
+                },
+            )
+            .with_before(vec![CommandId(2)]),
+            task_cmd(4, 10, vec![3]),
+            Command::new(
+                CommandId(5),
+                CommandKind::LoadData {
+                    object: PhysicalObjectId(10),
+                    key: "ckpt/10".to_string(),
+                },
+            )
+            .with_before(vec![CommandId(4)]),
+        ];
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::ExecuteCommands { commands }),
+            )
+            .unwrap();
+        drive(&mut worker, 6);
+        assert_eq!(worker.stats().saves, 1);
+        assert_eq!(worker.stats().loads, 1);
+        // After load, the value reverts to the checkpointed state (one add_one applied).
+        let v = downcast_ref::<VecF64>(worker.store.get(PhysicalObjectId(10)).unwrap()).unwrap();
+        assert_eq!(v.values, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn extract_scalar_variants() {
+        assert_eq!(extract_scalar(&Scalar::new(2.5)), Some(2.5));
+        assert_eq!(extract_scalar(&VecF64::new(vec![7.0, 8.0])), Some(7.0));
+        assert_eq!(extract_scalar(&VecF64::new(vec![])), None);
+    }
+}

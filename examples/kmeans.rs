@@ -1,0 +1,32 @@
+//! K-means clustering: the paper's second machine-learning benchmark.
+//!
+//! Run with: `cargo run --example kmeans --release`
+
+use nimbus::apps::kmeans;
+use nimbus::{AppSetup, Cluster, ClusterConfig};
+
+fn main() {
+    let config = kmeans::KMeansConfig {
+        partitions: 16,
+        points_per_partition: 512,
+        dim: 4,
+        k: 5,
+        max_iterations: 12,
+        ..Default::default()
+    };
+    let mut setup = AppSetup::new();
+    kmeans::register(&mut setup, &config);
+    let cluster = Cluster::start(ClusterConfig::new(4), setup);
+    let report = cluster
+        .run_driver(|ctx| kmeans::run(ctx, &config))
+        .expect("clustering completes");
+    println!("objective history: {:?}", report.output.objective_history);
+    println!(
+        "converged after {} iterations; objective {:.2}",
+        report.output.iterations, report.output.final_objective
+    );
+    println!(
+        "tasks via templates: {}, tasks scheduled individually: {}",
+        report.controller.tasks_from_templates, report.controller.tasks_scheduled_directly
+    );
+}

@@ -1,0 +1,38 @@
+//! Logistic regression with the nested-loop structure of Figure 3 of the
+//! paper: an inner gradient loop and an outer loss-estimation loop, both
+//! cached as execution templates.
+//!
+//! Run with: `cargo run --example logistic_regression --release`
+
+use nimbus::apps::logistic_regression as lr;
+use nimbus::{AppSetup, Cluster, ClusterConfig};
+
+fn main() {
+    let config = lr::LogisticRegressionConfig {
+        partitions: 16,
+        points_per_partition: 512,
+        dim: 16,
+        max_inner_iterations: 8,
+        max_outer_iterations: 4,
+        ..Default::default()
+    };
+    let mut setup = AppSetup::new();
+    lr::register(&mut setup, &config);
+    let cluster = Cluster::start(ClusterConfig::new(4), setup);
+    let report = cluster
+        .run_driver(|ctx| lr::run(ctx, &config))
+        .expect("training completes");
+    let result = report.output;
+    println!("loss history: {:?}", result.loss_history);
+    println!(
+        "{} outer iterations, {} gradient iterations, final loss {:.4}",
+        result.outer_iterations, result.inner_iterations, result.final_loss
+    );
+    println!(
+        "templates: {} installed, {} instantiations, {} auto-validated, {} patched",
+        report.controller.controller_templates_installed,
+        report.controller.controller_template_instantiations,
+        report.controller.auto_validations,
+        report.controller.patches_applied
+    );
+}

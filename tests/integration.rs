@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: end-to-end jobs on the in-process cluster
+//! exercising execution templates, dynamic scheduling, and fault recovery.
+
+use nimbus::core::appdata::{Scalar, VecF64};
+use nimbus::core::{FunctionId, LogicalObjectId, TaskParams, WorkerId};
+use nimbus::{AppSetup, Cluster, ClusterConfig, DriverContext, DriverResult, StageSpec};
+
+const BUMP: FunctionId = FunctionId(1);
+const SUM: FunctionId = FunctionId(2);
+
+fn setup(partition_len: usize) -> AppSetup {
+    let mut setup = AppSetup::new();
+    setup.functions.register(BUMP, "bump", |ctx| {
+        let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+        for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
+            *x += delta;
+        }
+        Ok(())
+    });
+    setup.functions.register(SUM, "sum", |ctx| {
+        let mut total = 0.0;
+        for i in 0..ctx.read_count() {
+            total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
+        }
+        ctx.write::<Scalar>(0)?.value = total;
+        Ok(())
+    });
+    setup.factories.register(
+        LogicalObjectId(1),
+        Box::new(move |_| Box::new(VecF64::zeros(partition_len))),
+    );
+    setup
+        .factories
+        .register(LogicalObjectId(2), Box::new(|_| Box::new(Scalar::new(0.0))));
+    setup
+}
+
+fn bump_and_sum(
+    ctx: &mut DriverContext,
+    data: &nimbus::DatasetHandle,
+    total: &nimbus::DatasetHandle,
+    delta: f64,
+) -> DriverResult<()> {
+    ctx.block("step", |ctx| {
+        ctx.submit_stage(
+            StageSpec::new("bump", BUMP)
+                .write(data)
+                .params(TaskParams::from_scalar(delta)),
+        )?;
+        let mut sum = StageSpec::new("sum", SUM).partitions(1);
+        for p in 0..data.partitions {
+            sum = sum.read_partition(data, p);
+        }
+        ctx.submit_stage(sum.write_partition(total, 0))?;
+        Ok(())
+    })
+}
+
+#[test]
+fn templates_survive_allocation_changes_and_keep_results_correct() {
+    let cluster = Cluster::start(ClusterConfig::new(4), setup(2));
+    let report = cluster
+        .run_driver(|ctx| {
+            let data = ctx.define_dataset("data", 8)?;
+            let total = ctx.define_dataset("total", 1)?;
+            let mut expected = 0.0;
+            for i in 0..12u32 {
+                // Shrink the allocation mid-run and later restore it, like the
+                // cluster-manager events of Figure 9.
+                if i == 4 {
+                    ctx.set_worker_allocation(vec![WorkerId(0), WorkerId(1)])?;
+                }
+                if i == 8 {
+                    ctx.set_worker_allocation(
+                        (0..4).map(WorkerId).collect::<Vec<_>>(),
+                    )?;
+                }
+                bump_and_sum(ctx, &data, &total, 1.0)?;
+                expected += 8.0 * 2.0;
+                let got = ctx.fetch_scalar(&total, 0)?;
+                assert_eq!(got, expected, "iteration {i}");
+            }
+            Ok(())
+        })
+        .expect("job completes");
+    // The block is re-recorded when the allocation changes, then re-used.
+    assert!(report.controller.controller_templates_installed >= 1);
+    assert!(report.controller.worker_template_groups_generated >= 2);
+    assert!(report.controller.tasks_from_templates > 0);
+    assert!(report.controller.auto_validations >= 6);
+}
+
+#[test]
+fn checkpoint_recovery_restores_exact_state() {
+    let cluster = Cluster::start(ClusterConfig::new(3), setup(4));
+    let report = cluster
+        .run_driver(|ctx| {
+            let data = ctx.define_dataset("data", 6)?;
+            let total = ctx.define_dataset("total", 1)?;
+            for _ in 0..4 {
+                bump_and_sum(ctx, &data, &total, 1.0)?;
+            }
+            ctx.checkpoint(4)?;
+            for _ in 0..3 {
+                bump_and_sum(ctx, &data, &total, 1.0)?;
+            }
+            assert_eq!(ctx.fetch_scalar(&total, 0)?, 7.0 * 24.0);
+            let marker = ctx.fail_worker(WorkerId(2))?;
+            assert_eq!(marker, 4);
+            // State is back at the checkpoint; re-run the lost iterations.
+            for _ in marker..7 {
+                bump_and_sum(ctx, &data, &total, 1.0)?;
+            }
+            ctx.fetch_scalar(&total, 0)
+        })
+        .expect("job completes");
+    assert_eq!(report.output, 7.0 * 24.0);
+    assert_eq!(report.controller.checkpoints_committed, 1);
+    assert_eq!(report.controller.failures_handled, 1);
+}
+
+#[test]
+fn migrations_via_edits_keep_results_correct() {
+    let cluster = Cluster::start(ClusterConfig::new(3), setup(2));
+    let report = cluster
+        .run_driver(|ctx| {
+            let data = ctx.define_dataset("data", 6)?;
+            let total = ctx.define_dataset("total", 1)?;
+            let mut expected = 0.0;
+            for i in 0..8u32 {
+                if i == 3 {
+                    ctx.migrate_tasks("step", 2)?;
+                }
+                bump_and_sum(ctx, &data, &total, 2.0)?;
+                expected += 6.0 * 2.0 * 2.0;
+                assert_eq!(ctx.fetch_scalar(&total, 0)?, expected, "iteration {i}");
+            }
+            Ok(())
+        })
+        .expect("job completes");
+    assert!(report.controller.edits_applied > 0);
+    assert!(report.controller.patches_applied > 0);
+}
