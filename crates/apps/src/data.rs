@@ -127,14 +127,18 @@ pub fn generate_clustered_partition(
     let mut rng = StdRng::seed_from_u64(seed ^ ((partition as u64) << 32) ^ 0x5eed);
     let mut center_rng = StdRng::seed_from_u64(seed ^ 0xc1u64);
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..dim).map(|_| center_rng.gen_range(-10.0..10.0)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| center_rng.gen_range(-10.0..10.0))
+                .collect()
+        })
         .collect();
     let mut xs = Vec::with_capacity(points * dim);
     let ys = vec![0.0; points];
     for _ in 0..points {
         let c = &centers[rng.gen_range(0..k)];
-        for d in 0..dim {
-            xs.push(c[d] + rng.gen_range(-0.5..0.5));
+        for coord in c.iter().take(dim) {
+            xs.push(coord + rng.gen_range(-0.5..0.5));
         }
     }
     PointsPartition { dim, xs, ys }
@@ -144,7 +148,11 @@ pub fn generate_clustered_partition(
 pub fn true_centers(seed: u64, k: usize, dim: usize) -> Vec<Vec<f64>> {
     let mut center_rng = StdRng::seed_from_u64(seed ^ 0xc1u64);
     (0..k)
-        .map(|_| (0..dim).map(|_| center_rng.gen_range(-10.0..10.0)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| center_rng.gen_range(-10.0..10.0))
+                .collect()
+        })
         .collect()
 }
 

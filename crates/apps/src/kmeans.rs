@@ -9,7 +9,7 @@
 use nimbus_core::appdata::{Scalar, VecF64};
 use nimbus_core::ids::FunctionId;
 use nimbus_core::TaskParams;
-use nimbus_driver::{DatasetHandle, DriverContext, DriverResult, StageSpec};
+use nimbus_driver::{Dataset, DriverContext, DriverResult, StageSpec};
 use nimbus_runtime::AppSetup;
 
 use crate::data::{generate_clustered_partition, ClusterAccumulator, PointsPartition};
@@ -55,20 +55,20 @@ impl Default for KMeansConfig {
     }
 }
 
-/// Dataset handles used by the job.
+/// Typed dataset handles used by the job.
 pub struct KMeansDatasets {
     /// Input points.
-    pub points: DatasetHandle,
+    pub points: Dataset<PointsPartition>,
     /// Per-partition accumulators.
-    pub partials: DatasetHandle,
+    pub partials: Dataset<ClusterAccumulator>,
     /// First-level reduced accumulators.
-    pub partials_l1: DatasetHandle,
+    pub partials_l1: Dataset<ClusterAccumulator>,
     /// Globally reduced accumulator.
-    pub partials_global: DatasetHandle,
+    pub partials_global: Dataset<ClusterAccumulator>,
     /// Current centroids (flattened `k × dim`).
-    pub centroids: DatasetHandle,
+    pub centroids: Dataset<VecF64>,
     /// Clustering objective after the last update.
-    pub objective: DatasetHandle,
+    pub objective: Dataset<Scalar>,
 }
 
 /// Result of a k-means run.
@@ -90,43 +90,27 @@ pub fn register(setup: &mut AppSetup, config: &KMeansConfig) {
     let points = config.points_per_partition;
 
     // Dataset ids follow the definition order in `define_datasets`.
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(1),
-        Box::new(move |lp| {
-            Box::new(generate_clustered_partition(
-                seed,
-                lp.partition.raw(),
-                points,
-                dim,
-                k,
-            ))
-        }),
-    );
+    setup.register_object(nimbus_core::LogicalObjectId(1), move |lp| {
+        generate_clustered_partition(seed, lp.partition.raw(), points, dim, k)
+    });
     for id in 2..=4 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(move |_| Box::new(ClusterAccumulator::zeros(k, dim))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), move |_| {
+            ClusterAccumulator::zeros(k, dim)
+        });
     }
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(5),
-        Box::new(move |_| {
-            // Initial centroids: spread deterministically so they are distinct.
-            let mut values = vec![0.0; k * dim];
-            for c in 0..k {
-                for d in 0..dim {
-                    values[c * dim + d] = (c as f64 + 1.0) * if d % 2 == 0 { 2.0 } else { -2.0 };
-                }
+    setup.register_object(nimbus_core::LogicalObjectId(5), move |_| {
+        // Initial centroids: spread deterministically so they are distinct.
+        let mut values = vec![0.0; k * dim];
+        for c in 0..k {
+            for d in 0..dim {
+                values[c * dim + d] = (c as f64 + 1.0) * if d % 2 == 0 { 2.0 } else { -2.0 };
             }
-            Box::new(VecF64::new(values))
-        }),
-    );
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(6),
-        Box::new(|_| Box::new(Scalar::new(f64::MAX))),
-    );
+        }
+        VecF64::new(values)
+    });
+    setup.register_object(nimbus_core::LogicalObjectId(6), |_| Scalar::new(f64::MAX));
 
-    setup.functions.register(KM_ASSIGN, "km_assign", |ctx| {
+    setup.register_function(KM_ASSIGN, "km_assign", |ctx| {
         let params = ctx.params().as_u64s().map_err(|e| e.to_string())?;
         let (k, dim) = (params[0] as usize, params[1] as usize);
         let data = ctx.read::<PointsPartition>(0)?;
@@ -148,8 +132,8 @@ pub fn register(setup: &mut AppSetup, config: &KMeansConfig) {
                     best = c;
                 }
             }
-            for d in 0..dim {
-                out.sums[best * dim + d] += row[d];
+            for (d, x) in row.iter().enumerate().take(dim) {
+                out.sums[best * dim + d] += x;
             }
             out.counts[best] += 1.0;
             out.objective += best_d2;
@@ -157,7 +141,7 @@ pub fn register(setup: &mut AppSetup, config: &KMeansConfig) {
         Ok(())
     });
 
-    setup.functions.register(KM_MERGE, "km_merge", |ctx| {
+    setup.register_function(KM_MERGE, "km_merge", |ctx| {
         let mut merged = ClusterAccumulator::default();
         for i in 0..ctx.read_count() {
             merged.merge(ctx.read::<ClusterAccumulator>(i)?);
@@ -166,7 +150,7 @@ pub fn register(setup: &mut AppSetup, config: &KMeansConfig) {
         Ok(())
     });
 
-    setup.functions.register(KM_UPDATE, "km_update", |ctx| {
+    setup.register_function(KM_UPDATE, "km_update", |ctx| {
         let acc = ctx.read::<ClusterAccumulator>(0)?.clone();
         {
             let centroids = ctx.write::<VecF64>(0)?;
@@ -176,7 +160,8 @@ pub fn register(setup: &mut AppSetup, config: &KMeansConfig) {
             for c in 0..acc.k {
                 if acc.counts[c] > 0.0 {
                     for d in 0..acc.dim {
-                        centroids.values[c * acc.dim + d] = acc.sums[c * acc.dim + d] / acc.counts[c];
+                        centroids.values[c * acc.dim + d] =
+                            acc.sums[c * acc.dim + d] / acc.counts[c];
                     }
                 }
             }
@@ -246,7 +231,7 @@ pub fn run(ctx: &mut DriverContext, config: &KMeansConfig) -> DriverResult<KMean
     for _ in 0..config.max_iterations {
         submit_iteration(ctx, &data, config)?;
         iterations += 1;
-        let objective = ctx.fetch_scalar(&data.objective, 0)?;
+        let objective = ctx.fetch(&data.objective, 0)?;
         history.push(objective);
         let improvement = (previous - objective) / previous.max(1e-12);
         previous = objective;
@@ -284,7 +269,9 @@ mod tests {
         let mut setup = AppSetup::new();
         register(&mut setup, &config);
         let cluster = Cluster::start(ClusterConfig::new(2), setup);
-        let report = cluster.run_driver(|ctx| run(ctx, &config)).expect("job completes");
+        let report = cluster
+            .run_driver(|ctx| run(ctx, &config))
+            .expect("job completes");
         let result = report.output;
         assert!(result.iterations >= 2);
         assert!(result.final_objective.is_finite());

@@ -10,7 +10,7 @@
 use nimbus_core::appdata::{Scalar, VecF64};
 use nimbus_core::ids::FunctionId;
 use nimbus_core::TaskParams;
-use nimbus_driver::{DatasetHandle, DriverContext, DriverResult, StageSpec};
+use nimbus_driver::{Dataset, DriverContext, DriverResult, StageSpec};
 use nimbus_runtime::AppSetup;
 
 use crate::data::{generate_classification_partition, PointsPartition};
@@ -64,26 +64,26 @@ impl Default for LogisticRegressionConfig {
     }
 }
 
-/// Dataset handles used by the job.
+/// Typed dataset handles used by the job.
 pub struct LrDatasets {
     /// Training data.
-    pub tdata: DatasetHandle,
+    pub tdata: Dataset<PointsPartition>,
     /// Per-partition gradient partials.
-    pub gradient: DatasetHandle,
+    pub gradient: Dataset<VecF64>,
     /// First-level reduced gradients.
-    pub gradient_l1: DatasetHandle,
+    pub gradient_l1: Dataset<VecF64>,
     /// Globally reduced gradient.
-    pub gradient_global: DatasetHandle,
+    pub gradient_global: Dataset<VecF64>,
     /// Model weights (single partition, broadcast-read).
-    pub weights: DatasetHandle,
+    pub weights: Dataset<VecF64>,
     /// Norm of the last reduced gradient.
-    pub gradient_norm: DatasetHandle,
+    pub gradient_norm: Dataset<Scalar>,
     /// Per-partition loss partials.
-    pub loss_partial: DatasetHandle,
+    pub loss_partial: Dataset<VecF64>,
     /// First-level reduced losses.
-    pub loss_l1: DatasetHandle,
+    pub loss_l1: Dataset<VecF64>,
     /// Global loss.
-    pub loss: DatasetHandle,
+    pub loss: Dataset<VecF64>,
 }
 
 /// Result of a logistic-regression run.
@@ -111,39 +111,21 @@ pub fn register(setup: &mut AppSetup, config: &LogisticRegressionConfig) {
     // keyed by the dataset's position in `define_datasets`: tdata is the
     // first dataset defined by this job, and so on. The runtime's driver
     // assigns ids 1..=9 in that order for a fresh context.
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(1),
-        Box::new(move |lp| {
-            Box::new(generate_classification_partition(
-                seed,
-                lp.partition.raw(),
-                points,
-                dim,
-            ))
-        }),
-    );
+    setup.register_object(nimbus_core::LogicalObjectId(1), move |lp| {
+        generate_classification_partition(seed, lp.partition.raw(), points, dim)
+    });
     for id in 2..=4 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(move |_| Box::new(VecF64::zeros(dim))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), move |_| {
+            VecF64::zeros(dim)
+        });
     }
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(5),
-        Box::new(move |_| Box::new(VecF64::zeros(dim))),
-    );
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(6),
-        Box::new(|_| Box::new(Scalar::new(f64::MAX))),
-    );
+    setup.register_object(nimbus_core::LogicalObjectId(5), move |_| VecF64::zeros(dim));
+    setup.register_object(nimbus_core::LogicalObjectId(6), |_| Scalar::new(f64::MAX));
     for id in 7..=9 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(|_| Box::new(VecF64::zeros(1))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), |_| VecF64::zeros(1));
     }
 
-    setup.functions.register(LR_GRADIENT, "lr_gradient", |ctx| {
+    setup.register_function(LR_GRADIENT, "lr_gradient", |ctx| {
         let data = ctx.read::<PointsPartition>(0)?;
         let weights = ctx.read::<VecF64>(1)?.values.clone();
         let grad = ctx.write::<VecF64>(0)?;
@@ -164,24 +146,22 @@ pub fn register(setup: &mut AppSetup, config: &LogisticRegressionConfig) {
         Ok(())
     });
 
-    setup
-        .functions
-        .register(LR_REDUCE_VECS, "lr_reduce_vecs", |ctx| {
-            let mut acc: Vec<f64> = Vec::new();
-            for i in 0..ctx.read_count() {
-                let v = ctx.read::<VecF64>(i)?;
-                if acc.is_empty() {
-                    acc = vec![0.0; v.values.len()];
-                }
-                for (a, b) in acc.iter_mut().zip(&v.values) {
-                    *a += b;
-                }
+    setup.register_function(LR_REDUCE_VECS, "lr_reduce_vecs", |ctx| {
+        let mut acc: Vec<f64> = Vec::new();
+        for i in 0..ctx.read_count() {
+            let v = ctx.read::<VecF64>(i)?;
+            if acc.is_empty() {
+                acc = vec![0.0; v.values.len()];
             }
-            ctx.write::<VecF64>(0)?.values = acc;
-            Ok(())
-        });
+            for (a, b) in acc.iter_mut().zip(&v.values) {
+                *a += b;
+            }
+        }
+        ctx.write::<VecF64>(0)?.values = acc;
+        Ok(())
+    });
 
-    setup.functions.register(LR_UPDATE, "lr_update", |ctx| {
+    setup.register_function(LR_UPDATE, "lr_update", |ctx| {
         let params = ctx.params().as_f64s().map_err(|e| e.to_string())?;
         let (lr, total_points) = (params[0], params[1]);
         let grad = ctx.read::<VecF64>(0)?.values.clone();
@@ -199,7 +179,7 @@ pub fn register(setup: &mut AppSetup, config: &LogisticRegressionConfig) {
         Ok(())
     });
 
-    setup.functions.register(LR_LOSS, "lr_loss", |ctx| {
+    setup.register_function(LR_LOSS, "lr_loss", |ctx| {
         let data = ctx.read::<PointsPartition>(0)?;
         let weights = &ctx.read::<VecF64>(1)?.values.clone();
         let mut loss = 0.0;
@@ -313,7 +293,7 @@ pub fn run(ctx: &mut DriverContext, config: &LogisticRegressionConfig) -> Driver
         for _inner in 0..config.max_inner_iterations {
             submit_inner_block(ctx, &data, config)?;
             inner_iterations += 1;
-            let norm = ctx.fetch_scalar(&data.gradient_norm, 0)?;
+            let norm = ctx.fetch(&data.gradient_norm, 0)?;
             if norm < config.gradient_threshold {
                 break;
             }
@@ -321,7 +301,7 @@ pub fn run(ctx: &mut DriverContext, config: &LogisticRegressionConfig) -> Driver
         // Outer estimation: compute the loss and decide whether to continue.
         submit_outer_block(ctx, &data, config)?;
         let total_points = (config.partitions as usize * config.points_per_partition) as f64;
-        let loss = ctx.fetch_scalar(&data.loss, 0)? / total_points;
+        let loss = ctx.fetch(&data.loss, 0)? / total_points;
         loss_history.push(loss);
         let improvement = (previous_loss - loss).abs() / previous_loss.max(1e-12);
         previous_loss = loss;
@@ -412,7 +392,10 @@ mod tests {
         let without = run_once(false);
         assert_eq!(with.loss_history.len(), without.loss_history.len());
         for (a, b) in with.loss_history.iter().zip(&without.loss_history) {
-            assert!((a - b).abs() < 1e-9, "templates changed results: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "templates changed results: {a} vs {b}"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 
 use nimbus_core::ids::FunctionId;
 use nimbus_core::TaskParams;
-use nimbus_driver::{DatasetHandle, DriverContext, DriverResult, StageSpec};
+use nimbus_driver::{AsDataset, DriverContext, DriverResult, StageSpec};
 
 /// Returns the group size used for `partitions` inputs (√P rounded up).
 pub fn group_size(partitions: u32) -> u32 {
@@ -30,18 +30,18 @@ pub fn submit_two_level_reduce(
     ctx: &mut DriverContext,
     name: &str,
     reduce_fn: FunctionId,
-    partials: &DatasetHandle,
-    intermediate: &DatasetHandle,
-    output: &DatasetHandle,
+    partials: &impl AsDataset,
+    intermediate: &impl AsDataset,
+    output: &impl AsDataset,
     params: TaskParams,
 ) -> DriverResult<()> {
-    let p = partials.partitions;
+    let p = partials.dataset_handle().partitions;
     let g = group_size(p);
     let groups = intermediate_partitions(p);
     assert!(
-        intermediate.partitions >= groups,
+        intermediate.dataset_handle().partitions >= groups,
         "intermediate dataset '{}' needs at least {groups} partitions",
-        intermediate.name
+        intermediate.dataset_handle().name
     );
     // Level 1: one task per group.
     for group in 0..groups {

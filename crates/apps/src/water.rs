@@ -24,7 +24,7 @@
 
 use nimbus_core::appdata::VecF64;
 use nimbus_core::{impl_app_data, TaskParams};
-use nimbus_driver::{DatasetHandle, DriverContext, DriverResult, StageSpec};
+use nimbus_driver::{Dataset, DriverContext, DriverResult, StageSpec};
 use nimbus_runtime::AppSetup;
 
 /// One horizontal slab of the simulation grid plus its particle set.
@@ -219,29 +219,29 @@ impl Default for WaterConfig {
 /// Dataset handles used by the simulation.
 pub struct WaterDatasets {
     /// Grid slabs (one per partition).
-    pub grid: DatasetHandle,
+    pub grid: Dataset<GridSlab>,
     /// Per-slab CFL bounds.
-    pub cfl_local: DatasetHandle,
+    pub cfl_local: Dataset<VecF64>,
     /// Intermediate CFL reductions.
-    pub cfl_l1: DatasetHandle,
+    pub cfl_l1: Dataset<VecF64>,
     /// Global time-step bound.
-    pub dt_global: DatasetHandle,
+    pub dt_global: Dataset<VecF64>,
     /// Per-slab pressure residuals.
-    pub residual_local: DatasetHandle,
+    pub residual_local: Dataset<VecF64>,
     /// Intermediate residual reductions.
-    pub residual_l1: DatasetHandle,
+    pub residual_l1: Dataset<VecF64>,
     /// Global pressure residual.
-    pub residual_global: DatasetHandle,
+    pub residual_global: Dataset<VecF64>,
     /// Halo rows published upward.
-    pub halo_up: DatasetHandle,
+    pub halo_up: Dataset<VecF64>,
     /// Halo rows published downward.
-    pub halo_down: DatasetHandle,
+    pub halo_down: Dataset<VecF64>,
     /// Per-slab water volume.
-    pub volume_local: DatasetHandle,
+    pub volume_local: Dataset<VecF64>,
     /// Intermediate volume reductions.
-    pub volume_l1: DatasetHandle,
+    pub volume_l1: Dataset<VecF64>,
     /// Global water volume.
-    pub volume_global: DatasetHandle,
+    pub volume_global: Dataset<VecF64>,
 }
 
 /// Result of a water-simulation run.
@@ -266,36 +266,24 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
     let nx = config.nx;
     let rows = config.rows_per_slab;
 
-    setup.factories.register(
-        nimbus_core::LogicalObjectId(1),
-        Box::new(move |lp| {
-            Box::new(GridSlab::new(nx, rows, lp.partition.raw() as usize * rows))
-        }),
-    );
+    setup.register_object(nimbus_core::LogicalObjectId(1), move |lp| {
+        GridSlab::new(nx, rows, lp.partition.raw() as usize * rows)
+    });
     // Scalar-per-partition datasets (CFL, residual, volume and their trees).
     for id in 2..=7 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(|_| Box::new(VecF64::new(vec![0.0]))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), |_| VecF64::new(vec![0.0]));
     }
     // Halo rows.
     for id in 8..=9 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(move |_| Box::new(VecF64::zeros(nx))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), move |_| VecF64::zeros(nx));
     }
     for id in 10..=12 {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(id),
-            Box::new(|_| Box::new(VecF64::new(vec![0.0]))),
-        );
+        setup.register_object(nimbus_core::LogicalObjectId(id), |_| VecF64::new(vec![0.0]));
     }
 
     use stages::*;
 
-    setup.functions.register(COMPUTE_CFL, "compute_cfl", |ctx| {
+    setup.register_function(COMPUTE_CFL, "compute_cfl", |ctx| {
         let cfl = ctx.params().as_scalar().map_err(|e| e.to_string())?;
         let grid = ctx.read::<GridSlab>(0)?;
         let speed = grid.max_speed().max(1e-3);
@@ -303,7 +291,7 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup.functions.register(REDUCE_MIN, "reduce_min", |ctx| {
+    setup.register_function(REDUCE_MIN, "reduce_min", |ctx| {
         let mut m = f64::INFINITY;
         for i in 0..ctx.read_count() {
             m = m.min(vec_min(&ctx.read::<VecF64>(i)?.values));
@@ -312,7 +300,7 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup.functions.register(REDUCE_MAX, "reduce_max", |ctx| {
+    setup.register_function(REDUCE_MAX, "reduce_max", |ctx| {
         let mut m = f64::NEG_INFINITY;
         for i in 0..ctx.read_count() {
             m = m.max(
@@ -327,7 +315,7 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup.functions.register(REDUCE_SUM, "reduce_sum", |ctx| {
+    setup.register_function(REDUCE_SUM, "reduce_sum", |ctx| {
         let mut total = 0.0;
         for i in 0..ctx.read_count() {
             total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
@@ -336,7 +324,7 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup.functions.register(ADD_FORCES, "add_forces", |ctx| {
+    setup.register_function(ADD_FORCES, "add_forces", |ctx| {
         let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
         let grid = ctx.write::<GridSlab>(0)?;
         for i in 0..grid.v.len() {
@@ -347,48 +335,46 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup
-        .functions
-        .register(ADVECT_VELOCITY, "advect_velocity", |ctx| {
-            let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
-            let grid = ctx.write::<GridSlab>(0)?;
-            let (nx, ny) = (grid.nx, grid.ny);
-            let u0 = grid.u.clone();
-            let v0 = grid.v.clone();
-            for row in 0..ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    let src_col =
-                        ((col as f64 - u0[i] * dt).round().clamp(0.0, nx as f64 - 1.0)) as usize;
-                    let src_row =
-                        ((row as f64 - v0[i] * dt).round().clamp(0.0, ny as f64 - 1.0)) as usize;
-                    let s = src_row * nx + src_col;
-                    grid.u[i] = u0[s];
-                    grid.v[i] = v0[s];
-                }
+    setup.register_function(ADVECT_VELOCITY, "advect_velocity", |ctx| {
+        let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+        let grid = ctx.write::<GridSlab>(0)?;
+        let (nx, ny) = (grid.nx, grid.ny);
+        let u0 = grid.u.clone();
+        let v0 = grid.v.clone();
+        for row in 0..ny {
+            for col in 0..nx {
+                let i = row * nx + col;
+                let src_col = ((col as f64 - u0[i] * dt)
+                    .round()
+                    .clamp(0.0, nx as f64 - 1.0)) as usize;
+                let src_row = ((row as f64 - v0[i] * dt)
+                    .round()
+                    .clamp(0.0, ny as f64 - 1.0)) as usize;
+                let s = src_row * nx + src_col;
+                grid.u[i] = u0[s];
+                grid.v[i] = v0[s];
             }
-            Ok(())
-        });
+        }
+        Ok(())
+    });
 
-    setup
-        .functions
-        .register(APPLY_VISCOSITY, "apply_viscosity", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            let u0 = grid.u.clone();
-            let v0 = grid.v.clone();
-            for i in 0..u0.len() {
-                let left = if i % nx > 0 { u0[i - 1] } else { u0[i] };
-                let right = if i % nx < nx - 1 { u0[i + 1] } else { u0[i] };
-                grid.u[i] = 0.9 * u0[i] + 0.05 * (left + right);
-                let left = if i % nx > 0 { v0[i - 1] } else { v0[i] };
-                let right = if i % nx < nx - 1 { v0[i + 1] } else { v0[i] };
-                grid.v[i] = 0.9 * v0[i] + 0.05 * (left + right);
-            }
-            Ok(())
-        });
+    setup.register_function(APPLY_VISCOSITY, "apply_viscosity", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        let u0 = grid.u.clone();
+        let v0 = grid.v.clone();
+        for i in 0..u0.len() {
+            let left = if i % nx > 0 { u0[i - 1] } else { u0[i] };
+            let right = if i % nx < nx - 1 { u0[i + 1] } else { u0[i] };
+            grid.u[i] = 0.9 * u0[i] + 0.05 * (left + right);
+            let left = if i % nx > 0 { v0[i - 1] } else { v0[i] };
+            let right = if i % nx < nx - 1 { v0[i + 1] } else { v0[i] };
+            grid.v[i] = 0.9 * v0[i] + 0.05 * (left + right);
+        }
+        Ok(())
+    });
 
-    setup.functions.register(PUBLISH_HALO, "publish_halo", |ctx| {
+    setup.register_function(PUBLISH_HALO, "publish_halo", |ctx| {
         let grid = ctx.read::<GridSlab>(0)?;
         let nx = grid.nx;
         let top_row: Vec<f64> = grid.levelset[(grid.ny - 1) * nx..].to_vec();
@@ -398,7 +384,7 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup.functions.register(APPLY_HALO, "apply_halo", |ctx| {
+    setup.register_function(APPLY_HALO, "apply_halo", |ctx| {
         // Reads: [grid is in the write set]; read 0/1 are the neighbours'
         // published rows (or this slab's own rows at the domain boundary).
         let below = ctx.read::<VecF64>(0)?.values.clone();
@@ -409,208 +395,194 @@ pub fn register(setup: &mut AppSetup, config: &WaterConfig) {
         Ok(())
     });
 
-    setup
-        .functions
-        .register(COMPUTE_DIVERGENCE, "compute_divergence", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            for row in 0..grid.ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    let right = if col < nx - 1 { grid.u[i + 1] } else { 0.0 };
-                    let up = if row < grid.ny - 1 { grid.v[i + nx] } else { 0.0 };
-                    grid.divergence[i] = (right - grid.u[i]) + (up - grid.v[i]);
-                }
-            }
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(PRESSURE_SWEEP, "pressure_sweep", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            let ny = grid.ny;
-            for row in 0..ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    let left = if col > 0 { grid.pressure[i - 1] } else { 0.0 };
-                    let right = if col < nx - 1 { grid.pressure[i + 1] } else { 0.0 };
-                    let down = if row > 0 {
-                        grid.pressure[i - nx]
-                    } else {
-                        grid.ghost_below.get(col).copied().unwrap_or(0.0)
-                    };
-                    let up = if row < ny - 1 {
-                        grid.pressure[i + nx]
-                    } else {
-                        grid.ghost_above.get(col).copied().unwrap_or(0.0)
-                    };
-                    grid.pressure_next[i] = (left + right + down + up - grid.divergence[i]) / 4.0;
-                }
-            }
-            std::mem::swap(&mut grid.pressure, &mut grid.pressure_next);
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(COMPUTE_RESIDUAL, "compute_residual", |ctx| {
-            let grid = ctx.read::<GridSlab>(0)?;
-            let mut residual: f64 = 0.0;
-            for i in 0..grid.pressure.len() {
-                residual = residual.max((grid.pressure[i] - grid.pressure_next[i]).abs());
-            }
-            ctx.write::<VecF64>(0)?.values = vec![residual];
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(APPLY_PRESSURE, "apply_pressure", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            for row in 0..grid.ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    let left = if col > 0 { grid.pressure[i - 1] } else { 0.0 };
-                    let down = if row > 0 { grid.pressure[i - nx] } else { 0.0 };
-                    grid.u[i] -= grid.pressure[i] - left;
-                    grid.v[i] -= grid.pressure[i] - down;
-                }
-            }
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(ENFORCE_BOUNDARIES, "enforce_boundaries", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            for row in 0..grid.ny {
-                grid.u[row * nx] = 0.0;
-                grid.u[row * nx + nx - 1] = 0.0;
-            }
+    setup.register_function(COMPUTE_DIVERGENCE, "compute_divergence", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        for row in 0..grid.ny {
             for col in 0..nx {
-                grid.v[col] = grid.v[col].max(0.0);
-            }
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(ADVECT_LEVELSET, "advect_levelset", |ctx| {
-            let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
-            let grid = ctx.write::<GridSlab>(0)?;
-            let (nx, ny) = (grid.nx, grid.ny);
-            let phi0 = grid.levelset.clone();
-            for row in 0..ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    let src_col =
-                        ((col as f64 - grid.u[i] * dt).round().clamp(0.0, nx as f64 - 1.0)) as usize;
-                    let src_row =
-                        ((row as f64 - grid.v[i] * dt).round().clamp(0.0, ny as f64 - 1.0)) as usize;
-                    grid.levelset_next[i] = phi0[src_row * nx + src_col];
-                }
-            }
-            std::mem::swap(&mut grid.levelset, &mut grid.levelset_next);
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(REINITIALIZE_LEVELSET, "reinitialize_levelset", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            for phi in grid.levelset.iter_mut() {
-                *phi = phi.clamp(-3.0, 3.0) * 0.99;
-            }
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(ADVECT_PARTICLES, "advect_particles", |ctx| {
-            let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            let ny = grid.ny;
-            for p in 0..grid.particles_x.len() {
-                let col = (grid.particles_x[p].floor().clamp(0.0, nx as f64 - 1.0)) as usize;
-                let row = ((grid.particles_y[p] - grid.y_offset as f64)
-                    .floor()
-                    .clamp(0.0, ny as f64 - 1.0)) as usize;
                 let i = row * nx + col;
-                grid.particles_x[p] =
-                    (grid.particles_x[p] + grid.u[i] * dt).clamp(0.0, nx as f64 - 1e-3);
-                grid.particles_y[p] += grid.v[i] * dt;
+                let right = if col < nx - 1 { grid.u[i + 1] } else { 0.0 };
+                let up = if row < grid.ny - 1 {
+                    grid.v[i + nx]
+                } else {
+                    0.0
+                };
+                grid.divergence[i] = (right - grid.u[i]) + (up - grid.v[i]);
             }
-            Ok(())
-        });
+        }
+        Ok(())
+    });
 
-    setup
-        .functions
-        .register(CORRECT_LEVELSET, "correct_levelset", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            let ny = grid.ny;
-            for p in 0..grid.particles_x.len() {
-                let col = (grid.particles_x[p].floor().clamp(0.0, nx as f64 - 1.0)) as usize;
-                let row = ((grid.particles_y[p] - grid.y_offset as f64)
-                    .floor()
-                    .clamp(0.0, ny as f64 - 1.0)) as usize;
+    setup.register_function(PRESSURE_SWEEP, "pressure_sweep", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        let ny = grid.ny;
+        for row in 0..ny {
+            for col in 0..nx {
                 let i = row * nx + col;
-                // An inside particle sitting in an "outside" cell (or vice
-                // versa) pulls the level set toward its sign.
-                if grid.particles_sign[p] * grid.levelset[i] > 0.25 {
-                    grid.levelset[i] -= 0.1 * grid.particles_sign[p];
+                let left = if col > 0 { grid.pressure[i - 1] } else { 0.0 };
+                let right = if col < nx - 1 {
+                    grid.pressure[i + 1]
+                } else {
+                    0.0
+                };
+                let down = if row > 0 {
+                    grid.pressure[i - nx]
+                } else {
+                    grid.ghost_below.get(col).copied().unwrap_or(0.0)
+                };
+                let up = if row < ny - 1 {
+                    grid.pressure[i + nx]
+                } else {
+                    grid.ghost_above.get(col).copied().unwrap_or(0.0)
+                };
+                grid.pressure_next[i] = (left + right + down + up - grid.divergence[i]) / 4.0;
+            }
+        }
+        std::mem::swap(&mut grid.pressure, &mut grid.pressure_next);
+        Ok(())
+    });
+
+    setup.register_function(COMPUTE_RESIDUAL, "compute_residual", |ctx| {
+        let grid = ctx.read::<GridSlab>(0)?;
+        let mut residual: f64 = 0.0;
+        for i in 0..grid.pressure.len() {
+            residual = residual.max((grid.pressure[i] - grid.pressure_next[i]).abs());
+        }
+        ctx.write::<VecF64>(0)?.values = vec![residual];
+        Ok(())
+    });
+
+    setup.register_function(APPLY_PRESSURE, "apply_pressure", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        for row in 0..grid.ny {
+            for col in 0..nx {
+                let i = row * nx + col;
+                let left = if col > 0 { grid.pressure[i - 1] } else { 0.0 };
+                let down = if row > 0 { grid.pressure[i - nx] } else { 0.0 };
+                grid.u[i] -= grid.pressure[i] - left;
+                grid.v[i] -= grid.pressure[i] - down;
+            }
+        }
+        Ok(())
+    });
+
+    setup.register_function(ENFORCE_BOUNDARIES, "enforce_boundaries", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        for row in 0..grid.ny {
+            grid.u[row * nx] = 0.0;
+            grid.u[row * nx + nx - 1] = 0.0;
+        }
+        for col in 0..nx {
+            grid.v[col] = grid.v[col].max(0.0);
+        }
+        Ok(())
+    });
+
+    setup.register_function(ADVECT_LEVELSET, "advect_levelset", |ctx| {
+        let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+        let grid = ctx.write::<GridSlab>(0)?;
+        let (nx, ny) = (grid.nx, grid.ny);
+        let phi0 = grid.levelset.clone();
+        for row in 0..ny {
+            for col in 0..nx {
+                let i = row * nx + col;
+                let src_col = ((col as f64 - grid.u[i] * dt)
+                    .round()
+                    .clamp(0.0, nx as f64 - 1.0)) as usize;
+                let src_row = ((row as f64 - grid.v[i] * dt)
+                    .round()
+                    .clamp(0.0, ny as f64 - 1.0)) as usize;
+                grid.levelset_next[i] = phi0[src_row * nx + src_col];
+            }
+        }
+        std::mem::swap(&mut grid.levelset, &mut grid.levelset_next);
+        Ok(())
+    });
+
+    setup.register_function(REINITIALIZE_LEVELSET, "reinitialize_levelset", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        for phi in grid.levelset.iter_mut() {
+            *phi = phi.clamp(-3.0, 3.0) * 0.99;
+        }
+        Ok(())
+    });
+
+    setup.register_function(ADVECT_PARTICLES, "advect_particles", |ctx| {
+        let dt = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        let ny = grid.ny;
+        for p in 0..grid.particles_x.len() {
+            let col = (grid.particles_x[p].floor().clamp(0.0, nx as f64 - 1.0)) as usize;
+            let row = ((grid.particles_y[p] - grid.y_offset as f64)
+                .floor()
+                .clamp(0.0, ny as f64 - 1.0)) as usize;
+            let i = row * nx + col;
+            grid.particles_x[p] =
+                (grid.particles_x[p] + grid.u[i] * dt).clamp(0.0, nx as f64 - 1e-3);
+            grid.particles_y[p] += grid.v[i] * dt;
+        }
+        Ok(())
+    });
+
+    setup.register_function(CORRECT_LEVELSET, "correct_levelset", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        let ny = grid.ny;
+        for p in 0..grid.particles_x.len() {
+            let col = (grid.particles_x[p].floor().clamp(0.0, nx as f64 - 1.0)) as usize;
+            let row = ((grid.particles_y[p] - grid.y_offset as f64)
+                .floor()
+                .clamp(0.0, ny as f64 - 1.0)) as usize;
+            let i = row * nx + col;
+            // An inside particle sitting in an "outside" cell (or vice
+            // versa) pulls the level set toward its sign.
+            if grid.particles_sign[p] * grid.levelset[i] > 0.25 {
+                grid.levelset[i] -= 0.1 * grid.particles_sign[p];
+            }
+        }
+        Ok(())
+    });
+
+    setup.register_function(RESEED_PARTICLES, "reseed_particles", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        let nx = grid.nx;
+        let ny = grid.ny;
+        let y_offset = grid.y_offset;
+        let mut idx = 0usize;
+        for row in 0..ny {
+            for col in 0..nx {
+                let i = row * nx + col;
+                if grid.levelset[i].abs() < 1.5 && idx < grid.particles_x.len() {
+                    grid.particles_x[idx] = col as f64 + 0.5;
+                    grid.particles_y[idx] = (y_offset + row) as f64 + 0.5;
+                    grid.particles_sign[idx] = grid.levelset[i].signum();
+                    idx += 1;
                 }
             }
-            Ok(())
-        });
+        }
+        Ok(())
+    });
 
-    setup
-        .functions
-        .register(RESEED_PARTICLES, "reseed_particles", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            let nx = grid.nx;
-            let ny = grid.ny;
-            let y_offset = grid.y_offset;
-            let mut idx = 0usize;
-            for row in 0..ny {
-                for col in 0..nx {
-                    let i = row * nx + col;
-                    if grid.levelset[i].abs() < 1.5 && idx < grid.particles_x.len() {
-                        grid.particles_x[idx] = col as f64 + 0.5;
-                        grid.particles_y[idx] = (y_offset + row) as f64 + 0.5;
-                        grid.particles_sign[idx] = grid.levelset[i].signum();
-                        idx += 1;
-                    }
-                }
+    setup.register_function(EXTRAPOLATE_VELOCITY, "extrapolate_velocity", |ctx| {
+        let grid = ctx.write::<GridSlab>(0)?;
+        for i in 0..grid.u.len() {
+            if grid.levelset[i] >= 0.0 {
+                grid.u[i] *= 0.5;
+                grid.v[i] *= 0.5;
             }
-            Ok(())
-        });
+        }
+        Ok(())
+    });
 
-    setup
-        .functions
-        .register(EXTRAPOLATE_VELOCITY, "extrapolate_velocity", |ctx| {
-            let grid = ctx.write::<GridSlab>(0)?;
-            for i in 0..grid.u.len() {
-                if grid.levelset[i] >= 0.0 {
-                    grid.u[i] *= 0.5;
-                    grid.v[i] *= 0.5;
-                }
-            }
-            Ok(())
-        });
-
-    setup
-        .functions
-        .register(MEASURE_VOLUME, "measure_volume", |ctx| {
-            let grid = ctx.read::<GridSlab>(0)?;
-            ctx.write::<VecF64>(0)?.values = vec![grid.water_fraction()];
-            Ok(())
-        });
+    setup.register_function(MEASURE_VOLUME, "measure_volume", |ctx| {
+        let grid = ctx.read::<GridSlab>(0)?;
+        ctx.write::<VecF64>(0)?.values = vec![grid.water_fraction()];
+        Ok(())
+    });
 }
 
 /// Defines the simulation's datasets (must be the first datasets defined on
@@ -674,7 +646,7 @@ pub fn run(ctx: &mut DriverContext, config: &WaterConfig) -> DriverResult<WaterR
                 )?;
                 Ok(())
             })?;
-            let dt_bound = ctx.fetch_scalar(&data.dt_global, 0)?;
+            let dt_bound = ctx.fetch(&data.dt_global, 0)?;
             let dt = dt_bound.min(time_left).max(1e-4);
 
             // Block 2: forces, advection, halo exchange, divergence
@@ -742,7 +714,7 @@ pub fn run(ctx: &mut DriverContext, config: &WaterConfig) -> DriverResult<WaterR
                     )?;
                     Ok(())
                 })?;
-                let residual = ctx.fetch_scalar(&data.residual_global, 0)?;
+                let residual = ctx.fetch(&data.residual_global, 0)?;
                 if residual < config.pressure_tolerance {
                     break;
                 }
@@ -778,8 +750,7 @@ pub fn run(ctx: &mut DriverContext, config: &WaterConfig) -> DriverResult<WaterR
                     StageSpec::new("reseed_particles", RESEED_PARTICLES).write(&data.grid),
                 )?;
                 ctx.submit_stage(
-                    StageSpec::new("extrapolate_velocity", EXTRAPOLATE_VELOCITY)
-                        .write(&data.grid),
+                    StageSpec::new("extrapolate_velocity", EXTRAPOLATE_VELOCITY).write(&data.grid),
                 )?;
                 ctx.submit_stage(
                     StageSpec::new("measure_volume", MEASURE_VOLUME)
@@ -800,7 +771,7 @@ pub fn run(ctx: &mut DriverContext, config: &WaterConfig) -> DriverResult<WaterR
 
             time_left -= dt;
         }
-        let volume = ctx.fetch_scalar(&data.volume_global, 0)? / slabs as f64;
+        let volume = ctx.fetch(&data.volume_global, 0)? / slabs as f64;
         volume_per_frame.push(volume);
     }
 
@@ -852,7 +823,9 @@ mod tests {
         let mut setup = AppSetup::new();
         register(&mut setup, &config);
         let cluster = Cluster::start(ClusterConfig::new(2), setup);
-        let report = cluster.run_driver(|ctx| run(ctx, &config)).expect("simulation completes");
+        let report = cluster
+            .run_driver(|ctx| run(ctx, &config))
+            .expect("simulation completes");
         let result = report.output;
         assert_eq!(result.frames, 2);
         assert!(result.substeps >= 2, "at least one sub-step per frame");

@@ -9,7 +9,9 @@
 //! modeled analytically rather than executed, since by construction it has no
 //! control-plane code path to exercise.
 
-use nimbus_sim::{simulate_iteration, ClusterModel, ControlPlane, IterationBreakdown, WorkloadModel};
+use nimbus_sim::{
+    simulate_iteration, ClusterModel, ControlPlane, IterationBreakdown, WorkloadModel,
+};
 
 /// Characteristics of an MPI-style static execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

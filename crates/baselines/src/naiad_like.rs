@@ -89,27 +89,24 @@ mod tests {
     use nimbus_core::appdata::VecF64;
     use nimbus_core::ids::FunctionId;
     use nimbus_core::TaskParams;
-    use nimbus_driver::StageSpec;
+    use nimbus_driver::{Dataset, StageSpec};
     use nimbus_runtime::{AppSetup, Cluster, ClusterConfig};
 
     #[test]
     fn static_dataflow_installs_once_and_rejects_changes() {
-        let mut setup = AppSetup::new();
-        setup.functions.register(FunctionId(1), "bump", |ctx| {
-            let v = ctx.write::<VecF64>(0)?;
-            for x in v.values.iter_mut() {
-                *x += 1.0;
-            }
-            Ok(())
-        });
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(1),
-            Box::new(|_| Box::new(VecF64::zeros(2))),
-        );
+        let setup = AppSetup::new()
+            .function(FunctionId(1), "bump", |ctx| {
+                let v = ctx.write::<VecF64>(0)?;
+                for x in v.values.iter_mut() {
+                    *x += 1.0;
+                }
+                Ok(())
+            })
+            .object(nimbus_core::LogicalObjectId(1), |_| VecF64::zeros(2));
         let cluster = Cluster::start(ClusterConfig::new(2), setup);
         let report = cluster
             .run_driver(|ctx| {
-                let data = ctx.define_dataset("data", 2)?;
+                let data: Dataset<VecF64> = ctx.define_dataset("data", 2)?;
                 let mut dataflow = StaticDataflowDriver::new(ctx);
                 for _ in 0..3 {
                     dataflow.run_block("step", |ctx| {
@@ -122,13 +119,11 @@ mod tests {
                 }
                 dataflow.freeze();
                 assert!(dataflow.migrate_tasks("step", 1).is_err());
-                assert!(dataflow
-                    .run_block("other", |_ctx| Ok(()))
-                    .is_err());
+                assert!(dataflow.run_block("other", |_ctx| Ok(())).is_err());
                 assert_eq!(dataflow.installed_blocks(), ["step".to_string()]);
                 dataflow.reinstall();
                 assert_eq!(dataflow.reinstallations, 1);
-                dataflow.ctx().fetch_scalar(&data, 0)
+                dataflow.ctx().fetch(&data, 0)
             })
             .unwrap();
         assert_eq!(report.output, 3.0);

@@ -37,7 +37,8 @@ fn bench_edits(c: &mut Criterion) {
         b.iter_batched(
             || worker_template.clone(),
             |mut t| {
-                t.apply_edits(&[TemplateEdit::RemoveEntry { index: 0 }]).unwrap();
+                t.apply_edits(&[TemplateEdit::RemoveEntry { index: 0 }])
+                    .unwrap();
                 t.len()
             },
             BatchSize::SmallInput,

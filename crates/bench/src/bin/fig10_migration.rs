@@ -7,7 +7,11 @@ use nimbus_sim::{experiments, CostProfile};
 fn main() {
     let profile = CostProfile::paper();
     let rows = experiments::fig10_migration(&profile);
-    print_rows("Figure 10: cumulative time, 20 iterations", "iteration", &rows);
+    print_rows(
+        "Figure 10: cumulative time, 20 iterations",
+        "iteration",
+        &rows,
+    );
     let last = rows.last().expect("rows");
     let nimbus = last.get("nimbus_elapsed_s").unwrap();
     let naiad = last.get("naiad_elapsed_s").unwrap();

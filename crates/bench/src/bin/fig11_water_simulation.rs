@@ -18,7 +18,11 @@ fn main() {
         "Figure 11: paper vs reproduced (seconds per frame)",
         &[
             TableRow::new("MPI", "31.7", format!("{:.1}", sim.get("mpi_s").unwrap())),
-            TableRow::new("Nimbus", "36.5", format!("{:.1}", sim.get("nimbus_s").unwrap())),
+            TableRow::new(
+                "Nimbus",
+                "36.5",
+                format!("{:.1}", sim.get("nimbus_s").unwrap()),
+            ),
             TableRow::new(
                 "Nimbus w/o templates",
                 "196.8",

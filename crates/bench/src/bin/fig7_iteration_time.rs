@@ -15,18 +15,42 @@ fn main() {
     print_table(
         "Figure 7a @100 workers: paper vs reproduced (seconds)",
         &[
-            TableRow::new("Spark-opt", "1.43", format!("{:.2}", lr100.get("spark_opt_s").unwrap())),
-            TableRow::new("Naiad-opt", "0.08", format!("{:.2}", lr100.get("naiad_opt_s").unwrap())),
-            TableRow::new("Nimbus", "0.06", format!("{:.2}", lr100.get("nimbus_s").unwrap())),
+            TableRow::new(
+                "Spark-opt",
+                "1.43",
+                format!("{:.2}", lr100.get("spark_opt_s").unwrap()),
+            ),
+            TableRow::new(
+                "Naiad-opt",
+                "0.08",
+                format!("{:.2}", lr100.get("naiad_opt_s").unwrap()),
+            ),
+            TableRow::new(
+                "Nimbus",
+                "0.06",
+                format!("{:.2}", lr100.get("nimbus_s").unwrap()),
+            ),
         ],
     );
     let km100 = km.last().expect("rows");
     print_table(
         "Figure 7b @100 workers: paper vs reproduced (seconds)",
         &[
-            TableRow::new("Spark-opt", "1.57", format!("{:.2}", km100.get("spark_opt_s").unwrap())),
-            TableRow::new("Naiad-opt", "0.11", format!("{:.2}", km100.get("naiad_opt_s").unwrap())),
-            TableRow::new("Nimbus", "0.10", format!("{:.2}", km100.get("nimbus_s").unwrap())),
+            TableRow::new(
+                "Spark-opt",
+                "1.57",
+                format!("{:.2}", km100.get("spark_opt_s").unwrap()),
+            ),
+            TableRow::new(
+                "Naiad-opt",
+                "0.11",
+                format!("{:.2}", km100.get("naiad_opt_s").unwrap()),
+            ),
+            TableRow::new(
+                "Nimbus",
+                "0.10",
+                format!("{:.2}", km100.get("nimbus_s").unwrap()),
+            ),
         ],
     );
 }

@@ -11,8 +11,16 @@ fn main() {
     print_table(
         "Figure 8 @100 workers: paper vs reproduced (tasks/second)",
         &[
-            TableRow::new("Spark saturation", "~6,000", format!("{:.0}", last.get("spark_tasks_per_s").unwrap())),
-            TableRow::new("Nimbus", "~128,000", format!("{:.0}", last.get("nimbus_tasks_per_s").unwrap())),
+            TableRow::new(
+                "Spark saturation",
+                "~6,000",
+                format!("{:.0}", last.get("spark_tasks_per_s").unwrap()),
+            ),
+            TableRow::new(
+                "Nimbus",
+                "~128,000",
+                format!("{:.0}", last.get("nimbus_tasks_per_s").unwrap()),
+            ),
             TableRow::new(
                 "Nimbus peak (Table 2)",
                 ">500,000",

@@ -13,11 +13,27 @@ fn main() {
     print_table(
         "Figure 9 key iterations: paper vs reproduced (seconds)",
         &[
-            TableRow::new("templates disabled (iter 5)", "~1.07", format!("{:.2}", pick(5))),
+            TableRow::new(
+                "templates disabled (iter 5)",
+                "~1.07",
+                format!("{:.2}", pick(5)),
+            ),
             TableRow::new("installing (iter 10)", "~1.3", format!("{:.2}", pick(10))),
-            TableRow::new("steady state (iter 15)", "~0.06", format!("{:.2}", pick(15))),
-            TableRow::new("after eviction (iter 25)", "~0.12", format!("{:.2}", pick(25))),
-            TableRow::new("after restore (iter 32)", "~0.06", format!("{:.2}", pick(32))),
+            TableRow::new(
+                "steady state (iter 15)",
+                "~0.06",
+                format!("{:.2}", pick(15)),
+            ),
+            TableRow::new(
+                "after eviction (iter 25)",
+                "~0.12",
+                format!("{:.2}", pick(25)),
+            ),
+            TableRow::new(
+                "after restore (iter 32)",
+                "~0.06",
+                format!("{:.2}", pick(32)),
+            ),
         ],
     );
 }

@@ -92,18 +92,14 @@ impl BenchCluster {
         let weights = LogicalPartition::new(WEIGHTS, PartitionIndex(0));
         for p in 0..self.shape.tasks() {
             specs.push(
-                TaskSpec::new(
-                    TaskId(self.ids.tasks.next_raw()),
-                    StageId(1),
-                    GRADIENT_FN,
-                )
-                .with_reads(vec![
-                    LogicalPartition::new(TDATA, PartitionIndex(p)),
-                    weights,
-                ])
-                .with_writes(vec![LogicalPartition::new(GRADIENT, PartitionIndex(p))])
-                .with_preferred_worker(WorkerId(p % self.shape.workers))
-                .with_params(TaskParams::from_scalar(p as f64)),
+                TaskSpec::new(TaskId(self.ids.tasks.next_raw()), StageId(1), GRADIENT_FN)
+                    .with_reads(vec![
+                        LogicalPartition::new(TDATA, PartitionIndex(p)),
+                        weights,
+                    ])
+                    .with_writes(vec![LogicalPartition::new(GRADIENT, PartitionIndex(p))])
+                    .with_preferred_worker(WorkerId(p % self.shape.workers))
+                    .with_params(TaskParams::from_scalar(p as f64)),
             );
         }
         // A final update task writes the weights, so the block has a
@@ -137,7 +133,10 @@ impl BenchCluster {
 
     /// Records and installs the block, returning the controller template id,
     /// the worker-template group id, and the per-worker templates.
-    pub fn install_block(&mut self, name: &str) -> (TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>) {
+    pub fn install_block(
+        &mut self,
+        name: &str,
+    ) -> (TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>) {
         self.tm.start_recording(name).expect("no block recording");
         for spec in self.iteration_specs() {
             self.schedule_one(&spec);
@@ -149,7 +148,10 @@ impl BenchCluster {
 
     /// Plans one instantiation of an installed group (validation, patching,
     /// per-worker messages, bookkeeping updates).
-    pub fn plan_instantiation(&mut self, group: TemplateId) -> nimbus_controller::InstantiationPlan {
+    pub fn plan_instantiation(
+        &mut self,
+        group: TemplateId,
+    ) -> nimbus_controller::InstantiationPlan {
         self.tm
             .plan_instantiation(
                 group,

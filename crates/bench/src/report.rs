@@ -35,7 +35,10 @@ pub fn print_table(title: &str, rows: &[TableRow]) {
     let paper_w = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(5);
     println!("{:label_w$}  {:>paper_w$}  reproduced", "metric", "paper");
     for r in rows {
-        println!("{:label_w$}  {:>paper_w$}  {}", r.label, r.paper, r.reproduced);
+        println!(
+            "{:label_w$}  {:>paper_w$}  {}",
+            r.label, r.paper, r.reproduced
+        );
     }
 }
 

@@ -7,23 +7,18 @@
 use nimbus_core::ids::{LogicalPartition, WorkerId};
 
 /// How the controller assigns partitions to workers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum AssignmentPolicy {
     /// Partition index modulo the number of workers: deterministic and
     /// balanced when datasets have the same partition count (the common case
     /// for the paper's workloads).
+    #[default]
     Hash,
     /// Strict round-robin over the worker list in first-touch order.
     RoundRobin {
         /// Next index into the worker list.
         next: usize,
     },
-}
-
-impl Default for AssignmentPolicy {
-    fn default() -> Self {
-        AssignmentPolicy::Hash
-    }
 }
 
 impl AssignmentPolicy {
@@ -43,7 +38,10 @@ impl AssignmentPolicy {
     ///
     /// Panics if `workers` is empty; callers check allocation first.
     pub fn assign(&mut self, lp: LogicalPartition, workers: &[WorkerId]) -> WorkerId {
-        assert!(!workers.is_empty(), "assignment requires at least one worker");
+        assert!(
+            !workers.is_empty(),
+            "assignment requires at least one worker"
+        );
         match self {
             AssignmentPolicy::Hash => {
                 let idx = (lp.partition.raw() as usize) % workers.len();

@@ -54,14 +54,25 @@ impl ControllerConfig {
     }
 }
 
+#[allow(clippy::large_enum_variant)] // CheckpointSave is rare; boxing would obscure it
 enum PendingSync {
     None,
     Barrier,
     FetchDrain(LogicalPartition),
     FetchValue(LogicalPartition),
-    CheckpointDrain { marker: u64, notify: bool },
-    CheckpointSave { marker: u64, notify: bool, descriptor: CheckpointDescriptor },
-    Recovering { marker: u64, remaining_halts: usize },
+    CheckpointDrain {
+        marker: u64,
+        notify: bool,
+    },
+    CheckpointSave {
+        marker: u64,
+        notify: bool,
+        descriptor: CheckpointDescriptor,
+    },
+    Recovering {
+        marker: u64,
+        remaining_halts: usize,
+    },
 }
 
 /// The centralized controller node.
@@ -176,6 +187,19 @@ impl Controller {
                     }),
                 }
             }
+            DriverMessage::AbortTemplate { name } => {
+                let result = if self.enable_templates {
+                    self.tm.abort_recording(&name)
+                } else {
+                    Ok(())
+                };
+                match result {
+                    Ok(()) => self.reply(ControllerToDriver::Ack),
+                    Err(e) => self.reply(ControllerToDriver::Error {
+                        message: e.to_string(),
+                    }),
+                }
+            }
             DriverMessage::FinishTemplate { name } => {
                 if !self.enable_templates {
                     self.reply(ControllerToDriver::TemplateInstalled { name });
@@ -225,7 +249,10 @@ impl Controller {
             }
             DriverMessage::MigrateTasks { name, count } => {
                 let workers = self.workers.clone();
-                match self.tm.plan_migrations(&name, count, &workers, &mut self.dm) {
+                match self
+                    .tm
+                    .plan_migrations(&name, count, &workers, &mut self.dm)
+                {
                     Ok(planned) => {
                         self.stats.edits_applied += planned as u64;
                         self.reply(ControllerToDriver::Ack);
@@ -339,8 +366,7 @@ impl Controller {
                     }
                     self.dispatch(plan.patch_commands)?;
                 }
-                let edit_count: usize =
-                    plan.per_worker.iter().map(|(_, i)| i.edits.len()).sum();
+                let edit_count: usize = plan.per_worker.iter().map(|(_, i)| i.edits.len()).sum();
                 self.stats.edits_applied += edit_count as u64;
                 self.stats.worker_template_instantiations += plan.per_worker.len() as u64;
                 self.stats.tasks_from_templates += plan.task_count;
@@ -357,8 +383,9 @@ impl Controller {
                 // templates are disabled): schedule the block task by task,
                 // recording a fresh group if templates are enabled.
                 let task_base = self.ids.tasks.next_block(task_count as u64);
-                let task_ids: Vec<TaskId> =
-                    (0..task_count as u64).map(|i| TaskId(task_base + i)).collect();
+                let task_ids: Vec<TaskId> = (0..task_count as u64)
+                    .map(|i| TaskId(task_base + i))
+                    .collect();
                 let ct = self
                     .tm
                     .registry
@@ -444,7 +471,14 @@ impl Controller {
                         new_workers[idx]
                     });
                     let target = self.dm.current_home(lp).expect("home just set");
-                    refresh_instance(lp, target, &mut self.dm, &mut self.bk, &self.ids, &mut commands)?;
+                    refresh_instance(
+                        lp,
+                        target,
+                        &mut self.dm,
+                        &mut self.bk,
+                        &self.ids,
+                        &mut commands,
+                    )?;
                 }
             }
             self.dispatch(commands)?;
@@ -722,7 +756,10 @@ impl Controller {
             let batch = per_worker.remove(&worker).unwrap_or_default();
             self.outstanding += batch.len() as u64;
             self.stats.commands_dispatched += batch.len() as u64;
-            self.send_worker(worker, ControllerToWorker::ExecuteCommands { commands: batch })?;
+            self.send_worker(
+                worker,
+                ControllerToWorker::ExecuteCommands { commands: batch },
+            )?;
         }
         Ok(())
     }

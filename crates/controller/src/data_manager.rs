@@ -61,7 +61,11 @@ impl DataManager {
     }
 
     /// Returns (assigning on first touch) the home worker of a partition.
-    pub fn home_of(&mut self, lp: LogicalPartition, workers: &[WorkerId]) -> ControllerResult<WorkerId> {
+    pub fn home_of(
+        &mut self,
+        lp: LogicalPartition,
+        workers: &[WorkerId],
+    ) -> ControllerResult<WorkerId> {
         if workers.is_empty() {
             return Err(ControllerError::NoWorkers);
         }

@@ -368,9 +368,15 @@ mod tests {
         let workers = vec![WorkerId(0), WorkerId(1)];
         let spec = task(1, vec![lp(1, 0)], vec![lp(2, 0)]);
         expand_task(&spec, &workers, &mut dm, &mut bk, &ids, &mut lineage).unwrap();
-        let out =
-            expand_task(&task(2, vec![lp(1, 0)], vec![lp(2, 0)]), &workers, &mut dm, &mut bk, &ids, &mut lineage)
-                .unwrap();
+        let out = expand_task(
+            &task(2, vec![lp(1, 0)], vec![lp(2, 0)]),
+            &workers,
+            &mut dm,
+            &mut bk,
+            &ids,
+            &mut lineage,
+        )
+        .unwrap();
         assert_eq!(out.commands.len(), 1);
         assert!(out.commands[0].command.kind.is_task());
         // RAW on the create of tdata, WAW on the previous task's write.

@@ -29,6 +29,10 @@ use crate::data_manager::DataManager;
 use crate::error::{ControllerError, ControllerResult};
 use crate::expansion::{Bookkeeping, ExpandedTask, IdGens};
 
+/// Result of finishing a recording: the controller template, its worker
+/// template group, and the per-worker templates to install.
+pub type InstalledTemplates = (TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>);
+
 /// State accumulated while a basic block is being recorded.
 pub struct RecordingState {
     /// The block name the driver supplied.
@@ -188,7 +192,7 @@ impl TemplateManager {
         name: &str,
         dm: &DataManager,
         ids: &IdGens,
-    ) -> ControllerResult<(TemplateId, TemplateId, Vec<(WorkerId, WorkerTemplate)>)> {
+    ) -> ControllerResult<InstalledTemplates> {
         let recording = self.recording.take().ok_or_else(|| {
             ControllerError::RecordingStateMismatch(format!(
                 "finish of '{name}' without a matching start"
@@ -216,9 +220,27 @@ impl TemplateManager {
             .iter()
             .map(|(w, t)| (*w, t.clone()))
             .collect();
-        self.registry.install_controller_template(controller_template);
+        self.registry
+            .install_controller_template(controller_template);
         self.registry.install_group(group);
         Ok((ct_id, group_id, installs))
+    }
+
+    /// Abandons an in-progress recording without installing anything: the
+    /// driver's block body failed, so the partial template is discarded.
+    /// Aborting when nothing is recording is a no-op (templates may be
+    /// disabled, or the start itself may have failed).
+    pub fn abort_recording(&mut self, name: &str) -> ControllerResult<()> {
+        match &self.recording {
+            Some(r) if r.name != name => Err(ControllerError::RecordingStateMismatch(format!(
+                "abort of '{name}' while recording '{}'",
+                r.name
+            ))),
+            _ => {
+                self.recording = None;
+                Ok(())
+            }
+        }
     }
 
     /// Installs a pre-built group (used when regenerating templates after an
@@ -393,7 +415,10 @@ impl TemplateManager {
                 }
                 group.preconditions.extend(new_preconditions);
 
-                edits_by_worker.entry(*source).or_default().push(source_edit);
+                edits_by_worker
+                    .entry(*source)
+                    .or_default()
+                    .push(source_edit);
                 edits_by_worker.entry(dest).or_default().extend(dest_edits);
                 planned += 1;
             }
@@ -442,7 +467,9 @@ impl TemplateManager {
             }
         }
         let group = self.registry.group(group_id)?.clone();
-        let controller_template = self.registry.controller_template(group.controller_template)?;
+        let controller_template = self
+            .registry
+            .controller_template(group.controller_template)?;
 
         // Validation and patching (Section 4.2).
         let mut auto_validated = false;
@@ -462,7 +489,8 @@ impl TemplateManager {
                     }
                     _ => {
                         let p = compute_patch(group_id, &violated, &dm.instances, &dm.versions)?;
-                        self.patch_cache.store(self.last_executed, group_id, p.clone());
+                        self.patch_cache
+                            .store(self.last_executed, group_id, p.clone());
                         p
                     }
                 };
@@ -484,14 +512,14 @@ impl TemplateManager {
         workers.sort_unstable();
         for worker in workers {
             let template = &group.per_worker[&worker];
-            let live_entries = template
-                .entries
-                .iter()
-                .filter(|e| !e.kind.is_nop())
-                .count() as u64;
+            let live_entries = template.entries.iter().filter(|e| !e.kind.is_nop()).count() as u64;
             expected_commands += live_entries;
             let base_command = ids.commands.next_block(template.len().max(1) as u64);
-            let slot_map = group.task_slot_map.get(&worker).cloned().unwrap_or_default();
+            let slot_map = group
+                .task_slot_map
+                .get(&worker)
+                .cloned()
+                .unwrap_or_default();
             let task_ids: Vec<TaskId> = slot_map
                 .iter()
                 .map(|entry| TaskId(task_base + *entry as u64))
@@ -584,7 +612,12 @@ pub fn emit_patch_commands(
     // Destinations introduced by edits may not exist on the worker yet (their
     // create entries ship with the next instantiation); prepend an idempotent
     // create so the copy always has somewhere to land.
-    let ensure_exists = |to: &PhysicalObjectId, worker: WorkerId, out: &mut Vec<AssignedCommand>, dm: &DataManager, bk: &mut Bookkeeping, ids: &IdGens| {
+    let ensure_exists = |to: &PhysicalObjectId,
+                         worker: WorkerId,
+                         out: &mut Vec<AssignedCommand>,
+                         dm: &DataManager,
+                         bk: &mut Bookkeeping,
+                         ids: &IdGens| {
         if let Some(inst) = dm.instances.get(*to) {
             let id = ids.command();
             let command = Command::new(
@@ -961,7 +994,11 @@ pub fn build_group(
                     .with_reads(vec![source])
                     .with_before(before),
                 );
-                src_build.obj_readers.entry(source).or_default().push(src_index);
+                src_build
+                    .obj_readers
+                    .entry(source)
+                    .or_default()
+                    .push(src_index);
             }
             {
                 let dst_build = builds.entry(pre.worker).or_insert_with(PerWorkerBuild::new);
@@ -999,12 +1036,8 @@ pub fn build_group(
 
     let mut per_worker = HashMap::new();
     for (worker, build) in builds {
-        let template = WorkerTemplate::new(
-            group_id,
-            controller_template.id,
-            worker,
-            build.entries,
-        )?;
+        let template =
+            WorkerTemplate::new(group_id, controller_template.id, worker, build.entries)?;
         per_worker.insert(worker, template);
     }
 

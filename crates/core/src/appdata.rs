@@ -29,7 +29,25 @@ pub trait AppData: Any + Send {
     fn type_label(&self) -> &'static str {
         std::any::type_name::<Self>()
     }
+
+    /// The value reported for driver `FetchValue` requests, if this type has
+    /// a scalar projection. Types without one (the default) make fetches of
+    /// their datasets report `NaN`; implement this together with
+    /// [`ScalarReadable`] so the driver-side compile-time gate and the
+    /// worker-side runtime projection stay in sync.
+    fn scalar_value(&self) -> Option<f64> {
+        None
+    }
 }
+
+/// Marker for application data types whose [`AppData::scalar_value`] is
+/// meaningful: the driver's typed `fetch` only compiles for datasets of
+/// these types. Implementations live next to their `scalar_value` overrides
+/// in this module so the two lists cannot drift apart.
+pub trait ScalarReadable: AppData {}
+
+impl ScalarReadable for Scalar {}
+impl ScalarReadable for VecF64 {}
 
 impl Clone for Box<dyn AppData> {
     fn clone(&self) -> Self {
@@ -39,7 +57,12 @@ impl Clone for Box<dyn AppData> {
 
 impl std::fmt::Debug for Box<dyn AppData> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AppData<{}>({} bytes)", self.type_label(), self.approx_size())
+        write!(
+            f,
+            "AppData<{}>({} bytes)",
+            self.type_label(),
+            self.approx_size()
+        )
     }
 }
 
@@ -109,9 +132,27 @@ impl VecF64 {
     }
 }
 
-impl_app_data!(VecF64, |v: &VecF64| {
-    v.values.len() * std::mem::size_of::<f64>() + std::mem::size_of::<VecF64>()
-});
+impl AppData for VecF64 {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn AppData> {
+        Box::new(self.clone())
+    }
+
+    fn approx_size(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>() + std::mem::size_of::<VecF64>()
+    }
+
+    fn scalar_value(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+}
 
 /// A single scalar value, used for reduced globals such as error terms.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -127,7 +168,27 @@ impl Scalar {
     }
 }
 
-impl_app_data!(Scalar);
+impl AppData for Scalar {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn AppData> {
+        Box::new(*self)
+    }
+
+    fn approx_size(&self) -> usize {
+        std::mem::size_of::<Scalar>()
+    }
+
+    fn scalar_value(&self) -> Option<f64> {
+        Some(self.value)
+    }
+}
 
 /// Downcasts a boxed [`AppData`] reference to a concrete type.
 pub fn downcast_ref<T: 'static>(data: &dyn AppData) -> Option<&T> {

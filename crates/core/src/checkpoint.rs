@@ -76,6 +76,10 @@ pub trait SnapshotStore: Send + Sync {
     fn delete(&self, key: &str);
     /// Number of stored keys.
     fn len(&self) -> usize;
+    /// Returns true if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Simple thread-safe in-memory snapshot store.

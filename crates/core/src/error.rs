@@ -82,7 +82,10 @@ impl fmt::Display for CoreError {
                 "template instantiation expected {expected} parameter blocks, got {actual}"
             ),
             CoreError::EditIndexOutOfBounds { index, len } => {
-                write!(f, "edit index {index} out of bounds for template of {len} entries")
+                write!(
+                    f,
+                    "edit index {index} out of bounds for template of {len} entries"
+                )
             }
             CoreError::InvalidEdit(msg) => write!(f, "invalid edit: {msg}"),
             CoreError::UnsatisfiablePrecondition(lp) => {

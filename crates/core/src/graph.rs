@@ -111,9 +111,7 @@ impl CommandGraph {
     pub fn validate(&self) -> CoreResult<()> {
         for c in &self.commands {
             for dep in &c.command.before {
-                let dep_cmd = self
-                    .get(*dep)
-                    .ok_or(CoreError::UnknownCommand(*dep))?;
+                let dep_cmd = self.get(*dep).ok_or(CoreError::UnknownCommand(*dep))?;
                 if dep_cmd.worker != c.worker {
                     return Err(CoreError::Invariant(format!(
                         "command {} on worker {} depends on command {} on worker {}; \

@@ -47,7 +47,7 @@ pub mod task;
 pub mod template;
 pub mod versioning;
 
-pub use appdata::{downcast_mut, downcast_ref, AppData, Scalar, VecF64};
+pub use appdata::{downcast_mut, downcast_ref, AppData, Scalar, ScalarReadable, VecF64};
 pub use command::{Command, CommandKind};
 pub use data::{DatasetDef, DatasetRegistry, PhysicalInstance};
 pub use error::{CoreError, CoreResult};

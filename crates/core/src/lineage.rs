@@ -48,7 +48,11 @@ impl LineageLog {
     }
 
     /// Returns the producer of a specific version of a partition, if known.
-    pub fn producer(&self, partition: LogicalPartition, version: Version) -> Option<&LineageRecord> {
+    pub fn producer(
+        &self,
+        partition: LogicalPartition,
+        version: Version,
+    ) -> Option<&LineageRecord> {
         self.by_partition.get(&partition).and_then(|idxs| {
             idxs.iter()
                 .rev()

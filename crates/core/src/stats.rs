@@ -69,6 +69,9 @@ mod duration_micros {
         s.serialize_u64(d.as_micros() as u64)
     }
 
+    // Referenced by `#[serde(with = "duration_micros")]` only when a real
+    // deserializer drives it; the vendored shim never does, hence the allow.
+    #[allow(dead_code)]
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
         let micros: u64 = serde::Deserialize::deserialize(d)?;
         Ok(Duration::from_micros(micros))

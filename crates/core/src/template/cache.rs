@@ -107,7 +107,10 @@ impl TemplateRegistry {
     }
 
     /// All groups generated for a controller template, oldest first.
-    pub fn groups_for_controller(&self, controller_template: TemplateId) -> Vec<&WorkerTemplateGroup> {
+    pub fn groups_for_controller(
+        &self,
+        controller_template: TemplateId,
+    ) -> Vec<&WorkerTemplateGroup> {
         self.groups_by_controller
             .get(&controller_template)
             .map(|ids| ids.iter().filter_map(|id| self.groups.get(id)).collect())
@@ -144,7 +147,9 @@ impl WorkerTemplateCache {
 
     /// Looks up an installed template.
     pub fn get(&self, id: TemplateId) -> CoreResult<&WorkerTemplate> {
-        self.templates.get(&id).ok_or(CoreError::UnknownTemplate(id))
+        self.templates
+            .get(&id)
+            .ok_or(CoreError::UnknownTemplate(id))
     }
 
     /// Mutable lookup (needed to apply edits).
@@ -261,7 +266,10 @@ mod tests {
         reg.install_controller_template(controller_template(1, "inner", 0));
         assert!(reg.has_block("inner"));
         assert!(!reg.has_block("outer"));
-        assert_eq!(reg.controller_template(TemplateId(1)).unwrap().name, "inner");
+        assert_eq!(
+            reg.controller_template(TemplateId(1)).unwrap().name,
+            "inner"
+        );
         assert!(reg.controller_template(TemplateId(2)).is_err());
         assert_eq!(
             reg.controller_template_by_name("inner").unwrap().id,
@@ -281,7 +289,9 @@ mod tests {
             .find_group_for_workers(TemplateId(1), &[WorkerId(1), WorkerId(0)])
             .unwrap();
         assert_eq!(found.id, TemplateId(10));
-        let found = reg.find_group_for_workers(TemplateId(1), &[WorkerId(0)]).unwrap();
+        let found = reg
+            .find_group_for_workers(TemplateId(1), &[WorkerId(0)])
+            .unwrap();
         assert_eq!(found.id, TemplateId(11));
         assert!(reg
             .find_group_for_workers(TemplateId(1), &[WorkerId(2)])

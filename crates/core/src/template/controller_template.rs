@@ -58,13 +58,14 @@ impl InstantiationParams {
     fn resolve(&self, entry: &ControllerTaskEntry, index: usize) -> CoreResult<TaskParams> {
         match self {
             InstantiationParams::Defaults => Ok(entry.default_params.clone()),
-            InstantiationParams::PerTask(all) => all
-                .get(index)
-                .cloned()
-                .ok_or(CoreError::ParamArityMismatch {
-                    expected: index + 1,
-                    actual: all.len(),
-                }),
+            InstantiationParams::PerTask(all) => {
+                all.get(index)
+                    .cloned()
+                    .ok_or(CoreError::ParamArityMismatch {
+                        expected: index + 1,
+                        actual: all.len(),
+                    })
+            }
             InstantiationParams::PerStage(by_stage) => Ok(by_stage
                 .get(&entry.stage)
                 .cloned()
@@ -337,7 +338,10 @@ mod tests {
         let t = sample();
         assert!(matches!(
             t.instantiate(&[TaskId(1)], &InstantiationParams::Defaults),
-            Err(CoreError::TaskIdArityMismatch { expected: 3, actual: 1 })
+            Err(CoreError::TaskIdArityMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
         assert!(matches!(
             t.instantiate(

@@ -205,8 +205,16 @@ mod tests {
         let mut instances = InstanceMap::new();
         let mut versions = VersionMap::new();
         // param lives on worker 0 (fresh) and worker 1 (stale).
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(2),
+            lp(1, 0),
+            WorkerId(1),
+        ));
         let v1 = versions.bump(lp(1, 0));
         instances.set_version(PhysicalObjectId(1), v1).unwrap();
         (instances, versions)
@@ -216,8 +224,16 @@ mod tests {
     fn patch_prefers_local_copy() {
         let (mut instances, versions) = setup();
         // Add a second, stale object on worker 0 that the template expects.
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(3), lp(1, 0), WorkerId(0)));
-        let violated = vec![Precondition::new(WorkerId(0), PhysicalObjectId(3), lp(1, 0))];
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(3),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        let violated = vec![Precondition::new(
+            WorkerId(0),
+            PhysicalObjectId(3),
+            lp(1, 0),
+        )];
         let patch = compute_patch(TemplateId(9), &violated, &instances, &versions).unwrap();
         assert_eq!(patch.len(), 1);
         assert_eq!(
@@ -234,7 +250,11 @@ mod tests {
     #[test]
     fn patch_emits_transfer_for_remote_holder() {
         let (instances, versions) = setup();
-        let violated = vec![Precondition::new(WorkerId(1), PhysicalObjectId(2), lp(1, 0))];
+        let violated = vec![Precondition::new(
+            WorkerId(1),
+            PhysicalObjectId(2),
+            lp(1, 0),
+        )];
         let patch = compute_patch(TemplateId(9), &violated, &instances, &versions).unwrap();
         assert_eq!(patch.len(), 1);
         assert_eq!(
@@ -252,7 +272,11 @@ mod tests {
     #[test]
     fn satisfied_precondition_produces_no_directive() {
         let (instances, versions) = setup();
-        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        let pre = vec![Precondition::new(
+            WorkerId(0),
+            PhysicalObjectId(1),
+            lp(1, 0),
+        )];
         let patch = compute_patch(TemplateId(9), &pre, &instances, &versions).unwrap();
         assert!(patch.is_empty());
     }
@@ -261,7 +285,11 @@ mod tests {
     fn lost_data_is_an_error() {
         let (mut instances, versions) = setup();
         instances.remove(PhysicalObjectId(1));
-        let violated = vec![Precondition::new(WorkerId(1), PhysicalObjectId(2), lp(1, 0))];
+        let violated = vec![Precondition::new(
+            WorkerId(1),
+            PhysicalObjectId(2),
+            lp(1, 0),
+        )];
         assert!(matches!(
             compute_patch(TemplateId(9), &violated, &instances, &versions),
             Err(CoreError::UnsatisfiablePrecondition(_))

@@ -64,8 +64,16 @@ mod tests {
     fn all_preconditions_hold_when_instances_are_fresh() {
         let mut instances = InstanceMap::new();
         let versions = VersionMap::new();
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
-        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        let pre = vec![Precondition::new(
+            WorkerId(0),
+            PhysicalObjectId(1),
+            lp(1, 0),
+        )];
         assert!(validate_preconditions(&pre, &instances, &versions).is_empty());
     }
 
@@ -73,8 +81,16 @@ mod tests {
     fn stale_instance_is_reported() {
         let mut instances = InstanceMap::new();
         let mut versions = VersionMap::new();
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(2),
+            lp(1, 0),
+            WorkerId(1),
+        ));
         // Worker 1 wrote the partition; worker 0's copy is now stale.
         let v1 = versions.bump(lp(1, 0));
         instances.set_version(PhysicalObjectId(2), v1).unwrap();
@@ -92,7 +108,11 @@ mod tests {
     fn missing_instance_counts_as_violation() {
         let instances = InstanceMap::new();
         let versions = VersionMap::new();
-        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(9), lp(1, 0))];
+        let pre = vec![Precondition::new(
+            WorkerId(0),
+            PhysicalObjectId(9),
+            lp(1, 0),
+        )];
         assert_eq!(validate_preconditions(&pre, &instances, &versions).len(), 1);
     }
 
@@ -100,10 +120,20 @@ mod tests {
     fn explicit_version_set_satisfies_precondition() {
         let mut instances = InstanceMap::new();
         let mut versions = VersionMap::new();
-        instances.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
+        instances.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
         versions.set(lp(1, 0), Version(5));
-        instances.set_version(PhysicalObjectId(1), Version(5)).unwrap();
-        let pre = vec![Precondition::new(WorkerId(0), PhysicalObjectId(1), lp(1, 0))];
+        instances
+            .set_version(PhysicalObjectId(1), Version(5))
+            .unwrap();
+        let pre = vec![Precondition::new(
+            WorkerId(0),
+            PhysicalObjectId(1),
+            lp(1, 0),
+        )];
         assert!(validate_preconditions(&pre, &instances, &versions).is_empty());
     }
 }

@@ -236,9 +236,7 @@ impl WorkerTemplate {
                     )));
                 }
                 if *dep == i {
-                    return Err(CoreError::Invariant(format!(
-                        "entry {i} depends on itself"
-                    )));
+                    return Err(CoreError::Invariant(format!("entry {i} depends on itself")));
                 }
             }
             if let SkeletonKind::RunTask { task_slot, .. } = &e.kind {
@@ -594,7 +592,8 @@ mod tests {
     #[test]
     fn remove_edit_leaves_indices_stable() {
         let mut t = simple_template();
-        t.apply_edits(&[TemplateEdit::RemoveEntry { index: 1 }]).unwrap();
+        t.apply_edits(&[TemplateEdit::RemoveEntry { index: 1 }])
+            .unwrap();
         assert_eq!(t.len(), 3);
         assert!(t.entries[1].kind.is_nop());
         let cmds = t.instantiate(&instantiation()).unwrap();
@@ -637,7 +636,8 @@ mod tests {
             task_slot: 1,
         })
         .with_before(vec![1]);
-        t.apply_edits(&[TemplateEdit::AddEntry { entry: added }]).unwrap();
+        t.apply_edits(&[TemplateEdit::AddEntry { entry: added }])
+            .unwrap();
         assert_eq!(t.len(), 4);
         assert_eq!(t.task_slots, 2);
         let mut inst = instantiation();
@@ -656,7 +656,10 @@ mod tests {
         ));
         let bad = SkeletonEntry::new(SkeletonKind::Nop).with_before(vec![99]);
         assert!(t
-            .apply_edits(&[TemplateEdit::ReplaceEntry { index: 0, entry: bad }])
+            .apply_edits(&[TemplateEdit::ReplaceEntry {
+                index: 0,
+                entry: bad
+            }])
             .is_err());
     }
 

@@ -258,8 +258,16 @@ mod tests {
     #[test]
     fn instance_on_worker_lookup() {
         let mut im = InstanceMap::new();
-        im.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
-        im.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 1), WorkerId(0)));
+        im.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        im.insert(PhysicalInstance::new(
+            PhysicalObjectId(2),
+            lp(1, 1),
+            WorkerId(0),
+        ));
         assert!(im.instance_on_worker(lp(1, 0), WorkerId(0)).is_some());
         assert!(im.instance_on_worker(lp(1, 0), WorkerId(1)).is_none());
         assert_eq!(im.on_worker(WorkerId(0)).len(), 2);
@@ -268,12 +276,23 @@ mod tests {
     #[test]
     fn remove_worker_drops_instances() {
         let mut im = InstanceMap::new();
-        im.insert(PhysicalInstance::new(PhysicalObjectId(1), lp(1, 0), WorkerId(0)));
-        im.insert(PhysicalInstance::new(PhysicalObjectId(2), lp(1, 0), WorkerId(1)));
+        im.insert(PhysicalInstance::new(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            WorkerId(0),
+        ));
+        im.insert(PhysicalInstance::new(
+            PhysicalObjectId(2),
+            lp(1, 0),
+            WorkerId(1),
+        ));
         let removed = im.remove_worker(WorkerId(0));
         assert_eq!(removed.len(), 1);
         assert_eq!(im.len(), 1);
-        assert!(im.instances_of(lp(1, 0)).iter().all(|i| i.worker == WorkerId(1)));
+        assert!(im
+            .instances_of(lp(1, 0))
+            .iter()
+            .all(|i| i.worker == WorkerId(1)));
     }
 
     #[test]

@@ -1,8 +1,16 @@
-//! Property-based tests for the core control-plane invariants.
+//! Randomized tests for the core control-plane invariants.
+//!
+//! These were originally proptest properties; the vendored build has no
+//! crates.io access, so each property now runs over a fixed number of cases
+//! drawn from the workspace's seeded deterministic generator. Failures are
+//! reproducible: every case prints its seed on panic via the assert context.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use nimbus_core::ids::{CommandId, FunctionId, PhysicalObjectId, StageId, TaskId, TemplateId, WorkerId};
+use nimbus_core::ids::{
+    CommandId, FunctionId, PhysicalObjectId, StageId, TaskId, TemplateId, WorkerId,
+};
 use nimbus_core::template::{
     ControllerTaskEntry, ControllerTemplate, InstantiationParams, SkeletonEntry, SkeletonKind,
     TemplateEdit, WorkerInstantiation, WorkerTemplate,
@@ -10,32 +18,42 @@ use nimbus_core::template::{
 use nimbus_core::versioning::VersionMap;
 use nimbus_core::{Command, CommandGraph, CommandKind, LogicalPartition, TaskParams};
 
-fn arb_params() -> impl Strategy<Value = TaskParams> {
-    prop::collection::vec(-1e6f64..1e6, 0..8).prop_map(|v| TaskParams::from_f64s(&v))
+const CASES: u64 = 64;
+
+fn random_params(rng: &mut StdRng, max_len: usize) -> TaskParams {
+    let len = rng.gen_range(0..max_len + 1);
+    let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect();
+    TaskParams::from_f64s(&values)
 }
 
-proptest! {
-    /// Parameter blocks decode to exactly the values they encoded.
-    #[test]
-    fn params_round_trip(values in prop::collection::vec(-1e9f64..1e9, 0..64)) {
+/// Parameter blocks decode to exactly the values they encoded.
+#[test]
+fn params_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..64);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e9..1e9)).collect();
         let p = TaskParams::from_f64s(&values);
-        prop_assert_eq!(p.as_f64s().unwrap(), values);
+        assert_eq!(p.as_f64s().unwrap(), values, "seed {seed}");
     }
+}
 
-    /// A command graph built with only backward dependencies always has a
-    /// topological order that respects every before edge.
-    #[test]
-    fn command_graph_topological_order_respects_dependencies(
-        deps in prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..4), 1..40)
-    ) {
+/// A command graph built with only backward dependencies always has a
+/// topological order that respects every before edge.
+#[test]
+fn command_graph_topological_order_respects_dependencies() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(1usize..40);
         let mut graph = CommandGraph::new();
-        for (i, dep_ix) in deps.iter().enumerate() {
+        let mut befores: Vec<Vec<CommandId>> = Vec::with_capacity(count);
+        for i in 0..count {
             let before: Vec<CommandId> = if i == 0 {
                 Vec::new()
             } else {
-                let mut b: Vec<CommandId> = dep_ix
-                    .iter()
-                    .map(|ix| CommandId(ix.index(i) as u64 + 1))
+                let deps = rng.gen_range(0usize..4);
+                let mut b: Vec<CommandId> = (0..deps)
+                    .map(|_| CommandId(rng.gen_range(0usize..i) as u64 + 1))
                     .collect();
                 b.sort_unstable();
                 b.dedup();
@@ -43,52 +61,74 @@ proptest! {
             };
             let command = Command::new(
                 CommandId(i as u64 + 1),
-                CommandKind::RunTask { function: FunctionId(1), task: TaskId(i as u64) },
+                CommandKind::RunTask {
+                    function: FunctionId(1),
+                    task: TaskId(i as u64),
+                },
             )
-            .with_before(before);
+            .with_before(before.clone());
+            befores.push(before);
             graph.add(command, WorkerId(0)).unwrap();
         }
-        prop_assert!(graph.validate().is_ok());
+        assert!(graph.validate().is_ok(), "seed {seed}");
         let order = graph.topological_order().unwrap();
-        prop_assert_eq!(order.len(), deps.len());
+        assert_eq!(order.len(), count, "seed {seed}");
         let pos = |id: CommandId| order.iter().position(|x| *x == id).unwrap();
         for ac in graph.iter() {
             for dep in &ac.command.before {
-                prop_assert!(pos(*dep) < pos(ac.command.id));
+                assert!(pos(*dep) < pos(ac.command.id), "seed {seed}");
             }
         }
     }
+}
 
-    /// Version maps only move forward, no matter the interleaving of writes.
-    #[test]
-    fn version_map_is_monotonic(writes in prop::collection::vec(0u32..8, 1..200)) {
+/// Version maps only move forward, no matter the interleaving of writes.
+#[test]
+fn version_map_is_monotonic() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let writes = rng.gen_range(1usize..200);
         let mut versions = VersionMap::new();
         let mut last = std::collections::HashMap::new();
-        for p in writes {
-            let lp = LogicalPartition::new(nimbus_core::LogicalObjectId(1), nimbus_core::PartitionIndex(p));
+        for _ in 0..writes {
+            let p = rng.gen_range(0u32..8);
+            let lp = LogicalPartition::new(
+                nimbus_core::LogicalObjectId(1),
+                nimbus_core::PartitionIndex(p),
+            );
             let v = versions.bump(lp);
             let prev = last.insert(lp, v);
             if let Some(prev) = prev {
-                prop_assert!(v > prev);
+                assert!(v > prev, "seed {seed}");
             }
         }
     }
+}
 
-    /// Instantiating a controller template preserves structure and applies
-    /// exactly the supplied task identifiers, independent of parameters.
-    #[test]
-    fn controller_template_instantiation_preserves_structure(
-        task_count in 1usize..40,
-        params in prop::collection::vec(arb_params(), 40),
-        base in 1u64..1_000_000,
-    ) {
+/// Instantiating a controller template preserves structure and applies
+/// exactly the supplied task identifiers, independent of parameters.
+#[test]
+fn controller_template_instantiation_preserves_structure() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let task_count = rng.gen_range(1usize..40);
+        let base = rng.gen_range(1u64..1_000_000);
+        let params: Vec<TaskParams> = (0..task_count)
+            .map(|_| random_params(&mut rng, 8))
+            .collect();
         let entries: Vec<ControllerTaskEntry> = (0..task_count)
             .map(|i| ControllerTaskEntry {
                 index: i,
                 stage: StageId(1 + (i % 3) as u64),
                 function: FunctionId(7),
-                reads: vec![LogicalPartition::new(nimbus_core::LogicalObjectId(1), nimbus_core::PartitionIndex(i as u32))],
-                writes: vec![LogicalPartition::new(nimbus_core::LogicalObjectId(2), nimbus_core::PartitionIndex(i as u32))],
+                reads: vec![LogicalPartition::new(
+                    nimbus_core::LogicalObjectId(1),
+                    nimbus_core::PartitionIndex(i as u32),
+                )],
+                writes: vec![LogicalPartition::new(
+                    nimbus_core::LogicalObjectId(2),
+                    nimbus_core::PartitionIndex(i as u32),
+                )],
                 before: if i == 0 { vec![] } else { vec![i - 1] },
                 assigned_worker: WorkerId((i % 4) as u32),
                 default_params: TaskParams::empty(),
@@ -96,31 +136,40 @@ proptest! {
             .collect();
         let template = ControllerTemplate::new(TemplateId(1), "block", entries).unwrap();
         let ids: Vec<TaskId> = (0..task_count as u64).map(|i| TaskId(base + i)).collect();
-        let per_task = InstantiationParams::PerTask(params[..task_count].to_vec());
+        let per_task = InstantiationParams::PerTask(params.clone());
         let specs = template.instantiate(&ids, &per_task).unwrap();
-        prop_assert_eq!(specs.len(), task_count);
+        assert_eq!(specs.len(), task_count, "seed {seed}");
         for (i, spec) in specs.iter().enumerate() {
-            prop_assert_eq!(spec.id, ids[i]);
-            prop_assert_eq!(spec.function, FunctionId(7));
-            prop_assert_eq!(&spec.params, &params[i]);
-            prop_assert_eq!(spec.preferred_worker, Some(WorkerId((i % 4) as u32)));
+            assert_eq!(spec.id, ids[i], "seed {seed}");
+            assert_eq!(spec.function, FunctionId(7), "seed {seed}");
+            assert_eq!(&spec.params, &params[i], "seed {seed}");
+            assert_eq!(
+                spec.preferred_worker,
+                Some(WorkerId((i % 4) as u32)),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Removing entries via edits never changes the command identifiers of
-    /// the surviving entries (index stability, Section 4.3) and never makes
-    /// instantiation fail.
-    #[test]
-    fn edits_keep_surviving_indices_stable(
-        entry_count in 2usize..30,
-        remove in prop::collection::vec(any::<prop::sample::Index>(), 1..8),
-    ) {
+/// Removing entries via edits never changes the command identifiers of the
+/// surviving entries (index stability, Section 4.3) and never makes
+/// instantiation fail.
+#[test]
+fn edits_keep_surviving_indices_stable() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entry_count = rng.gen_range(2usize..30);
+        let remove_count = rng.gen_range(1usize..8);
         let entries: Vec<SkeletonEntry> = (0..entry_count)
             .map(|i| {
-                SkeletonEntry::new(SkeletonKind::RunTask { function: FunctionId(1), task_slot: i })
-                    .with_writes(vec![PhysicalObjectId(i as u64 + 1)])
-                    .with_before(if i == 0 { vec![] } else { vec![i - 1] })
-                    .with_param_slot(i)
+                SkeletonEntry::new(SkeletonKind::RunTask {
+                    function: FunctionId(1),
+                    task_slot: i,
+                })
+                .with_writes(vec![PhysicalObjectId(i as u64 + 1)])
+                .with_before(if i == 0 { vec![] } else { vec![i - 1] })
+                .with_param_slot(i)
             })
             .collect();
         let mut template =
@@ -134,15 +183,16 @@ proptest! {
             edits: vec![],
         };
         let before_edit = template.instantiate(&instantiation).unwrap();
-        let removed: std::collections::HashSet<usize> =
-            remove.iter().map(|ix| ix.index(entry_count)).collect();
+        let removed: std::collections::HashSet<usize> = (0..remove_count)
+            .map(|_| rng.gen_range(0usize..entry_count))
+            .collect();
         let edits: Vec<TemplateEdit> = removed
             .iter()
             .map(|i| TemplateEdit::RemoveEntry { index: *i })
             .collect();
         template.apply_edits(&edits).unwrap();
         let after_edit = template.instantiate(&instantiation).unwrap();
-        prop_assert_eq!(after_edit.len(), entry_count - removed.len());
+        assert_eq!(after_edit.len(), entry_count - removed.len(), "seed {seed}");
         // Every surviving command keeps the exact identifier it had before.
         let before_ids: std::collections::HashMap<_, _> = before_edit
             .iter()
@@ -151,8 +201,8 @@ proptest! {
             .collect();
         for command in &after_edit {
             let original_index = (command.id.raw() - 100) as usize;
-            prop_assert!(!removed.contains(&original_index));
-            prop_assert_eq!(command.id, before_ids[&original_index]);
+            assert!(!removed.contains(&original_index), "seed {seed}");
+            assert_eq!(command.id, before_ids[&original_index], "seed {seed}");
         }
     }
 }

@@ -7,16 +7,20 @@
 //! flow) but send the controller a single template-instantiation message
 //! instead of one message per task.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::time::Duration;
 
+use nimbus_core::appdata::AppData;
 use nimbus_core::data::DatasetDef;
-use nimbus_core::ids::{IdGenerator, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, WorkerId};
+use nimbus_core::ids::{
+    IdGenerator, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, WorkerId,
+};
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
 use nimbus_core::TaskParams;
 use nimbus_net::{ControllerToDriver, DriverMessage, Endpoint, Message, NodeId};
 
+use crate::dataset::{AsDataset, Dataset, ScalarReadable};
 use crate::error::{DriverError, DriverResult};
 use crate::stage::{PartitionMapping, StageSpec};
 
@@ -38,15 +42,55 @@ impl DatasetHandle {
     }
 }
 
+/// The stage structure a basic block submitted while it was recorded: the
+/// task width of every stage, in submission order. Replays are validated
+/// against this before any instantiation message goes out — comparing
+/// per-stage widths (not just totals) catches bodies that resubmit the same
+/// number of tasks distributed differently, which would silently misalign
+/// the per-task parameter binding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BlockShape {
+    stage_tasks: Vec<u32>,
+}
+
+impl BlockShape {
+    fn stages(&self) -> usize {
+        self.stage_tasks.len()
+    }
+
+    fn tasks(&self) -> u64 {
+        self.stage_tasks.iter().map(|t| u64::from(*t)).sum()
+    }
+
+    /// Describes the first divergence from `other`, for error messages.
+    fn divergence(&self, other: &BlockShape) -> String {
+        for (i, (a, b)) in self.stage_tasks.iter().zip(&other.stage_tasks).enumerate() {
+            if a != b {
+                return format!("stage {i} had {a} tasks when recorded, {b} on replay");
+            }
+        }
+        format!(
+            "recorded {} stages / {} tasks, replay submitted {} stages / {} tasks",
+            self.stages(),
+            self.tasks(),
+            other.stages(),
+            other.tasks()
+        )
+    }
+}
+
 enum BlockMode {
     /// Outside any block: stages are submitted task by task.
     Direct,
     /// Inside the first execution of a block: stages are submitted task by
     /// task while the controller records the template.
-    Recording,
+    Recording { shape: BlockShape },
     /// Inside a repeat execution: stage submissions only collect parameters;
     /// one instantiation message is sent at block end.
-    Replay { params: Vec<TaskParams> },
+    Replay {
+        params: Vec<TaskParams>,
+        shape: BlockShape,
+    },
 }
 
 /// The driver program's connection to the controller.
@@ -55,7 +99,7 @@ pub struct DriverContext {
     dataset_ids: IdGenerator,
     task_ids: IdGenerator,
     stage_ids: IdGenerator,
-    recorded_blocks: HashSet<String>,
+    recorded_blocks: HashMap<String, BlockShape>,
     templates_enabled: bool,
     mode: BlockMode,
     reply_timeout: Duration,
@@ -75,7 +119,7 @@ impl DriverContext {
             dataset_ids: IdGenerator::new(),
             task_ids: IdGenerator::new(),
             stage_ids: IdGenerator::new(),
-            recorded_blocks: HashSet::new(),
+            recorded_blocks: HashMap::new(),
             templates_enabled: true,
             mode: BlockMode::Direct,
             reply_timeout: Duration::from_secs(60),
@@ -136,8 +180,38 @@ impl DriverContext {
         }
     }
 
-    /// Defines a dataset with `partitions` partitions.
-    pub fn define_dataset(&mut self, name: &str, partitions: u32) -> DriverResult<DatasetHandle> {
+    /// Defines a dataset with `partitions` partitions whose partitions hold
+    /// `T`.
+    ///
+    /// This is the primary definition API: the returned [`Dataset<T>`]
+    /// carries the partition type, so scalar fetches of this dataset (and
+    /// any typed code built over it) are checked at compile time.
+    ///
+    /// Note the link to the worker-side factory registered with
+    /// `AppSetup::object::<T>` is positional, not checked: dataset ids are
+    /// assigned in definition order and must line up with the
+    /// `LogicalObjectId`s the factories were registered under. A `T` that
+    /// disagrees with the factory's concrete type surfaces at runtime as a
+    /// downcast error inside task functions, not here.
+    pub fn define_dataset<T: AppData>(
+        &mut self,
+        name: &str,
+        partitions: u32,
+    ) -> DriverResult<Dataset<T>> {
+        Ok(Dataset::from_handle(
+            self.define_dataset_untyped(name, partitions)?,
+        ))
+    }
+
+    /// Defines a dataset without a compile-time partition type. Prefer
+    /// [`DriverContext::define_dataset`]; this exists for generic
+    /// infrastructure (benchmark harnesses, baselines) that manufactures
+    /// datasets dynamically.
+    pub fn define_dataset_untyped(
+        &mut self,
+        name: &str,
+        partitions: u32,
+    ) -> DriverResult<DatasetHandle> {
         let id = LogicalObjectId(self.dataset_ids.next_raw());
         self.send(DriverMessage::DefineDataset(DatasetDef::new(
             id, name, partitions,
@@ -154,15 +228,19 @@ impl DriverContext {
     pub fn submit_stage(&mut self, stage: StageSpec) -> DriverResult<()> {
         let tasks = stage.task_count();
         match &mut self.mode {
-            BlockMode::Replay { params } => {
+            BlockMode::Replay { params, shape } => {
                 // Replay: only collect this execution's parameters, in the
                 // same task order as the recorded template.
+                shape.stage_tasks.push(tasks);
                 for p in 0..tasks {
                     params.push(stage.params.for_partition(p));
                 }
                 Ok(())
             }
-            _ => {
+            mode => {
+                if let BlockMode::Recording { shape } = mode {
+                    shape.stage_tasks.push(tasks);
+                }
                 let stage_id = StageId(self.stage_ids.next_raw());
                 for p in 0..tasks {
                     let reads = stage
@@ -170,9 +248,7 @@ impl DriverContext {
                         .iter()
                         .map(|a| match a.mapping {
                             PartitionMapping::Same => a.dataset.partition(p),
-                            PartitionMapping::Fixed(fp) => {
-                                LogicalPartition::new(a.dataset.id, fp)
-                            }
+                            PartitionMapping::Fixed(fp) => LogicalPartition::new(a.dataset.id, fp),
                         })
                         .collect();
                     let writes = stage
@@ -180,9 +256,7 @@ impl DriverContext {
                         .iter()
                         .map(|a| match a.mapping {
                             PartitionMapping::Same => a.dataset.partition(p),
-                            PartitionMapping::Fixed(fp) => {
-                                LogicalPartition::new(a.dataset.id, fp)
-                            }
+                            PartitionMapping::Fixed(fp) => LogicalPartition::new(a.dataset.id, fp),
                         })
                         .collect();
                     let spec = TaskSpec {
@@ -223,14 +297,28 @@ impl DriverContext {
         if !self.templates_enabled {
             return body(self);
         }
-        if self.recorded_blocks.contains(name) {
-            self.mode = BlockMode::Replay { params: Vec::new() };
+        if let Some(recorded) = self.recorded_blocks.get(name).cloned() {
+            self.mode = BlockMode::Replay {
+                params: Vec::new(),
+                shape: BlockShape::default(),
+            };
             let result = body(self);
-            let params = match std::mem::replace(&mut self.mode, BlockMode::Direct) {
-                BlockMode::Replay { params } => params,
-                _ => Vec::new(),
+            let (params, replayed) = match std::mem::replace(&mut self.mode, BlockMode::Direct) {
+                BlockMode::Replay { params, shape } => (params, shape),
+                _ => (Vec::new(), BlockShape::default()),
             };
             result?;
+            // Replay validation: the body must resubmit exactly the recorded
+            // per-stage structure, otherwise the per-task parameter binding
+            // sent to the controller would be silently misaligned.
+            if replayed != recorded {
+                return Err(DriverError::Misuse(format!(
+                    "block '{name}' replayed a different shape than it recorded ({}); \
+                     a block body must be structurally identical on every execution \
+                     (move data-dependent structure outside the block or rename it)",
+                    recorded.divergence(&replayed)
+                )));
+            }
             self.instantiations_sent += 1;
             self.send(DriverMessage::InstantiateTemplate {
                 name: name.to_string(),
@@ -241,24 +329,57 @@ impl DriverContext {
                 name: name.to_string(),
             })?;
             self.expect_ack("start_template")?;
-            self.mode = BlockMode::Recording;
+            self.mode = BlockMode::Recording {
+                shape: BlockShape::default(),
+            };
             let result = body(self);
-            self.mode = BlockMode::Direct;
-            result?;
+            let shape = match std::mem::replace(&mut self.mode, BlockMode::Direct) {
+                BlockMode::Recording { shape } => shape,
+                _ => BlockShape::default(),
+            };
+            if let Err(body_error) = result {
+                // The body failed mid-recording: tell the controller to
+                // discard the partial template so the name (and future
+                // blocks) stay usable. Best effort — the body's error is
+                // what the caller needs to see either way.
+                let aborted = self
+                    .send(DriverMessage::AbortTemplate {
+                        name: name.to_string(),
+                    })
+                    .and_then(|()| self.expect_ack("abort_template"));
+                drop(aborted);
+                return Err(body_error);
+            }
             self.send(DriverMessage::FinishTemplate {
                 name: name.to_string(),
             })?;
             self.expect_ack("finish_template")?;
-            self.recorded_blocks.insert(name.to_string());
+            self.recorded_blocks.insert(name.to_string(), shape);
             Ok(())
         }
+    }
+
+    /// Fetches the current scalar value of one partition of a dataset whose
+    /// type is known to have a scalar projection. This is the typed
+    /// counterpart of [`DriverContext::fetch_scalar`]: fetching a dataset of
+    /// a non-[`ScalarReadable`] partition type is a compile error.
+    pub fn fetch<T: ScalarReadable>(
+        &mut self,
+        dataset: &Dataset<T>,
+        partition: u32,
+    ) -> DriverResult<f64> {
+        self.fetch_scalar(dataset, partition)
     }
 
     /// Fetches the current scalar value of one partition (synchronizes with
     /// all outstanding work first). This is how data-dependent loops read
     /// their convergence criteria.
-    pub fn fetch_scalar(&mut self, dataset: &DatasetHandle, partition: u32) -> DriverResult<f64> {
-        let lp = dataset.partition(partition);
+    pub fn fetch_scalar<D: AsDataset + ?Sized>(
+        &mut self,
+        dataset: &D,
+        partition: u32,
+    ) -> DriverResult<f64> {
+        let lp = dataset.dataset_partition(partition);
         self.send(DriverMessage::FetchValue { partition: lp })?;
         match self.wait_reply("fetch_value")? {
             ControllerToDriver::ValueFetched { value, .. } => Ok(value),
@@ -332,5 +453,194 @@ impl DriverContext {
                 other.tag()
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::appdata::VecF64;
+    use nimbus_core::ids::FunctionId;
+    use nimbus_net::{LatencyModel, Network};
+
+    /// Spawns a thread acknowledging every driver request like a controller
+    /// would, so `DriverContext` can be unit-tested without a cluster.
+    fn ack_controller(network: &Network) -> std::thread::JoinHandle<u64> {
+        let endpoint = network.register(NodeId::Controller);
+        std::thread::spawn(move || {
+            let mut replies = 0u64;
+            loop {
+                let envelope = match endpoint.recv() {
+                    Ok(e) => e,
+                    Err(_) => return replies,
+                };
+                let reply = match envelope.message {
+                    Message::Driver(DriverMessage::Shutdown) => {
+                        let _ = endpoint.send(
+                            NodeId::Driver,
+                            Message::ToDriver(ControllerToDriver::JobTerminated),
+                        );
+                        return replies + 1;
+                    }
+                    Message::Driver(DriverMessage::SubmitTask(_))
+                    | Message::Driver(DriverMessage::InstantiateTemplate { .. }) => None,
+                    Message::Driver(_) => Some(ControllerToDriver::Ack),
+                    _ => None,
+                };
+                if let Some(reply) = reply {
+                    replies += 1;
+                    let _ = endpoint.send(NodeId::Driver, Message::ToDriver(reply));
+                }
+            }
+        })
+    }
+
+    fn two_stage_body(
+        ctx: &mut DriverContext,
+        data: &Dataset<VecF64>,
+        stages: u32,
+    ) -> DriverResult<()> {
+        for s in 0..stages {
+            ctx.submit_stage(
+                StageSpec::new(format!("s{s}"), FunctionId(1))
+                    .write(data)
+                    .params(TaskParams::from_scalar(1.0)),
+            )?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn replay_with_fewer_stages_is_misuse() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+
+        let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
+        // Record with two stages (8 tasks).
+        ctx.block("b", |ctx| two_stage_body(ctx, &data, 2)).unwrap();
+        assert_eq!(ctx.tasks_submitted, 8);
+        // Replay with one stage: rejected before any instantiation is sent.
+        let err = ctx
+            .block("b", |ctx| two_stage_body(ctx, &data, 1))
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Misuse(_)), "got {err:?}");
+        assert_eq!(ctx.instantiations_sent, 0);
+        // A correctly-shaped replay still instantiates.
+        ctx.block("b", |ctx| two_stage_body(ctx, &data, 2)).unwrap();
+        assert_eq!(ctx.instantiations_sent, 1);
+
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
+    #[test]
+    fn replay_with_different_task_count_is_misuse() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+
+        let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
+        ctx.block("b", |ctx| {
+            ctx.submit_stage(StageSpec::new("s", FunctionId(1)).write(&data))
+        })
+        .unwrap();
+        // Same stage count, but a different expansion width (1 task vs 4).
+        let err = ctx
+            .block("b", |ctx| {
+                ctx.submit_stage(
+                    StageSpec::new("s", FunctionId(1))
+                        .write_partition(&data, 0)
+                        .partitions(1),
+                )
+            })
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Misuse(_)), "got {err:?}");
+        assert_eq!(ctx.instantiations_sent, 0);
+
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
+    #[test]
+    fn replay_with_same_totals_but_reordered_stages_is_misuse() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+
+        let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
+        // Record: wide stage (4 tasks) then narrow stage (1 task).
+        ctx.block("b", |ctx| {
+            ctx.submit_stage(StageSpec::new("wide", FunctionId(1)).write(&data))?;
+            ctx.submit_stage(
+                StageSpec::new("narrow", FunctionId(1))
+                    .write_partition(&data, 0)
+                    .partitions(1),
+            )
+        })
+        .unwrap();
+        // Replay with the stages swapped: same stage count (2) and same task
+        // total (5), but the per-stage widths differ — the parameter binding
+        // would be misaligned, so this must be rejected.
+        let err = ctx
+            .block("b", |ctx| {
+                ctx.submit_stage(
+                    StageSpec::new("narrow", FunctionId(1))
+                        .write_partition(&data, 0)
+                        .partitions(1),
+                )?;
+                ctx.submit_stage(StageSpec::new("wide", FunctionId(1)).write(&data))
+            })
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Misuse(_)), "got {err:?}");
+        assert!(
+            err.to_string().contains("stage 0"),
+            "names the stage: {err}"
+        );
+        assert_eq!(ctx.instantiations_sent, 0);
+
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
+    #[test]
+    fn failed_recording_sends_abort() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+
+        let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
+        let err = ctx
+            .block("b", |ctx| {
+                ctx.submit_stage(StageSpec::new("s", FunctionId(1)).write(&data))?;
+                Err(DriverError::Misuse("application gave up".to_string()))
+            })
+            .unwrap_err();
+        // The body's own error surfaces, and the block is NOT marked
+        // recorded: the next execution records again instead of replaying.
+        assert!(err.to_string().contains("application gave up"));
+        ctx.block("b", |ctx| {
+            ctx.submit_stage(StageSpec::new("s", FunctionId(1)).write(&data))
+        })
+        .unwrap();
+        assert_eq!(ctx.instantiations_sent, 0, "second run re-records");
+
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
+    #[test]
+    fn nested_blocks_are_misuse() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+
+        let err = ctx
+            .block("outer", |ctx| ctx.block("inner", |_| Ok(())))
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Misuse(_)), "got {err:?}");
+
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
     }
 }

@@ -11,9 +11,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod context;
+pub mod dataset;
 pub mod error;
 pub mod stage;
 
 pub use context::{DatasetHandle, DriverContext};
+pub use dataset::{AsDataset, Dataset, ScalarReadable};
 pub use error::{DriverError, DriverResult};
 pub use stage::{PartitionMapping, StageAccess, StageParams, StageSpec};

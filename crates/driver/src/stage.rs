@@ -9,6 +9,7 @@ use nimbus_core::ids::{FunctionId, PartitionIndex};
 use nimbus_core::TaskParams;
 
 use crate::context::DatasetHandle;
+use crate::dataset::AsDataset;
 
 /// How a stage's tasks map onto a dataset's partitions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,45 +79,45 @@ impl StageSpec {
     }
 
     /// Adds a partition-aligned read.
-    pub fn read(mut self, dataset: &DatasetHandle) -> Self {
+    pub fn read<D: AsDataset + ?Sized>(mut self, dataset: &D) -> Self {
         self.reads.push(StageAccess {
-            dataset: dataset.clone(),
+            dataset: dataset.dataset_handle().clone(),
             mapping: PartitionMapping::Same,
         });
         self
     }
 
     /// Adds a broadcast read of one fixed partition (defaults to 0).
-    pub fn read_broadcast(mut self, dataset: &DatasetHandle) -> Self {
+    pub fn read_broadcast<D: AsDataset + ?Sized>(mut self, dataset: &D) -> Self {
         self.reads.push(StageAccess {
-            dataset: dataset.clone(),
+            dataset: dataset.dataset_handle().clone(),
             mapping: PartitionMapping::Fixed(PartitionIndex(0)),
         });
         self
     }
 
     /// Adds a read of a specific fixed partition.
-    pub fn read_partition(mut self, dataset: &DatasetHandle, partition: u32) -> Self {
+    pub fn read_partition<D: AsDataset + ?Sized>(mut self, dataset: &D, partition: u32) -> Self {
         self.reads.push(StageAccess {
-            dataset: dataset.clone(),
+            dataset: dataset.dataset_handle().clone(),
             mapping: PartitionMapping::Fixed(PartitionIndex(partition)),
         });
         self
     }
 
     /// Adds a partition-aligned write.
-    pub fn write(mut self, dataset: &DatasetHandle) -> Self {
+    pub fn write<D: AsDataset + ?Sized>(mut self, dataset: &D) -> Self {
         self.writes.push(StageAccess {
-            dataset: dataset.clone(),
+            dataset: dataset.dataset_handle().clone(),
             mapping: PartitionMapping::Same,
         });
         self
     }
 
     /// Adds a write to a specific fixed partition (reduction output).
-    pub fn write_partition(mut self, dataset: &DatasetHandle, partition: u32) -> Self {
+    pub fn write_partition<D: AsDataset + ?Sized>(mut self, dataset: &D, partition: u32) -> Self {
         self.writes.push(StageAccess {
-            dataset: dataset.clone(),
+            dataset: dataset.dataset_handle().clone(),
             mapping: PartitionMapping::Fixed(PartitionIndex(partition)),
         });
         self
@@ -129,10 +130,7 @@ impl StageSpec {
     }
 
     /// Sets a per-partition parameter function.
-    pub fn params_per_partition(
-        mut self,
-        f: impl Fn(u32) -> TaskParams + 'static,
-    ) -> Self {
+    pub fn params_per_partition(mut self, f: impl Fn(u32) -> TaskParams + 'static) -> Self {
         self.params = StageParams::PerPartition(Box::new(f));
         self
     }
@@ -194,5 +192,64 @@ mod tests {
         let per = StageSpec::new("b", FunctionId(1))
             .params_per_partition(|p| TaskParams::from_scalar(p as f64));
         assert_eq!(per.params.for_partition(3).as_scalar().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn task_count_without_same_mapped_access_defaults_to_one() {
+        // All accesses pin fixed partitions: nothing implies a width, so the
+        // stage is a single task regardless of the datasets' partition counts.
+        let d = handle(1, 8);
+        let e = handle(2, 16);
+        let s = StageSpec::new("pinned", FunctionId(1))
+            .read_partition(&d, 7)
+            .read_broadcast(&e)
+            .write_partition(&e, 3);
+        assert_eq!(s.task_count(), 1);
+        // No accesses at all behaves the same.
+        assert_eq!(StageSpec::new("empty", FunctionId(1)).task_count(), 1);
+    }
+
+    #[test]
+    fn partitions_override_beats_same_and_fixed_mappings() {
+        let d = handle(1, 8);
+        let g = handle(2, 1);
+        // Same-mapped access says 8, the override says 3: the override wins,
+        // whether set before or after the accesses.
+        let after = StageSpec::new("a", FunctionId(1)).read(&d).partitions(3);
+        assert_eq!(after.task_count(), 3);
+        let before = StageSpec::new("b", FunctionId(1)).partitions(3).read(&d);
+        assert_eq!(before.task_count(), 3);
+        // Override combined with only fixed mappings: still the override.
+        let fixed = StageSpec::new("c", FunctionId(1))
+            .read_partition(&d, 2)
+            .write_partition(&g, 0)
+            .partitions(5);
+        assert_eq!(fixed.task_count(), 5);
+        // The first Same-mapped access decides when several disagree.
+        let mixed = StageSpec::new("d", FunctionId(1))
+            .read_partition(&g, 0)
+            .read(&d)
+            .write(&handle(3, 2));
+        assert_eq!(mixed.task_count(), 8);
+    }
+
+    #[test]
+    fn for_partition_per_partition_closure_sees_every_index() {
+        let per = StageParams::PerPartition(Box::new(|p| TaskParams::from_u64s(&[p as u64 * 2])));
+        for p in [0u32, 1, 31] {
+            assert_eq!(
+                per.for_partition(p).as_u64s().unwrap(),
+                vec![p as u64 * 2],
+                "partition {p}"
+            );
+        }
+        // Shared params are cloned identically for any index, including ones
+        // past the stage's width.
+        let shared = StageParams::Shared(TaskParams::from_scalar(4.0));
+        assert_eq!(shared.for_partition(0).as_scalar().unwrap(), 4.0);
+        assert_eq!(shared.for_partition(1_000_000).as_scalar().unwrap(), 4.0);
+        // An empty shared block stays empty per task.
+        let empty = StageParams::Shared(TaskParams::empty());
+        assert!(empty.for_partition(9).is_empty());
     }
 }

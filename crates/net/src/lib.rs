@@ -21,8 +21,8 @@ pub mod transport;
 
 pub use codec::serialized_size;
 pub use message::{
-    ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message,
-    NodeId, WorkerToController,
+    ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message, NodeId,
+    WorkerToController,
 };
 pub use payload::DataPayload;
 pub use stats::NetworkStats;

@@ -57,6 +57,12 @@ pub enum DriverMessage {
         /// Basic-block name.
         name: String,
     },
+    /// Abandon a recording whose body failed: the controller discards the
+    /// partially recorded template (tasks already submitted still run).
+    AbortTemplate {
+        /// Basic-block name.
+        name: String,
+    },
     /// Execute a previously installed basic block again.
     InstantiateTemplate {
         /// Basic-block name.
@@ -113,6 +119,7 @@ impl DriverMessage {
             DriverMessage::SubmitTask(_) => "submit_task",
             DriverMessage::StartTemplate { .. } => "start_template",
             DriverMessage::FinishTemplate { .. } => "finish_template",
+            DriverMessage::AbortTemplate { .. } => "abort_template",
             DriverMessage::InstantiateTemplate { .. } => "instantiate_template",
             DriverMessage::FetchValue { .. } => "fetch_value",
             DriverMessage::Barrier => "barrier",

@@ -319,7 +319,10 @@ mod tests {
             .unwrap();
         let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(env.from, NodeId::Driver);
-        assert!(matches!(env.message, Message::Driver(DriverMessage::Barrier)));
+        assert!(matches!(
+            env.message,
+            Message::Driver(DriverMessage::Barrier)
+        ));
         assert_eq!(controller.pending(), 0);
     }
 
@@ -381,7 +384,10 @@ mod tests {
         assert!(controller.try_recv().is_err());
         let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(15));
-        assert!(matches!(env.message, Message::Driver(DriverMessage::Barrier)));
+        assert!(matches!(
+            env.message,
+            Message::Driver(DriverMessage::Barrier)
+        ));
     }
 
     #[test]

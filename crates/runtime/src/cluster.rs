@@ -152,52 +152,49 @@ mod tests {
     use nimbus_core::appdata::{Scalar, VecF64};
     use nimbus_core::ids::FunctionId;
     use nimbus_core::TaskParams;
-    use nimbus_driver::StageSpec;
+    use nimbus_driver::{Dataset, StageSpec};
 
     const ADD: FunctionId = FunctionId(1);
     const SUM_INTO: FunctionId = FunctionId(2);
 
     fn setup() -> AppSetup {
-        let mut setup = AppSetup::new();
-        setup.functions.register(ADD, "add", |ctx| {
-            let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
-            let v = ctx.write::<VecF64>(0)?;
-            for x in v.values.iter_mut() {
-                *x += delta;
-            }
-            Ok(())
-        });
-        setup.functions.register(SUM_INTO, "sum_into", |ctx| {
-            let mut total = 0.0;
-            for i in 0..ctx.read_count() {
-                total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
-            }
-            ctx.write::<Scalar>(0)?.value = total;
-            Ok(())
-        });
-        setup
+        AppSetup::new()
+            .function(ADD, "add", |ctx| {
+                let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+                let v = ctx.write::<VecF64>(0)?;
+                for x in v.values.iter_mut() {
+                    *x += delta;
+                }
+                Ok(())
+            })
+            .function(SUM_INTO, "sum_into", |ctx| {
+                let mut total = 0.0;
+                for i in 0..ctx.read_count() {
+                    total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
+                }
+                ctx.write::<Scalar>(0)?.value = total;
+                Ok(())
+            })
     }
 
-    fn register_factories(setup: &mut AppSetup, data_id: u64, scalar_id: u64, len: usize) {
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(data_id),
-            Box::new(move |_| Box::new(VecF64::zeros(len))),
-        );
-        setup.factories.register(
-            nimbus_core::LogicalObjectId(scalar_id),
-            Box::new(|_| Box::new(Scalar::new(0.0))),
-        );
+    fn register_factories(setup: AppSetup, data_id: u64, scalar_id: u64, len: usize) -> AppSetup {
+        setup
+            .object(nimbus_core::LogicalObjectId(data_id), move |_| {
+                VecF64::zeros(len)
+            })
+            .object(nimbus_core::LogicalObjectId(scalar_id), |_| {
+                Scalar::new(0.0)
+            })
     }
 
     #[test]
     fn end_to_end_iterative_job_with_templates() {
-        let mut setup = setup();
-        register_factories(&mut setup, 1, 2, 4);
+        let setup = register_factories(setup(), 1, 2, 4);
         let cluster = Cluster::start(ClusterConfig::new(2), setup);
         let report = cluster
             .run_driver(|ctx| {
-                let data = ctx.define_dataset("data", 4)?;
-                let total = ctx.define_dataset("total", 1)?;
+                let data: Dataset<VecF64> = ctx.define_dataset("data", 4)?;
+                let total: Dataset<Scalar> = ctx.define_dataset("total", 1)?;
                 for i in 0..5u64 {
                     ctx.block("inner", |ctx| {
                         ctx.submit_stage(
@@ -216,7 +213,7 @@ mod tests {
                         )?;
                         Ok(())
                     })?;
-                    let value = ctx.fetch_scalar(&total, 0)?;
+                    let value = ctx.fetch(&total, 0)?;
                     // After iteration i every element is i+1; 4 partitions x 4 elements.
                     assert_eq!(value, ((i + 1) * 16) as f64, "iteration {i}");
                 }
@@ -235,14 +232,13 @@ mod tests {
 
     #[test]
     fn same_results_with_templates_disabled() {
-        let mut setup = setup();
-        register_factories(&mut setup, 1, 2, 4);
+        let setup = register_factories(setup(), 1, 2, 4);
         let cluster = Cluster::start(ClusterConfig::new(2).without_templates(), setup);
         let report = cluster
             .run_driver(|ctx| {
                 ctx.enable_templates(false)?;
-                let data = ctx.define_dataset("data", 4)?;
-                let total = ctx.define_dataset("total", 1)?;
+                let data: Dataset<VecF64> = ctx.define_dataset("data", 4)?;
+                let total: Dataset<Scalar> = ctx.define_dataset("total", 1)?;
                 for _ in 0..3 {
                     ctx.block("inner", |ctx| {
                         ctx.submit_stage(
@@ -262,7 +258,7 @@ mod tests {
                         Ok(())
                     })?;
                 }
-                ctx.fetch_scalar(&total, 0)
+                ctx.fetch(&total, 0)
             })
             .unwrap();
         assert_eq!(report.output, 3.0 * 2.0 * 16.0);

@@ -4,8 +4,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use nimbus_controller::AssignmentPolicy;
+use nimbus_core::appdata::AppData;
+use nimbus_core::ids::{FunctionId, LogicalObjectId, LogicalPartition};
 use nimbus_net::LatencyModel;
-use nimbus_worker::{DataFactoryRegistry, FunctionRegistry};
+use nimbus_worker::{DataFactoryRegistry, FunctionRegistry, TaskContext};
 
 /// Static configuration of an in-process cluster.
 #[derive(Clone)]
@@ -68,18 +70,83 @@ impl ClusterConfig {
 
 /// The application side of cluster setup: registered task functions and
 /// dataset factories, shared by every worker.
+///
+/// Built either as a consuming chain:
+///
+/// ```ignore
+/// let setup = AppSetup::new()
+///     .function(ADD, "add", |ctx| { /* ... */ Ok(()) })
+///     .object(LogicalObjectId(1), |_| VecF64::zeros(8));
+/// ```
+///
+/// or incrementally through [`AppSetup::register_function`] /
+/// [`AppSetup::register_object`] when registration is split across helpers.
 #[derive(Default)]
 pub struct AppSetup {
-    /// Registered application functions.
-    pub functions: FunctionRegistry,
-    /// Registered dataset factories.
-    pub factories: DataFactoryRegistry,
+    functions: FunctionRegistry,
+    factories: DataFactoryRegistry,
 }
 
 impl AppSetup {
     /// Creates an empty setup.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers a task function under `id` (consuming-builder form).
+    pub fn function(
+        mut self,
+        id: FunctionId,
+        name: impl Into<String>,
+        f: impl Fn(&mut TaskContext<'_>) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.register_function(id, name, f);
+        self
+    }
+
+    /// Registers the initial-contents factory of the dataset `object`
+    /// (consuming-builder form). The factory's concrete return type `T` is
+    /// what `Dataset<T>` asserts at definition time and what task functions
+    /// downcast to with `read::<T>` / `write::<T>`.
+    pub fn object<T: AppData>(
+        mut self,
+        object: LogicalObjectId,
+        init: impl Fn(LogicalPartition) -> T + Send + Sync + 'static,
+    ) -> Self {
+        self.register_object(object, init);
+        self
+    }
+
+    /// Registers a task function under `id`.
+    pub fn register_function(
+        &mut self,
+        id: FunctionId,
+        name: impl Into<String>,
+        f: impl Fn(&mut TaskContext<'_>) -> Result<(), String> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.functions.register(id, name, f);
+        self
+    }
+
+    /// Registers the initial-contents factory of the dataset `object`.
+    pub fn register_object<T: AppData>(
+        &mut self,
+        object: LogicalObjectId,
+        init: impl Fn(LogicalPartition) -> T + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories
+            .register(object, Box::new(move |lp| Box::new(init(lp))));
+        self
+    }
+
+    /// Read access to the registered functions.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
+    /// Read access to the registered dataset factories.
+    pub fn factories(&self) -> &DataFactoryRegistry {
+        &self.factories
     }
 
     /// Finalizes the setup into shared registries.

@@ -201,9 +201,16 @@ mod tests {
     fn centralized_scheduler_gets_worse_with_more_workers() {
         let profile = CostProfile::paper();
         let w = WorkloadModel::mllib_logistic_regression();
-        let at30 = simulate_iteration(&ControlPlane::spark_like(&profile), &ClusterModel::new(30), &w);
-        let at100 =
-            simulate_iteration(&ControlPlane::spark_like(&profile), &ClusterModel::new(100), &w);
+        let at30 = simulate_iteration(
+            &ControlPlane::spark_like(&profile),
+            &ClusterModel::new(30),
+            &w,
+        );
+        let at100 = simulate_iteration(
+            &ControlPlane::spark_like(&profile),
+            &ClusterModel::new(100),
+            &w,
+        );
         // Figure 1: computation shrinks but completion time grows.
         assert!(at100.compute_us < at30.compute_us);
         assert!(at100.total_us > at30.total_us);
@@ -212,15 +219,24 @@ mod tests {
     #[test]
     fn template_throughput_scales_with_workers() {
         let profile = CostProfile::paper();
-        let nimbus20 =
-            simulate_iteration(&ControlPlane::templates_steady(&profile), &ClusterModel::new(20), &lr());
-        let nimbus100 =
-            simulate_iteration(&ControlPlane::templates_steady(&profile), &ClusterModel::new(100), &lr());
+        let nimbus20 = simulate_iteration(
+            &ControlPlane::templates_steady(&profile),
+            &ClusterModel::new(20),
+            &lr(),
+        );
+        let nimbus100 = simulate_iteration(
+            &ControlPlane::templates_steady(&profile),
+            &ClusterModel::new(100),
+            &lr(),
+        );
         assert!(nimbus100.tasks_per_second > 3.0 * nimbus20.tasks_per_second);
         // Figure 8: ~128k tasks/s at 100 workers.
         assert!(nimbus100.tasks_per_second > 80_000.0);
-        let spark100 =
-            simulate_iteration(&ControlPlane::spark_like(&profile), &ClusterModel::new(100), &lr());
+        let spark100 = simulate_iteration(
+            &ControlPlane::spark_like(&profile),
+            &ClusterModel::new(100),
+            &lr(),
+        );
         assert!(spark100.tasks_per_second < 7_000.0);
     }
 

@@ -21,7 +21,10 @@ pub struct Row {
 impl Row {
     /// Returns the value of a named series.
     pub fn get(&self, series: &str) -> Option<f64> {
-        self.values.iter().find(|(n, _)| *n == series).map(|(_, v)| *v)
+        self.values
+            .iter()
+            .find(|(n, _)| *n == series)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -78,8 +81,11 @@ pub fn fig7_iteration_time(profile: &CostProfile, kmeans: bool) -> Vec<Row> {
                 &cluster,
                 &workload,
             );
-            let nimbus =
-                simulate_iteration(&ControlPlane::templates_steady(profile), &cluster, &workload);
+            let nimbus = simulate_iteration(
+                &ControlPlane::templates_steady(profile),
+                &cluster,
+                &workload,
+            );
             Row {
                 x: workers as f64,
                 values: vec![
@@ -103,12 +109,20 @@ pub fn fig8_task_throughput(profile: &CostProfile) -> Vec<Row> {
         .map(|workers| {
             let cluster = ClusterModel::new(workers);
             let spark = simulate_iteration(&ControlPlane::spark_like(profile), &cluster, &workload);
-            let nimbus =
-                simulate_iteration(&ControlPlane::templates_steady(profile), &cluster, &workload);
+            let nimbus = simulate_iteration(
+                &ControlPlane::templates_steady(profile),
+                &cluster,
+                &workload,
+            );
             Row {
                 x: workers as f64,
                 values: vec![
-                    ("spark_tasks_per_s", spark.tasks_per_second.min(profile.centralized_max_throughput)),
+                    (
+                        "spark_tasks_per_s",
+                        spark
+                            .tasks_per_second
+                            .min(profile.centralized_max_throughput),
+                    ),
                     ("nimbus_tasks_per_s", nimbus.tasks_per_second),
                 ],
             }
@@ -131,11 +145,7 @@ pub fn fig9_dynamic_scheduling(profile: &CostProfile) -> Vec<Row> {
     let mut rows = Vec::new();
     for iteration in 1..=35u32 {
         let (cluster, plane, phase) = match iteration {
-            1..=9 => (
-                &full,
-                ControlPlane::nimbus_without_templates(profile),
-                0.0,
-            ),
+            1..=9 => (&full, ControlPlane::nimbus_without_templates(profile), 0.0),
             // Iteration 10: still scheduled per task, plus the one-time cost
             // of installing the controller template.
             10 => (
@@ -214,8 +224,11 @@ pub fn fig9_dynamic_scheduling(profile: &CostProfile) -> Vec<Row> {
 pub fn fig10_migration(profile: &CostProfile) -> Vec<Row> {
     let workload = WorkloadModel::logistic_regression();
     let cluster = ClusterModel::new(100);
-    let steady_nimbus =
-        simulate_iteration(&ControlPlane::templates_steady(profile), &cluster, &workload);
+    let steady_nimbus = simulate_iteration(
+        &ControlPlane::templates_steady(profile),
+        &cluster,
+        &workload,
+    );
     let steady_naiad =
         simulate_iteration(&ControlPlane::naiad_steady(200.0, 100), &cluster, &workload);
     let migrated_tasks = (workload.tasks(100) as f64 * 0.05).round();
@@ -251,8 +264,11 @@ pub fn fig11_water_simulation(profile: &CostProfile) -> Vec<Row> {
     // With templates, the simulation's dynamic control flow means a mix of
     // auto-validated and fully-validated instantiations plus load-balancing
     // copies; model it as the validated path.
-    let nimbus =
-        simulate_iteration(&ControlPlane::templates_validated(profile), &cluster, &workload);
+    let nimbus = simulate_iteration(
+        &ControlPlane::templates_validated(profile),
+        &cluster,
+        &workload,
+    );
     let without = simulate_iteration(
         &ControlPlane::nimbus_without_templates(profile),
         &cluster,
@@ -315,7 +331,9 @@ mod tests {
         assert!(last.get("nimbus_tasks_per_s").unwrap() > 100_000.0);
         // Superlinear growth of the task rate with workers.
         let mid = &rows[4];
-        assert!(last.get("nimbus_tasks_per_s").unwrap() > 2.0 * mid.get("nimbus_tasks_per_s").unwrap());
+        assert!(
+            last.get("nimbus_tasks_per_s").unwrap() > 2.0 * mid.get("nimbus_tasks_per_s").unwrap()
+        );
     }
 
     #[test]
@@ -350,7 +368,13 @@ mod tests {
         let nimbus = sim.get("nimbus_s").unwrap();
         let without = sim.get("nimbus_without_templates_s").unwrap();
         assert!(nimbus > mpi);
-        assert!(nimbus < mpi * 1.3, "templates stay within ~15-30% of MPI: {nimbus} vs {mpi}");
-        assert!(without > 3.0 * mpi, "without templates is several times slower");
+        assert!(
+            nimbus < mpi * 1.3,
+            "templates stay within ~15-30% of MPI: {nimbus} vs {mpi}"
+        );
+        assert!(
+            without > 3.0 * mpi,
+            "without templates is several times slower"
+        );
     }
 }

@@ -79,7 +79,12 @@ impl DataStore {
     /// Allocates an object with the given contents. Creating an object that
     /// already exists is idempotent and keeps the existing contents (the
     /// controller may replay create commands after recovery).
-    pub fn create(&mut self, id: PhysicalObjectId, logical: LogicalPartition, data: Box<dyn AppData>) {
+    pub fn create(
+        &mut self,
+        id: PhysicalObjectId,
+        logical: LogicalPartition,
+        data: Box<dyn AppData>,
+    ) {
         self.objects
             .entry(id)
             .or_insert(StoredObject { data, logical });
@@ -203,7 +208,11 @@ mod tests {
     #[test]
     fn create_is_idempotent() {
         let mut store = DataStore::new();
-        store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::new(vec![7.0])));
+        store.create(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            Box::new(VecF64::new(vec![7.0])),
+        );
         store.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::zeros(10)));
         let data = store.get(PhysicalObjectId(1)).unwrap();
         assert_eq!(downcast_ref::<VecF64>(data).unwrap().values, vec![7.0]);
@@ -221,7 +230,9 @@ mod tests {
             downcast_ref::<VecF64>(cloned.as_ref()).unwrap().values,
             vec![1.0, 2.0]
         );
-        assert!(store.replace(PhysicalObjectId(2), Box::new(VecF64::zeros(1))).is_err());
+        assert!(store
+            .replace(PhysicalObjectId(2), Box::new(VecF64::zeros(1)))
+            .is_err());
     }
 
     #[test]
@@ -245,7 +256,10 @@ mod tests {
         assert!(reg.contains(LogicalObjectId(1)));
         assert_eq!(reg.len(), 1);
         let data = reg.create(lp(1, 3)).unwrap();
-        assert_eq!(downcast_ref::<VecF64>(data.as_ref()).unwrap().values, vec![3.0]);
+        assert_eq!(
+            downcast_ref::<VecF64>(data.as_ref()).unwrap().values,
+            vec![3.0]
+        );
         assert!(reg.create(lp(2, 0)).is_err());
     }
 

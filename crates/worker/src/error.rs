@@ -59,7 +59,10 @@ impl fmt::Display for WorkerError {
                 write!(f, "data type mismatch: expected {expected}, found {actual}")
             }
             WorkerError::AccessOutOfRange { index, len } => {
-                write!(f, "data access index {index} out of range (set has {len} objects)")
+                write!(
+                    f,
+                    "data access index {index} out of range (set has {len} objects)"
+                )
             }
             WorkerError::Core(e) => write!(f, "core error: {e}"),
             WorkerError::Net(e) => write!(f, "transport error: {e}"),

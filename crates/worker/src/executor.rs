@@ -185,7 +185,8 @@ impl Executor {
 
         // Take write objects out of the store so we can hand out mutable
         // references while still borrowing read objects from the store.
-        let mut taken: Vec<(PhysicalObjectId, StoredObject)> = Vec::with_capacity(command.write_set.len());
+        let mut taken: Vec<(PhysicalObjectId, StoredObject)> =
+            Vec::with_capacity(command.write_set.len());
         for id in &command.write_set {
             match store.take(*id) {
                 Ok(obj) => taken.push((*id, obj)),
@@ -221,10 +222,7 @@ impl Executor {
                 worker: self.worker,
                 params: &command.params,
                 reads,
-                writes: writes
-                    .into_iter()
-                    .map(|(id, d)| (id, d))
-                    .collect(),
+                writes,
             };
 
             let start = Instant::now();
@@ -286,7 +284,11 @@ mod tests {
 
     fn store() -> DataStore {
         let mut s = DataStore::new();
-        s.create(PhysicalObjectId(1), lp(1, 0), Box::new(VecF64::new(vec![1.0, 2.0, 3.0])));
+        s.create(
+            PhysicalObjectId(1),
+            lp(1, 0),
+            Box::new(VecF64::new(vec![1.0, 2.0, 3.0])),
+        );
         s.create(PhysicalObjectId(2), lp(2, 0), Box::new(Scalar::new(0.0)));
         s
     }
@@ -308,7 +310,9 @@ mod tests {
     fn runs_a_task_and_mutates_the_store() {
         let exec = Executor::new(WorkerId(0), registry());
         let mut s = store();
-        let elapsed = exec.run_task(&task(1, vec![1], vec![2], 2.0), &mut s).unwrap();
+        let elapsed = exec
+            .run_task(&task(1, vec![1], vec![2], 2.0), &mut s)
+            .unwrap();
         assert!(elapsed >= Duration::ZERO);
         let result = nimbus_core::downcast_ref::<Scalar>(s.get(PhysicalObjectId(2)).unwrap())
             .unwrap()
@@ -320,7 +324,8 @@ mod tests {
     fn read_write_overlap_aliases_to_the_same_object() {
         let exec = Executor::new(WorkerId(0), registry());
         let mut s = store();
-        exec.run_task(&task(2, vec![1], vec![1], 0.0), &mut s).unwrap();
+        exec.run_task(&task(2, vec![1], vec![1], 0.0), &mut s)
+            .unwrap();
         let v = nimbus_core::downcast_ref::<VecF64>(s.get(PhysicalObjectId(1)).unwrap()).unwrap();
         assert_eq!(v.values, vec![2.0, 4.0, 6.0]);
     }
@@ -329,7 +334,9 @@ mod tests {
     fn task_failure_restores_the_store() {
         let exec = Executor::new(WorkerId(0), registry());
         let mut s = store();
-        let err = exec.run_task(&task(3, vec![1], vec![2], 0.0), &mut s).unwrap_err();
+        let err = exec
+            .run_task(&task(3, vec![1], vec![2], 0.0), &mut s)
+            .unwrap_err();
         assert!(matches!(err, WorkerError::TaskFailed { .. }));
         // The written object is back in the store despite the failure.
         assert!(s.contains(PhysicalObjectId(2)));
@@ -347,7 +354,10 @@ mod tests {
             exec.run_task(&task(1, vec![99], vec![2], 0.0), &mut s),
             Err(WorkerError::UnknownObject(_))
         ));
-        assert!(s.contains(PhysicalObjectId(2)), "taken objects were restored");
+        assert!(
+            s.contains(PhysicalObjectId(2)),
+            "taken objects were restored"
+        );
     }
 
     #[test]
@@ -355,7 +365,9 @@ mod tests {
         let mut exec = Executor::new(WorkerId(0), registry());
         exec.spin_wait = Some(Duration::from_millis(2));
         let mut s = store();
-        let elapsed = exec.run_task(&task(1, vec![1], vec![2], 1.0), &mut s).unwrap();
+        let elapsed = exec
+            .run_task(&task(1, vec![1], vec![2], 1.0), &mut s)
+            .unwrap();
         assert!(elapsed >= Duration::from_millis(2));
     }
 

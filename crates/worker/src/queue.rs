@@ -45,7 +45,10 @@ impl ObjectDeps {
             }
         }
         for obj in reads {
-            self.readers_since_write.entry(obj).or_default().push(command.id);
+            self.readers_since_write
+                .entry(obj)
+                .or_default()
+                .push(command.id);
         }
         for obj in writes {
             self.last_writer.insert(obj, command.id);
@@ -355,13 +358,21 @@ mod tests {
         assert_eq!(q.ready_len(), 1, "only the task is ready");
         q.pop_ready().unwrap();
         q.complete(CommandId(1));
-        assert_eq!(q.ready_len(), 1, "receive unblocks after dependency completes");
+        assert_eq!(
+            q.ready_len(),
+            1,
+            "receive unblocks after dependency completes"
+        );
     }
 
     #[test]
     fn flush_discards_everything() {
         let mut q = CommandQueue::new();
-        q.add_commands(vec![task(1, vec![]), task(2, vec![1]), receive(3, 9, vec![])]);
+        q.add_commands(vec![
+            task(1, vec![]),
+            task(2, vec![1]),
+            receive(3, 9, vec![]),
+        ]);
         let dropped = q.flush();
         assert_eq!(dropped, 3);
         assert!(q.is_idle());

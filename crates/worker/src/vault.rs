@@ -74,7 +74,10 @@ mod tests {
         assert!(vault.contains("ckpt/1"));
         assert_eq!(vault.len(), 1);
         let data = vault.get("ckpt/1").unwrap();
-        assert_eq!(downcast_ref::<VecF64>(data.as_ref()).unwrap().values, vec![1.0, 2.0]);
+        assert_eq!(
+            downcast_ref::<VecF64>(data.as_ref()).unwrap().values,
+            vec![1.0, 2.0]
+        );
         assert!(vault.get("missing").is_none());
         vault.delete("ckpt/1");
         assert!(vault.is_empty());
@@ -85,9 +88,14 @@ mod tests {
         let vault = ObjectVault::new();
         vault.put("k", Box::new(VecF64::new(vec![1.0])));
         let mut copy = vault.get("k").unwrap();
-        nimbus_core::downcast_mut::<VecF64>(copy.as_mut()).unwrap().values[0] = 9.0;
+        nimbus_core::downcast_mut::<VecF64>(copy.as_mut())
+            .unwrap()
+            .values[0] = 9.0;
         let original = vault.get("k").unwrap();
-        assert_eq!(downcast_ref::<VecF64>(original.as_ref()).unwrap().values, vec![1.0]);
+        assert_eq!(
+            downcast_ref::<VecF64>(original.as_ref()).unwrap().values,
+            vec![1.0]
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use nimbus_core::appdata::{downcast_ref, AppData, Scalar, VecF64};
+use nimbus_core::appdata::AppData;
 use nimbus_core::ids::{CommandId, WorkerId};
 use nimbus_core::template::cache::WorkerTemplateCache;
 use nimbus_core::{Command, CommandKind};
@@ -157,8 +157,11 @@ impl Worker {
             Message::ToWorker(msg) => self.handle_control(msg),
             Message::Data(transfer) => self.handle_data(transfer),
             other => {
-                self.stats
-                    .record_failure(format!("unexpected message {:?} at worker {}", other.tag(), self.id));
+                self.stats.record_failure(format!(
+                    "unexpected message {:?} at worker {}",
+                    other.tag(),
+                    self.id
+                ));
             }
         }
     }
@@ -363,21 +366,17 @@ impl Worker {
     }
 }
 
-/// Extracts a scalar value from a data object for `FetchValue` requests:
-/// [`Scalar`]s return their value, [`VecF64`]s their first element.
+/// Extracts a scalar value from a data object for `FetchValue` requests.
+/// Delegates to [`AppData::scalar_value`], so any type overriding it (and
+/// marked `ScalarReadable` for the driver-side gate) is fetchable.
 pub fn extract_scalar(data: &dyn AppData) -> Option<f64> {
-    if let Some(s) = downcast_ref::<Scalar>(data) {
-        return Some(s.value);
-    }
-    if let Some(v) = downcast_ref::<VecF64>(data) {
-        return v.values.first().copied();
-    }
-    None
+    data.scalar_value()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nimbus_core::appdata::{downcast_ref, Scalar, VecF64};
     use nimbus_core::ids::{
         FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, PhysicalObjectId, TaskId,
         TemplateId, TransferId,
@@ -581,7 +580,8 @@ mod tests {
         drive(&mut worker, 2);
         let mut fetched = None;
         while let Ok(env) = controller.try_recv() {
-            if let Message::FromWorker(WorkerToController::ValueFetched { value, .. }) = env.message {
+            if let Message::FromWorker(WorkerToController::ValueFetched { value, .. }) = env.message
+            {
                 fetched = Some(value);
             }
         }

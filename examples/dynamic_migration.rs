@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example dynamic_migration`
 
 use nimbus::apps::logistic_regression as lr;
-use nimbus::{AppSetup, Cluster, ClusterConfig};
+use nimbus::prelude::*;
 
 fn main() {
     let config = lr::LogisticRegressionConfig {
@@ -33,7 +33,7 @@ fn main() {
                     eprintln!("iteration {iteration}: requested migration of 2 tasks");
                 }
                 lr::submit_inner_block(ctx, &data, &config)?;
-                let norm = ctx.fetch_scalar(&data.gradient_norm, 0)?;
+                let norm = ctx.fetch(&data.gradient_norm, 0)?;
                 eprintln!("iteration {iteration}: gradient norm {norm:.4}");
                 norms.push(norm);
             }
@@ -52,5 +52,8 @@ fn main() {
         report.output.last().unwrap() < report.output.first().unwrap(),
         "optimization keeps making progress despite migrations"
     );
-    assert!(report.controller.edits_applied > 0, "migrations were expressed as edits");
+    assert!(
+        report.controller.edits_applied > 0,
+        "migrations were expressed as edits"
+    );
 }

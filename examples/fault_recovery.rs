@@ -4,29 +4,25 @@
 //!
 //! Run with: `cargo run --example fault_recovery`
 
-use nimbus::core::appdata::VecF64;
-use nimbus::core::{FunctionId, LogicalObjectId, TaskParams, WorkerId};
-use nimbus::{AppSetup, Cluster, ClusterConfig, StageSpec};
+use nimbus::prelude::*;
 
 const BUMP: FunctionId = FunctionId(1);
 
 fn main() {
-    let mut setup = AppSetup::new();
-    setup.functions.register(BUMP, "bump", |ctx| {
-        for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
-            *x += 1.0;
-        }
-        Ok(())
-    });
-    setup
-        .factories
-        .register(LogicalObjectId(1), Box::new(|_| Box::new(VecF64::zeros(4))));
+    let setup = AppSetup::new()
+        .function(BUMP, "bump", |ctx| {
+            for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
+                *x += 1.0;
+            }
+            Ok(())
+        })
+        .object(LogicalObjectId(1), |_| VecF64::zeros(4));
 
     let cluster = Cluster::start(ClusterConfig::new(3), setup);
     let report = cluster
         .run_driver(|ctx| {
-            let data = ctx.define_dataset("data", 6)?;
-            let step = |ctx: &mut nimbus::DriverContext| {
+            let data = ctx.define_dataset::<VecF64>("data", 6)?;
+            let step = |ctx: &mut DriverContext| {
                 ctx.block("step", |ctx| {
                     ctx.submit_stage(
                         StageSpec::new("bump", BUMP)
@@ -44,19 +40,19 @@ fn main() {
             for _ in 0..3 {
                 step(ctx)?;
             }
-            println!("value before failure: {}", ctx.fetch_scalar(&data, 0)?);
+            println!("value before failure: {}", ctx.fetch(&data, 0)?);
 
             // Worker 2 fails abruptly; the controller restores the checkpoint.
             let marker = ctx.fail_worker(WorkerId(2))?;
             println!("recovered from checkpoint taken at iteration {marker}");
-            let restored = ctx.fetch_scalar(&data, 0)?;
+            let restored = ctx.fetch(&data, 0)?;
             println!("value after recovery: {restored}");
 
             // The driver resumes from the checkpoint marker.
             for _ in marker..8 {
                 step(ctx)?;
             }
-            ctx.fetch_scalar(&data, 0)
+            ctx.fetch(&data, 0)
         })
         .expect("job completes");
     println!("final value (8 effective iterations): {}", report.output);

@@ -3,7 +3,7 @@
 //! Run with: `cargo run --example kmeans --release`
 
 use nimbus::apps::kmeans;
-use nimbus::{AppSetup, Cluster, ClusterConfig};
+use nimbus::prelude::*;
 
 fn main() {
     let config = kmeans::KMeansConfig {

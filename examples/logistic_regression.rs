@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example logistic_regression --release`
 
 use nimbus::apps::logistic_regression as lr;
-use nimbus::{AppSetup, Cluster, ClusterConfig};
+use nimbus::prelude::*;
 
 fn main() {
     let config = lr::LogisticRegressionConfig {

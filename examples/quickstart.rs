@@ -1,39 +1,38 @@
-//! Quickstart: define datasets, register task functions, run an iterative job
-//! whose inner loop is cached as an execution template.
+//! Quickstart: define typed datasets, register task functions, run an
+//! iterative job whose inner loop is cached as an execution template.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use nimbus::core::appdata::{Scalar, VecF64};
-use nimbus::core::{FunctionId, LogicalObjectId, TaskParams};
-use nimbus::{AppSetup, Cluster, ClusterConfig, StageSpec};
+use nimbus::prelude::*;
 
 const ADD: FunctionId = FunctionId(1);
 const SUM: FunctionId = FunctionId(2);
 
+const DATA: LogicalObjectId = LogicalObjectId(1);
+const TOTAL: LogicalObjectId = LogicalObjectId(2);
+
 fn main() {
-    // 1. Register the application: task functions plus initial partition contents.
-    let mut setup = AppSetup::new();
-    setup.functions.register(ADD, "add", |ctx| {
-        let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
-        for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
-            *x += delta;
-        }
-        Ok(())
-    });
-    setup.functions.register(SUM, "sum", |ctx| {
-        let mut total = 0.0;
-        for i in 0..ctx.read_count() {
-            total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
-        }
-        ctx.write::<Scalar>(0)?.value = total;
-        Ok(())
-    });
-    setup
-        .factories
-        .register(LogicalObjectId(1), Box::new(|_| Box::new(VecF64::zeros(8))));
-    setup
-        .factories
-        .register(LogicalObjectId(2), Box::new(|_| Box::new(Scalar::new(0.0))));
+    // 1. Register the application: task functions plus the initial contents
+    //    of each dataset. `object::<T>` makes the partition type explicit —
+    //    the same `T` the driver asserts below when defining the dataset.
+    let setup = AppSetup::new()
+        .function(ADD, "add", |ctx| {
+            let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+            for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
+                *x += delta;
+            }
+            Ok(())
+        })
+        .function(SUM, "sum", |ctx| {
+            let mut total = 0.0;
+            for i in 0..ctx.read_count() {
+                total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
+            }
+            ctx.write::<Scalar>(0)?.value = total;
+            Ok(())
+        })
+        .object(DATA, |_| VecF64::zeros(8))
+        .object(TOTAL, |_| Scalar::new(0.0));
 
     // 2. Start an in-process cluster: one controller, four workers.
     let cluster = Cluster::start(ClusterConfig::new(4), setup);
@@ -43,8 +42,8 @@ fn main() {
     //    later iteration costs a single instantiation message per worker.
     let report = cluster
         .run_driver(|ctx| {
-            let data = ctx.define_dataset("data", 8)?;
-            let total = ctx.define_dataset("total", 1)?;
+            let data = ctx.define_dataset::<VecF64>("data", 8)?;
+            let total = ctx.define_dataset::<Scalar>("total", 1)?;
             for i in 0..10u32 {
                 ctx.block("inner", |ctx| {
                     ctx.submit_stage(
@@ -59,7 +58,9 @@ fn main() {
                     ctx.submit_stage(sum.write_partition(&total, 0))?;
                     Ok(())
                 })?;
-                let value = ctx.fetch_scalar(&total, 0)?;
+                // `fetch` is typed: it only compiles for datasets whose
+                // partitions have a scalar projection (here `Scalar`).
+                let value = ctx.fetch(&total, 0)?;
                 println!("iteration {i}: total = {value}");
             }
             Ok(())
@@ -78,4 +79,6 @@ fn main() {
         "control messages: {}, control bytes: {}, data bytes: {}",
         report.network.messages, report.network.control_bytes, report.network.data_bytes
     );
+    assert!(report.controller.controller_templates_installed > 0);
+    assert!(report.controller.controller_template_instantiations > 0);
 }

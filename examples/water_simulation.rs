@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example water_simulation --release`
 
 use nimbus::apps::water;
-use nimbus::{AppSetup, Cluster, ClusterConfig};
+use nimbus::prelude::*;
 
 fn main() {
     let config = water::WaterConfig {

@@ -1,0 +1,214 @@
+//! A vendored, minimal re-implementation of the `criterion` benchmarking API
+//! surface this workspace uses. It actually measures: each benchmark is
+//! warmed up, then sampled, and the mean/min per-iteration time (plus element
+//! throughput, when declared) is printed to stdout.
+//!
+//! This is not a statistical harness — no outlier analysis, no plots — but
+//! the numbers are real and the API matches criterion closely enough that
+//! swapping the real crate back in is a manifest change.
+
+#![allow(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized; the shim treats these identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut impl FnMut(&mut Bencher),
+) {
+    // Warmup pass.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut line = format!(
+        "{name}: mean {:.3} us, min {:.3} us over {samples} samples",
+        mean * 1e6,
+        min * 1e6
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            line.push_str(&format!(", {:.0} elem/s", n as f64 / mean));
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            line.push_str(&format!(", {:.0} B/s", n as f64 / mean));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // A few iterations per sample to amortize timer overhead.
+        let iters = 8u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = 2u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine a mutable
+    /// reference to the input.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = 2u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

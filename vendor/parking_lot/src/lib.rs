@@ -1,0 +1,194 @@
+//! A vendored, minimal re-implementation of the `parking_lot` API surface
+//! this workspace uses: `Mutex`, `RwLock`, and `Condvar` with parking_lot's
+//! poison-free signatures, layered over `std::sync`.
+
+#![allow(missing_docs)]
+
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// A mutex whose `lock` returns the guard directly (poisoning is swallowed).
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard for [`Mutex::lock`]. Holds the std guard in an `Option` so the
+/// condvar can temporarily take it during waits.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Result of a timed condvar wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable operating on this crate's [`MutexGuard`].
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_rwlock_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(5);
+        assert_eq!(*rw.read(), 5);
+        *rw.write() = 6;
+        assert_eq!(*rw.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut guard = pair.0.lock();
+        let result = pair.1.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        drop(guard);
+
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *pair2.0.lock() = true;
+            pair2.1.notify_all();
+        });
+        let mut guard = pair.0.lock();
+        while !*guard {
+            let result = pair.1.wait_for(&mut guard, Duration::from_secs(5));
+            assert!(
+                !result.timed_out() || *guard,
+                "waited too long for the flag"
+            );
+        }
+        t.join().unwrap();
+        assert!(*guard);
+    }
+}

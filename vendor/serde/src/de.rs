@@ -1,0 +1,62 @@
+//! The deserialization half of the data model — a stub.
+//!
+//! Nothing in the workspace deserializes at runtime (the transport hands over
+//! in-process messages, and the codec only *counts* bytes), so this module
+//! provides just enough surface for `#[derive(Deserialize)]` and
+//! `#[serde(with = "...")]` deserialize helpers to compile. Every derived
+//! impl returns an "unsupported" error if it is ever invoked.
+
+use std::fmt::Display;
+
+/// Trait for deserializer error types.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A format that could drive deserialization. No formats are provided by the
+/// shim; the trait exists so generic bounds in user code compile.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+}
+
+/// A data structure that can (nominally) be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! unsupported_impl {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                    Err(D::Error::custom(concat!(
+                        "the vendored serde shim does not support deserializing ",
+                        stringify!($ty)
+                    )))
+                }
+            }
+        )+
+    };
+}
+
+unsupported_impl!(
+    bool, i8, i16, i32, i64, u8, u16, u32, u64, f32, f64, char, String, usize, isize,
+);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(D::Error::custom(
+            "the vendored serde shim does not support deserializing sequences",
+        ))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(D::Error::custom(
+            "the vendored serde shim does not support deserializing options",
+        ))
+    }
+}

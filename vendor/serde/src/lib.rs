@@ -1,0 +1,25 @@
+//! A vendored, minimal re-implementation of the `serde` surface this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's API the workspace needs: the full *serialization*
+//! data model (trait `Serialize`, trait `Serializer` and the seven compound
+//! serializer traits), plus a stub *deserialization* side whose derived impls
+//! always error. The only consumer of serialization in the workspace is the
+//! byte-counting codec in `nimbus-net`, which models wire sizes; nothing
+//! deserializes at runtime.
+//!
+//! The companion `serde_derive` crate provides `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` compatible with this shim, including
+//! `#[serde(with = "module")]` on named struct fields.
+
+#![allow(missing_docs)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros live in a separate namespace from the traits, so both
+// re-exports can share the names `Serialize` / `Deserialize`.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,469 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's serde shim.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate is
+//! written against the raw `proc_macro` API (no `syn`/`quote`): it parses the
+//! derive input token stream by hand and emits the impl as source text.
+//!
+//! Supported input shapes — the ones the workspace uses:
+//! * unit / tuple / named-field structs (no generics),
+//! * enums with unit, newtype, tuple, and struct variants,
+//! * `#[serde(with = "module")]` on named struct fields (serialization calls
+//!   `module::serialize(&field, serializer)`).
+
+#![allow(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes one `#[...]` attribute if present, returning its bracket group.
+    fn take_attribute(&mut self) -> Option<TokenStream> {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == '#' {
+                let save = self.pos;
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner = g.stream();
+                        self.pos += 1;
+                        return Some(inner);
+                    }
+                }
+                self.pos = save;
+            }
+        }
+        None
+    }
+
+    /// Consumes every leading attribute, returning the `with = "path"` value
+    /// of the last `#[serde(with = "...")]` attribute seen, if any.
+    fn skip_attributes(&mut self) -> Option<String> {
+        let mut with = None;
+        while let Some(attr) = self.take_attribute() {
+            if let Some(w) = parse_serde_with(attr) {
+                with = Some(w);
+            }
+        }
+        with
+    }
+
+    /// Consumes `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+/// Extracts `path` from a `serde(with = "path")` attribute body.
+fn parse_serde_with(attr: TokenStream) -> Option<String> {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "with" => {}
+        other => panic!("serde derive shim: unsupported serde attribute {other:?}"),
+    }
+    match inner.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        other => panic!("serde derive shim: malformed serde(with) attribute {other:?}"),
+    }
+    match inner.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        other => panic!("serde derive shim: malformed serde(with) value {other:?}"),
+    }
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut cursor = Cursor::new(stream);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported (deriving for `{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde derive shim: unsupported struct body {other:?}"),
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive shim: unsupported enum body {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derive shim: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let with = cursor.skip_attributes();
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // Capture the type: every token up to a top-level comma. Generic
+        // arguments contain no top-level commas because `<...>` commas sit
+        // between `<`/`>` puncts; track angle-bracket depth to respect them.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(token) = cursor.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    ',' if depth == 0 => {
+                        cursor.next();
+                        break;
+                    }
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            ty.push_str(&token.to_string());
+            ty.push(' ');
+            cursor.next();
+        }
+        fields.push(Field {
+            name,
+            ty: ty.trim().to_string(),
+            with,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for token in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attributes();
+        let name = cursor.expect_ident("variant name");
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                cursor.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                cursor.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while let Some(token) = cursor.peek() {
+            if let TokenTree::Punct(p) = token {
+                if p.as_char() == ',' {
+                    cursor.next();
+                    break;
+                }
+            }
+            cursor.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Emits the serialization of one named field into `__state`, honouring
+/// `#[serde(with = "...")]`.
+fn gen_named_field(out: &mut String, trait_path: &str, field: &Field, value: &str) {
+    if let Some(with) = &field.with {
+        out.push_str(&format!(
+            "{{\n\
+             #[allow(non_camel_case_types)]\n\
+             struct __SerdeWith<'__a>(&'__a ({ty}));\n\
+             impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{\n\
+             fn serialize<__S2: ::serde::Serializer>(&self, __s: __S2) -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+             {with}::serialize(self.0, __s)\n\
+             }}\n\
+             }}\n\
+             ::serde::ser::{trait_path}::serialize_field(&mut __state, \"{name}\", &__SerdeWith(&{value}))?;\n\
+             }}\n",
+            ty = field.ty,
+            name = field.name,
+        ));
+    } else {
+        out.push_str(&format!(
+            "::serde::ser::{trait_path}::serialize_field(&mut __state, \"{name}\", &{value})?;\n",
+            name = field.name,
+        ));
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let mut body = String::new();
+            match shape {
+                Shape::Unit => {
+                    body.push_str(&format!(
+                        "::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"
+                    ));
+                }
+                Shape::Tuple(1) => {
+                    body.push_str(&format!(
+                        "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                    ));
+                }
+                Shape::Tuple(n) => {
+                    body.push_str(&format!(
+                        "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+                    ));
+                    for i in 0..*n {
+                        body.push_str(&format!(
+                            "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                        ));
+                    }
+                    body.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+                }
+                Shape::Named(fields) => {
+                    body.push_str(&format!(
+                        "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n",
+                        n = fields.len()
+                    ));
+                    for f in fields {
+                        gen_named_field(
+                            &mut body,
+                            "SerializeStruct",
+                            f,
+                            &format!("self.{}", f.name),
+                        );
+                    }
+                    body.push_str("::serde::ser::SerializeStruct::end(__state)");
+                }
+            }
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (index, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        body.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", __f0),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {n}usize)?;\n",
+                            binds = binders.join(", ")
+                        ));
+                        for b in &binders {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {n}usize)?;\n",
+                            binds = binders.join(", "),
+                            n = fields.len()
+                        ));
+                        for f in fields {
+                            let value = f.name.clone();
+                            gen_named_field(&mut body, "SerializeStructVariant", f, &value);
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                    }
+                }
+            }
+            body.push('}');
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(_deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+         \"deserialization is not supported by the vendored serde shim\"))\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive shim generated invalid Deserialize impl")
+}
