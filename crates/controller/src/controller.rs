@@ -20,7 +20,7 @@ use nimbus_core::template::InstantiationParams;
 use nimbus_core::{Command, CommandKind, ControlPlaneStats};
 use nimbus_net::{
     ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, Message, NodeId,
-    WorkerToController,
+    TransportEndpoint, TransportEvent, WorkerToController,
 };
 
 use crate::assignment::AssignmentPolicy;
@@ -71,13 +71,21 @@ enum PendingSync {
     },
     Recovering {
         marker: u64,
-        remaining_halts: usize,
+        /// Workers whose `Halted` acknowledgement is still outstanding. A
+        /// worker leaves this set when it halts — or when its connection
+        /// drops, since a dead worker will never acknowledge.
+        pending_halts: Vec<WorkerId>,
+        /// Whether to send the driver a `RecoveryComplete` reply (true for
+        /// driver-initiated `FailWorker`, false for transport-detected
+        /// failures, where the driver is not waiting for one).
+        notify: bool,
     },
 }
 
-/// The centralized controller node.
-pub struct Controller {
-    endpoint: Endpoint,
+/// The centralized controller node, generic over the transport connecting
+/// it to the cluster (in-process [`Endpoint`] by default, or TCP).
+pub struct Controller<E: TransportEndpoint = Endpoint> {
+    endpoint: E,
     workers: Vec<WorkerId>,
     all_workers: Vec<WorkerId>,
     dm: DataManager,
@@ -91,14 +99,25 @@ pub struct Controller {
     checkpoint_every: Option<u64>,
     instantiations_since_checkpoint: u64,
     sync: PendingSync,
+    /// The driver operation a transport-detected failure interrupted; it is
+    /// re-armed once recovery completes so the driver's pending request is
+    /// answered (with post-recovery state) instead of abandoned.
+    resume_after_recovery: PendingSync,
+    /// A driver synchronization that arrived while another one (typically an
+    /// auto-checkpoint) was still in flight. The driver is synchronous, so
+    /// one slot suffices; it is installed as soon as the current one
+    /// resolves. Without this, a fetch racing an auto-checkpoint would
+    /// overwrite the un-committed `CheckpointSave` and silently discard the
+    /// checkpoint.
+    queued_sync: Option<PendingSync>,
     deferred: VecDeque<Envelope>,
     stats: ControlPlaneStats,
     running: bool,
 }
 
-impl Controller {
+impl<E: TransportEndpoint> Controller<E> {
     /// Creates a controller bound to a transport endpoint.
-    pub fn new(config: ControllerConfig, endpoint: Endpoint) -> Self {
+    pub fn new(config: ControllerConfig, endpoint: E) -> Self {
         Self {
             endpoint,
             all_workers: config.workers.clone(),
@@ -114,6 +133,8 @@ impl Controller {
             checkpoint_every: config.checkpoint_every,
             instantiations_since_checkpoint: 0,
             sync: PendingSync::None,
+            resume_after_recovery: PendingSync::None,
+            queued_sync: None,
             deferred: VecDeque::new(),
             stats: ControlPlaneStats::new(),
             running: true,
@@ -153,8 +174,76 @@ impl Controller {
                 self.stats.control_plane_time += start.elapsed();
             }
             Message::FromWorker(msg) => self.handle_worker(msg),
+            Message::Transport(TransportEvent::PeerDisconnected(peer)) => {
+                self.handle_disconnect(peer);
+            }
             _ => {}
         }
+    }
+
+    /// Reacts to a transport-reported peer loss (TCP transport only; the
+    /// in-process fabric never severs connections).
+    fn handle_disconnect(&mut self, peer: NodeId) {
+        match peer {
+            // A lost worker is an abrupt failure: run the same recovery path
+            // the driver's explicit `FailWorker` exercises. Without a
+            // checkpoint this surfaces a clean error to the driver instead
+            // of hanging the job.
+            NodeId::Worker(w) => {
+                if !self.workers.contains(&w) {
+                    return; // Already evicted.
+                }
+                if matches!(self.sync, PendingSync::Recovering { .. }) {
+                    // A second failure while already recovering: the worker
+                    // will never acknowledge its Halt, so count it out and
+                    // keep the recovery moving instead of wedging.
+                    self.workers.retain(|x| *x != w);
+                    if self.workers.is_empty() {
+                        self.sync = PendingSync::None;
+                        self.resume_after_recovery = PendingSync::None;
+                        self.reply(ControllerToDriver::Error {
+                            message: "every worker disconnected during recovery".to_string(),
+                        });
+                        return;
+                    }
+                    self.note_halted(w);
+                    return;
+                }
+                // Recovery replaces whatever the driver was synchronizing
+                // on; stash it so the pending request is answered (against
+                // recovered state) once recovery completes, instead of the
+                // driver receiving a reply it never asked for.
+                let interrupted = std::mem::replace(&mut self.sync, PendingSync::None);
+                match self.begin_recovery(w, false) {
+                    Ok(()) => self.resume_after_recovery = Self::resumable(interrupted),
+                    Err(e) => {
+                        // Unrecoverable (no checkpoint / no workers): answer
+                        // the driver's pending request — or its next one —
+                        // with a clean error rather than hanging.
+                        self.reply(ControllerToDriver::Error {
+                            message: format!("worker {w} disconnected: {e}"),
+                        });
+                    }
+                }
+            }
+            // A lost driver orphans the job: shut the workers down and exit
+            // rather than running headless forever.
+            NodeId::Driver => self.shutdown_workers(),
+            NodeId::Controller => {}
+        }
+    }
+
+    /// Broadcasts `Shutdown` to every worker ever allocated (failed ones
+    /// included — their in-process thread may still be alive; a dead TCP
+    /// peer just fails the send) and stops the controller loop.
+    fn shutdown_workers(&mut self) {
+        for w in &self.all_workers {
+            let _ = self.endpoint.send(
+                NodeId::Worker(*w),
+                Message::ToWorker(ControllerToWorker::Shutdown),
+            );
+        }
+        self.running = false;
     }
 
     // ------------------------------------------------------------------
@@ -220,32 +309,20 @@ impl Controller {
                 }
             }
             DriverMessage::FetchValue { partition } => {
-                if self.outstanding == 0 {
-                    self.start_fetch(partition);
-                } else {
-                    self.sync = PendingSync::FetchDrain(partition);
-                }
+                self.set_or_queue_sync(PendingSync::FetchDrain(partition));
             }
             DriverMessage::Barrier => {
-                if self.outstanding == 0 {
-                    self.reply(ControllerToDriver::BarrierReached);
-                } else {
-                    self.sync = PendingSync::Barrier;
-                }
+                self.set_or_queue_sync(PendingSync::Barrier);
             }
             DriverMessage::EnableTemplates(enabled) => {
                 self.enable_templates = enabled;
                 self.reply(ControllerToDriver::Ack);
             }
             DriverMessage::Checkpoint { marker } => {
-                if self.outstanding == 0 {
-                    self.start_checkpoint(marker, true);
-                } else {
-                    self.sync = PendingSync::CheckpointDrain {
-                        marker,
-                        notify: true,
-                    };
-                }
+                self.set_or_queue_sync(PendingSync::CheckpointDrain {
+                    marker,
+                    notify: true,
+                });
             }
             DriverMessage::MigrateTasks { name, count } => {
                 let workers = self.workers.clone();
@@ -271,21 +348,15 @@ impl Controller {
                 }
             }
             DriverMessage::FailWorker { worker } => {
-                if let Err(e) = self.begin_recovery(worker) {
+                if let Err(e) = self.begin_recovery(worker, true) {
                     self.reply(ControllerToDriver::Error {
                         message: e.to_string(),
                     });
                 }
             }
             DriverMessage::Shutdown => {
-                for w in &self.all_workers {
-                    let _ = self.endpoint.send(
-                        NodeId::Worker(*w),
-                        Message::ToWorker(ControllerToWorker::Shutdown),
-                    );
-                }
+                self.shutdown_workers();
                 self.reply(ControllerToDriver::JobTerminated);
-                self.running = false;
             }
         }
     }
@@ -423,12 +494,12 @@ impl Controller {
                 && matches!(self.sync, PendingSync::None)
             {
                 let marker = self.instantiations_since_checkpoint;
-                self.sync = PendingSync::CheckpointDrain {
+                self.instantiations_since_checkpoint = 0;
+                // Drains the just-dispatched instantiation first, then saves.
+                self.set_or_queue_sync(PendingSync::CheckpointDrain {
                     marker,
                     notify: false,
-                };
-                self.instantiations_since_checkpoint = 0;
-                self.advance_sync();
+                });
             }
         }
         Ok(())
@@ -488,7 +559,39 @@ impl Controller {
         Ok(())
     }
 
-    fn begin_recovery(&mut self, failed: WorkerId) -> ControllerResult<()> {
+    /// Maps an interrupted driver synchronization to the state that restarts
+    /// it after recovery: in-flight fetches re-drain (their target worker may
+    /// have changed), half-done checkpoints restart from the drain step.
+    fn resumable(interrupted: PendingSync) -> PendingSync {
+        match interrupted {
+            PendingSync::FetchValue(p) | PendingSync::FetchDrain(p) => PendingSync::FetchDrain(p),
+            PendingSync::CheckpointSave { marker, notify, .. } => {
+                PendingSync::CheckpointDrain { marker, notify }
+            }
+            other => other,
+        }
+    }
+
+    /// Records that `worker` will produce no (further) `Halted` reply —
+    /// because it halted, or because it disconnected — and completes the
+    /// recovery once every expected acknowledgement is accounted for.
+    fn note_halted(&mut self, worker: WorkerId) {
+        if let PendingSync::Recovering {
+            marker,
+            pending_halts,
+            notify,
+        } = &mut self.sync
+        {
+            pending_halts.retain(|w| *w != worker);
+            if pending_halts.is_empty() {
+                let (marker, notify) = (*marker, *notify);
+                self.sync = PendingSync::None;
+                self.complete_recovery(marker, notify);
+            }
+        }
+    }
+
+    fn begin_recovery(&mut self, failed: WorkerId, notify: bool) -> ControllerResult<()> {
         self.stats.failures_handled += 1;
         let marker = self
             .checkpoints
@@ -505,17 +608,18 @@ impl Controller {
         // Halt every surviving worker: they terminate ongoing commands and
         // flush their queues (Section 4.4).
         let survivors = self.workers.clone();
-        for w in survivors {
-            self.send_worker(w, ControllerToWorker::Halt)?;
+        for w in &survivors {
+            self.send_worker(*w, ControllerToWorker::Halt)?;
         }
         self.sync = PendingSync::Recovering {
             marker,
-            remaining_halts: self.workers.len(),
+            pending_halts: survivors,
+            notify,
         };
         Ok(())
     }
 
-    fn complete_recovery(&mut self, marker: u64) {
+    fn complete_recovery(&mut self, marker: u64, notify: bool) {
         let descriptor = self
             .checkpoints
             .latest()
@@ -579,7 +683,20 @@ impl Controller {
         // cached patches may reference lost objects.
         self.tm.last_executed = None;
         self.tm.patch_cache = nimbus_core::PatchCache::new();
-        self.reply(ControllerToDriver::RecoveryComplete { marker });
+        if notify {
+            self.reply(ControllerToDriver::RecoveryComplete { marker });
+        }
+        // Re-arm the driver operation the failure interrupted: it proceeds
+        // against the recovered state once the reload commands drain.
+        match std::mem::replace(&mut self.resume_after_recovery, PendingSync::None) {
+            PendingSync::None => {}
+            resume => {
+                self.sync = resume;
+                if self.outstanding == 0 {
+                    self.advance_sync();
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -607,21 +724,23 @@ impl Controller {
                     self.reply(ControllerToDriver::ValueFetched { partition, value });
                 }
             }
-            WorkerToController::Halted { .. } => {
-                if let PendingSync::Recovering {
-                    marker,
-                    remaining_halts,
-                } = &mut self.sync
-                {
-                    *remaining_halts = remaining_halts.saturating_sub(1);
-                    if *remaining_halts == 0 {
-                        let marker = *marker;
-                        self.sync = PendingSync::None;
-                        self.complete_recovery(marker);
-                    }
-                }
-            }
+            WorkerToController::Halted { worker } => self.note_halted(worker),
             WorkerToController::Heartbeat { .. } => {}
+        }
+    }
+
+    /// Installs a driver synchronization, running it immediately when the
+    /// cluster is idle, or queueing it behind whatever synchronization is
+    /// already in flight (at most one can be: the driver is synchronous, and
+    /// the only controller-originated one is the auto-checkpoint).
+    fn set_or_queue_sync(&mut self, new_sync: PendingSync) {
+        if matches!(self.sync, PendingSync::None) {
+            self.sync = new_sync;
+            if self.outstanding == 0 {
+                self.advance_sync();
+            }
+        } else {
+            self.queued_sync = Some(new_sync);
         }
     }
 
@@ -650,12 +769,25 @@ impl Controller {
             }
             PendingSync::Recovering {
                 marker,
-                remaining_halts,
+                pending_halts,
+                notify,
             } => {
+                // Still waiting for halt acknowledgements.
                 self.sync = PendingSync::Recovering {
                     marker,
-                    remaining_halts,
+                    pending_halts,
+                    notify,
                 };
+            }
+        }
+        // The current synchronization resolved: start the queued one, if any
+        // (e.g. the fetch that arrived while an auto-checkpoint was saving).
+        if matches!(self.sync, PendingSync::None) {
+            if let Some(queued) = self.queued_sync.take() {
+                self.sync = queued;
+                if self.outstanding == 0 {
+                    self.advance_sync();
+                }
             }
         }
     }

@@ -38,6 +38,26 @@ pub trait AppData: Any + Send {
     fn scalar_value(&self) -> Option<f64> {
         None
     }
+
+    /// Serializes the object's contents for a cross-process data transfer,
+    /// or `None` if this type cannot leave the process (the default). The
+    /// in-process transport hands objects over directly and never calls
+    /// this; the TCP transport requires it for worker-to-worker copies.
+    fn to_wire(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces this object's contents from bytes produced by
+    /// [`AppData::to_wire`] on another instance of the same concrete type.
+    /// The receiving worker always holds an already-created object (the
+    /// controller issues `CreateData` before any copy), so decoding is
+    /// in-place rather than constructing.
+    fn decode_wire(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "{} does not support cross-process transfers (no decode_wire)",
+            self.type_label()
+        ))
+    }
 }
 
 /// Marker for application data types whose [`AppData::scalar_value`] is
@@ -152,6 +172,25 @@ impl AppData for VecF64 {
     fn scalar_value(&self) -> Option<f64> {
         self.values.first().copied()
     }
+
+    fn to_wire(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.values.len() * 8);
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Some(out)
+    }
+
+    fn decode_wire(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(format!("VecF64 wire payload of {} bytes", bytes.len()));
+        }
+        self.values = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Ok(())
+    }
 }
 
 /// A single scalar value, used for reduced globals such as error terms.
@@ -187,6 +226,18 @@ impl AppData for Scalar {
 
     fn scalar_value(&self) -> Option<f64> {
         Some(self.value)
+    }
+
+    fn to_wire(&self) -> Option<Vec<u8>> {
+        Some(self.value.to_le_bytes().to_vec())
+    }
+
+    fn decode_wire(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| format!("Scalar wire payload of {} bytes", bytes.len()))?;
+        self.value = f64::from_le_bytes(arr);
+        Ok(())
     }
 }
 

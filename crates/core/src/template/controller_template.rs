@@ -41,7 +41,7 @@ pub struct ControllerTaskEntry {
 }
 
 /// Parameter binding supplied when instantiating a controller template.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum InstantiationParams {
     /// Reuse the parameters recorded when the template was created.
     #[default]

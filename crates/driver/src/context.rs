@@ -18,7 +18,9 @@ use nimbus_core::ids::{
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
 use nimbus_core::TaskParams;
-use nimbus_net::{ControllerToDriver, DriverMessage, Endpoint, Message, NodeId};
+use nimbus_net::{
+    ControllerToDriver, DriverMessage, Message, NodeId, TransportEndpoint, TransportEvent,
+};
 
 use crate::dataset::{AsDataset, Dataset, ScalarReadable};
 use crate::error::{DriverError, DriverResult};
@@ -94,8 +96,12 @@ enum BlockMode {
 }
 
 /// The driver program's connection to the controller.
+///
+/// The endpoint is type-erased rather than generic so driver programs — the
+/// user-facing API surface — keep the same `&mut DriverContext` signature
+/// whether the cluster runs in-process or over TCP.
 pub struct DriverContext {
-    endpoint: Endpoint,
+    endpoint: Box<dyn TransportEndpoint>,
     dataset_ids: IdGenerator,
     task_ids: IdGenerator,
     stage_ids: IdGenerator,
@@ -112,10 +118,10 @@ pub struct DriverContext {
 }
 
 impl DriverContext {
-    /// Creates a context over a registered driver endpoint.
-    pub fn new(endpoint: Endpoint) -> Self {
+    /// Creates a context over a registered driver endpoint (any transport).
+    pub fn new(endpoint: impl TransportEndpoint) -> Self {
         Self {
-            endpoint,
+            endpoint: Box::new(endpoint),
             dataset_ids: IdGenerator::new(),
             task_ids: IdGenerator::new(),
             stage_ids: IdGenerator::new(),
@@ -161,6 +167,13 @@ impl DriverContext {
                     return Err(DriverError::Controller(message));
                 }
                 Message::ToDriver(reply) => return Ok(reply),
+                // A dead controller cannot answer: fail fast instead of
+                // sitting out the full reply timeout (TCP transport only).
+                Message::Transport(TransportEvent::PeerDisconnected(NodeId::Controller)) => {
+                    return Err(DriverError::Net(format!(
+                        "controller disconnected while waiting for {what}"
+                    )));
+                }
                 _ => continue,
             }
         }

@@ -14,16 +14,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
+pub mod diagnostics;
 pub mod message;
 pub mod payload;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
-pub use codec::serialized_size;
+pub use codec::{decode, encode, serialized_size, CodecError};
 pub use message::{
     ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message, NodeId,
-    WorkerToController,
+    TransportEvent, WorkerToController,
 };
 pub use payload::DataPayload;
 pub use stats::NetworkStats;
-pub use transport::{Endpoint, LatencyModel, NetError, NetResult, Network};
+pub use tcp::{TcpEndpoint, TcpFabric};
+pub use transport::{Endpoint, LatencyModel, NetError, NetResult, Network, TransportEndpoint};

@@ -39,7 +39,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Messages from the driver program to the controller.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DriverMessage {
     /// Declare a logical dataset and its partitioning.
     DefineDataset(DatasetDef),
@@ -134,7 +134,7 @@ impl DriverMessage {
 }
 
 /// Messages from the controller back to the driver program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ControllerToDriver {
     /// The requested value (scalars only; larger objects stay on workers).
     ValueFetched {
@@ -189,7 +189,7 @@ impl ControllerToDriver {
 }
 
 /// Messages from the controller to a worker.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ControllerToWorker {
     /// Execute a batch of concrete commands (the per-task dispatch path,
     /// also used for patches and checkpoint load/save commands).
@@ -230,7 +230,7 @@ impl ControllerToWorker {
 }
 
 /// Messages from a worker to the controller.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WorkerToController {
     /// A batch of commands completed on the worker.
     CommandsCompleted {
@@ -287,7 +287,7 @@ impl WorkerToController {
 }
 
 /// A worker-to-worker data transfer (the data plane).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DataTransfer {
     /// The transfer this payload belongs to (matches a `ReceiveCopy`).
     pub transfer: TransferId,
@@ -297,8 +297,17 @@ pub struct DataTransfer {
     pub payload: DataPayload,
 }
 
+/// Notices generated by the transport itself rather than sent by a node.
+/// They never appear on the wire; a transport implementation injects them
+/// into the local inbox when it observes a connectivity change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportEvent {
+    /// The connection carrying traffic from this peer closed or failed.
+    PeerDisconnected(NodeId),
+}
+
 /// Any message carried by the transport.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// Driver → controller.
     Driver(DriverMessage),
@@ -310,6 +319,8 @@ pub enum Message {
     FromWorker(WorkerToController),
     /// Worker → worker data transfer.
     Data(DataTransfer),
+    /// Locally generated transport notice (never sent by a node).
+    Transport(TransportEvent),
 }
 
 impl Message {
@@ -321,6 +332,7 @@ impl Message {
             Message::ToWorker(m) => m.tag(),
             Message::FromWorker(m) => m.tag(),
             Message::Data(_) => "data_transfer",
+            Message::Transport(_) => "transport_event",
         }
     }
 
@@ -338,12 +350,13 @@ impl Message {
             Message::ToWorker(m) => crate::codec::serialized_size(m),
             Message::FromWorker(m) => crate::codec::serialized_size(m),
             Message::Data(d) => 24 + d.payload.size(),
+            Message::Transport(_) => 0,
         }
     }
 }
 
 /// A routed message: sender, recipient, and payload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Envelope {
     /// The sending node.
     pub from: NodeId,

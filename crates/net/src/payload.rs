@@ -43,6 +43,51 @@ impl Clone for DataPayload {
     }
 }
 
+/// On the wire a payload is always raw bytes: `Bytes` payloads are written
+/// as-is, `Object` payloads are serialized through [`AppData::to_wire`]
+/// (objects whose type opted out of cross-process transfers fail to encode).
+/// Decoding always produces the `Bytes` variant — the receiving worker
+/// decodes into its already-created destination object via
+/// [`AppData::decode_wire`].
+impl serde::Serialize for DataPayload {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            DataPayload::Bytes(b) => serializer.serialize_bytes(b.as_slice()),
+            DataPayload::Object(o) => match o.to_wire() {
+                Some(bytes) => serializer.serialize_bytes(&bytes),
+                None => Err(<S::Error as serde::ser::Error>::custom(format!(
+                    "{} does not support cross-process transfers (no to_wire)",
+                    o.type_label()
+                ))),
+            },
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for DataPayload {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(DataPayload::Bytes(Bytes::deserialize(deserializer)?))
+    }
+}
+
+/// Equality follows the wire representation: two payloads are equal when
+/// they would serialize to the same bytes. `Object` payloads that cannot be
+/// serialized compare unequal to everything (including themselves).
+impl PartialEq for DataPayload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DataPayload::Bytes(a), DataPayload::Bytes(b)) => a.as_slice() == b.as_slice(),
+            (DataPayload::Bytes(a), DataPayload::Object(o))
+            | (DataPayload::Object(o), DataPayload::Bytes(a)) => {
+                o.to_wire().is_some_and(|w| w == a.as_slice())
+            }
+            (DataPayload::Object(a), DataPayload::Object(b)) => {
+                matches!((a.to_wire(), b.to_wire()), (Some(x), Some(y)) if x == y)
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for DataPayload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "DataPayload::{}({} bytes)", self.kind(), self.size())

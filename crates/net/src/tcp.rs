@@ -1,0 +1,600 @@
+//! TCP transport: length-prefix-framed envelopes over loopback or LAN
+//! sockets.
+//!
+//! Every node owns one listening socket (its address in the fabric's
+//! [`TcpFabric`] map) and dials peers lazily on first send, so any node can
+//! send to any other directly — the same full-mesh property the in-process
+//! [`crate::Network`] provides, which workers rely on for direct data
+//! exchange (paper Section 3.1). Connections are unidirectional: an accepted
+//! stream is only read, a dialed stream is only written.
+//!
+//! Framing is a 4-byte little-endian payload length followed by one
+//! [`Envelope`] in the compact binary codec ([`crate::codec`]). Frames
+//! larger than [`MAX_FRAME`] and frames that fail to decode are treated as a
+//! malformed peer: the connection is dropped without panicking and the rest
+//! of the fabric keeps working.
+//!
+//! This is a reconnect-free v1: once an established stream dies the peer is
+//! reported via [`TransportEvent::PeerDisconnected`] and subsequent sends to
+//! it fail. Initial dials do retry briefly so multi-process clusters can
+//! start their processes in any order.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::codec;
+use crate::message::{Envelope, Message, NodeId, TransportEvent};
+use crate::stats::NetworkStats;
+use crate::transport::{NetError, NetResult, TransportEndpoint};
+
+/// Maximum accepted frame payload size. Anything larger is treated as a
+/// malformed peer and the connection is dropped.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// How long the accept loop and frame reads sleep/poll between shutdown
+/// checks; bounds how long dropping an endpoint can take.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// How long a first dial to a peer retries before giving up. Lets
+/// multi-process clusters start controller and workers in any order.
+const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+/// The address book of a TCP cluster plus any pre-bound listeners.
+///
+/// Two construction modes:
+/// * [`TcpFabric::bind_loopback`] — single-process clusters: binds an
+///   OS-assigned loopback port per node up front, so the full address map is
+///   known before any endpoint starts.
+/// * [`TcpFabric::from_addrs`] — multi-process clusters: every process is
+///   given the same externally chosen address map and binds only its own
+///   node's listener.
+pub struct TcpFabric {
+    addrs: HashMap<NodeId, SocketAddr>,
+    prebound: Mutex<HashMap<NodeId, TcpListener>>,
+    stats: Arc<Mutex<NetworkStats>>,
+}
+
+impl TcpFabric {
+    /// Binds one loopback listener per node and records the assigned ports.
+    pub fn bind_loopback(nodes: &[NodeId]) -> NetResult<Self> {
+        let mut addrs = HashMap::new();
+        let mut prebound = HashMap::new();
+        for node in nodes {
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+            addrs.insert(*node, listener.local_addr().map_err(io_err)?);
+            prebound.insert(*node, listener);
+        }
+        Ok(Self {
+            addrs,
+            prebound: Mutex::new(prebound),
+            stats: Arc::new(Mutex::new(NetworkStats::new())),
+        })
+    }
+
+    /// Builds a fabric from an externally chosen address map.
+    pub fn from_addrs(addrs: HashMap<NodeId, SocketAddr>) -> Self {
+        Self {
+            addrs,
+            prebound: Mutex::new(HashMap::new()),
+            stats: Arc::new(Mutex::new(NetworkStats::new())),
+        }
+    }
+
+    /// The address of a node, if it is part of the fabric.
+    pub fn addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.addrs.get(&node).copied()
+    }
+
+    /// Creates the endpoint for `node`, binding its listener (or taking the
+    /// pre-bound one from [`TcpFabric::bind_loopback`]).
+    pub fn endpoint(&self, node: NodeId) -> NetResult<TcpEndpoint> {
+        let listener = match self.prebound.lock().remove(&node) {
+            Some(l) => l,
+            None => {
+                let addr = self
+                    .addrs
+                    .get(&node)
+                    .ok_or_else(|| NetError::UnknownNode(node.to_string()))?;
+                TcpListener::bind(addr).map_err(io_err)?
+            }
+        };
+        TcpEndpoint::start(node, self.addrs.clone(), listener, Arc::clone(&self.stats))
+    }
+
+    /// Snapshot of the traffic recorded by every endpoint created from this
+    /// fabric (meaningful for single-process clusters; each process of a
+    /// multi-process cluster sees only its own endpoints' sends).
+    pub fn stats(&self) -> NetworkStats {
+        self.stats.lock().clone()
+    }
+}
+
+fn io_err(e: std::io::Error) -> NetError {
+    NetError::Io(e.to_string())
+}
+
+struct Shared {
+    node: NodeId,
+    addrs: HashMap<NodeId, SocketAddr>,
+    /// Write halves, one dialed stream per peer.
+    writers: Mutex<HashMap<NodeId, Arc<Mutex<TcpStream>>>>,
+    /// Peers whose established stream already failed: reconnect-free v1
+    /// refuses to dial them again, so sends fail fast and deterministically.
+    dead_peers: Mutex<Vec<NodeId>>,
+    inbox_tx: Sender<Envelope>,
+    stats: Arc<Mutex<NetworkStats>>,
+    shutdown: AtomicBool,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// One node's connection to a TCP fabric. See the module docs for the
+/// threading model: one accept thread plus one reader thread per inbound
+/// peer connection, all joined on drop.
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+    inbox: Receiver<Envelope>,
+    accept_thread: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl TcpEndpoint {
+    fn start(
+        node: NodeId,
+        addrs: HashMap<NodeId, SocketAddr>,
+        listener: TcpListener,
+        stats: Arc<Mutex<NetworkStats>>,
+    ) -> NetResult<Self> {
+        let local_addr = listener.local_addr().map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let (inbox_tx, inbox) = unbounded();
+        let shared = Arc::new(Shared {
+            node,
+            addrs,
+            writers: Mutex::new(HashMap::new()),
+            dead_peers: Mutex::new(Vec::new()),
+            inbox_tx,
+            stats,
+            shutdown: AtomicBool::new(false),
+            reader_threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("nimbus-tcp-accept-{node}"))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(io_err)?;
+        Ok(Self {
+            shared,
+            inbox,
+            accept_thread: Some(accept_thread),
+            local_addr,
+        })
+    }
+
+    /// The address this endpoint's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the traffic counters shared with the fabric.
+    pub fn stats(&self) -> NetworkStats {
+        self.shared.stats.lock().clone()
+    }
+
+    fn writer_for(&self, to: NodeId) -> NetResult<Arc<Mutex<TcpStream>>> {
+        if let Some(w) = self.shared.writers.lock().get(&to) {
+            return Ok(Arc::clone(w));
+        }
+        if self.shared.dead_peers.lock().contains(&to) {
+            return Err(NetError::Disconnected(to.to_string()));
+        }
+        let addr = self
+            .shared
+            .addrs
+            .get(&to)
+            .copied()
+            .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
+        let deadline = Instant::now() + DIAL_RETRY_WINDOW;
+        let stream = loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if self.shared.shutdown.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                        // A peer that never answered within the retry window
+                        // counts as dead too: later sends (halts, shutdown
+                        // broadcasts) must fail fast, not re-block the
+                        // caller for another full window each.
+                        self.shared.dead_peers.lock().push(to);
+                        return Err(io_err(e));
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let stream = Arc::new(Mutex::new(stream));
+        // A concurrent send may have dialed the same peer; keep the first.
+        let mut writers = self.shared.writers.lock();
+        Ok(Arc::clone(
+            writers.entry(to).or_insert_with(|| Arc::clone(&stream)),
+        ))
+    }
+}
+
+impl TransportEndpoint for TcpEndpoint {
+    fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    fn send(&self, to: NodeId, message: Message) -> NetResult<()> {
+        // Traffic accounting mirrors the in-process fabric: the inner
+        // message's counted size, recorded only once the send succeeded —
+        // retries against a dead peer must not inflate the counters the
+        // cross-transport comparisons rely on.
+        let (tag, wire_size, is_data) = (message.tag(), message.wire_size(), message.is_data());
+        let record = |shared: &Shared| {
+            shared.stats.lock().record(tag, wire_size, is_data);
+        };
+        let envelope = Envelope {
+            from: self.shared.node,
+            to,
+            message,
+        };
+        if to == self.shared.node {
+            self.shared
+                .inbox_tx
+                .send(envelope)
+                .map_err(|_| NetError::Disconnected(to.to_string()))?;
+            record(&self.shared);
+            return Ok(());
+        }
+        // One buffer, one write: the frame header is patched into the front
+        // of the encode buffer (no second payload copy), and with
+        // TCP_NODELAY a separate header write would flush as its own
+        // segment, doubling the per-message cost.
+        let frame = codec::encode_framed(&envelope).map_err(|e| NetError::Codec(e.to_string()))?;
+        if frame.len() - 4 > MAX_FRAME {
+            return Err(NetError::Codec(format!(
+                "frame of {} bytes exceeds MAX_FRAME",
+                frame.len() - 4
+            )));
+        }
+        let writer = self.writer_for(to)?;
+        let mut stream = writer.lock();
+        let result = stream.write_all(&frame);
+        drop(stream);
+        if result.is_err() {
+            // Reconnect-free v1: the peer is gone for good.
+            self.shared.writers.lock().remove(&to);
+            self.shared.dead_peers.lock().push(to);
+            return Err(NetError::Disconnected(to.to_string()));
+        }
+        record(&self.shared);
+        Ok(())
+    }
+
+    fn recv(&self) -> NetResult<Envelope> {
+        self.inbox
+            .recv()
+            .map_err(|_| NetError::Disconnected(self.shared.node.to_string()))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
+        self.inbox
+            .recv_timeout(timeout)
+            .map_err(|_| NetError::Timeout)
+    }
+
+    fn try_recv(&self) -> NetResult<Envelope> {
+        self.inbox.try_recv().map_err(|_| NetError::Empty)
+    }
+
+    fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Closing write halves lets peers' readers observe EOF promptly.
+        self.shared.writers.lock().clear();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let readers = std::mem::take(&mut *self.shared.reader_threads.lock());
+        for handle in readers {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+                    continue;
+                }
+                let reader_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("nimbus-tcp-read-{}", shared.node))
+                    .spawn(move || reader_loop(stream, reader_shared));
+                if let Ok(handle) = spawned {
+                    let mut threads = shared.reader_threads.lock();
+                    // Reap finished readers so short-lived connections (a
+                    // malformed peer, a port probe) don't accumulate
+                    // join handles for the life of the endpoint.
+                    threads.retain(|t| !t.is_finished());
+                    threads.push(handle);
+                }
+            }
+            // Transient failures (ECONNABORTED: peer reset before accept;
+            // EMFILE: momentary fd exhaustion) must not kill the accept
+            // thread — that would silently make the node unreachable for
+            // every future dial. Back off and keep accepting; shutdown is
+            // the only exit.
+            Err(_) => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Reads frames off one inbound connection until EOF, error, or shutdown.
+/// The first envelope identifies the peer; if the stream then dies, a
+/// [`TransportEvent::PeerDisconnected`] notice is injected into the inbox so
+/// the node can react (the controller treats a lost worker as a failure).
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let mut peer: Option<NodeId> = None;
+    loop {
+        match read_frame(&mut stream, &shared) {
+            Ok(Some(payload)) => match codec::decode::<Envelope>(&payload) {
+                // Transport events are generated locally, never sent: a
+                // peer that puts one on the wire is forging connectivity
+                // notices (e.g. a fake PeerDisconnected(Controller) would
+                // shut a worker down). Treat it as a malformed peer.
+                Ok(envelope) if matches!(envelope.message, Message::Transport(_)) => break,
+                Ok(envelope) => {
+                    peer = Some(envelope.from);
+                    if shared.inbox_tx.send(envelope).is_err() {
+                        return; // Endpoint dropped.
+                    }
+                }
+                Err(_) => break, // Malformed peer: drop the connection.
+            },
+            Ok(None) => return, // Shutdown requested.
+            Err(_) => break,    // EOF or transport error.
+        }
+    }
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(peer) = peer {
+        let _ = shared.inbox_tx.send(Envelope {
+            from: peer,
+            to: shared.node,
+            message: Message::Transport(TransportEvent::PeerDisconnected(peer)),
+        });
+    }
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` when shutdown was
+/// requested mid-read, `Err` on EOF, oversized frames, or IO errors.
+fn read_frame(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    if read_full(stream, &mut header, shared)?.is_none() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if read_full(stream, &mut payload, shared)?.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// `read_exact` that keeps checking the shutdown flag across read timeouts.
+/// Returns `Ok(None)` when shutdown was requested.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+) -> std::io::Result<Option<()>> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ControllerToDriver, DriverMessage};
+    use nimbus_core::WorkerId;
+
+    fn loopback_pair() -> (TcpEndpoint, TcpEndpoint) {
+        let fabric = TcpFabric::bind_loopback(&[NodeId::Driver, NodeId::Controller]).unwrap();
+        (
+            fabric.endpoint(NodeId::Driver).unwrap(),
+            fabric.endpoint(NodeId::Controller).unwrap(),
+        )
+    }
+
+    #[test]
+    fn send_and_receive_over_loopback() {
+        let (driver, controller) = loopback_pair();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, NodeId::Driver);
+        assert_eq!(env.to, NodeId::Controller);
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+
+        controller
+            .send(
+                NodeId::Driver,
+                Message::ToDriver(ControllerToDriver::BarrierReached),
+            )
+            .unwrap();
+        let env = driver.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            env.message,
+            Message::ToDriver(ControllerToDriver::BarrierReached)
+        );
+    }
+
+    #[test]
+    fn messages_from_one_sender_arrive_in_order() {
+        let (driver, controller) = loopback_pair();
+        for i in 0..100u64 {
+            driver
+                .send(
+                    NodeId::Controller,
+                    Message::Driver(DriverMessage::Checkpoint { marker: i }),
+                )
+                .unwrap();
+        }
+        for i in 0..100u64 {
+            let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(
+                env.message,
+                Message::Driver(DriverMessage::Checkpoint { marker: i })
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_peer_is_rejected() {
+        let (driver, _controller) = loopback_pair();
+        let err = driver
+            .send(
+                NodeId::Worker(WorkerId(7)),
+                Message::Driver(DriverMessage::Barrier),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownNode(_)), "{err}");
+    }
+
+    #[test]
+    fn peer_drop_is_reported_and_sends_fail() {
+        let (driver, controller) = loopback_pair();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        drop(driver);
+        // The controller's reader observes EOF and reports the driver gone.
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            env.message,
+            Message::Transport(TransportEvent::PeerDisconnected(NodeId::Driver))
+        );
+    }
+
+    #[test]
+    fn garbage_frames_do_not_panic_or_wedge_the_endpoint() {
+        let (driver, controller) = loopback_pair();
+        // A raw connection spraying garbage: bogus oversized header.
+        let mut raw = TcpStream::connect(controller.local_addr()).unwrap();
+        raw.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        raw.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        // A second raw connection with a well-sized frame of undecodable bytes.
+        let mut raw2 = TcpStream::connect(controller.local_addr()).unwrap();
+        raw2.write_all(&4u32.to_le_bytes()).unwrap();
+        raw2.write_all(&[0xff, 0xff, 0xff, 0xff]).unwrap();
+        raw2.flush().unwrap();
+        // Legitimate traffic still flows.
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        // And the garbage never surfaced as an envelope.
+        assert!(controller.try_recv().is_err());
+    }
+
+    #[test]
+    fn data_payloads_cross_as_bytes() {
+        use crate::message::DataTransfer;
+        use crate::payload::DataPayload;
+        use nimbus_core::appdata::VecF64;
+        use nimbus_core::TransferId;
+
+        let w0 = NodeId::Worker(WorkerId(0));
+        let w1 = NodeId::Worker(WorkerId(1));
+        let fabric = TcpFabric::bind_loopback(&[w0, w1]).unwrap();
+        let a = fabric.endpoint(w0).unwrap();
+        let b = fabric.endpoint(w1).unwrap();
+        a.send(
+            w1,
+            Message::Data(DataTransfer {
+                transfer: TransferId(3),
+                from_worker: WorkerId(0),
+                payload: DataPayload::Object(Box::new(VecF64::new(vec![1.0, -2.5]))),
+            }),
+        )
+        .unwrap();
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        let Message::Data(transfer) = env.message else {
+            panic!("expected data transfer, got {:?}", env.message);
+        };
+        assert_eq!(transfer.transfer, TransferId(3));
+        let DataPayload::Bytes(bytes) = transfer.payload else {
+            panic!("expected bytes payload");
+        };
+        let mut decoded = VecF64::default();
+        nimbus_core::appdata::AppData::decode_wire(&mut decoded, bytes.as_slice()).unwrap();
+        assert_eq!(decoded.values, vec![1.0, -2.5]);
+    }
+
+    #[test]
+    fn drop_joins_all_transport_threads() {
+        let (driver, controller) = loopback_pair();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        drop(driver);
+        drop(controller);
+        if cfg!(target_os = "linux") {
+            let leaked = crate::diagnostics::wait_for_no_thread_with_prefix(
+                "nimbus-tcp",
+                Duration::from_secs(5),
+            );
+            assert!(leaked.is_none(), "transport threads leaked: {leaked:?}");
+        }
+    }
+}

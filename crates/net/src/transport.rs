@@ -1,4 +1,4 @@
-//! In-process transport: the cluster's message fabric.
+//! In-process transport: the cluster's default message fabric.
 //!
 //! A [`Network`] is a registry of node endpoints connected by unbounded
 //! channels. It satisfies the two control-plane requirements from Section 3.1
@@ -9,6 +9,11 @@
 //! An optional [`LatencyModel`] delays deliveries to emulate a datacenter
 //! network; with latency disabled, channels deliver immediately, which is the
 //! configuration used by unit tests and microbenchmarks.
+//!
+//! The [`TransportEndpoint`] trait abstracts one node's connection to *some*
+//! fabric; [`Endpoint`] (this module) and [`crate::tcp::TcpEndpoint`] are the
+//! two implementations. Nodes (controller, workers, driver) are generic over
+//! it, so the same control-plane code runs in-process and across machines.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -19,6 +24,30 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::message::{Envelope, Message, NodeId};
 use crate::stats::NetworkStats;
+
+/// One node's connection to a message fabric.
+///
+/// Implementations must be cheap to move into the node's thread and safe to
+/// share with it; sending is `&self` so a node can send while borrowed.
+pub trait TransportEndpoint: Send + 'static {
+    /// The node this endpoint belongs to.
+    fn node(&self) -> NodeId;
+
+    /// Sends a message to another node.
+    fn send(&self, to: NodeId, message: Message) -> NetResult<()>;
+
+    /// Blocking receive.
+    fn recv(&self) -> NetResult<Envelope>;
+
+    /// Blocking receive with a timeout.
+    fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> NetResult<Envelope>;
+
+    /// Number of messages waiting in the inbox.
+    fn pending(&self) -> usize;
+}
 
 /// Transport errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +60,10 @@ pub enum NetError {
     Timeout,
     /// The inbox is empty (non-blocking receive).
     Empty,
+    /// A socket operation failed (TCP transport).
+    Io(String),
+    /// A message could not be encoded or decoded (TCP transport).
+    Codec(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -40,6 +73,8 @@ impl std::fmt::Display for NetError {
             NetError::Disconnected(n) => write!(f, "node {n} disconnected"),
             NetError::Timeout => write!(f, "receive timed out"),
             NetError::Empty => write!(f, "inbox empty"),
+            NetError::Io(e) => write!(f, "transport io error: {e}"),
+            NetError::Codec(e) => write!(f, "wire codec error: {e}"),
         }
     }
 }
@@ -98,10 +133,19 @@ impl Ord for Delayed {
 }
 
 #[derive(Default)]
+struct DelayState {
+    heap: BinaryHeap<Delayed>,
+    // Shutdown lives under the same mutex the condvar waits on: checking it
+    // in a separate lock would allow the wake-up notification to slip in
+    // between the check and the wait, leaving drop blocked until the next
+    // delivery deadline (up to the full configured latency).
+    shutdown: bool,
+}
+
+#[derive(Default)]
 struct DelayQueue {
-    heap: Mutex<BinaryHeap<Delayed>>,
+    state: Mutex<DelayState>,
     cv: Condvar,
-    shutdown: Mutex<bool>,
 }
 
 struct NetworkInner {
@@ -148,24 +192,24 @@ impl Network {
         let handle = std::thread::Builder::new()
             .name("nimbus-net-delayer".to_string())
             .spawn(move || loop {
-                let mut heap = queue.heap.lock();
-                if *queue.shutdown.lock() {
+                let mut state = queue.state.lock();
+                if state.shutdown {
                     return;
                 }
                 let now = Instant::now();
-                match heap.peek() {
+                match state.heap.peek() {
                     Some(d) if d.due <= now => {
-                        let d = heap.pop().expect("peeked entry exists");
-                        drop(heap);
+                        let d = state.heap.pop().expect("peeked entry exists");
+                        drop(state);
                         // A dropped receiver just means the node left; ignore.
                         let _ = d.to.send(d.envelope);
                     }
                     Some(d) => {
                         let wait = d.due - now;
-                        queue.cv.wait_for(&mut heap, wait);
+                        queue.cv.wait_for(&mut state, wait);
                     }
                     None => {
-                        queue.cv.wait_for(&mut heap, Duration::from_millis(50));
+                        queue.cv.wait(&mut state);
                     }
                 }
             })
@@ -219,8 +263,8 @@ impl Network {
                     *s += 1;
                     *s
                 };
-                let mut heap = self.inner.delay_queue.heap.lock();
-                heap.push(Delayed {
+                let mut state = self.inner.delay_queue.state.lock();
+                state.heap.push(Delayed {
                     due: Instant::now() + delay,
                     seq,
                     envelope,
@@ -245,7 +289,7 @@ impl Network {
 
 impl Drop for NetworkInner {
     fn drop(&mut self) {
-        *self.delay_queue.shutdown.lock() = true;
+        self.delay_queue.state.lock().shutdown = true;
         self.delay_queue.cv.notify_all();
         if let Some(handle) = self.delayer.lock().take() {
             let _ = handle.join();
@@ -298,6 +342,32 @@ impl Endpoint {
     /// The network this endpoint is attached to.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+}
+
+impl TransportEndpoint for Endpoint {
+    fn node(&self) -> NodeId {
+        Endpoint::node(self)
+    }
+
+    fn send(&self, to: NodeId, message: Message) -> NetResult<()> {
+        Endpoint::send(self, to, message)
+    }
+
+    fn recv(&self) -> NetResult<Envelope> {
+        Endpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> NetResult<Envelope> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> NetResult<Envelope> {
+        Endpoint::try_recv(self)
+    }
+
+    fn pending(&self) -> usize {
+        Endpoint::pending(self)
     }
 }
 
@@ -411,6 +481,34 @@ mod tests {
             }
         }
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_joins_delayer_even_with_pending_far_future_deliveries() {
+        let net = Network::new(LatencyModel::Fixed(Duration::from_secs(30)));
+        let controller = net.register(NodeId::Controller);
+        let driver = net.register(NodeId::Driver);
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        let start = Instant::now();
+        drop(driver);
+        drop(controller);
+        drop(net);
+        // Without the shared-mutex shutdown flag the delayer would sleep out
+        // the 30s delivery deadline before noticing shutdown.
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop blocked for {:?}",
+            start.elapsed()
+        );
+        if cfg!(target_os = "linux") {
+            let leaked = crate::diagnostics::wait_for_no_thread_with_prefix(
+                "nimbus-net-dela",
+                Duration::from_secs(5),
+            );
+            assert!(leaked.is_none(), "delayer thread leaked: {leaked:?}");
+        }
     }
 
     #[test]

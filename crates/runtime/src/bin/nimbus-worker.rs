@@ -1,0 +1,65 @@
+//! The multi-process worker binary: one Nimbus worker node over TCP,
+//! running the quickstart application's functions and dataset factories.
+//!
+//! ```text
+//! nimbus-worker --id K --controller ADDR --driver ADDR --worker ID=ADDR...
+//! ```
+//!
+//! Pass the same address map as the `nimbus-controller` process; `--id`
+//! selects which `--worker` entry this process binds. The process exits when
+//! the controller sends `Shutdown` — or when the controller's connection
+//! drops, so killed jobs do not leave orphan workers behind.
+
+use std::sync::Arc;
+
+use nimbus_core::ids::WorkerId;
+use nimbus_net::{NodeId, TcpFabric};
+use nimbus_runtime::multiproc::parse_command_line;
+use nimbus_runtime::quickstart::quickstart_setup;
+use nimbus_worker::{ObjectVault, Worker, WorkerConfig};
+
+fn main() {
+    let cl = match parse_command_line(std::env::args().skip(1)) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("nimbus-worker: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut id: Option<WorkerId> = None;
+    for (flag, value) in &cl.rest {
+        match (flag.as_str(), value.parse::<u32>()) {
+            ("id", Ok(n)) => id = Some(WorkerId(n)),
+            _ => {
+                eprintln!("nimbus-worker: invalid flag --{flag} {value}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(id) = id else {
+        eprintln!("nimbus-worker: missing --id K");
+        std::process::exit(2);
+    };
+    if !cl.worker_ids.contains(&id) {
+        eprintln!("nimbus-worker: --id {id} has no matching --worker {id}=ADDR entry");
+        std::process::exit(2);
+    }
+
+    let fabric = TcpFabric::from_addrs(cl.addrs);
+    let endpoint = match fabric.endpoint(NodeId::Worker(id)) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("nimbus-worker: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (functions, factories) = quickstart_setup().into_shared();
+    let config = WorkerConfig::new(id, functions, factories, Arc::new(ObjectVault::new()));
+    let stats = Worker::new(config, endpoint).run();
+    println!(
+        "worker {id} done: tasks = {}, receives = {}, failures = {}",
+        stats.tasks_executed,
+        stats.receives,
+        stats.failures.len()
+    );
+}

@@ -1,5 +1,6 @@
-//! The in-process Nimbus cluster: controller and worker threads wired over
-//! the in-process transport, plus a synchronous driver handle.
+//! The single-process Nimbus cluster: controller and worker threads wired
+//! over a selectable transport (in-process channels or loopback TCP), plus a
+//! synchronous driver handle.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -8,10 +9,25 @@ use nimbus_controller::{Controller, ControllerConfig};
 use nimbus_core::ids::WorkerId;
 use nimbus_core::ControlPlaneStats;
 use nimbus_driver::{DriverContext, DriverError, DriverResult};
-use nimbus_net::{Network, NetworkStats, NodeId};
+use nimbus_net::{Network, NetworkStats, NodeId, TcpFabric, TransportEndpoint};
 use nimbus_worker::{ObjectVault, Worker, WorkerConfig, WorkerStats};
 
-use crate::config::{AppSetup, ClusterConfig};
+use crate::config::{AppSetup, ClusterConfig, TransportKind};
+
+/// The message fabric a running cluster was started on.
+enum Fabric {
+    InProcess(Network),
+    Tcp(TcpFabric),
+}
+
+impl Fabric {
+    fn stats(&self) -> NetworkStats {
+        match self {
+            Fabric::InProcess(network) => network.stats(),
+            Fabric::Tcp(fabric) => fabric.stats(),
+        }
+    }
+}
 
 /// Everything the cluster reports after a job finishes.
 pub struct ClusterReport<T> {
@@ -25,9 +41,9 @@ pub struct ClusterReport<T> {
     pub network: NetworkStats,
 }
 
-/// A running in-process cluster.
+/// A running single-process cluster (threads over either transport).
 pub struct Cluster {
-    network: Network,
+    fabric: Fabric,
     controller: Option<JoinHandle<ControlPlaneStats>>,
     workers: Vec<JoinHandle<WorkerStats>>,
     vault: Arc<ObjectVault>,
@@ -36,19 +52,27 @@ pub struct Cluster {
 
 impl Cluster {
     /// Starts a cluster: spawns the controller and `config.workers` worker
-    /// threads, all connected to a fresh in-process network.
+    /// threads, all connected over the configured transport (fresh
+    /// in-process network, or one loopback TCP socket per node).
     pub fn start(config: ClusterConfig, setup: AppSetup) -> Self {
         assert!(config.workers > 0, "a cluster needs at least one worker");
-        let network = Network::new(config.latency);
         let vault = Arc::new(ObjectVault::new());
         let (functions, factories) = setup.into_shared();
 
         let worker_ids: Vec<WorkerId> = (0..config.workers as u32).map(WorkerId).collect();
 
+        let fabric = match config.transport {
+            TransportKind::InProcess => Fabric::InProcess(Network::new(config.latency)),
+            TransportKind::TcpLoopback => {
+                let mut nodes = vec![NodeId::Controller, NodeId::Driver];
+                nodes.extend(worker_ids.iter().map(|id| NodeId::Worker(*id)));
+                Fabric::Tcp(TcpFabric::bind_loopback(&nodes).expect("bind loopback fabric"))
+            }
+        };
+
         // Workers first so the controller can address them immediately.
         let mut workers = Vec::with_capacity(config.workers);
         for id in &worker_ids {
-            let endpoint = network.register(NodeId::Worker(*id));
             let mut worker_config = WorkerConfig::new(
                 *id,
                 Arc::clone(&functions),
@@ -57,27 +81,40 @@ impl Cluster {
             );
             worker_config.spin_wait = config.spin_wait;
             worker_config.completion_batch = config.completion_batch;
-            let worker = Worker::new(worker_config, endpoint);
-            let handle = std::thread::Builder::new()
-                .name(format!("nimbus-worker-{id}"))
-                .spawn(move || worker.run())
-                .expect("spawn worker thread");
+            let handle = match &fabric {
+                Fabric::InProcess(network) => {
+                    let worker = Worker::new(worker_config, network.register(NodeId::Worker(*id)));
+                    spawn_worker(*id, worker)
+                }
+                Fabric::Tcp(tcp) => {
+                    let endpoint = tcp
+                        .endpoint(NodeId::Worker(*id))
+                        .expect("bind worker endpoint");
+                    spawn_worker(*id, Worker::new(worker_config, endpoint))
+                }
+            };
             workers.push(handle);
         }
 
-        let controller_endpoint = network.register(NodeId::Controller);
         let mut controller_config = ControllerConfig::new(worker_ids.clone());
         controller_config.policy = config.policy.clone();
         controller_config.enable_templates = config.enable_templates;
         controller_config.checkpoint_every = config.checkpoint_every;
-        let controller = Controller::new(controller_config, controller_endpoint);
-        let controller_handle = std::thread::Builder::new()
-            .name("nimbus-controller".to_string())
-            .spawn(move || controller.run())
-            .expect("spawn controller thread");
+        let controller_handle = match &fabric {
+            Fabric::InProcess(network) => spawn_controller(Controller::new(
+                controller_config,
+                network.register(NodeId::Controller),
+            )),
+            Fabric::Tcp(tcp) => {
+                let endpoint = tcp
+                    .endpoint(NodeId::Controller)
+                    .expect("bind controller endpoint");
+                spawn_controller(Controller::new(controller_config, endpoint))
+            }
+        };
 
         Self {
-            network,
+            fabric,
             controller: Some(controller_handle),
             workers,
             vault,
@@ -95,15 +132,26 @@ impl Cluster {
         Arc::clone(&self.vault)
     }
 
-    /// The underlying network (for traffic statistics).
-    pub fn network(&self) -> &Network {
-        &self.network
+    /// Snapshot of the transport traffic counters.
+    pub fn network_stats(&self) -> NetworkStats {
+        self.fabric.stats()
     }
 
     /// Creates the driver context connected to this cluster.
+    ///
+    /// On the in-process transport this can be called repeatedly (each call
+    /// re-registers the driver node). On a TCP cluster the driver's listener
+    /// exists once, so a second call while the first context is alive
+    /// panics with an address-in-use error.
     pub fn driver(&self) -> DriverContext {
-        let endpoint = self.network.register(NodeId::Driver);
-        DriverContext::new(endpoint)
+        match &self.fabric {
+            Fabric::InProcess(network) => DriverContext::new(network.register(NodeId::Driver)),
+            Fabric::Tcp(tcp) => {
+                DriverContext::new(tcp.endpoint(NodeId::Driver).expect(
+                    "bind driver endpoint (only one TCP driver context can exist at a time)",
+                ))
+            }
+        }
     }
 
     /// Runs a driver program to completion, shuts the cluster down, and
@@ -141,9 +189,25 @@ impl Cluster {
             output,
             controller,
             workers,
-            network: self.network.stats(),
+            network: self.fabric.stats(),
         })
     }
+}
+
+fn spawn_worker<E: TransportEndpoint>(id: WorkerId, worker: Worker<E>) -> JoinHandle<WorkerStats> {
+    std::thread::Builder::new()
+        .name(format!("nimbus-worker-{id}"))
+        .spawn(move || worker.run())
+        .expect("spawn worker thread")
+}
+
+fn spawn_controller<E: TransportEndpoint>(
+    controller: Controller<E>,
+) -> JoinHandle<ControlPlaneStats> {
+    std::thread::Builder::new()
+        .name("nimbus-controller".to_string())
+        .spawn(move || controller.run())
+        .expect("spawn controller thread")
 }
 
 #[cfg(test)]

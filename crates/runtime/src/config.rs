@@ -9,12 +9,29 @@ use nimbus_core::ids::{FunctionId, LogicalObjectId, LogicalPartition};
 use nimbus_net::LatencyModel;
 use nimbus_worker::{DataFactoryRegistry, FunctionRegistry, TaskContext};
 
-/// Static configuration of an in-process cluster.
+/// Which message fabric the cluster's nodes communicate over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels: fast and deterministic, the configuration used
+    /// by unit tests and microbenchmarks.
+    #[default]
+    InProcess,
+    /// Length-prefix-framed TCP over loopback sockets: every node still runs
+    /// as a thread of this process, but every message crosses a real socket
+    /// through the wire codec. Multi-process deployments use the
+    /// `nimbus-controller` / `nimbus-worker` binaries instead.
+    TcpLoopback,
+}
+
+/// Static configuration of a cluster.
 #[derive(Clone)]
 pub struct ClusterConfig {
     /// Number of worker threads.
     pub workers: usize,
-    /// Network latency model applied to every message.
+    /// The message fabric connecting driver, controller, and workers.
+    pub transport: TransportKind,
+    /// Network latency model applied to every message (in-process transport
+    /// only; TCP latency is whatever the sockets deliver).
     pub latency: LatencyModel,
     /// Whether execution templates are enabled at start.
     pub enable_templates: bool,
@@ -30,10 +47,12 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// A cluster with `workers` workers, templates enabled, no latency.
+    /// A cluster with `workers` workers, templates enabled, no latency,
+    /// in-process transport.
     pub fn new(workers: usize) -> Self {
         Self {
             workers,
+            transport: TransportKind::InProcess,
             latency: LatencyModel::None,
             enable_templates: true,
             spin_wait: None,
@@ -46,6 +65,13 @@ impl ClusterConfig {
     /// Disables execution templates (the centrally-scheduled baseline).
     pub fn without_templates(mut self) -> Self {
         self.enable_templates = false;
+        self
+    }
+
+    /// Runs every node over loopback TCP sockets instead of in-process
+    /// channels (all nodes remain threads of this process).
+    pub fn with_tcp_transport(mut self) -> Self {
+        self.transport = TransportKind::TcpLoopback;
         self
     }
 

@@ -1,0 +1,146 @@
+//! Shared plumbing for the multi-process binaries (`nimbus-controller`,
+//! `nimbus-worker`): the cluster address map and its command-line syntax.
+//!
+//! Every process of a multi-process cluster is launched with the *same*
+//! address map — `--controller ADDR --driver ADDR --worker ID=ADDR...` — and
+//! binds only its own node's listener, dialing the others lazily through
+//! [`nimbus_net::TcpFabric`].
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use nimbus_core::ids::WorkerId;
+use nimbus_net::NodeId;
+
+/// Parsed command line: the cluster address map plus any binary-specific
+/// `--flag value` pairs, in order.
+pub struct CommandLine {
+    /// Address of every node in the cluster.
+    pub addrs: HashMap<NodeId, SocketAddr>,
+    /// Worker ids in the order their `--worker` flags appeared.
+    pub worker_ids: Vec<WorkerId>,
+    /// Flags not consumed by the shared syntax (`--iterations 10` becomes
+    /// `("iterations", "10")`).
+    pub rest: Vec<(String, String)>,
+}
+
+/// Parses `--controller ADDR --driver ADDR --worker ID=ADDR...` plus
+/// arbitrary `--flag value` pairs. Every flag takes exactly one value.
+pub fn parse_command_line(args: impl Iterator<Item = String>) -> Result<CommandLine, String> {
+    let mut addrs = HashMap::new();
+    let mut worker_ids = Vec::new();
+    let mut rest = Vec::new();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, found `{flag}`"))?;
+        let value = args
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        match name {
+            "controller" => {
+                if addrs
+                    .insert(NodeId::Controller, parse_addr(&value)?)
+                    .is_some()
+                {
+                    return Err("--controller specified twice".to_string());
+                }
+            }
+            "driver" => {
+                if addrs.insert(NodeId::Driver, parse_addr(&value)?).is_some() {
+                    return Err("--driver specified twice".to_string());
+                }
+            }
+            "worker" => {
+                let (id, addr) = parse_worker_spec(&value)?;
+                if addrs.insert(NodeId::Worker(id), addr).is_some() {
+                    return Err(format!("worker {id} specified twice"));
+                }
+                worker_ids.push(id);
+            }
+            other => rest.push((other.to_string(), value)),
+        }
+    }
+    if !addrs.contains_key(&NodeId::Controller) {
+        return Err("missing --controller ADDR".to_string());
+    }
+    if worker_ids.is_empty() {
+        return Err("at least one --worker ID=ADDR is required".to_string());
+    }
+    Ok(CommandLine {
+        addrs,
+        worker_ids,
+        rest,
+    })
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddr, String> {
+    s.parse()
+        .map_err(|e| format!("invalid socket address `{s}`: {e}"))
+}
+
+/// Parses one `ID=ADDR` worker specification.
+pub fn parse_worker_spec(s: &str) -> Result<(WorkerId, SocketAddr), String> {
+    let (id, addr) = s
+        .split_once('=')
+        .ok_or_else(|| format!("invalid worker spec `{s}`, expected ID=ADDR"))?;
+    let id: u32 = id
+        .parse()
+        .map_err(|e| format!("invalid worker id `{id}`: {e}"))?;
+    Ok((WorkerId(id), parse_addr(addr)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_full_cluster_map_and_extra_flags() {
+        let cl = parse_command_line(args(&[
+            "--controller",
+            "127.0.0.1:5000",
+            "--driver",
+            "127.0.0.1:5001",
+            "--worker",
+            "0=127.0.0.1:5002",
+            "--worker",
+            "1=127.0.0.1:5003",
+            "--iterations",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(cl.addrs.len(), 4);
+        assert_eq!(cl.worker_ids, vec![WorkerId(0), WorkerId(1)]);
+        assert_eq!(cl.rest, vec![("iterations".to_string(), "10".to_string())]);
+        assert_eq!(
+            cl.addrs[&NodeId::Worker(WorkerId(1))],
+            "127.0.0.1:5003".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_command_line(args(&["--worker", "zero=1.2.3.4:1"])).is_err());
+        assert!(parse_command_line(args(&["--worker", "0"])).is_err());
+        assert!(parse_command_line(args(&["--controller", "nonsense"])).is_err());
+        assert!(parse_command_line(args(&["stray"])).is_err());
+        assert!(parse_command_line(args(&["--controller", "127.0.0.1:1"])).is_err()); // no workers
+        assert!(parse_command_line(args(&[
+            "--controller",
+            "127.0.0.1:1",
+            "--worker",
+            "0=127.0.0.1:2",
+            "--worker",
+            "0=127.0.0.1:3",
+        ]))
+        .is_err()); // duplicate worker
+    }
+}

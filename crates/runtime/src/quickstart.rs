@@ -1,0 +1,108 @@
+//! The quickstart job as a reusable library: one definition shared by the
+//! transport integration tests and the `nimbus-controller` /
+//! `nimbus-worker` binaries, which is what makes "identical output on every
+//! transport" a testable property rather than a claim. The `quickstart`
+//! *example* keeps an inline copy of the same job so it stays a
+//! self-contained API demo; both copies assert the same closed-form totals
+//! (`(i + 1) * PARTITIONS * PARTITION_LEN`), so they cannot silently
+//! diverge.
+
+use nimbus_core::appdata::{Scalar, VecF64};
+use nimbus_core::ids::{FunctionId, LogicalObjectId};
+use nimbus_core::TaskParams;
+use nimbus_driver::{Dataset, DriverContext, DriverResult, StageSpec};
+
+use crate::config::AppSetup;
+
+/// Function id of the per-partition `add` stage.
+pub const ADD: FunctionId = FunctionId(1);
+/// Function id of the reduction `sum` stage.
+pub const SUM: FunctionId = FunctionId(2);
+/// Logical id of the partitioned data vector.
+pub const DATA: LogicalObjectId = LogicalObjectId(1);
+/// Logical id of the single-partition reduction target.
+pub const TOTAL: LogicalObjectId = LogicalObjectId(2);
+/// Partition count of the data vector.
+pub const PARTITIONS: u32 = 8;
+/// Elements per data partition.
+pub const PARTITION_LEN: usize = 8;
+
+/// Registers the quickstart application: an `add` stage over every data
+/// partition and a `sum` reduction into a scalar.
+pub fn quickstart_setup() -> AppSetup {
+    AppSetup::new()
+        .function(ADD, "add", |ctx| {
+            let delta = ctx.params().as_scalar().map_err(|e| e.to_string())?;
+            for x in ctx.write::<VecF64>(0)?.values.iter_mut() {
+                *x += delta;
+            }
+            Ok(())
+        })
+        .function(SUM, "sum", |ctx| {
+            let mut total = 0.0;
+            for i in 0..ctx.read_count() {
+                total += ctx.read::<VecF64>(i)?.values.iter().sum::<f64>();
+            }
+            ctx.write::<Scalar>(0)?.value = total;
+            Ok(())
+        })
+        .object(DATA, |_| VecF64::zeros(PARTITION_LEN))
+        .object(TOTAL, |_| Scalar::new(0.0))
+}
+
+/// Runs the quickstart driver program: `iterations` executions of a
+/// two-stage basic block (add 1.0 everywhere, reduce into a scalar) followed
+/// by a scalar fetch. Returns the fetched total of every iteration —
+/// iteration `i` totals `(i + 1) * PARTITIONS * PARTITION_LEN`.
+pub fn quickstart_driver(ctx: &mut DriverContext, iterations: u32) -> DriverResult<Vec<f64>> {
+    quickstart_driver_with(ctx, iterations, |_, _| {})
+}
+
+/// [`quickstart_driver`] with a per-iteration observer, called with the
+/// iteration index and its fetched total. The multi-process binaries use it
+/// to print progress and to pace iterations for fault-injection tests.
+pub fn quickstart_driver_with(
+    ctx: &mut DriverContext,
+    iterations: u32,
+    mut on_iteration: impl FnMut(u32, f64),
+) -> DriverResult<Vec<f64>> {
+    let data: Dataset<VecF64> = ctx.define_dataset("data", PARTITIONS)?;
+    let total: Dataset<Scalar> = ctx.define_dataset("total", 1)?;
+    let mut totals = Vec::with_capacity(iterations as usize);
+    for i in 0..iterations {
+        ctx.block("inner", |ctx| {
+            ctx.submit_stage(
+                StageSpec::new("add", ADD)
+                    .write(&data)
+                    .params(TaskParams::from_scalar(1.0)),
+            )?;
+            let mut sum = StageSpec::new("sum", SUM).partitions(1);
+            for p in 0..data.partitions {
+                sum = sum.read_partition(&data, p);
+            }
+            ctx.submit_stage(sum.write_partition(&total, 0))?;
+            Ok(())
+        })?;
+        let value = ctx.fetch(&total, 0)?;
+        on_iteration(i, value);
+        totals.push(value);
+    }
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig};
+
+    #[test]
+    fn quickstart_totals_follow_the_closed_form() {
+        let cluster = Cluster::start(ClusterConfig::new(2), quickstart_setup());
+        let report = cluster.run_driver(|ctx| quickstart_driver(ctx, 4)).unwrap();
+        let expected: Vec<f64> = (1..=4)
+            .map(|i| (i * PARTITIONS as usize * PARTITION_LEN) as f64)
+            .collect();
+        assert_eq!(report.output, expected);
+        assert!(report.controller.controller_templates_installed >= 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Multi-process integration tests: the quickstart job across real OS
+//! process boundaries (1 `nimbus-controller` + 2 `nimbus-worker` processes
+//! over TCP loopback), plus fault injection by killing a worker process
+//! mid-job.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use nimbus_runtime::quickstart::{quickstart_driver, quickstart_setup, PARTITIONS, PARTITION_LEN};
+use nimbus_runtime::{Cluster, ClusterConfig};
+
+/// Reserves a free loopback address. The listener is dropped before the
+/// process binds it, which is racy in principle but reliable on a loopback
+/// interface with OS-assigned ports.
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().to_string()
+}
+
+struct ClusterProcs {
+    controller: Child,
+    workers: Vec<Child>,
+}
+
+impl ClusterProcs {
+    /// Spawns 2 workers and 1 controller with a shared address map.
+    fn spawn(extra_controller_flags: &[&str]) -> Self {
+        let controller_addr = free_addr();
+        let driver_addr = free_addr();
+        let worker_addrs = [free_addr(), free_addr()];
+        let map_flags = |args: &mut Command| {
+            args.arg("--controller")
+                .arg(&controller_addr)
+                .arg("--driver")
+                .arg(&driver_addr)
+                .arg("--worker")
+                .arg(format!("0={}", worker_addrs[0]))
+                .arg("--worker")
+                .arg(format!("1={}", worker_addrs[1]));
+        };
+        let mut workers = Vec::new();
+        for id in 0..2 {
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_nimbus-worker"));
+            map_flags(&mut cmd);
+            cmd.arg("--id").arg(id.to_string());
+            cmd.stdout(Stdio::null()).stderr(Stdio::null());
+            workers.push(cmd.spawn().expect("spawn worker"));
+        }
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_nimbus-controller"));
+        map_flags(&mut cmd);
+        for flag in extra_controller_flags {
+            cmd.arg(flag);
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let controller = cmd.spawn().expect("spawn controller");
+        Self {
+            controller,
+            workers,
+        }
+    }
+
+    /// Waits for the controller to exit, killing everything on timeout.
+    fn wait_controller(&mut self, timeout: Duration) -> (i32, String, String) {
+        let deadline = Instant::now() + timeout;
+        let status = loop {
+            match self.controller.try_wait().expect("poll controller") {
+                Some(status) => break status,
+                None if Instant::now() >= deadline => {
+                    self.kill_all();
+                    panic!("controller did not exit within {timeout:?} (job hung)");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        };
+        let mut stdout = String::new();
+        let mut stderr = String::new();
+        if let Some(out) = self.controller.stdout.as_mut() {
+            out.read_to_string(&mut stdout).ok();
+        }
+        if let Some(err) = self.controller.stderr.as_mut() {
+            err.read_to_string(&mut stderr).ok();
+        }
+        (status.code().unwrap_or(-1), stdout, stderr)
+    }
+
+    /// Waits for every worker process to exit (they must not linger).
+    fn wait_workers(&mut self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        for (i, worker) in self.workers.iter_mut().enumerate() {
+            loop {
+                match worker.try_wait().expect("poll worker") {
+                    Some(_) => break,
+                    None if Instant::now() >= deadline => {
+                        worker.kill().ok();
+                        panic!("worker {i} did not exit after the job ended");
+                    }
+                    None => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        }
+    }
+
+    fn kill_all(&mut self) {
+        self.controller.kill().ok();
+        for w in &mut self.workers {
+            w.kill().ok();
+        }
+    }
+}
+
+impl Drop for ClusterProcs {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
+}
+
+fn iteration_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.starts_with("iteration "))
+        .map(|l| l.to_string())
+        .collect()
+}
+
+/// Acceptance: the quickstart job produces identical per-iteration output
+/// in-process and across separate OS processes.
+#[test]
+fn quickstart_across_processes_matches_in_process_run() {
+    // Reference run: the same driver program on an in-process cluster.
+    let report = Cluster::start(ClusterConfig::new(2), quickstart_setup())
+        .run_driver(|ctx| quickstart_driver(ctx, 10))
+        .expect("in-process run completes");
+    let reference: Vec<String> = report
+        .output
+        .iter()
+        .enumerate()
+        .map(|(i, total)| format!("iteration {i}: total = {total}"))
+        .collect();
+    let expected: Vec<f64> = (1..=10)
+        .map(|i| (i * PARTITIONS as usize * PARTITION_LEN) as f64)
+        .collect();
+    assert_eq!(report.output, expected);
+
+    // Multi-process run: 1 controller process + 2 worker processes.
+    let mut procs = ClusterProcs::spawn(&["--iterations", "10"]);
+    let (code, stdout, stderr) = procs.wait_controller(Duration::from_secs(120));
+    assert_eq!(
+        code, 0,
+        "controller failed.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert_eq!(
+        iteration_lines(&stdout),
+        reference,
+        "multi-process output diverges from in-process output"
+    );
+    assert!(
+        stdout.contains("job complete"),
+        "missing completion marker:\n{stdout}"
+    );
+    procs.wait_workers(Duration::from_secs(30));
+}
+
+/// Fault injection with checkpoints: killing a worker process mid-job — with
+/// the driver almost certainly blocked inside a fetch — must run the
+/// checkpoint recovery path, answer the interrupted fetch against recovered
+/// state, and let the job run to completion.
+#[test]
+fn killed_worker_process_recovers_from_checkpoint_and_completes() {
+    let mut procs = ClusterProcs::spawn(&[
+        "--iterations",
+        "120",
+        "--iter-sleep-ms",
+        "30",
+        "--checkpoint-every",
+        "3",
+        "--reply-timeout-secs",
+        "30",
+    ]);
+    std::thread::sleep(Duration::from_secs(1));
+    procs.workers[0].kill().expect("kill worker 0");
+
+    let (code, stdout, stderr) = procs.wait_controller(Duration::from_secs(120));
+    assert_eq!(
+        code, 0,
+        "job should recover and complete.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // Every iteration completed: the one interrupted by the failure was
+    // resumed after recovery, not dropped. (Values after the failure may
+    // diverge — the dead worker's vault died with its process — but the
+    // control plane must drive the job to the end.)
+    assert_eq!(iteration_lines(&stdout).len(), 120, "stdout:\n{stdout}");
+    assert!(stdout.contains("job complete"), "stdout:\n{stdout}");
+    procs.wait_workers(Duration::from_secs(30));
+}
+
+/// Fault injection, total loss: killing *every* worker process — the second
+/// one mid-recovery — must still surface a clean driver error, not wedge the
+/// recovery waiting for a halt acknowledgement that can never arrive.
+#[test]
+fn killing_every_worker_process_surfaces_clean_error_not_a_wedge() {
+    let mut procs = ClusterProcs::spawn(&[
+        "--iterations",
+        "10000",
+        "--iter-sleep-ms",
+        "10",
+        "--checkpoint-every",
+        "3",
+        "--reply-timeout-secs",
+        "20",
+    ]);
+    std::thread::sleep(Duration::from_secs(2));
+    procs.workers[0].kill().expect("kill worker 0");
+    procs.workers[1].kill().expect("kill worker 1");
+
+    let (code, stdout, stderr) = procs.wait_controller(Duration::from_secs(120));
+    assert_ne!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stderr.contains("driver error"),
+        "expected a clean driver error:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+/// Fault injection: killing a worker process mid-job must surface a clean
+/// `driver error` (no checkpoint was taken) — never a hang — and the
+/// surviving worker must exit afterwards.
+#[test]
+fn killed_worker_process_surfaces_clean_driver_error() {
+    let mut procs = ClusterProcs::spawn(&[
+        "--iterations",
+        "10000",
+        "--iter-sleep-ms",
+        "10",
+        "--reply-timeout-secs",
+        "20",
+    ]);
+    // Let the job get going, then kill worker 0 abruptly mid-job.
+    std::thread::sleep(Duration::from_secs(2));
+    procs.workers[0].kill().expect("kill worker 0");
+
+    let (code, stdout, stderr) = procs.wait_controller(Duration::from_secs(120));
+    assert_ne!(
+        code, 0,
+        "without a checkpoint the driver must fail.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("driver error"),
+        "expected a clean driver error, got:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // The job made progress before the failure...
+    assert!(
+        !iteration_lines(&stdout).is_empty(),
+        "worker was killed before the job started:\n{stdout}"
+    );
+    // ...and no process lingers: the controller shut the survivor down (or
+    // the survivor noticed the controller leaving).
+    procs.wait_workers(Duration::from_secs(30));
+}

@@ -15,7 +15,7 @@ use nimbus_core::template::cache::WorkerTemplateCache;
 use nimbus_core::{Command, CommandKind};
 use nimbus_net::{
     ControllerToWorker, DataPayload, DataTransfer, Endpoint, Envelope, Message, NodeId,
-    WorkerToController,
+    TransportEndpoint, TransportEvent, WorkerToController,
 };
 
 use crate::data_store::{DataFactoryRegistry, DataStore};
@@ -61,10 +61,11 @@ impl WorkerConfig {
     }
 }
 
-/// A Nimbus worker node.
-pub struct Worker {
+/// A Nimbus worker node, generic over the transport connecting it to the
+/// cluster (in-process [`Endpoint`] by default, or a TCP endpoint).
+pub struct Worker<E: TransportEndpoint = Endpoint> {
     id: WorkerId,
-    endpoint: Endpoint,
+    endpoint: E,
     store: DataStore,
     queue: CommandQueue,
     templates: WorkerTemplateCache,
@@ -78,9 +79,9 @@ pub struct Worker {
     running: bool,
 }
 
-impl Worker {
+impl<E: TransportEndpoint> Worker<E> {
     /// Creates a worker bound to a transport endpoint.
-    pub fn new(config: WorkerConfig, endpoint: Endpoint) -> Self {
+    pub fn new(config: WorkerConfig, endpoint: E) -> Self {
         let mut executor = Executor::new(config.id, Arc::clone(&config.functions));
         executor.spin_wait = config.spin_wait;
         Self {
@@ -156,6 +157,15 @@ impl Worker {
         match envelope.message {
             Message::ToWorker(msg) => self.handle_control(msg),
             Message::Data(transfer) => self.handle_data(transfer),
+            Message::Transport(TransportEvent::PeerDisconnected(NodeId::Controller)) => {
+                // An orphaned worker cannot make progress; exit instead of
+                // lingering as a zombie process.
+                self.running = false;
+            }
+            Message::Transport(TransportEvent::PeerDisconnected(_)) => {
+                // A peer worker vanished: the controller notices through its
+                // own connection and drives recovery; nothing to do locally.
+            }
             other => {
                 self.stats.record_failure(format!(
                     "unexpected message {:?} at worker {}",
@@ -294,22 +304,22 @@ impl Worker {
                     .queue
                     .take_payload(*transfer)
                     .ok_or(WorkerError::MissingTransfer(*transfer))?;
-                let data = match payload {
-                    DataPayload::Object(o) => o,
-                    DataPayload::Bytes(_) => {
-                        return Err(WorkerError::TypeMismatch {
-                            expected: "in-process object payload",
-                            actual: "raw bytes",
-                        })
-                    }
-                };
-                if self.store.contains(*to) {
-                    self.store.replace(*to, data)?;
-                } else {
-                    // The controller creates objects before copying into
-                    // them; if the create raced behind, synthesize it from
-                    // the payload to keep the pipeline moving.
+                if !self.store.contains(*to) {
+                    // The controller creates objects before copying into them.
                     return Err(WorkerError::UnknownObject(*to));
+                }
+                match payload {
+                    // In-process transfer: the object itself was handed over.
+                    DataPayload::Object(data) => self.store.replace(*to, data)?,
+                    // Cross-process transfer: decode the serialized contents
+                    // into the already-created destination object, whose
+                    // concrete type knows its own wire format.
+                    DataPayload::Bytes(bytes) => {
+                        self.store
+                            .get_mut(*to)?
+                            .decode_wire(bytes.as_slice())
+                            .map_err(WorkerError::Net)?;
+                    }
                 }
                 self.stats.receives += 1;
                 Ok(())

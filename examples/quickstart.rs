@@ -62,6 +62,11 @@ fn main() {
                 // partitions have a scalar projection (here `Scalar`).
                 let value = ctx.fetch(&total, 0)?;
                 println!("iteration {i}: total = {value}");
+                // This job is also packaged as `nimbus_runtime::quickstart`
+                // (used by the TCP/multi-process integration tests); both
+                // copies are pinned to the same closed form so they cannot
+                // silently diverge.
+                assert_eq!(value, ((i + 1) * 8 * 8) as f64);
             }
             Ok(())
         })

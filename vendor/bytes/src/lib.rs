@@ -39,6 +39,16 @@ impl Bytes {
         }
     }
 
+    /// Takes ownership of a `Vec<u8>` without copying.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        let end = bytes.len();
+        Self {
+            data: Arc::from(bytes.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -134,10 +144,9 @@ impl serde::Serialize for Bytes {
 }
 
 impl<'de> serde::Deserialize<'de> for Bytes {
-    fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        Err(<D::Error as serde::de::Error>::custom(
-            "the vendored serde shim does not support deserializing Bytes",
-        ))
+    fn deserialize<D: serde::Deserializer<'de>>(mut deserializer: D) -> Result<Self, D::Error> {
+        let buf = deserializer.read_byte_buf()?;
+        Ok(Bytes::from_vec(buf))
     }
 }
 

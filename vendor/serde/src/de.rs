@@ -1,10 +1,17 @@
-//! The deserialization half of the data model — a stub.
+//! The deserialization half of the data model.
 //!
-//! Nothing in the workspace deserializes at runtime (the transport hands over
-//! in-process messages, and the codec only *counts* bytes), so this module
-//! provides just enough surface for `#[derive(Deserialize)]` and
-//! `#[serde(with = "...")]` deserialize helpers to compile. Every derived
-//! impl returns an "unsupported" error if it is ever invoked.
+//! Unlike real serde's visitor-based, self-describing API, this shim models a
+//! *positional* data model: the deserializer exposes one `read_*` method per
+//! primitive plus length/tag reads for compound shapes, and derived
+//! [`Deserialize`] impls read fields back in declaration order. This is
+//! exactly the information a compact non-self-describing binary format (like
+//! the `nimbus-net` codec, the only format in the workspace) needs, and it
+//! lets the hand-rolled derive in `serde_derive` generate real decoding code
+//! without `syn`/`quote`.
+//!
+//! Reborrowing works like real serde's `&mut Serializer` pattern: every
+//! `&mut D` is itself a [`Deserializer`], so nested fields deserialize with
+//! `T::deserialize(&mut d)`.
 
 use std::fmt::Display;
 
@@ -14,49 +21,260 @@ pub trait Error: Sized + std::error::Error {
     fn custom<T: Display>(msg: T) -> Self;
 }
 
-/// A format that could drive deserialization. No formats are provided by the
-/// shim; the trait exists so generic bounds in user code compile.
+/// A positional deserializer over the compact binary data model written by
+/// the matching [`crate::Serializer`] implementation.
+///
+/// Compound shapes are driven by the caller: structs and tuples read their
+/// fields in order with no framing, sequences and maps start with
+/// [`Deserializer::read_seq_len`] / [`Deserializer::read_map_len`], options
+/// with [`Deserializer::read_option_tag`], and enums with
+/// [`Deserializer::read_variant_tag`].
 pub trait Deserializer<'de>: Sized {
+    /// Error type produced on malformed input.
     type Error: Error;
+
+    /// Reads a `bool` (one byte).
+    fn read_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads an `i8`.
+    fn read_i8(&mut self) -> Result<i8, Self::Error>;
+    /// Reads an `i16`.
+    fn read_i16(&mut self) -> Result<i16, Self::Error>;
+    /// Reads an `i32`.
+    fn read_i32(&mut self) -> Result<i32, Self::Error>;
+    /// Reads an `i64`.
+    fn read_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Reads a `u8`.
+    fn read_u8(&mut self) -> Result<u8, Self::Error>;
+    /// Reads a `u16`.
+    fn read_u16(&mut self) -> Result<u16, Self::Error>;
+    /// Reads a `u32`.
+    fn read_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Reads a `u64`.
+    fn read_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads an `f32`.
+    fn read_f32(&mut self) -> Result<f32, Self::Error>;
+    /// Reads an `f64`.
+    fn read_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a `char`.
+    fn read_char(&mut self) -> Result<char, Self::Error>;
+    /// Reads a length-prefixed UTF-8 string.
+    fn read_string(&mut self) -> Result<String, Self::Error>;
+    /// Reads a length-prefixed byte buffer.
+    fn read_byte_buf(&mut self) -> Result<Vec<u8>, Self::Error>;
+    /// Reads an option tag: `true` means a value follows.
+    fn read_option_tag(&mut self) -> Result<bool, Self::Error>;
+    /// Reads a unit value (nothing on the wire).
+    fn read_unit(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Reads a sequence length prefix.
+    fn read_seq_len(&mut self) -> Result<usize, Self::Error>;
+    /// Reads a map length prefix.
+    fn read_map_len(&mut self) -> Result<usize, Self::Error>;
+    /// Reads an enum variant tag.
+    fn read_variant_tag(&mut self) -> Result<u32, Self::Error>;
 }
 
-/// A data structure that can (nominally) be deserialized.
+macro_rules! forward_read {
+    ($($name:ident -> $ty:ty),+ $(,)?) => {
+        $(
+            fn $name(&mut self) -> Result<$ty, Self::Error> {
+                (**self).$name()
+            }
+        )+
+    };
+}
+
+impl<'de, D: Deserializer<'de>> Deserializer<'de> for &mut D {
+    type Error = D::Error;
+
+    forward_read!(
+        read_bool -> bool,
+        read_i8 -> i8,
+        read_i16 -> i16,
+        read_i32 -> i32,
+        read_i64 -> i64,
+        read_u8 -> u8,
+        read_u16 -> u16,
+        read_u32 -> u32,
+        read_u64 -> u64,
+        read_f32 -> f32,
+        read_f64 -> f64,
+        read_char -> char,
+        read_string -> String,
+        read_byte_buf -> Vec<u8>,
+        read_option_tag -> bool,
+        read_unit -> (),
+        read_seq_len -> usize,
+        read_map_len -> usize,
+        read_variant_tag -> u32,
+    );
+}
+
+/// A data structure that can be deserialized from the positional data model.
 pub trait Deserialize<'de>: Sized {
     /// Deserializes `Self` from the given deserializer.
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
 }
 
-macro_rules! unsupported_impl {
-    ($($ty:ty),+ $(,)?) => {
+macro_rules! primitive_de {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
         $(
             impl<'de> Deserialize<'de> for $ty {
-                fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-                    Err(D::Error::custom(concat!(
-                        "the vendored serde shim does not support deserializing ",
-                        stringify!($ty)
-                    )))
+                fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+                    d.$method()
                 }
             }
         )+
     };
 }
 
-unsupported_impl!(
-    bool, i8, i16, i32, i64, u8, u16, u32, u64, f32, f64, char, String, usize, isize,
+primitive_de!(
+    bool => read_bool,
+    i8 => read_i8,
+    i16 => read_i16,
+    i32 => read_i32,
+    i64 => read_i64,
+    u8 => read_u8,
+    u16 => read_u16,
+    u32 => read_u32,
+    u64 => read_u64,
+    f32 => read_f32,
+    f64 => read_f64,
+    char => read_char,
+    String => read_string,
 );
 
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        Err(D::Error::custom(
-            "the vendored serde shim does not support deserializing sequences",
-        ))
+// `usize`/`isize` serialize as 64-bit values; mirror that here.
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let v = d.read_u64()?;
+        usize::try_from(v).map_err(|_| D::Error::custom(format!("usize overflow: {v}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let v = d.read_i64()?;
+        isize::try_from(v).map_err(|_| D::Error::custom(format!("isize overflow: {v}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_unit()
     }
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        Err(D::Error::custom(
-            "the vendored serde shim does not support deserializing options",
-        ))
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        if d.read_option_tag()? {
+            Ok(Some(T::deserialize(&mut d)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_seq_len()?;
+        // Do not trust `len` for pre-allocation: a malformed length must fail
+        // on the first missing element, not abort on an oversized alloc.
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::deserialize(&mut d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, T, St> Deserialize<'de> for std::collections::HashSet<T, St>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    St: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, K, V, St> Deserialize<'de> for std::collections::HashMap<K, V, St>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    St: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_map_len()?;
+        let mut out = Self::default();
+        for _ in 0..len {
+            let k = K::deserialize(&mut d)?;
+            let v = V::deserialize(&mut d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_map_len()?;
+        let mut out = Self::new();
+        for _ in 0..len {
+            let k = K::deserialize(&mut d)?;
+            let v = V::deserialize(&mut d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_de {
+    ($($ty:ident),+) => {
+        impl<'de, $($ty: Deserialize<'de>),+> Deserialize<'de> for ($($ty,)+) {
+            fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+                Ok(($($ty::deserialize(&mut d)?,)+))
+            }
+        }
+    };
+}
+
+tuple_de!(T0);
+tuple_de!(T0, T1);
+tuple_de!(T0, T1, T2);
+tuple_de!(T0, T1, T2, T3);
+
+// Mirrors the `Serialize` impl: a two-field struct of (secs: u64, nanos: u32).
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let secs = d.read_u64()?;
+        let nanos = d.read_u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(D::Error::custom(format!(
+                "Duration nanos out of range: {nanos}"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
     }
 }

@@ -2,12 +2,13 @@
 //! workspace uses.
 //!
 //! The build environment has no access to crates.io, so this crate provides
-//! the subset of serde's API the workspace needs: the full *serialization*
+//! the subset of serde's API the workspace uses: the full *serialization*
 //! data model (trait `Serialize`, trait `Serializer` and the seven compound
-//! serializer traits), plus a stub *deserialization* side whose derived impls
-//! always error. The only consumer of serialization in the workspace is the
-//! byte-counting codec in `nimbus-net`, which models wire sizes; nothing
-//! deserializes at runtime.
+//! serializer traits), plus a *positional* deserialization side (trait
+//! `Deserialize` over `de::Deserializer`'s typed `read_*` methods) that
+//! mirrors the compact non-self-describing binary layout the serializer
+//! models. The consumers in the workspace are the `nimbus-net` codec
+//! (byte-size accounting and the real wire encoder/decoder).
 //!
 //! The companion `serde_derive` crate provides `#[derive(Serialize)]` and
 //! `#[derive(Deserialize)]` compatible with this shim, including

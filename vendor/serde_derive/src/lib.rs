@@ -437,16 +437,68 @@ fn gen_serialize(input: &Input) -> String {
     )
 }
 
+/// Emits the expression deserializing one named field, honouring
+/// `#[serde(with = "...")]` (which calls `module::deserialize(&mut __d)`).
+fn gen_named_field_de(field: &Field) -> String {
+    if let Some(with) = &field.with {
+        format!("{name}: {with}::deserialize(&mut __d)?", name = field.name)
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::deserialize(&mut __d)?",
+            name = field.name
+        )
+    }
+}
+
+/// Emits the constructor expression for a shape; field order matches the
+/// serializer, and struct-literal / call-argument evaluation order is source
+/// order, so reads happen in exactly the written order.
+fn gen_shape_de(path: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => path.to_string(),
+        Shape::Tuple(n) => {
+            let fields: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::deserialize(&mut __d)?".to_string())
+                .collect();
+            format!("{path}({})", fields.join(", "))
+        }
+        Shape::Named(fields) => {
+            let fields: Vec<String> = fields.iter().map(gen_named_field_de).collect();
+            format!("{path} {{ {} }}", fields.join(", "))
+        }
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
-    let name = match input {
-        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let body = format!("::core::result::Result::Ok({})", gen_shape_de(name, shape));
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut body = String::from(
+                "let __tag = ::serde::de::Deserializer::read_variant_tag(&mut __d)?;\n\
+                 match __tag {\n",
+            );
+            for (index, v) in variants.iter().enumerate() {
+                body.push_str(&format!(
+                    "{index}u32 => ::core::result::Result::Ok({}),\n",
+                    gen_shape_de(&format!("{name}::{}", v.name), &v.shape)
+                ));
+            }
+            body.push_str(&format!(
+                "_ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"invalid variant tag {{}} for enum {name}\", __tag))),\n}}"
+            ));
+            (name, body)
+        }
     };
     format!(
         "#[automatically_derived]\n\
          impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
-         fn deserialize<__D: ::serde::Deserializer<'de>>(_deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
-         ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
-         \"deserialization is not supported by the vendored serde shim\"))\n\
+         #[allow(unused_mut, unused_variables)]\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(mut __d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
          }}\n\
          }}\n"
     )
