@@ -6,9 +6,10 @@
 //! headroom survives a real wire — every control message encoded by the
 //! binary codec, framed, and pushed through loopback TCP.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nimbus_bench::{print_table, TableRow};
+use nimbus_net::{DriverMessage, Message, NodeId, TcpFabric, TransportEndpoint};
 use nimbus_runtime::quickstart::{quickstart_driver, quickstart_setup, PARTITIONS};
 use nimbus_runtime::{Cluster, ClusterConfig};
 
@@ -41,9 +42,48 @@ fn run(config: ClusterConfig) -> Run {
     }
 }
 
+/// Median round-trip time of one small control message over the TCP
+/// transport. With the old 20 ms poll interval in the accept/read loops an
+/// idle endpoint could not deliver a message faster than its next poll
+/// tick; with blocking reads the kernel wakes the reader the moment the
+/// frame arrives.
+fn tcp_round_trip_median() -> Duration {
+    let fabric =
+        TcpFabric::bind_loopback(&[NodeId::Driver, NodeId::Controller]).expect("bind fabric");
+    let a = fabric.endpoint(NodeId::Driver).expect("endpoint");
+    let b = fabric.endpoint(NodeId::Controller).expect("endpoint");
+    // Warm the connections in both directions.
+    a.send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+        .unwrap();
+    b.recv().unwrap();
+    b.send(NodeId::Driver, Message::Driver(DriverMessage::Barrier))
+        .unwrap();
+    a.recv().unwrap();
+    let mut samples = Vec::with_capacity(200);
+    for i in 0..200u64 {
+        let start = Instant::now();
+        a.send(
+            NodeId::Controller,
+            Message::Driver(DriverMessage::Checkpoint { marker: i }),
+        )
+        .unwrap();
+        b.recv().unwrap();
+        b.send(
+            NodeId::Driver,
+            Message::Driver(DriverMessage::Checkpoint { marker: i }),
+        )
+        .unwrap();
+        a.recv().unwrap();
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
 fn main() {
     let in_process = run(ClusterConfig::new(WORKERS));
     let tcp = run(ClusterConfig::new(WORKERS).with_tcp_transport());
+    let rtt = tcp_round_trip_median();
 
     print_table(
         &format!(
@@ -71,7 +111,20 @@ fn main() {
                 "-",
                 format!("{} / {}", in_process.control_bytes, tcp.control_bytes),
             ),
+            TableRow::new(
+                "tcp median round-trip",
+                "-",
+                format!("{:.1} us", rtt.as_secs_f64() * 1e6),
+            ),
         ],
+    );
+
+    // The supervised transport blocks in the kernel instead of polling every
+    // 20 ms, so a full round trip (two one-way deliveries) must land far
+    // below the old single-delivery poll floor.
+    assert!(
+        rtt < Duration::from_millis(20),
+        "TCP round-trip regressed to the poll-loop era: {rtt:?} >= 20ms"
     );
 
     // Exact message counts differ by a few completion batches (workers

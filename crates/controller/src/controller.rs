@@ -9,7 +9,7 @@
 //! flow and scheduling changes.
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nimbus_core::checkpoint::{CheckpointDescriptor, CheckpointEntry, CheckpointLog};
 use nimbus_core::graph::AssignedCommand;
@@ -19,8 +19,8 @@ use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
 use nimbus_core::{Command, CommandKind, ControlPlaneStats};
 use nimbus_net::{
-    ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, Message, NodeId,
-    TransportEndpoint, TransportEvent, WorkerToController,
+    ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, Message, NetError,
+    NodeId, PartitionVersion, TransportEndpoint, TransportEvent, WorkerToController,
 };
 
 use crate::assignment::AssignmentPolicy;
@@ -40,6 +40,14 @@ pub struct ControllerConfig {
     pub enable_templates: bool,
     /// Automatically checkpoint after this many template instantiations.
     pub checkpoint_every: Option<u64>,
+    /// How long a transport-detected worker failure waits for the worker to
+    /// rejoin before recovery proceeds without it. Within the window a
+    /// returning worker is readmitted in place: its templates are
+    /// reinstalled (with every edit applied so far) and the checkpoint
+    /// reload targets it directly, so the job resumes with zero template
+    /// re-recordings. `None` (the default) recovers immediately onto the
+    /// survivors, as before.
+    pub rejoin_grace: Option<Duration>,
 }
 
 impl ControllerConfig {
@@ -50,6 +58,7 @@ impl ControllerConfig {
             policy: AssignmentPolicy::hash(),
             enable_templates: true,
             checkpoint_every: None,
+            rejoin_grace: None,
         }
     }
 }
@@ -79,6 +88,14 @@ enum PendingSync {
         /// driver-initiated `FailWorker`, false for transport-detected
         /// failures, where the driver is not waiting for one).
         notify: bool,
+        /// The failed worker recovery is still willing to readmit: recovery
+        /// completes only once this worker registers again or the rejoin
+        /// grace deadline passes.
+        awaiting_rejoin: Option<WorkerId>,
+        /// Workers readmitted during this recovery. They came back as fresh
+        /// processes with empty stores, so completion must recreate every
+        /// physical instance the restored bookkeeping places on them.
+        rejoined: Vec<WorkerId>,
     },
 }
 
@@ -111,6 +128,28 @@ pub struct Controller<E: TransportEndpoint = Endpoint> {
     /// checkpoint.
     queued_sync: Option<PendingSync>,
     deferred: VecDeque<Envelope>,
+    /// Messages that arrived while a recovery was in flight (driver traffic
+    /// and registrations from workers other than the awaited one). Dispatched
+    /// against post-recovery state once the recovery completes; processing
+    /// them mid-recovery would execute commands against half-restored data.
+    held: VecDeque<Envelope>,
+    /// How long transport-detected failures wait for the worker to rejoin.
+    rejoin_grace: Option<Duration>,
+    /// Deadline of the rejoin wait currently in progress, if any; bounds the
+    /// blocking receive in the controller loop.
+    rejoin_deadline: Option<Instant>,
+    /// Template instantiations since the last *committed* checkpoint, in
+    /// order. After a recovery restores that checkpoint, the controller
+    /// replays them itself — no driver involvement — so the data state
+    /// catches back up to the pre-failure point instead of silently losing
+    /// the iterations in between.
+    replay_log: Vec<(String, InstantiationParams)>,
+    /// False once the log stopped being a faithful reconstruction (e.g. a
+    /// failure interrupted an active recording); replay is skipped then.
+    replay_valid: bool,
+    /// True while the controller replays logged instantiations (suppresses
+    /// re-logging and auto-checkpoint scheduling).
+    replaying: bool,
     stats: ControlPlaneStats,
     running: bool,
 }
@@ -136,6 +175,12 @@ impl<E: TransportEndpoint> Controller<E> {
             resume_after_recovery: PendingSync::None,
             queued_sync: None,
             deferred: VecDeque::new(),
+            held: VecDeque::new(),
+            rejoin_grace: config.rejoin_grace,
+            rejoin_deadline: None,
+            replay_log: Vec::new(),
+            replay_valid: true,
+            replaying: false,
             stats: ControlPlaneStats::new(),
             running: true,
         }
@@ -163,10 +208,48 @@ impl<E: TransportEndpoint> Controller<E> {
         if let Some(e) = self.deferred.pop_front() {
             return Some(e);
         }
-        self.endpoint.recv().ok()
+        loop {
+            let Some(deadline) = self.rejoin_deadline else {
+                return self.endpoint.recv().ok();
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                self.expire_rejoin_grace();
+                continue;
+            }
+            match self.endpoint.recv_timeout(deadline - now) {
+                Ok(e) => return Some(e),
+                Err(NetError::Timeout) => self.expire_rejoin_grace(),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// True for messages that must not be processed against mid-recovery
+    /// state: driver traffic, and registrations from workers other than the
+    /// one recovery is willing to readmit. They are parked in `held` and
+    /// dispatched once the recovery completes.
+    fn should_hold(&self, envelope: &Envelope) -> bool {
+        let PendingSync::Recovering {
+            awaiting_rejoin, ..
+        } = &self.sync
+        else {
+            return false;
+        };
+        match &envelope.message {
+            Message::Driver(_) => true,
+            Message::FromWorker(WorkerToController::Register { worker }) => {
+                *awaiting_rejoin != Some(*worker)
+            }
+            _ => false,
+        }
     }
 
     fn handle(&mut self, envelope: Envelope) {
+        if self.should_hold(&envelope) {
+            self.held.push_back(envelope);
+            return;
+        }
         match envelope.message {
             Message::Driver(msg) => {
                 let start = Instant::now();
@@ -177,6 +260,10 @@ impl<E: TransportEndpoint> Controller<E> {
             Message::Transport(TransportEvent::PeerDisconnected(peer)) => {
                 self.handle_disconnect(peer);
             }
+            // The rejoin handshake is driven by the worker's `Register`
+            // message, which carries identity; the raw transport notice is
+            // informational.
+            Message::Transport(TransportEvent::PeerReconnected(_)) => {}
             _ => {}
         }
     }
@@ -193,12 +280,16 @@ impl<E: TransportEndpoint> Controller<E> {
                 if !self.workers.contains(&w) {
                     return; // Already evicted.
                 }
-                if matches!(self.sync, PendingSync::Recovering { .. }) {
+                if let PendingSync::Recovering {
+                    awaiting_rejoin, ..
+                } = &self.sync
+                {
                     // A second failure while already recovering: the worker
                     // will never acknowledge its Halt, so count it out and
                     // keep the recovery moving instead of wedging.
+                    let still_awaited = awaiting_rejoin.is_some();
                     self.workers.retain(|x| *x != w);
-                    if self.workers.is_empty() {
+                    if self.workers.is_empty() && !still_awaited {
                         self.sync = PendingSync::None;
                         self.resume_after_recovery = PendingSync::None;
                         self.reply(ControllerToDriver::Error {
@@ -212,18 +303,19 @@ impl<E: TransportEndpoint> Controller<E> {
                 // Recovery replaces whatever the driver was synchronizing
                 // on; stash it so the pending request is answered (against
                 // recovered state) once recovery completes, instead of the
-                // driver receiving a reply it never asked for.
+                // driver receiving a reply it never asked for. Stashed
+                // *before* `begin_recovery`, which may complete the recovery
+                // synchronously when no halt acknowledgement is expected.
                 let interrupted = std::mem::replace(&mut self.sync, PendingSync::None);
-                match self.begin_recovery(w, false) {
-                    Ok(()) => self.resume_after_recovery = Self::resumable(interrupted),
-                    Err(e) => {
-                        // Unrecoverable (no checkpoint / no workers): answer
-                        // the driver's pending request — or its next one —
-                        // with a clean error rather than hanging.
-                        self.reply(ControllerToDriver::Error {
-                            message: format!("worker {w} disconnected: {e}"),
-                        });
-                    }
+                self.resume_after_recovery = Self::resumable(interrupted);
+                if let Err(e) = self.begin_recovery(w, false, true) {
+                    // Unrecoverable (no checkpoint / no workers): answer
+                    // the driver's pending request — or its next one —
+                    // with a clean error rather than hanging.
+                    self.resume_after_recovery = PendingSync::None;
+                    self.reply(ControllerToDriver::Error {
+                        message: format!("worker {w} disconnected: {e}"),
+                    });
                 }
             }
             // A lost driver orphans the job: shut the workers down and exit
@@ -257,6 +349,10 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.reply(ControllerToDriver::Ack);
             }
             DriverMessage::SubmitTask(spec) => {
+                // Individually submitted tasks are not captured by the
+                // instantiation replay log; a recovery spanning them cannot
+                // faithfully reconstruct the stream.
+                self.replay_valid = false;
                 if let Err(e) = self.submit_task(spec) {
                     self.reply(ControllerToDriver::Error {
                         message: e.to_string(),
@@ -264,6 +360,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 }
             }
             DriverMessage::StartTemplate { name } => {
+                self.replay_valid = false;
                 let result = if self.enable_templates {
                     self.tm.start_recording(&name)
                 } else {
@@ -302,10 +399,18 @@ impl<E: TransportEndpoint> Controller<E> {
                 }
             }
             DriverMessage::InstantiateTemplate { name, params } => {
-                if let Err(e) = self.instantiate_block(&name, &params) {
-                    self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    });
+                match self.instantiate_block(&name, &params) {
+                    // Only successful instantiations enter the replay log: a
+                    // failed one (which may have mutated state partially)
+                    // makes the window unfaithful, and logging it would
+                    // poison any later replay.
+                    Ok(()) => self.replay_log.push((name, params)),
+                    Err(e) => {
+                        self.replay_valid = false;
+                        self.reply(ControllerToDriver::Error {
+                            message: e.to_string(),
+                        });
+                    }
                 }
             }
             DriverMessage::FetchValue { partition } => {
@@ -316,6 +421,7 @@ impl<E: TransportEndpoint> Controller<E> {
             }
             DriverMessage::EnableTemplates(enabled) => {
                 self.enable_templates = enabled;
+                self.replay_valid = false;
                 self.reply(ControllerToDriver::Ack);
             }
             DriverMessage::Checkpoint { marker } => {
@@ -325,6 +431,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 });
             }
             DriverMessage::MigrateTasks { name, count } => {
+                self.replay_valid = false;
                 let workers = self.workers.clone();
                 match self
                     .tm
@@ -340,6 +447,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 }
             }
             DriverMessage::SetWorkerAllocation { workers } => {
+                self.replay_valid = false;
                 match self.change_allocation(workers) {
                     Ok(()) => self.reply(ControllerToDriver::Ack),
                     Err(e) => self.reply(ControllerToDriver::Error {
@@ -348,7 +456,10 @@ impl<E: TransportEndpoint> Controller<E> {
                 }
             }
             DriverMessage::FailWorker { worker } => {
-                if let Err(e) = self.begin_recovery(worker, true) {
+                // Driver-simulated failures are the paper's fault-recovery
+                // experiments: they recover immediately, without waiting for
+                // a rejoin that will never come.
+                if let Err(e) = self.begin_recovery(worker, true, false) {
                     self.reply(ControllerToDriver::Error {
                         message: e.to_string(),
                     });
@@ -443,10 +554,14 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.stats.tasks_from_templates += plan.task_count;
                 self.outstanding += plan.expected_commands;
                 for (worker, instantiation) in plan.per_worker {
-                    self.send_worker(
+                    // Tolerate a send to a worker that just died: the
+                    // transport's disconnect notice follows and recovery
+                    // resets `outstanding` and the data state; failing the
+                    // whole instantiation would race that notice.
+                    let _ = self.send_worker(
                         worker,
                         ControllerToWorker::InstantiateTemplate(instantiation),
-                    )?;
+                    );
                 }
             }
             _ => {
@@ -490,7 +605,8 @@ impl<E: TransportEndpoint> Controller<E> {
         }
 
         if let Some(every) = self.checkpoint_every {
-            if self.instantiations_since_checkpoint >= every
+            if !self.replaying
+                && self.instantiations_since_checkpoint >= every
                 && matches!(self.sync, PendingSync::None)
             {
                 let marker = self.instantiations_since_checkpoint;
@@ -576,50 +692,123 @@ impl<E: TransportEndpoint> Controller<E> {
     /// because it halted, or because it disconnected — and completes the
     /// recovery once every expected acknowledgement is accounted for.
     fn note_halted(&mut self, worker: WorkerId) {
+        if let PendingSync::Recovering { pending_halts, .. } = &mut self.sync {
+            pending_halts.retain(|w| *w != worker);
+            self.maybe_finish_recovery();
+        }
+    }
+
+    /// Completes the recovery once every halt is acknowledged *and* the
+    /// rejoin wait (if any) has resolved — the awaited worker registered or
+    /// the grace deadline passed.
+    fn maybe_finish_recovery(&mut self) {
         if let PendingSync::Recovering {
             marker,
             pending_halts,
             notify,
-        } = &mut self.sync
+            awaiting_rejoin,
+            rejoined,
+        } = &self.sync
         {
-            pending_halts.retain(|w| *w != worker);
-            if pending_halts.is_empty() {
-                let (marker, notify) = (*marker, *notify);
+            if pending_halts.is_empty() && awaiting_rejoin.is_none() {
+                let (marker, notify, rejoined) = (*marker, *notify, rejoined.clone());
                 self.sync = PendingSync::None;
-                self.complete_recovery(marker, notify);
+                self.complete_recovery(marker, notify, &rejoined);
             }
         }
     }
 
-    fn begin_recovery(&mut self, failed: WorkerId, notify: bool) -> ControllerResult<()> {
+    /// Gives up on the awaited worker: recovery proceeds onto the survivors
+    /// (the pre-rejoin behavior). Its groups are left installed but
+    /// unfindable for the shrunken allocation, so the next instantiation
+    /// regenerates templates — the checkpoint-restart baseline the rejoin
+    /// path is measured against.
+    fn expire_rejoin_grace(&mut self) {
+        self.rejoin_deadline = None;
+        if let PendingSync::Recovering {
+            awaiting_rejoin, ..
+        } = &mut self.sync
+        {
+            awaiting_rejoin.take();
+            self.maybe_finish_recovery();
+        }
+    }
+
+    fn begin_recovery(
+        &mut self,
+        failed: WorkerId,
+        notify: bool,
+        allow_rejoin_wait: bool,
+    ) -> ControllerResult<()> {
         self.stats.failures_handled += 1;
         let marker = self
             .checkpoints
             .latest()
             .map(|c| c.progress_marker)
             .ok_or(ControllerError::NoCheckpoint)?;
+        // A failure that lands while a basic block is being recorded leaves
+        // the log without the surrounding recording traffic; replaying it
+        // later would desynchronize the driver's view. Skip replay then.
+        if self.tm.is_recording() {
+            self.replay_valid = false;
+        }
         // The failed worker leaves the allocation but stays in `all_workers`:
         // the in-process "failed" thread still needs a shutdown message at
         // job end (a real deployment would simply have lost the process).
         self.workers.retain(|w| *w != failed);
-        if self.workers.is_empty() {
+        let awaiting_rejoin = if allow_rejoin_wait {
+            self.rejoin_grace.map(|grace| {
+                self.rejoin_deadline = Some(Instant::now() + grace);
+                failed
+            })
+        } else {
+            None
+        };
+        // Without a rejoin wait the job cannot continue workerless; with one
+        // it may ride out the window even if the failed worker was the last.
+        if self.workers.is_empty() && awaiting_rejoin.is_none() {
             return Err(ControllerError::NoWorkers);
         }
         // Halt every surviving worker: they terminate ongoing commands and
-        // flush their queues (Section 4.4).
-        let survivors = self.workers.clone();
-        for w in &survivors {
-            self.send_worker(*w, ControllerToWorker::Halt)?;
+        // flush their queues (Section 4.4). A survivor whose Halt cannot be
+        // sent is dying too — its own disconnect notice will evict it; it
+        // must not be waited on for an acknowledgement that cannot come.
+        let mut pending_halts = Vec::new();
+        for w in self.workers.clone() {
+            if self.send_worker(w, ControllerToWorker::Halt).is_ok() {
+                pending_halts.push(w);
+            }
         }
         self.sync = PendingSync::Recovering {
             marker,
-            pending_halts: survivors,
+            pending_halts,
             notify,
+            awaiting_rejoin,
+            rejoined: Vec::new(),
         };
+        // With no halts outstanding and no rejoin to wait for (every
+        // survivor's Halt send failed), nothing else will drive completion.
+        self.maybe_finish_recovery();
         Ok(())
     }
 
-    fn complete_recovery(&mut self, marker: u64, notify: bool) {
+    fn complete_recovery(&mut self, marker: u64, notify: bool, rejoined: &[WorkerId]) {
+        // A rejoin-grace recovery can ride out the window with zero workers
+        // (the failed worker was the last one); if the grace expired without
+        // a return there is nothing to recover onto — surface a clean error
+        // instead of dividing the reload re-homing by zero.
+        if self.workers.is_empty() {
+            self.resume_after_recovery = PendingSync::None;
+            self.replay_valid = false;
+            self.reply(ControllerToDriver::Error {
+                message: "every worker disconnected during recovery".to_string(),
+            });
+            // Held driver traffic is answered against the workerless state
+            // (each request fails cleanly with NoWorkers).
+            let held = std::mem::take(&mut self.held);
+            self.deferred.extend(held);
+            return;
+        }
         let descriptor = self
             .checkpoints
             .latest()
@@ -644,9 +833,40 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.dm.drop_worker(w);
             }
         }
+        // A rejoined worker is a fresh process with an empty store, while the
+        // restored bookkeeping says its physical instances exist. Recreate
+        // every instance resident on it (idempotent on workers that still
+        // hold the object) so the reloads, copies, and template entries that
+        // follow have real objects to land in. Contents start as factory
+        // defaults; the manifest reload below restores checkpointed values,
+        // and anything stale is refreshed by validation patches before use.
+        let mut commands: Vec<AssignedCommand> = Vec::new();
+        for rw in rejoined {
+            let resident: Vec<nimbus_core::PhysicalInstance> = self
+                .dm
+                .instances
+                .on_worker(*rw)
+                .into_iter()
+                .copied()
+                .collect();
+            for instance in resident {
+                let id = self.ids.command();
+                let create = Command::new(
+                    id,
+                    CommandKind::CreateData {
+                        object: instance.id,
+                        logical: instance.logical,
+                    },
+                );
+                self.bk.note_write(instance.id, id);
+                commands.push(AssignedCommand {
+                    command: create,
+                    worker: *rw,
+                });
+            }
+        }
         // Reload every checkpointed partition into memory, re-homing the ones
         // whose instance disappeared with the failed worker.
-        let mut commands: Vec<AssignedCommand> = Vec::new();
         for entry in descriptor.manifest.clone() {
             let target = if self.workers.contains(&entry.worker) {
                 entry.worker
@@ -679,15 +899,48 @@ impl<E: TransportEndpoint> Controller<E> {
             self.dm.record_refresh(entry.partition, instance.id);
         }
         let _ = self.dispatch(commands);
-        // Templates built for the old allocation will be regenerated lazily;
-        // cached patches may reference lost objects.
+        // Templates built for the old allocation will be regenerated lazily
+        // (or reused as-is when the failed worker rejoined in place); cached
+        // patches may reference lost objects.
         self.tm.last_executed = None;
         self.tm.patch_cache = nimbus_core::PatchCache::new();
+        // For transport-detected failures (`notify == false`: the driver is
+        // oblivious and keeps the values it already fetched), replay the
+        // instantiations issued since the restored checkpoint so the data
+        // state catches back up to the exact pre-failure point — losing them
+        // would silently fork history. Replay is controller-local: no driver
+        // involvement, and with a rejoined worker no template re-recording
+        // either. Driver-initiated `FailWorker` recoveries skip this: the
+        // paper's experiment pattern has the driver re-run the lost
+        // iterations itself. The log is kept: a second failure before the
+        // next checkpoint commit replays the same window.
+        if !notify && self.replay_valid && !self.replay_log.is_empty() {
+            let log = self.replay_log.clone();
+            self.replaying = true;
+            for (name, params) in &log {
+                if self.instantiate_block(name, params).is_err() {
+                    // The window can no longer be reconstructed faithfully;
+                    // stop (the data state stays at a consistent prefix) and
+                    // never trust this log again.
+                    self.replay_valid = false;
+                    break;
+                }
+                self.stats.instantiations_replayed += 1;
+            }
+            self.replaying = false;
+        } else if notify {
+            // Driver-initiated recovery: the driver re-runs the lost
+            // iterations itself, so the faithful replay window restarts at
+            // the restored checkpoint.
+            self.replay_log.clear();
+            self.replay_valid = true;
+        }
         if notify {
             self.reply(ControllerToDriver::RecoveryComplete { marker });
         }
         // Re-arm the driver operation the failure interrupted: it proceeds
-        // against the recovered state once the reload commands drain.
+        // against the recovered state once the reload and replay commands
+        // drain.
         match std::mem::replace(&mut self.resume_after_recovery, PendingSync::None) {
             PendingSync::None => {}
             resume => {
@@ -697,6 +950,10 @@ impl<E: TransportEndpoint> Controller<E> {
                 }
             }
         }
+        // Release the messages recovery held back; they observe the fully
+        // recovered (and replayed) state, in arrival order.
+        let held = std::mem::take(&mut self.held);
+        self.deferred.extend(held);
     }
 
     // ------------------------------------------------------------------
@@ -726,7 +983,106 @@ impl<E: TransportEndpoint> Controller<E> {
             }
             WorkerToController::Halted { worker } => self.note_halted(worker),
             WorkerToController::Heartbeat { .. } => {}
+            WorkerToController::Register { worker } => self.handle_register(worker),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Rejoin handshake
+    // ------------------------------------------------------------------
+
+    /// A worker announced itself. Three cases:
+    ///
+    /// 1. It is the worker an in-flight recovery is waiting for: readmit it
+    ///    in place — reinstall its (patched) templates, answer with the
+    ///    current version map, and let the recovery reload the checkpoint
+    ///    directly onto it. Zero template re-recordings.
+    /// 2. It is already allocated: the idempotent startup hello.
+    /// 3. It is new to the running job (brand-new id, or returning after a
+    ///    permanent eviction): admit it elastically — install an (empty)
+    ///    member template per group and queue migration edits that move its
+    ///    share of tasks over; data follows through the patch copy path.
+    fn handle_register(&mut self, worker: WorkerId) {
+        if let PendingSync::Recovering {
+            awaiting_rejoin,
+            rejoined,
+            ..
+        } = &mut self.sync
+        {
+            if *awaiting_rejoin == Some(worker) {
+                *awaiting_rejoin = None;
+                rejoined.push(worker);
+                self.rejoin_deadline = None;
+                self.workers.push(worker);
+                self.stats.rejoins_handled += 1;
+                self.reinstall_templates(worker);
+                self.send_rejoin_ack(worker);
+                self.maybe_finish_recovery();
+            }
+            // Registrations from other workers are parked by `should_hold`
+            // and handled after the recovery completes.
+            return;
+        }
+        if self.workers.contains(&worker) {
+            // Startup hello from a worker of the initial allocation (or a
+            // duplicate register): acknowledge and move on.
+            self.send_rejoin_ack(worker);
+            return;
+        }
+        // Elastic join of a running job.
+        self.stats.rejoins_handled += 1;
+        if !self.all_workers.contains(&worker) {
+            self.all_workers.push(worker);
+        }
+        self.workers.push(worker);
+        let workers_after = self.workers.clone();
+        match self.tm.admit_worker(worker, &workers_after, &mut self.dm) {
+            Ok((installs, planned)) => {
+                self.stats.edits_applied += planned as u64;
+                for template in installs {
+                    self.stats.worker_templates_installed += 1;
+                    let _ =
+                        self.send_worker(worker, ControllerToWorker::InstallTemplate { template });
+                }
+                self.send_rejoin_ack(worker);
+            }
+            Err(_) => {
+                // Admission failed: withdraw the worker rather than leave a
+                // half-admitted member the planner will trip over. No reply
+                // goes to the driver — it never asked for this join, and an
+                // unsolicited Error would desynchronize its request/reply
+                // protocol; the job simply continues on the old allocation
+                // (the idle worker is shut down with everyone at job end).
+                self.workers.retain(|w| *w != worker);
+            }
+        }
+    }
+
+    /// Reinstalls, on a worker returning within the rejoin grace window,
+    /// every worker template the controller-side mirror holds for it —
+    /// including all edits applied over the job's lifetime, which is what
+    /// makes the reinstall a "patched template" rather than a re-recording.
+    fn reinstall_templates(&mut self, worker: WorkerId) {
+        for template in self.tm.templates_for_worker(worker) {
+            self.stats.worker_templates_installed += 1;
+            let _ = self.send_worker(worker, ControllerToWorker::InstallTemplate { template });
+        }
+    }
+
+    /// Completes the handshake: the worker receives the controller's current
+    /// version map (sorted for determinism).
+    fn send_rejoin_ack(&mut self, worker: WorkerId) {
+        let mut versions: Vec<PartitionVersion> = self
+            .dm
+            .versions
+            .iter()
+            .map(|(partition, version)| PartitionVersion {
+                partition,
+                version: version.raw(),
+            })
+            .collect();
+        versions.sort_unstable_by_key(|pv| pv.partition);
+        let _ = self.send_worker(worker, ControllerToWorker::RejoinAccepted { versions });
     }
 
     /// Installs a driver synchronization, running it immediately when the
@@ -763,6 +1119,11 @@ impl<E: TransportEndpoint> Controller<E> {
             } => {
                 self.checkpoints.commit(descriptor);
                 self.stats.checkpoints_committed += 1;
+                // The committed checkpoint is the new replay baseline:
+                // instantiations before it are durable, and the log starts a
+                // fresh, faithful window.
+                self.replay_log.clear();
+                self.replay_valid = true;
                 if notify {
                     self.reply(ControllerToDriver::CheckpointCommitted { marker });
                 }
@@ -771,12 +1132,16 @@ impl<E: TransportEndpoint> Controller<E> {
                 marker,
                 pending_halts,
                 notify,
+                awaiting_rejoin,
+                rejoined,
             } => {
-                // Still waiting for halt acknowledgements.
+                // Still waiting for halt acknowledgements or a rejoin.
                 self.sync = PendingSync::Recovering {
                     marker,
                     pending_halts,
                     notify,
+                    awaiting_rejoin,
+                    rejoined,
                 };
             }
         }
@@ -886,12 +1251,22 @@ impl<E: TransportEndpoint> Controller<E> {
         }
         for worker in order {
             let batch = per_worker.remove(&worker).unwrap_or_default();
-            self.outstanding += batch.len() as u64;
-            self.stats.commands_dispatched += batch.len() as u64;
-            self.send_worker(
-                worker,
-                ControllerToWorker::ExecuteCommands { commands: batch },
-            )?;
+            let count = batch.len() as u64;
+            // A failed send means the worker just died: its transport
+            // disconnect notice is (or shortly will be) in the inbox, and
+            // recovery will rebuild this state wholesale. Erroring the
+            // driver here would race that notice; not counting the commands
+            // keeps drains from wedging if recovery is impossible.
+            if self
+                .send_worker(
+                    worker,
+                    ControllerToWorker::ExecuteCommands { commands: batch },
+                )
+                .is_ok()
+            {
+                self.outstanding += count;
+                self.stats.commands_dispatched += count;
+            }
         }
         Ok(())
     }

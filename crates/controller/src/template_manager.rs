@@ -132,6 +132,12 @@ pub struct TemplateManager {
     /// The group that executed most recently (for auto-validation and patch
     /// cache keys).
     pub last_executed: Option<TemplateId>,
+    /// Instrumentation: basic-block recordings finished since creation. The
+    /// membership-churn tests pin this against [`Self::edits_planned`] to
+    /// prove that rejoin is served by edits, never by re-recording.
+    pub recordings_finished: u64,
+    /// Instrumentation: template edits queued since creation.
+    pub edits_planned: u64,
     recording: Option<RecordingState>,
     /// Edits planned but not yet shipped, per group and worker.
     pending_edits: HashMap<TemplateId, HashMap<WorkerId, Vec<TemplateEdit>>>,
@@ -150,6 +156,8 @@ impl TemplateManager {
             registry: TemplateRegistry::new(),
             patch_cache: PatchCache::new(),
             last_executed: None,
+            recordings_finished: 0,
+            edits_planned: 0,
             recording: None,
             pending_edits: HashMap::new(),
         }
@@ -223,6 +231,7 @@ impl TemplateManager {
         self.registry
             .install_controller_template(controller_template);
         self.registry.install_group(group);
+        self.recordings_finished += 1;
         Ok((ct_id, group_id, installs))
     }
 
@@ -256,7 +265,8 @@ impl TemplateManager {
     }
 
     /// Queues migration edits for the group currently serving `block`,
-    /// migrating up to `count` tasks to other workers of the allocation.
+    /// migrating up to `count` tasks to other workers of the allocation
+    /// (each worker sheds tasks to its successor in the sorted worker list).
     /// Returns how many tasks were actually planned for migration.
     pub fn plan_migrations(
         &mut self,
@@ -278,6 +288,51 @@ impl TemplateManager {
             .find_group_for_workers(ct_id, workers)
             .map(|g| g.id)
             .ok_or_else(|| ControllerError::UnknownBlock(block.to_string()))?;
+        self.plan_group_migrations(group_id, count, None, dm)
+    }
+
+    /// Queues migration edits moving up to `count` tasks of `group_id` onto
+    /// `dest` (from every other member, round-robin). This is the
+    /// partition-migration half of the rejoin handshake: a worker admitted
+    /// into a running job receives its share of the block through template
+    /// edits, never through re-recording.
+    pub fn plan_migrations_to(
+        &mut self,
+        group_id: TemplateId,
+        dest: WorkerId,
+        count: usize,
+        dm: &mut DataManager,
+    ) -> ControllerResult<usize> {
+        self.plan_group_migrations(group_id, count, Some(dest), dm)
+    }
+
+    /// Shared planner: migrates up to `count` tasks of the group. With
+    /// `dest_override` every move targets that worker; otherwise each source
+    /// sheds to its successor in the sorted member list.
+    fn plan_group_migrations(
+        &mut self,
+        group_id: TemplateId,
+        count: usize,
+        dest_override: Option<WorkerId>,
+        dm: &mut DataManager,
+    ) -> ControllerResult<usize> {
+        if count == 0 {
+            return Ok(0);
+        }
+        // Task entries already queued for each destination but not yet
+        // applied (earlier planning rounds): their slots are taken.
+        let mut queued_task_adds: HashMap<WorkerId, usize> = HashMap::new();
+        if let Some(pending) = self.pending_edits.get(&group_id) {
+            for (w, edits) in pending {
+                let adds = edits
+                    .iter()
+                    .filter(
+                        |e| matches!(e, TemplateEdit::AddEntry { entry } if entry.kind.is_task()),
+                    )
+                    .count();
+                queued_task_adds.insert(*w, adds);
+            }
+        }
         let group = self.registry.group_mut(group_id)?;
 
         let mut planned = 0usize;
@@ -285,7 +340,7 @@ impl TemplateManager {
         let mut edits_by_worker: HashMap<WorkerId, Vec<TemplateEdit>> = HashMap::new();
 
         'outer: for (wi, source) in worker_list.iter().enumerate() {
-            let dest = worker_list[(wi + 1) % worker_list.len()];
+            let dest = dest_override.unwrap_or(worker_list[(wi + 1) % worker_list.len()]);
             if dest == *source {
                 continue;
             }
@@ -306,115 +361,13 @@ impl TemplateManager {
                 if planned >= count {
                     break 'outer;
                 }
-                let SkeletonKind::RunTask {
-                    function,
-                    task_slot,
-                } = entry.kind
+                let taken = queued_task_adds.entry(dest).or_insert(0);
+                let Some((dest_edits, source_edit)) =
+                    plan_entry_move(group, dm, *source, dest, entry_index, &entry, *taken)
                 else {
                     continue;
                 };
-                let source_output = entry.writes[0];
-                let Some(output_lp) = dm.instances.get(source_output).map(|i| i.logical) else {
-                    continue;
-                };
-                // The migrated task gets dedicated destination-side instances
-                // for its inputs and output. Dedicated (rather than shared)
-                // instances keep it independent of the destination's resident
-                // entries — in particular of the end-of-block refresh copies —
-                // so the edit cannot introduce ordering cycles; the inputs
-                // become preconditions that validation and patching refresh
-                // with the block-entry versions every iteration.
-                let mut dest_edits: Vec<TemplateEdit> = Vec::new();
-                let mut dest_inputs = Vec::new();
-                let mut new_preconditions = Vec::new();
-                let mut ok = true;
-                for input in &entry.reads {
-                    let Some(lp) = dm.instances.get(*input).map(|i| i.logical) else {
-                        ok = false;
-                        break;
-                    };
-                    let inst = dm.create_dedicated_instance(lp, dest);
-                    dest_edits.push(TemplateEdit::AddEntry {
-                        entry: SkeletonEntry::new(SkeletonKind::CreateData {
-                            object: inst.id,
-                            logical: lp,
-                        }),
-                    });
-                    dest_inputs.push(inst.id);
-                    new_preconditions.push(Precondition::new(dest, inst.id, lp));
-                }
-                if !ok {
-                    continue;
-                }
-                let dest_output = dm.create_dedicated_instance(output_lp, dest);
-                dest_edits.push(TemplateEdit::AddEntry {
-                    entry: SkeletonEntry::new(SkeletonKind::CreateData {
-                        object: dest_output.id,
-                        logical: output_lp,
-                    }),
-                });
-                // Nimbus data objects are mutable: a task may update its
-                // output in place, so the migrated task's output object must
-                // also hold the block-entry version when the block starts.
-                new_preconditions.push(Precondition::new(dest, dest_output.id, output_lp));
-
-                // Destination runs the task and sends the result back to the
-                // source object; the source's old task slot becomes the
-                // matching receive so downstream dependencies are preserved.
-                let return_slot = group.transfer_slots;
-                group.transfer_slots += 1;
-                let controller_entry = group
-                    .task_slot_map
-                    .get(source)
-                    .and_then(|m| m.get(task_slot))
-                    .copied();
-                let dest_task_slot = group
-                    .per_worker
-                    .get(&dest)
-                    .map(|t| t.task_slots)
-                    .unwrap_or(0)
-                    + dest_edits
-                        .iter()
-                        .filter(|e| {
-                            matches!(e, TemplateEdit::AddEntry { entry } if entry.kind.is_task())
-                        })
-                        .count();
-                let task_entry = SkeletonEntry::new(SkeletonKind::RunTask {
-                    function,
-                    task_slot: dest_task_slot,
-                })
-                .with_reads(dest_inputs.clone())
-                .with_writes(vec![dest_output.id])
-                .with_param_slot(dest_task_slot)
-                .with_default_params(entry.default_params.clone());
-                dest_edits.push(TemplateEdit::AddEntry { entry: task_entry });
-                dest_edits.push(TemplateEdit::AddEntry {
-                    entry: SkeletonEntry::new(SkeletonKind::SendCopy {
-                        from: dest_output.id,
-                        to_worker: *source,
-                        transfer_slot: return_slot,
-                    })
-                    .with_reads(vec![dest_output.id]),
-                });
-                let source_edit = TemplateEdit::ReplaceEntry {
-                    index: entry_index,
-                    entry: SkeletonEntry::new(SkeletonKind::ReceiveCopy {
-                        to: source_output,
-                        from_worker: dest,
-                        transfer_slot: return_slot,
-                    })
-                    .with_writes(vec![source_output]),
-                };
-
-                // Bookkeeping on the group mirror.
-                if let Some(ce) = controller_entry {
-                    group.task_slot_map.entry(dest).or_default().push(ce);
-                }
-                if let Some(off) = group.exit_offsets.get(&source_output).copied() {
-                    group.exit_offsets.insert(dest_output.id, off);
-                }
-                group.preconditions.extend(new_preconditions);
-
+                *taken += 1;
                 edits_by_worker
                     .entry(*source)
                     .or_default()
@@ -428,10 +381,75 @@ impl TemplateManager {
             self.patch_cache.invalidate_target(group_id);
             let pending = self.pending_edits.entry(group_id).or_default();
             for (w, edits) in edits_by_worker {
+                self.edits_planned += edits.len() as u64;
                 pending.entry(w).or_default().extend(edits);
             }
         }
         Ok(planned)
+    }
+
+    /// Admits `joining` into every installed group as part of the rejoin
+    /// handshake for a worker the controller has no live templates for:
+    ///
+    /// 1. Groups referencing a *previous incarnation* of the worker are
+    ///    retired — their skeletons point at physical instances that died
+    ///    with it and could never validate again.
+    /// 2. Each surviving group gains an (initially empty) member template
+    ///    for the worker, returned so the controller can install it.
+    /// 3. A fair share of each group's tasks is queued to migrate onto the
+    ///    worker through template edits; the data those tasks need follows
+    ///    through the ordinary precondition/patch copy path.
+    ///
+    /// Returns the templates to install and the number of task migrations
+    /// planned.
+    pub fn admit_worker(
+        &mut self,
+        joining: WorkerId,
+        workers_after: &[WorkerId],
+        dm: &mut DataManager,
+    ) -> ControllerResult<(Vec<WorkerTemplate>, usize)> {
+        self.registry.remove_groups_with_worker(joining);
+        let mut installs = Vec::new();
+        let mut planned_total = 0usize;
+        for group_id in self.registry.group_ids() {
+            let share = {
+                let group = self.registry.group(group_id)?;
+                let total_tasks: usize = group.per_worker.values().map(|t| t.task_count()).sum();
+                total_tasks / workers_after.len().max(1)
+            };
+            let template = {
+                let group = self.registry.group_mut(group_id)?;
+                match group.per_worker.get(&joining) {
+                    Some(t) => t.clone(),
+                    None => {
+                        let t = WorkerTemplate::new(
+                            group_id,
+                            group.controller_template,
+                            joining,
+                            vec![],
+                        )?;
+                        group.per_worker.insert(joining, t.clone());
+                        t
+                    }
+                }
+            };
+            installs.push(template);
+            planned_total += self.plan_migrations_to(group_id, joining, share, dm)?;
+        }
+        Ok((installs, planned_total))
+    }
+
+    /// The installed (controller-side, hence patched and edited) worker
+    /// templates of every group `worker` belongs to — what a worker
+    /// returning within the rejoin grace window must reinstall, since its
+    /// fresh process has an empty template cache.
+    pub fn templates_for_worker(&self, worker: WorkerId) -> Vec<WorkerTemplate> {
+        self.registry
+            .group_ids()
+            .into_iter()
+            .filter_map(|id| self.registry.group(id).ok())
+            .filter_map(|g| g.per_worker.get(&worker).cloned())
+            .collect()
     }
 
     /// Number of edits queued for the given group.
@@ -583,6 +601,123 @@ impl TemplateManager {
             task_count: task_count as u64,
         })
     }
+}
+
+/// Plans moving one migratable task entry from `source` to `dest` (the
+/// Figure 6 shape: the destination receives inputs, runs the task, and sends
+/// the output back; the source's old task slot becomes the matching
+/// receive). Mutates the group's controller-side bookkeeping (transfer
+/// slots, task-slot map, exit offsets, preconditions) and returns the
+/// destination edits plus the source edit, or `None` when the entry is not
+/// migratable. `dest_task_adds_queued` counts task entries already queued
+/// for `dest` in unapplied edits, so consecutive moves get distinct slots.
+fn plan_entry_move(
+    group: &mut WorkerTemplateGroup,
+    dm: &mut DataManager,
+    source: WorkerId,
+    dest: WorkerId,
+    entry_index: usize,
+    entry: &SkeletonEntry,
+    dest_task_adds_queued: usize,
+) -> Option<(Vec<TemplateEdit>, TemplateEdit)> {
+    let SkeletonKind::RunTask {
+        function,
+        task_slot,
+    } = entry.kind
+    else {
+        return None;
+    };
+    let source_output = *entry.writes.first()?;
+    let output_lp = dm.instances.get(source_output).map(|i| i.logical)?;
+    // The migrated task gets dedicated destination-side instances for its
+    // inputs and output. Dedicated (rather than shared) instances keep it
+    // independent of the destination's resident entries — in particular of
+    // the end-of-block refresh copies — so the edit cannot introduce
+    // ordering cycles; the inputs become preconditions that validation and
+    // patching refresh with the block-entry versions every iteration.
+    let mut dest_edits: Vec<TemplateEdit> = Vec::new();
+    let mut dest_inputs = Vec::new();
+    let mut new_preconditions = Vec::new();
+    let mut input_lps = Vec::with_capacity(entry.reads.len());
+    for input in &entry.reads {
+        input_lps.push(dm.instances.get(*input).map(|i| i.logical)?);
+    }
+    for lp in input_lps {
+        let inst = dm.create_dedicated_instance(lp, dest);
+        dest_edits.push(TemplateEdit::AddEntry {
+            entry: SkeletonEntry::new(SkeletonKind::CreateData {
+                object: inst.id,
+                logical: lp,
+            }),
+        });
+        dest_inputs.push(inst.id);
+        new_preconditions.push(Precondition::new(dest, inst.id, lp));
+    }
+    let dest_output = dm.create_dedicated_instance(output_lp, dest);
+    dest_edits.push(TemplateEdit::AddEntry {
+        entry: SkeletonEntry::new(SkeletonKind::CreateData {
+            object: dest_output.id,
+            logical: output_lp,
+        }),
+    });
+    // Nimbus data objects are mutable: a task may update its output in
+    // place, so the migrated task's output object must also hold the
+    // block-entry version when the block starts.
+    new_preconditions.push(Precondition::new(dest, dest_output.id, output_lp));
+
+    // Destination runs the task and sends the result back to the source
+    // object; the source's old task slot becomes the matching receive so
+    // downstream dependencies are preserved.
+    let return_slot = group.transfer_slots;
+    group.transfer_slots += 1;
+    let controller_entry = group
+        .task_slot_map
+        .get(&source)
+        .and_then(|m| m.get(task_slot))
+        .copied();
+    let dest_task_slot = group
+        .per_worker
+        .get(&dest)
+        .map(|t| t.task_slots)
+        .unwrap_or(0)
+        + dest_task_adds_queued;
+    let task_entry = SkeletonEntry::new(SkeletonKind::RunTask {
+        function,
+        task_slot: dest_task_slot,
+    })
+    .with_reads(dest_inputs.clone())
+    .with_writes(vec![dest_output.id])
+    .with_param_slot(dest_task_slot)
+    .with_default_params(entry.default_params.clone());
+    dest_edits.push(TemplateEdit::AddEntry { entry: task_entry });
+    dest_edits.push(TemplateEdit::AddEntry {
+        entry: SkeletonEntry::new(SkeletonKind::SendCopy {
+            from: dest_output.id,
+            to_worker: source,
+            transfer_slot: return_slot,
+        })
+        .with_reads(vec![dest_output.id]),
+    });
+    let source_edit = TemplateEdit::ReplaceEntry {
+        index: entry_index,
+        entry: SkeletonEntry::new(SkeletonKind::ReceiveCopy {
+            to: source_output,
+            from_worker: dest,
+            transfer_slot: return_slot,
+        })
+        .with_writes(vec![source_output]),
+    };
+
+    // Bookkeeping on the group mirror.
+    if let Some(ce) = controller_entry {
+        group.task_slot_map.entry(dest).or_default().push(ce);
+    }
+    if let Some(off) = group.exit_offsets.get(&source_output).copied() {
+        group.exit_offsets.insert(dest_output.id, off);
+    }
+    group.preconditions.extend(new_preconditions);
+
+    Some((dest_edits, source_edit))
 }
 
 /// Returns true if a cached patch still repairs all violated preconditions

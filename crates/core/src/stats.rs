@@ -53,6 +53,13 @@ pub struct ControlPlaneStats {
     pub checkpoints_committed: u64,
     /// Worker failures handled.
     pub failures_handled: u64,
+    /// Workers admitted (back) into the allocation through the rejoin
+    /// handshake — returning after a failure or joining a running job.
+    pub rejoins_handled: u64,
+    /// Template instantiations the controller re-ran on its own after a
+    /// recovery to bring data back to the pre-failure state (no driver
+    /// involvement, no re-recording).
+    pub instantiations_replayed: u64,
     /// Wall-clock time attributed to control-plane work.
     #[serde(with = "duration_micros")]
     pub control_plane_time: Duration,
@@ -134,6 +141,8 @@ impl ControlPlaneStats {
         self.copies_inserted += other.copies_inserted;
         self.checkpoints_committed += other.checkpoints_committed;
         self.failures_handled += other.failures_handled;
+        self.rejoins_handled += other.rejoins_handled;
+        self.instantiations_replayed += other.instantiations_replayed;
         self.control_plane_time += other.control_plane_time;
         self.computation_time += other.computation_time;
     }

@@ -117,6 +117,37 @@ impl TemplateRegistry {
             .unwrap_or_default()
     }
 
+    /// Ids of every installed worker-template group, sorted for determinism.
+    pub fn group_ids(&self) -> Vec<TemplateId> {
+        let mut ids: Vec<TemplateId> = self.groups.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes every group that has a per-worker template for `worker`,
+    /// returning how many were retired. Used when a worker rejoins after a
+    /// permanent eviction: groups referencing its previous incarnation point
+    /// at physical instances that died with it and can never validate again.
+    pub fn remove_groups_with_worker(&mut self, worker: WorkerId) -> usize {
+        let doomed: Vec<TemplateId> = self
+            .groups
+            .values()
+            .filter(|g| g.per_worker.contains_key(&worker))
+            .map(|g| g.id)
+            .collect();
+        for id in &doomed {
+            if let Some(group) = self.groups.remove(id) {
+                if let Some(ids) = self
+                    .groups_by_controller
+                    .get_mut(&group.controller_template)
+                {
+                    ids.retain(|x| x != id);
+                }
+            }
+        }
+        doomed.len()
+    }
+
     /// Number of installed controller templates.
     pub fn controller_template_count(&self) -> usize {
         self.controller_templates.len()

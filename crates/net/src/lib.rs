@@ -24,9 +24,9 @@ pub mod transport;
 pub use codec::{decode, encode, serialized_size, CodecError};
 pub use message::{
     ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message, NodeId,
-    TransportEvent, WorkerToController,
+    PartitionVersion, TransportEvent, WorkerToController,
 };
 pub use payload::DataPayload;
 pub use stats::NetworkStats;
-pub use tcp::{TcpEndpoint, TcpFabric};
+pub use tcp::{DialPolicy, TcpEndpoint, TcpFabric};
 pub use transport::{Endpoint, LatencyModel, NetError, NetResult, Network, TransportEndpoint};

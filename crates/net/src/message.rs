@@ -211,8 +211,29 @@ pub enum ControllerToWorker {
     },
     /// Stop executing, flush queues, and acknowledge (fault recovery).
     Halt,
+    /// The controller accepted this worker's [`WorkerToController::Register`]
+    /// and admitted it to the allocation. Carries the controller's current
+    /// version map so the rejoining worker sees the data state it is joining
+    /// (Section 4.3: membership changes are template edits, not job
+    /// restarts). Migrated partition contents follow separately through the
+    /// ordinary send/receive copy path.
+    RejoinAccepted {
+        /// Current version of every known logical partition, sorted by
+        /// partition for deterministic encoding.
+        versions: Vec<PartitionVersion>,
+    },
     /// Shut the worker down at the end of the job.
     Shutdown,
+}
+
+/// One `(partition, version)` entry of the version map a rejoining worker
+/// receives in [`ControllerToWorker::RejoinAccepted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionVersion {
+    /// The logical partition.
+    pub partition: LogicalPartition,
+    /// Its latest version in program order.
+    pub version: u64,
 }
 
 impl ControllerToWorker {
@@ -224,6 +245,7 @@ impl ControllerToWorker {
             ControllerToWorker::InstantiateTemplate(_) => "instantiate_template",
             ControllerToWorker::FetchValue { .. } => "fetch_value",
             ControllerToWorker::Halt => "halt",
+            ControllerToWorker::RejoinAccepted { .. } => "rejoin_accepted",
             ControllerToWorker::Shutdown => "shutdown",
         }
     }
@@ -271,6 +293,16 @@ pub enum WorkerToController {
         /// Number of commands ready or running.
         ready: usize,
     },
+    /// A worker announcing itself to the controller: sent once at startup by
+    /// every worker. For workers of the initial allocation this is an
+    /// idempotent hello; for a restarted or brand-new worker it opens the
+    /// rejoin handshake (the controller answers with
+    /// [`ControllerToWorker::RejoinAccepted`] and, mid-job, reinstalls the
+    /// worker's patched templates and plans migration edits).
+    Register {
+        /// The registering worker.
+        worker: WorkerId,
+    },
 }
 
 impl WorkerToController {
@@ -282,6 +314,7 @@ impl WorkerToController {
             WorkerToController::ValueFetched { .. } => "worker_value_fetched",
             WorkerToController::Halted { .. } => "halted",
             WorkerToController::Heartbeat { .. } => "heartbeat",
+            WorkerToController::Register { .. } => "register",
         }
     }
 }
@@ -304,6 +337,11 @@ pub struct DataTransfer {
 pub enum TransportEvent {
     /// The connection carrying traffic from this peer closed or failed.
     PeerDisconnected(NodeId),
+    /// A peer that had previously disconnected delivered traffic again over
+    /// a fresh connection. Injected before the first envelope of the new
+    /// connection, so a node observes `PeerReconnected` strictly before any
+    /// post-rejoin message from that peer.
+    PeerReconnected(NodeId),
 }
 
 /// Any message carried by the transport.

@@ -14,21 +14,31 @@
 //! malformed peer: the connection is dropped without panicking and the rest
 //! of the fabric keeps working.
 //!
-//! This is a reconnect-free v1: once an established stream dies the peer is
-//! reported via [`TransportEvent::PeerDisconnected`] and subsequent sends to
-//! it fail. Initial dials do retry briefly so multi-process clusters can
-//! start their processes in any order.
+//! Streams are *supervised*: a dead established stream marks the peer as
+//! down with a bounded exponential redial backoff instead of killing it
+//! forever, and a dial that exhausts its startup retry window becomes
+//! retriable the same way. The receive side reports connectivity through
+//! [`TransportEvent::PeerDisconnected`] when a peer's last inbound stream
+//! dies and [`TransportEvent::PeerReconnected`] when a previously lost peer
+//! delivers traffic again — which is what lets the controller drive the
+//! rejoin handshake for restarted workers without replanning the job.
+//!
+//! The accept loop blocks in `accept(2)` (woken by a self-connect at
+//! shutdown) and readers block in `read(2)` (unblocked by `shutdown(2)` on
+//! their streams at drop), so an idle cluster burns no CPU polling and a
+//! message is delivered as soon as the kernel has it, not on the next tick
+//! of a poll interval.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::codec;
 use crate::message::{Envelope, Message, NodeId, TransportEvent};
@@ -39,13 +49,47 @@ use crate::transport::{NetError, NetResult, TransportEndpoint};
 /// malformed peer and the connection is dropped.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// How long the accept loop and frame reads sleep/poll between shutdown
-/// checks; bounds how long dropping an endpoint can take.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Pause between attempts while a *first* dial waits out the startup window.
+const DIAL_PAUSE: Duration = Duration::from_millis(20);
 
-/// How long a first dial to a peer retries before giving up. Lets
-/// multi-process clusters start controller and workers in any order.
-const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(10);
+/// Back-off applied by the accept loop after a transient `accept` error.
+const ACCEPT_ERROR_PAUSE: Duration = Duration::from_millis(20);
+
+/// Timing knobs of the supervised dialing policy.
+///
+/// A peer that has never been reached gets a patient initial window (so the
+/// processes of a cluster can start in any order); a peer whose stream died
+/// gets quick redials under exponential backoff, bounded so sends to a peer
+/// that is genuinely gone keep failing fast instead of blocking the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct DialPolicy {
+    /// How long a first dial to a never-reached peer retries before the peer
+    /// is marked down.
+    pub retry_window: Duration,
+    /// Backoff before the first redial of a down peer.
+    pub initial_backoff: Duration,
+    /// Upper bound of the exponential redial backoff.
+    pub max_backoff: Duration,
+    /// Per-attempt connect timeout for redials.
+    pub connect_timeout: Duration,
+}
+
+impl Default for DialPolicy {
+    fn default() -> Self {
+        Self {
+            retry_window: Duration::from_secs(10),
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Redial state of a peer whose stream died or whose dial gave up.
+struct PeerBackoff {
+    next_attempt: Instant,
+    delay: Duration,
+}
 
 /// The address book of a TCP cluster plus any pre-bound listeners.
 ///
@@ -56,10 +100,15 @@ const DIAL_RETRY_WINDOW: Duration = Duration::from_secs(10);
 /// * [`TcpFabric::from_addrs`] — multi-process clusters: every process is
 ///   given the same externally chosen address map and binds only its own
 ///   node's listener.
+///
+/// The address map is shared with every endpoint created from the fabric, so
+/// nodes added later through [`TcpFabric::add_loopback_node`] (elastic worker
+/// membership) become dialable by already-running endpoints.
 pub struct TcpFabric {
-    addrs: HashMap<NodeId, SocketAddr>,
+    addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
     prebound: Mutex<HashMap<NodeId, TcpListener>>,
     stats: Arc<Mutex<NetworkStats>>,
+    dial_policy: DialPolicy,
 }
 
 impl TcpFabric {
@@ -73,40 +122,70 @@ impl TcpFabric {
             prebound.insert(*node, listener);
         }
         Ok(Self {
-            addrs,
+            addrs: Arc::new(RwLock::new(addrs)),
             prebound: Mutex::new(prebound),
             stats: Arc::new(Mutex::new(NetworkStats::new())),
+            dial_policy: DialPolicy::default(),
         })
     }
 
     /// Builds a fabric from an externally chosen address map.
     pub fn from_addrs(addrs: HashMap<NodeId, SocketAddr>) -> Self {
         Self {
-            addrs,
+            addrs: Arc::new(RwLock::new(addrs)),
             prebound: Mutex::new(HashMap::new()),
             stats: Arc::new(Mutex::new(NetworkStats::new())),
+            dial_policy: DialPolicy::default(),
         }
+    }
+
+    /// Overrides the dialing policy used by endpoints created *after* this
+    /// call (tests shorten the windows; deployments tune backoff).
+    pub fn with_dial_policy(mut self, policy: DialPolicy) -> Self {
+        self.dial_policy = policy;
+        self
     }
 
     /// The address of a node, if it is part of the fabric.
     pub fn addr(&self, node: NodeId) -> Option<SocketAddr> {
-        self.addrs.get(&node).copied()
+        self.addrs.read().get(&node).copied()
+    }
+
+    /// Adds a node to a running fabric, binding a fresh loopback listener
+    /// for it. Existing endpoints share the address map and can dial the new
+    /// node immediately; returns its address.
+    pub fn add_loopback_node(&self, node: NodeId) -> NetResult<SocketAddr> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+        self.addrs.write().insert(node, addr);
+        self.prebound.lock().insert(node, listener);
+        Ok(addr)
     }
 
     /// Creates the endpoint for `node`, binding its listener (or taking the
-    /// pre-bound one from [`TcpFabric::bind_loopback`]).
+    /// pre-bound one from [`TcpFabric::bind_loopback`]). Re-creating the
+    /// endpoint of a node whose previous endpoint was dropped re-binds the
+    /// same address — this is how a rejoining worker reclaims its identity.
     pub fn endpoint(&self, node: NodeId) -> NetResult<TcpEndpoint> {
         let listener = match self.prebound.lock().remove(&node) {
             Some(l) => l,
             None => {
                 let addr = self
                     .addrs
+                    .read()
                     .get(&node)
+                    .copied()
                     .ok_or_else(|| NetError::UnknownNode(node.to_string()))?;
                 TcpListener::bind(addr).map_err(io_err)?
             }
         };
-        TcpEndpoint::start(node, self.addrs.clone(), listener, Arc::clone(&self.stats))
+        TcpEndpoint::start(
+            node,
+            Arc::clone(&self.addrs),
+            listener,
+            Arc::clone(&self.stats),
+            self.dial_policy,
+        )
     }
 
     /// Snapshot of the traffic recorded by every endpoint created from this
@@ -123,16 +202,26 @@ fn io_err(e: std::io::Error) -> NetError {
 
 struct Shared {
     node: NodeId,
-    addrs: HashMap<NodeId, SocketAddr>,
+    addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+    dial_policy: DialPolicy,
     /// Write halves, one dialed stream per peer.
     writers: Mutex<HashMap<NodeId, Arc<Mutex<TcpStream>>>>,
-    /// Peers whose established stream already failed: reconnect-free v1
-    /// refuses to dial them again, so sends fail fast and deterministically.
-    dead_peers: Mutex<Vec<NodeId>>,
+    /// Peers whose stream died or whose dial gave up, with redial backoff.
+    downed: Mutex<HashMap<NodeId, PeerBackoff>>,
+    /// Live inbound stream count per identified peer.
+    inbound: Mutex<HashMap<NodeId, usize>>,
+    /// Peers that delivered traffic and then lost every inbound stream; the
+    /// next stream that identifies as one of these triggers
+    /// `PeerReconnected`.
+    lost_inbound: Mutex<HashSet<NodeId>>,
     inbox_tx: Sender<Envelope>,
     stats: Arc<Mutex<NetworkStats>>,
     shutdown: AtomicBool,
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Clones of every live reader's stream, keyed by reader id, so drop can
+    /// `shutdown(2)` them and unblock the blocking reads.
+    reader_streams: Mutex<HashMap<u64, TcpStream>>,
+    next_reader_id: AtomicU64,
 }
 
 /// One node's connection to a TCP fabric. See the module docs for the
@@ -148,22 +237,27 @@ pub struct TcpEndpoint {
 impl TcpEndpoint {
     fn start(
         node: NodeId,
-        addrs: HashMap<NodeId, SocketAddr>,
+        addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
         listener: TcpListener,
         stats: Arc<Mutex<NetworkStats>>,
+        dial_policy: DialPolicy,
     ) -> NetResult<Self> {
         let local_addr = listener.local_addr().map_err(io_err)?;
-        listener.set_nonblocking(true).map_err(io_err)?;
         let (inbox_tx, inbox) = unbounded();
         let shared = Arc::new(Shared {
             node,
             addrs,
+            dial_policy,
             writers: Mutex::new(HashMap::new()),
-            dead_peers: Mutex::new(Vec::new()),
+            downed: Mutex::new(HashMap::new()),
+            inbound: Mutex::new(HashMap::new()),
+            lost_inbound: Mutex::new(HashSet::new()),
             inbox_tx,
             stats,
             shutdown: AtomicBool::new(false),
             reader_threads: Mutex::new(Vec::new()),
+            reader_streams: Mutex::new(HashMap::new()),
+            next_reader_id: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -192,33 +286,71 @@ impl TcpEndpoint {
         if let Some(w) = self.shared.writers.lock().get(&to) {
             return Ok(Arc::clone(w));
         }
-        if self.shared.dead_peers.lock().contains(&to) {
-            return Err(NetError::Disconnected(to.to_string()));
-        }
         let addr = self
             .shared
             .addrs
+            .read()
             .get(&to)
             .copied()
             .ok_or_else(|| NetError::UnknownNode(to.to_string()))?;
-        let deadline = Instant::now() + DIAL_RETRY_WINDOW;
-        let stream = loop {
-            match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
-                Ok(s) => break s,
+        let policy = self.shared.dial_policy;
+        // A peer that failed before redials under backoff: within the backoff
+        // window sends fail fast (halts and shutdown broadcasts to a dead
+        // peer must not block the caller); past it, one quick attempt.
+        let redial = {
+            let downed = self.shared.downed.lock();
+            match downed.get(&to) {
+                Some(b) if Instant::now() < b.next_attempt => {
+                    return Err(NetError::Disconnected(to.to_string()));
+                }
+                Some(_) => true,
+                None => false,
+            }
+        };
+        let stream = if redial {
+            match TcpStream::connect_timeout(&addr, policy.connect_timeout) {
+                Ok(s) => s,
                 Err(e) => {
-                    if self.shared.shutdown.load(Ordering::Relaxed) || Instant::now() >= deadline {
-                        // A peer that never answered within the retry window
-                        // counts as dead too: later sends (halts, shutdown
-                        // broadcasts) must fail fast, not re-block the
-                        // caller for another full window each.
-                        self.shared.dead_peers.lock().push(to);
-                        return Err(io_err(e));
+                    let mut downed = self.shared.downed.lock();
+                    let entry = downed.entry(to).or_insert(PeerBackoff {
+                        next_attempt: Instant::now(),
+                        delay: policy.initial_backoff,
+                    });
+                    entry.delay = (entry.delay * 2).min(policy.max_backoff);
+                    entry.next_attempt = Instant::now() + entry.delay;
+                    return Err(io_err(e));
+                }
+            }
+        } else {
+            // First dial: wait out the startup window so the cluster's
+            // processes can come up in any order.
+            let deadline = Instant::now() + policy.retry_window;
+            loop {
+                match TcpStream::connect_timeout(&addr, Duration::from_secs(1)) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if self.shared.shutdown.load(Ordering::Relaxed)
+                            || Instant::now() >= deadline
+                        {
+                            // Mark down (retriable) rather than dead forever:
+                            // later sends fail fast until the backoff allows
+                            // another attempt.
+                            self.shared.downed.lock().insert(
+                                to,
+                                PeerBackoff {
+                                    next_attempt: Instant::now() + policy.initial_backoff,
+                                    delay: policy.initial_backoff,
+                                },
+                            );
+                            return Err(io_err(e));
+                        }
+                        std::thread::sleep(DIAL_PAUSE);
                     }
-                    std::thread::sleep(POLL_INTERVAL);
                 }
             }
         };
         stream.set_nodelay(true).ok();
+        self.shared.downed.lock().remove(&to);
         let stream = Arc::new(Mutex::new(stream));
         // A concurrent send may have dialed the same peer; keep the first.
         let mut writers = self.shared.writers.lock();
@@ -260,10 +392,15 @@ impl TransportEndpoint for TcpEndpoint {
         // TCP_NODELAY a separate header write would flush as its own
         // segment, doubling the per-message cost.
         let frame = codec::encode_framed(&envelope).map_err(|e| NetError::Codec(e.to_string()))?;
-        if frame.len() - 4 > MAX_FRAME {
+        // Validate the length before subtracting the header: a buffer
+        // shorter than the 4-byte header must be rejected as garbage, not
+        // wrapped around into a huge payload size.
+        let payload_len = frame.len().checked_sub(4).ok_or_else(|| {
+            NetError::Codec("framed encoding shorter than its 4-byte header".to_string())
+        })?;
+        if payload_len > MAX_FRAME {
             return Err(NetError::Codec(format!(
-                "frame of {} bytes exceeds MAX_FRAME",
-                frame.len() - 4
+                "frame of {payload_len} bytes exceeds MAX_FRAME"
             )));
         }
         let writer = self.writer_for(to)?;
@@ -271,9 +408,17 @@ impl TransportEndpoint for TcpEndpoint {
         let result = stream.write_all(&frame);
         drop(stream);
         if result.is_err() {
-            // Reconnect-free v1: the peer is gone for good.
+            // Supervised stream: drop the writer and allow an immediate
+            // redial on the next send (the peer may already be back).
             self.shared.writers.lock().remove(&to);
-            self.shared.dead_peers.lock().push(to);
+            let policy = self.shared.dial_policy;
+            self.shared.downed.lock().insert(
+                to,
+                PeerBackoff {
+                    next_attempt: Instant::now(),
+                    delay: policy.initial_backoff,
+                },
+            );
             return Err(NetError::Disconnected(to.to_string()));
         }
         record(&self.shared);
@@ -299,6 +444,17 @@ impl TransportEndpoint for TcpEndpoint {
     fn pending(&self) -> usize {
         self.inbox.len()
     }
+
+    fn reset_worker_peers(&self) {
+        self.shared
+            .writers
+            .lock()
+            .retain(|node, _| !matches!(node, NodeId::Worker(_)));
+        self.shared
+            .downed
+            .lock()
+            .retain(|node, _| !matches!(node, NodeId::Worker(_)));
+    }
 }
 
 impl Drop for TcpEndpoint {
@@ -306,6 +462,13 @@ impl Drop for TcpEndpoint {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         // Closing write halves lets peers' readers observe EOF promptly.
         self.shared.writers.lock().clear();
+        // Unblock our own readers: shut their streams down so the blocking
+        // reads return immediately.
+        for stream in self.shared.reader_streams.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Wake the blocking accept with a throwaway self-connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -317,17 +480,31 @@ impl Drop for TcpEndpoint {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::Relaxed) {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return; // The wake-up self-connection from drop.
+                }
                 stream.set_nodelay(true).ok();
-                if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-                    continue;
+                let reader_id = shared.next_reader_id.fetch_add(1, Ordering::Relaxed);
+                match stream.try_clone() {
+                    Ok(clone) => {
+                        shared.reader_streams.lock().insert(reader_id, clone);
+                    }
+                    Err(_) => {
+                        // Without a clone drop cannot unblock this reader;
+                        // fall back to a read timeout so the shutdown flag
+                        // is still honored within a bounded delay.
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(100)))
+                            .ok();
+                    }
                 }
                 let reader_shared = Arc::clone(&shared);
                 let spawned = std::thread::Builder::new()
                     .name(format!("nimbus-tcp-read-{}", shared.node))
-                    .spawn(move || reader_loop(stream, reader_shared));
+                    .spawn(move || reader_loop(stream, reader_id, reader_shared));
                 if let Ok(handle) = spawned {
                     let mut threads = shared.reader_threads.lock();
                     // Reap finished readers so short-lived connections (a
@@ -343,17 +520,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             // every future dial. Back off and keep accepting; shutdown is
             // the only exit.
             Err(_) => {
-                std::thread::sleep(POLL_INTERVAL);
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_ERROR_PAUSE);
             }
         }
     }
 }
 
 /// Reads frames off one inbound connection until EOF, error, or shutdown.
-/// The first envelope identifies the peer; if the stream then dies, a
-/// [`TransportEvent::PeerDisconnected`] notice is injected into the inbox so
-/// the node can react (the controller treats a lost worker as a failure).
-fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+/// The first envelope identifies the peer; losing the peer's *last* inbound
+/// stream injects [`TransportEvent::PeerDisconnected`], and a new stream
+/// from a previously lost peer injects [`TransportEvent::PeerReconnected`]
+/// ahead of its first envelope.
+fn reader_loop(mut stream: TcpStream, reader_id: u64, shared: Arc<Shared>) {
     let mut peer: Option<NodeId> = None;
     loop {
         match read_frame(&mut stream, &shared) {
@@ -364,26 +545,67 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 // shut a worker down). Treat it as a malformed peer.
                 Ok(envelope) if matches!(envelope.message, Message::Transport(_)) => break,
                 Ok(envelope) => {
-                    peer = Some(envelope.from);
+                    if peer.is_none() {
+                        let from = envelope.from;
+                        peer = Some(from);
+                        *shared.inbound.lock().entry(from).or_insert(0) += 1;
+                        if shared.lost_inbound.lock().remove(&from) {
+                            let notice = Envelope {
+                                from,
+                                to: shared.node,
+                                message: Message::Transport(TransportEvent::PeerReconnected(from)),
+                            };
+                            if shared.inbox_tx.send(notice).is_err() {
+                                break; // Endpoint dropped.
+                            }
+                        }
+                    }
                     if shared.inbox_tx.send(envelope).is_err() {
-                        return; // Endpoint dropped.
+                        break; // Endpoint dropped.
                     }
                 }
                 Err(_) => break, // Malformed peer: drop the connection.
             },
-            Ok(None) => return, // Shutdown requested.
-            Err(_) => break,    // EOF or transport error.
+            Ok(None) => break, // Shutdown requested.
+            Err(_) => break,   // EOF or transport error.
         }
     }
+    shared.reader_streams.lock().remove(&reader_id);
     if shared.shutdown.load(Ordering::Relaxed) {
         return;
     }
     if let Some(peer) = peer {
-        let _ = shared.inbox_tx.send(Envelope {
-            from: peer,
-            to: shared.node,
-            message: Message::Transport(TransportEvent::PeerDisconnected(peer)),
-        });
+        let last_stream = {
+            let mut inbound = shared.inbound.lock();
+            match inbound.get_mut(&peer) {
+                Some(count) => {
+                    *count = count.saturating_sub(1);
+                    *count == 0
+                }
+                None => true,
+            }
+        };
+        if last_stream {
+            shared.lost_inbound.lock().insert(peer);
+            // Connections come in pairs (one per direction): losing the
+            // peer's inbound stream means our outbound stream to it is a
+            // stale half-open socket whose next writes would be silently
+            // buffered and lost. Tear it down now so the next send redials
+            // the peer's (possibly restarted) process instead.
+            shared.writers.lock().remove(&peer);
+            shared.downed.lock().insert(
+                peer,
+                PeerBackoff {
+                    next_attempt: Instant::now(),
+                    delay: shared.dial_policy.initial_backoff,
+                },
+            );
+            let _ = shared.inbox_tx.send(Envelope {
+                from: peer,
+                to: shared.node,
+                message: Message::Transport(TransportEvent::PeerDisconnected(peer)),
+            });
+        }
     }
 }
 
@@ -408,8 +630,10 @@ fn read_frame(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<Option
     Ok(Some(payload))
 }
 
-/// `read_exact` that keeps checking the shutdown flag across read timeouts.
-/// Returns `Ok(None)` when shutdown was requested.
+/// `read_exact` that keeps checking the shutdown flag. Reads block in the
+/// kernel; drop unblocks them by shutting the stream down (or, for streams
+/// that could not be cloned, through their fallback read timeout). Returns
+/// `Ok(None)` when shutdown was requested.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
@@ -444,17 +668,16 @@ mod tests {
     use crate::message::{ControllerToDriver, DriverMessage};
     use nimbus_core::WorkerId;
 
-    fn loopback_pair() -> (TcpEndpoint, TcpEndpoint) {
+    fn loopback_pair() -> (TcpFabric, TcpEndpoint, TcpEndpoint) {
         let fabric = TcpFabric::bind_loopback(&[NodeId::Driver, NodeId::Controller]).unwrap();
-        (
-            fabric.endpoint(NodeId::Driver).unwrap(),
-            fabric.endpoint(NodeId::Controller).unwrap(),
-        )
+        let driver = fabric.endpoint(NodeId::Driver).unwrap();
+        let controller = fabric.endpoint(NodeId::Controller).unwrap();
+        (fabric, driver, controller)
     }
 
     #[test]
     fn send_and_receive_over_loopback() {
-        let (driver, controller) = loopback_pair();
+        let (_fabric, driver, controller) = loopback_pair();
         driver
             .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
             .unwrap();
@@ -478,7 +701,7 @@ mod tests {
 
     #[test]
     fn messages_from_one_sender_arrive_in_order() {
-        let (driver, controller) = loopback_pair();
+        let (_fabric, driver, controller) = loopback_pair();
         for i in 0..100u64 {
             driver
                 .send(
@@ -498,7 +721,7 @@ mod tests {
 
     #[test]
     fn unknown_peer_is_rejected() {
-        let (driver, _controller) = loopback_pair();
+        let (_fabric, driver, _controller) = loopback_pair();
         let err = driver
             .send(
                 NodeId::Worker(WorkerId(7)),
@@ -509,8 +732,8 @@ mod tests {
     }
 
     #[test]
-    fn peer_drop_is_reported_and_sends_fail() {
-        let (driver, controller) = loopback_pair();
+    fn peer_drop_is_reported_and_sends_fail_fast() {
+        let (_fabric, driver, controller) = loopback_pair();
         driver
             .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
             .unwrap();
@@ -524,9 +747,119 @@ mod tests {
         );
     }
 
+    /// The heart of the rejoin story at the transport layer: a peer whose
+    /// endpoint died and was re-created is reported as reconnected, its
+    /// traffic flows again, and outbound sends to it recover through the
+    /// redial backoff instead of staying dead forever.
+    #[test]
+    fn peer_rejoin_is_reported_and_traffic_resumes_both_ways() {
+        let (fabric, driver, controller) = loopback_pair();
+        // Establish traffic in both directions.
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        controller
+            .send(NodeId::Driver, Message::ToDriver(ControllerToDriver::Ack))
+            .unwrap();
+        driver.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        drop(driver);
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            env.message,
+            Message::Transport(TransportEvent::PeerDisconnected(NodeId::Driver))
+        );
+
+        // The peer returns on the same fabric address.
+        let driver2 = fabric.endpoint(NodeId::Driver).unwrap();
+        driver2
+            .send(
+                NodeId::Controller,
+                Message::Driver(DriverMessage::Checkpoint { marker: 42 }),
+            )
+            .unwrap();
+        // Reconnect notice arrives strictly before the new traffic.
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            env.message,
+            Message::Transport(TransportEvent::PeerReconnected(NodeId::Driver))
+        );
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            env.message,
+            Message::Driver(DriverMessage::Checkpoint { marker: 42 })
+        );
+
+        // Outbound recovers too: the controller's old writer is dead, but
+        // supervised redial re-establishes it within the backoff budget.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match controller.send(NodeId::Driver, Message::ToDriver(ControllerToDriver::Ack)) {
+                Ok(()) => break,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("send to rejoined peer never recovered: {e}"),
+            }
+        }
+        let env = driver2.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::ToDriver(ControllerToDriver::Ack));
+    }
+
+    /// A dial that exhausts its startup window no longer kills the peer
+    /// forever: once the peer actually binds, sends recover.
+    #[test]
+    fn dial_give_up_is_retriable_once_the_peer_appears() {
+        let w0 = NodeId::Worker(WorkerId(0));
+        let w1 = NodeId::Worker(WorkerId(1));
+        // w1's address is reserved but nothing listens on it yet.
+        let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let w1_addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let a_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut addrs = HashMap::new();
+        addrs.insert(w0, a_listener.local_addr().unwrap());
+        addrs.insert(w1, w1_addr);
+        drop(a_listener);
+        let fabric = TcpFabric::from_addrs(addrs).with_dial_policy(DialPolicy {
+            retry_window: Duration::from_millis(100),
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(100),
+        });
+        let a = fabric.endpoint(w0).unwrap();
+
+        // First send exhausts the startup window and fails...
+        assert!(a.send(w1, Message::Driver(DriverMessage::Barrier)).is_err());
+        // ...and within the backoff window further sends fail fast.
+        let t = Instant::now();
+        assert!(a.send(w1, Message::Driver(DriverMessage::Barrier)).is_err());
+        assert!(
+            t.elapsed() < Duration::from_millis(90),
+            "backoff gate did not fail fast: {:?}",
+            t.elapsed()
+        );
+
+        // The peer finally binds: sends recover after the backoff.
+        let b = fabric.endpoint(w1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match a.send(w1, Message::Driver(DriverMessage::Barrier)) {
+                Ok(()) => break,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("send never recovered after peer appeared: {e}"),
+            }
+        }
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+    }
+
     #[test]
     fn garbage_frames_do_not_panic_or_wedge_the_endpoint() {
-        let (driver, controller) = loopback_pair();
+        let (_fabric, driver, controller) = loopback_pair();
         // A raw connection spraying garbage: bogus oversized header.
         let mut raw = TcpStream::connect(controller.local_addr()).unwrap();
         raw.write_all(&(u32::MAX).to_le_bytes()).unwrap();
@@ -536,6 +869,12 @@ mod tests {
         raw2.write_all(&4u32.to_le_bytes()).unwrap();
         raw2.write_all(&[0xff, 0xff, 0xff, 0xff]).unwrap();
         raw2.flush().unwrap();
+        // A third connection that dies before completing its 4-byte header:
+        // the short-frame case the length guard must reject without any
+        // underflow.
+        let mut raw3 = TcpStream::connect(controller.local_addr()).unwrap();
+        raw3.write_all(&[0x01, 0x02]).unwrap();
+        drop(raw3);
         // Legitimate traffic still flows.
         driver
             .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
@@ -581,8 +920,21 @@ mod tests {
     }
 
     #[test]
+    fn nodes_added_to_a_running_fabric_are_dialable() {
+        let (fabric, driver, _controller) = loopback_pair();
+        let w9 = NodeId::Worker(WorkerId(9));
+        fabric.add_loopback_node(w9).unwrap();
+        let late = fabric.endpoint(w9).unwrap();
+        driver
+            .send(w9, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        let env = late.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+    }
+
+    #[test]
     fn drop_joins_all_transport_threads() {
-        let (driver, controller) = loopback_pair();
+        let (_fabric, driver, controller) = loopback_pair();
         driver
             .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
             .unwrap();

@@ -47,6 +47,15 @@ pub trait TransportEndpoint: Send + 'static {
 
     /// Number of messages waiting in the inbox.
     fn pending(&self) -> usize;
+
+    /// Drops every established outbound *data-plane* connection — streams to
+    /// worker peers — plus any redial backoff for them, so the next transfer
+    /// dials afresh. Workers call this on `Halt`: recovery can be
+    /// readmitting a restarted peer whose old connection is a silent
+    /// half-open socket. Control-plane streams (to the controller or the
+    /// driver) are untouched — dropping them would read as this node dying.
+    /// Fabrics without connections (the in-process network) need nothing.
+    fn reset_worker_peers(&self) {}
 }
 
 /// Transport errors.

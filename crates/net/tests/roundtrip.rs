@@ -26,7 +26,8 @@ use nimbus_core::template::{
 use nimbus_core::{Command, CommandKind, TaskParams};
 use nimbus_net::{
     decode, encode, serialized_size, ControllerToDriver, ControllerToWorker, DataPayload,
-    DataTransfer, DriverMessage, Envelope, Message, NodeId, TransportEvent, WorkerToController,
+    DataTransfer, DriverMessage, Envelope, Message, NodeId, PartitionVersion, TransportEvent,
+    WorkerToController,
 };
 
 const CASES: u64 = 32;
@@ -331,7 +332,7 @@ fn controller_to_driver(rng: &mut StdRng, which: u32) -> ControllerToDriver {
 
 /// Every `ControllerToWorker` variant, by index.
 fn controller_to_worker(rng: &mut StdRng, which: u32) -> ControllerToWorker {
-    match which % 6 {
+    match which % 7 {
         0 => ControllerToWorker::ExecuteCommands {
             commands: (0..rng.gen_range(1usize..4))
                 .map(|i| command(rng, which + i as u32))
@@ -343,13 +344,21 @@ fn controller_to_worker(rng: &mut StdRng, which: u32) -> ControllerToWorker {
         2 => ControllerToWorker::InstantiateTemplate(worker_instantiation(rng)),
         3 => ControllerToWorker::FetchValue { object: oid(rng) },
         4 => ControllerToWorker::Halt,
+        5 => ControllerToWorker::RejoinAccepted {
+            versions: (0..rng.gen_range(0usize..6))
+                .map(|_| PartitionVersion {
+                    partition: lp(rng),
+                    version: rng.gen_range(0usize..1 << 30) as u64,
+                })
+                .collect(),
+        },
         _ => ControllerToWorker::Shutdown,
     }
 }
 
 /// Every `WorkerToController` variant, by index.
 fn worker_to_controller(rng: &mut StdRng, which: u32) -> WorkerToController {
-    match which % 5 {
+    match which % 6 {
         0 => WorkerToController::CommandsCompleted {
             worker: worker(rng),
             commands: (0..rng.gen_range(0usize..5))
@@ -369,10 +378,13 @@ fn worker_to_controller(rng: &mut StdRng, which: u32) -> WorkerToController {
         3 => WorkerToController::Halted {
             worker: worker(rng),
         },
-        _ => WorkerToController::Heartbeat {
+        4 => WorkerToController::Heartbeat {
             worker: worker(rng),
             queued: rng.gen_range(0usize..1024),
             ready: rng.gen_range(0usize..1024),
+        },
+        _ => WorkerToController::Register {
+            worker: worker(rng),
         },
     }
 }
@@ -387,15 +399,20 @@ fn data_message(rng: &mut StdRng) -> Message {
     })
 }
 
+/// Total number of `Message` variants `message` cycles through (all nested
+/// enum variants counted individually).
+const MESSAGE_VARIANTS: u32 = 38;
+
 /// Every `Message` variant, cycling through all nested variants.
 fn message(rng: &mut StdRng, which: u32) -> Message {
-    match which % 35 {
+    match which % MESSAGE_VARIANTS {
         w @ 0..=13 => Message::Driver(driver_message(rng, w)),
         w @ 14..=21 => Message::ToDriver(controller_to_driver(rng, w - 14)),
-        w @ 22..=27 => Message::ToWorker(controller_to_worker(rng, w - 22)),
-        w @ 28..=32 => Message::FromWorker(worker_to_controller(rng, w - 28)),
-        33 => data_message(rng),
-        _ => Message::Transport(TransportEvent::PeerDisconnected(node(rng))),
+        w @ 22..=28 => Message::ToWorker(controller_to_worker(rng, w - 22)),
+        w @ 29..=34 => Message::FromWorker(worker_to_controller(rng, w - 29)),
+        35 => data_message(rng),
+        36 => Message::Transport(TransportEvent::PeerDisconnected(node(rng))),
+        _ => Message::Transport(TransportEvent::PeerReconnected(node(rng))),
     }
 }
 
@@ -422,7 +439,7 @@ fn assert_roundtrip(m: &Message, seed: u64, which: u32) {
 fn every_message_variant_roundtrips_at_its_counted_size() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
-        for which in 0..35 {
+        for which in 0..MESSAGE_VARIANTS {
             let m = message(&mut rng, which);
             assert_roundtrip(&m, seed, which);
         }
@@ -434,7 +451,7 @@ fn every_message_variant_roundtrips_at_its_counted_size() {
 fn envelopes_roundtrip_at_their_counted_size() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
-        for which in 0..35 {
+        for which in 0..MESSAGE_VARIANTS {
             let envelope = Envelope {
                 from: node(&mut rng),
                 to: node(&mut rng),
@@ -487,7 +504,7 @@ fn object_payloads_canonicalize_to_bytes() {
 fn truncated_encodings_error_cleanly() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
-        let which = rng.gen_range(0usize..35) as u32;
+        let which = rng.gen_range(0usize..MESSAGE_VARIANTS as usize) as u32;
         let m = message(&mut rng, which);
         let bytes = encode(&m).unwrap();
         for cut in 0..bytes.len() {

@@ -5,7 +5,7 @@
 //! ```text
 //! nimbus-controller --controller ADDR --driver ADDR --worker ID=ADDR... \
 //!     [--iterations N] [--checkpoint-every N] [--iter-sleep-ms N] \
-//!     [--reply-timeout-secs N]
+//!     [--reply-timeout-secs N] [--rejoin-grace-secs N]
 //! ```
 //!
 //! Start the `nimbus-worker` processes with the same address map (order does
@@ -35,6 +35,7 @@ fn main() {
     let mut checkpoint_every: Option<u64> = None;
     let mut iter_sleep = Duration::ZERO;
     let mut reply_timeout = Duration::from_secs(30);
+    let mut rejoin_grace: Option<Duration> = None;
     for (flag, value) in &cl.rest {
         let ok = match flag.as_str() {
             "iterations" => value.parse::<u32>().map(|n| iterations = n).is_ok(),
@@ -46,6 +47,10 @@ fn main() {
             "reply-timeout-secs" => value
                 .parse()
                 .map(|n| reply_timeout = Duration::from_secs(n))
+                .is_ok(),
+            "rejoin-grace-secs" => value
+                .parse()
+                .map(|n| rejoin_grace = Some(Duration::from_secs(n)))
                 .is_ok(),
             _ => false,
         };
@@ -69,6 +74,7 @@ fn main() {
     };
     let mut config = ControllerConfig::new(cl.worker_ids.clone());
     config.checkpoint_every = checkpoint_every;
+    config.rejoin_grace = rejoin_grace;
     let controller = Controller::new(config, controller_endpoint);
     let controller_thread = std::thread::Builder::new()
         .name("nimbus-controller".to_string())

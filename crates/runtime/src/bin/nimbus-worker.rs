@@ -2,13 +2,23 @@
 //! running the quickstart application's functions and dataset factories.
 //!
 //! ```text
-//! nimbus-worker --id K --controller ADDR --driver ADDR --worker ID=ADDR...
+//! nimbus-worker --id K --controller ADDR --driver ADDR --worker ID=ADDR... \
+//!     [--vault-dir DIR] [--rejoin]
 //! ```
 //!
 //! Pass the same address map as the `nimbus-controller` process; `--id`
 //! selects which `--worker` entry this process binds. The process exits when
 //! the controller sends `Shutdown` — or when the controller's connection
 //! drops, so killed jobs do not leave orphan workers behind.
+//!
+//! `--vault-dir DIR` backs the durable-storage vault with a directory all
+//! worker processes share, so checkpoints saved by a worker survive its
+//! death. `--rejoin` marks a restart of a previously killed worker: it
+//! re-binds the same `--worker` address and re-registers with the
+//! controller, which reinstalls its patched templates and reloads its
+//! partitions from the shared vault — the job continues with template edits
+//! only, no re-recording. (Every worker registers on startup; `--rejoin`
+//! only changes the logging.)
 
 use std::sync::Arc;
 
@@ -27,13 +37,24 @@ fn main() {
         }
     };
     let mut id: Option<WorkerId> = None;
+    let mut vault_dir: Option<String> = None;
+    let mut rejoin = false;
     for (flag, value) in &cl.rest {
-        match (flag.as_str(), value.parse::<u32>()) {
-            ("id", Ok(n)) => id = Some(WorkerId(n)),
-            _ => {
-                eprintln!("nimbus-worker: invalid flag --{flag} {value}");
-                std::process::exit(2);
+        let ok = match flag.as_str() {
+            "id" => value.parse::<u32>().map(|n| id = Some(WorkerId(n))).is_ok(),
+            "vault-dir" => {
+                vault_dir = Some(value.clone());
+                true
             }
+            "rejoin" => {
+                rejoin = value == "true";
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            eprintln!("nimbus-worker: invalid flag --{flag} {value}");
+            std::process::exit(2);
         }
     }
     let Some(id) = id else {
@@ -53,13 +74,27 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let vault = match &vault_dir {
+        Some(dir) => match ObjectVault::file_backed(dir) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("nimbus-worker: cannot open vault dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => ObjectVault::new(),
+    };
+    if rejoin {
+        println!("worker {id} rejoining the cluster");
+    }
     let (functions, factories) = quickstart_setup().into_shared();
-    let config = WorkerConfig::new(id, functions, factories, Arc::new(ObjectVault::new()));
+    let config = WorkerConfig::new(id, functions, factories, Arc::new(vault));
     let stats = Worker::new(config, endpoint).run();
     println!(
-        "worker {id} done: tasks = {}, receives = {}, failures = {}",
+        "worker {id} done: tasks = {}, receives = {}, rejoin_acks = {}, failures = {}",
         stats.tasks_executed,
         stats.receives,
+        stats.rejoin_acks,
         stats.failures.len()
     );
 }

@@ -1,16 +1,26 @@
 //! The single-process Nimbus cluster: controller and worker threads wired
 //! over a selectable transport (in-process channels or loopback TCP), plus a
 //! synchronous driver handle.
+//!
+//! Worker membership is *elastic*: [`Cluster::add_worker`] grows a running
+//! cluster, and on the TCP transport [`Cluster::kill_worker`] /
+//! [`Cluster::rejoin_worker`] emulate the death and restart of a worker
+//! process — the pair the membership-churn tests and the fig9 rejoin bench
+//! are built on.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use nimbus_controller::{Controller, ControllerConfig};
 use nimbus_core::ids::WorkerId;
 use nimbus_core::ControlPlaneStats;
 use nimbus_driver::{DriverContext, DriverError, DriverResult};
 use nimbus_net::{Network, NetworkStats, NodeId, TcpFabric, TransportEndpoint};
-use nimbus_worker::{ObjectVault, Worker, WorkerConfig, WorkerStats};
+use nimbus_worker::{
+    DataFactoryRegistry, FunctionRegistry, ObjectVault, Worker, WorkerConfig, WorkerStats,
+};
 
 use crate::config::{AppSetup, ClusterConfig, TransportKind};
 
@@ -35,18 +45,32 @@ pub struct ClusterReport<T> {
     pub output: T,
     /// Control-plane statistics accumulated by the controller.
     pub controller: ControlPlaneStats,
-    /// Per-worker execution statistics.
+    /// Per-worker execution statistics (including workers killed mid-job).
     pub workers: Vec<WorkerStats>,
     /// Transport traffic statistics.
     pub network: NetworkStats,
+}
+
+/// One worker thread of the cluster: its join handle (absent once killed or
+/// joined) and the abrupt-death switch fault injection flips.
+struct WorkerSlot {
+    id: WorkerId,
+    handle: Option<JoinHandle<WorkerStats>>,
+    kill: Arc<AtomicBool>,
 }
 
 /// A running single-process cluster (threads over either transport).
 pub struct Cluster {
     fabric: Fabric,
     controller: Option<JoinHandle<ControlPlaneStats>>,
-    workers: Vec<JoinHandle<WorkerStats>>,
+    workers: Vec<WorkerSlot>,
+    /// Stats of workers killed (and joined) before the job ended.
+    reaped: Vec<WorkerStats>,
     vault: Arc<ObjectVault>,
+    functions: Arc<FunctionRegistry>,
+    factories: Arc<DataFactoryRegistry>,
+    spin_wait: Option<Duration>,
+    completion_batch: usize,
     worker_ids: Vec<WorkerId>,
 }
 
@@ -70,37 +94,31 @@ impl Cluster {
             }
         };
 
+        let mut cluster = Self {
+            fabric,
+            controller: None,
+            workers: Vec::with_capacity(config.workers),
+            reaped: Vec::new(),
+            vault,
+            functions,
+            factories,
+            spin_wait: config.spin_wait,
+            completion_batch: config.completion_batch,
+            worker_ids: worker_ids.clone(),
+        };
+
         // Workers first so the controller can address them immediately.
-        let mut workers = Vec::with_capacity(config.workers);
         for id in &worker_ids {
-            let mut worker_config = WorkerConfig::new(
-                *id,
-                Arc::clone(&functions),
-                Arc::clone(&factories),
-                Arc::clone(&vault),
-            );
-            worker_config.spin_wait = config.spin_wait;
-            worker_config.completion_batch = config.completion_batch;
-            let handle = match &fabric {
-                Fabric::InProcess(network) => {
-                    let worker = Worker::new(worker_config, network.register(NodeId::Worker(*id)));
-                    spawn_worker(*id, worker)
-                }
-                Fabric::Tcp(tcp) => {
-                    let endpoint = tcp
-                        .endpoint(NodeId::Worker(*id))
-                        .expect("bind worker endpoint");
-                    spawn_worker(*id, Worker::new(worker_config, endpoint))
-                }
-            };
-            workers.push(handle);
+            let slot = cluster.spawn_worker_slot(*id);
+            cluster.workers.push(slot);
         }
 
-        let mut controller_config = ControllerConfig::new(worker_ids.clone());
+        let mut controller_config = ControllerConfig::new(worker_ids);
         controller_config.policy = config.policy.clone();
         controller_config.enable_templates = config.enable_templates;
         controller_config.checkpoint_every = config.checkpoint_every;
-        let controller_handle = match &fabric {
+        controller_config.rejoin_grace = config.rejoin_grace;
+        let controller_handle = match &cluster.fabric {
             Fabric::InProcess(network) => spawn_controller(Controller::new(
                 controller_config,
                 network.register(NodeId::Controller),
@@ -112,17 +130,123 @@ impl Cluster {
                 spawn_controller(Controller::new(controller_config, endpoint))
             }
         };
+        cluster.controller = Some(controller_handle);
+        cluster
+    }
 
-        Self {
-            fabric,
-            controller: Some(controller_handle),
-            workers,
-            vault,
-            worker_ids,
+    fn spawn_worker_slot(&self, id: WorkerId) -> WorkerSlot {
+        let kill = Arc::new(AtomicBool::new(false));
+        let mut worker_config = WorkerConfig::new(
+            id,
+            Arc::clone(&self.functions),
+            Arc::clone(&self.factories),
+            Arc::clone(&self.vault),
+        );
+        worker_config.spin_wait = self.spin_wait;
+        worker_config.completion_batch = self.completion_batch;
+        worker_config.kill_switch = Some(Arc::clone(&kill));
+        let handle = match &self.fabric {
+            Fabric::InProcess(network) => {
+                let worker = Worker::new(worker_config, network.register(NodeId::Worker(id)));
+                spawn_worker(id, worker)
+            }
+            Fabric::Tcp(tcp) => {
+                let endpoint = tcp
+                    .endpoint(NodeId::Worker(id))
+                    .expect("bind worker endpoint");
+                spawn_worker(id, Worker::new(worker_config, endpoint))
+            }
+        };
+        WorkerSlot {
+            id,
+            handle: Some(handle),
+            kill,
         }
     }
 
-    /// The identifiers of the cluster's workers.
+    /// Adds a brand-new worker to the running cluster. The worker registers
+    /// with the controller on startup and is admitted elastically: templates
+    /// grow a member for it through edits, and its share of partitions
+    /// migrates over through the patch copy path. Returns the new worker's
+    /// id.
+    pub fn add_worker(&mut self) -> WorkerId {
+        let id = WorkerId(
+            self.worker_ids
+                .iter()
+                .map(|w| w.raw() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        if let Fabric::Tcp(tcp) = &self.fabric {
+            tcp.add_loopback_node(NodeId::Worker(id))
+                .expect("bind listener for added worker");
+        }
+        let slot = self.spawn_worker_slot(id);
+        self.workers.push(slot);
+        self.worker_ids.push(id);
+        id
+    }
+
+    /// Kills a worker abruptly (TCP transport only): the worker thread stops
+    /// without any goodbye, its endpoint drops, and the controller observes
+    /// the death exactly as it would a killed OS process — through the
+    /// transport's disconnect notice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the in-process transport (it has no disconnect semantics,
+    /// so a silent thread death would simply hang the job) or if the worker
+    /// is unknown or already dead.
+    pub fn kill_worker(&mut self, id: WorkerId) {
+        assert!(
+            matches!(self.fabric, Fabric::Tcp(_)),
+            "kill_worker requires the TCP transport (in-process channels \
+             have no disconnect notion)"
+        );
+        let slot = self
+            .workers
+            .iter_mut()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("unknown worker {id}"));
+        let handle = slot.handle.take().expect("worker already dead");
+        slot.kill.store(true, Ordering::Relaxed);
+        let stats = handle.join().expect("killed worker thread panicked");
+        self.reaped.push(stats);
+    }
+
+    /// Restarts a previously killed worker under the same identity: a fresh
+    /// worker thread re-binds the worker's fabric address (like a restarted
+    /// process would) and registers with the controller, driving the rejoin
+    /// handshake — reinstalled templates, reloaded partitions, zero
+    /// re-recordings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is unknown or still alive.
+    pub fn rejoin_worker(&mut self, id: WorkerId) {
+        assert!(
+            matches!(self.fabric, Fabric::Tcp(_)),
+            "rejoin_worker requires the TCP transport"
+        );
+        let slot_exists = self
+            .workers
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("unknown worker {id}"));
+        assert!(
+            slot_exists.handle.is_none(),
+            "worker {id} is still alive; kill it first"
+        );
+        let fresh = self.spawn_worker_slot(id);
+        let slot = self
+            .workers
+            .iter_mut()
+            .find(|s| s.id == id)
+            .expect("checked above");
+        *slot = fresh;
+    }
+
+    /// The identifiers of the cluster's workers (killed ones included).
     pub fn worker_ids(&self) -> &[WorkerId] {
         &self.worker_ids
     }
@@ -156,17 +280,28 @@ impl Cluster {
 
     /// Runs a driver program to completion, shuts the cluster down, and
     /// returns the driver's output together with every statistics block.
-    pub fn run_driver<T>(
-        self,
-        body: impl FnOnce(&mut DriverContext) -> DriverResult<T>,
+    /// The body also receives `&mut Cluster` so it can churn membership
+    /// (kill, rejoin, add workers) mid-job.
+    pub fn run_driver_with_cluster<T>(
+        mut self,
+        body: impl FnOnce(&mut DriverContext, &mut Cluster) -> DriverResult<T>,
     ) -> DriverResult<ClusterReport<T>> {
         let mut driver = self.driver();
-        let result = body(&mut driver);
+        let result = body(&mut driver, &mut self);
         // Always attempt an orderly shutdown so threads exit even on error.
         let shutdown = driver.shutdown();
         let output = result?;
         shutdown?;
         self.join(output)
+    }
+
+    /// Runs a driver program to completion, shuts the cluster down, and
+    /// returns the driver's output together with every statistics block.
+    pub fn run_driver<T>(
+        self,
+        body: impl FnOnce(&mut DriverContext) -> DriverResult<T>,
+    ) -> DriverResult<ClusterReport<T>> {
+        self.run_driver_with_cluster(|ctx, _cluster| body(ctx))
     }
 
     /// Joins all threads after the driver has shut the job down.
@@ -177,13 +312,15 @@ impl Cluster {
             .expect("controller handle present")
             .join()
             .map_err(|_| DriverError::Net("controller thread panicked".to_string()))?;
-        let mut workers = Vec::with_capacity(self.workers.len());
-        for handle in self.workers.drain(..) {
-            workers.push(
-                handle
-                    .join()
-                    .map_err(|_| DriverError::Net("worker thread panicked".to_string()))?,
-            );
+        let mut workers = std::mem::take(&mut self.reaped);
+        for slot in self.workers.drain(..) {
+            if let Some(handle) = slot.handle {
+                workers.push(
+                    handle
+                        .join()
+                        .map_err(|_| DriverError::Net("worker thread panicked".to_string()))?,
+                );
+            }
         }
         Ok(ClusterReport {
             output,

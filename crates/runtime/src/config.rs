@@ -44,6 +44,10 @@ pub struct ClusterConfig {
     pub policy: AssignmentPolicy,
     /// Worker completion-report batch size.
     pub completion_batch: usize,
+    /// How long the controller waits for a failed worker to rejoin before
+    /// recovering onto the survivors (TCP transports; `None` recovers
+    /// immediately, the pre-rejoin behavior).
+    pub rejoin_grace: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -59,6 +63,7 @@ impl ClusterConfig {
             checkpoint_every: None,
             policy: AssignmentPolicy::hash(),
             completion_batch: 64,
+            rejoin_grace: None,
         }
     }
 
@@ -90,6 +95,13 @@ impl ClusterConfig {
     /// Enables automatic checkpoints every `n` template instantiations.
     pub fn with_checkpoint_every(mut self, n: u64) -> Self {
         self.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Makes the controller wait up to `grace` for a failed worker to rejoin
+    /// before recovering without it.
+    pub fn with_rejoin_grace(mut self, grace: Duration) -> Self {
+        self.rejoin_grace = Some(grace);
         self
     }
 }

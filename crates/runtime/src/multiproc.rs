@@ -25,7 +25,9 @@ pub struct CommandLine {
 }
 
 /// Parses `--controller ADDR --driver ADDR --worker ID=ADDR...` plus
-/// arbitrary `--flag value` pairs. Every flag takes exactly one value.
+/// arbitrary `--flag value` pairs. A flag followed by another flag (or by
+/// nothing) is boolean and parses as `("flag", "true")` — e.g.
+/// `nimbus-worker --rejoin`.
 pub fn parse_command_line(args: impl Iterator<Item = String>) -> Result<CommandLine, String> {
     let mut addrs = HashMap::new();
     let mut worker_ids = Vec::new();
@@ -35,9 +37,18 @@ pub fn parse_command_line(args: impl Iterator<Item = String>) -> Result<CommandL
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, found `{flag}`"))?;
-        let value = args
-            .next()
-            .ok_or_else(|| format!("--{name} requires a value"))?;
+        let value = match args.peek() {
+            Some(next) if !next.starts_with("--") => args.next().expect("peeked"),
+            _ => {
+                // Valueless boolean flag; the shared cluster-map flags all
+                // require real values.
+                if matches!(name, "controller" | "driver" | "worker") {
+                    return Err(format!("--{name} requires a value"));
+                }
+                rest.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+        };
         match name {
             "controller" => {
                 if addrs
@@ -123,6 +134,29 @@ mod tests {
         assert_eq!(
             cl.addrs[&NodeId::Worker(WorkerId(1))],
             "127.0.0.1:5003".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn boolean_flags_parse_without_a_value() {
+        let cl = parse_command_line(args(&[
+            "--controller",
+            "127.0.0.1:5000",
+            "--worker",
+            "0=127.0.0.1:5002",
+            "--rejoin",
+            "--vault-dir",
+            "/tmp/vault",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cl.rest,
+            vec![
+                ("rejoin".to_string(), "true".to_string()),
+                ("vault-dir".to_string(), "/tmp/vault".to_string()),
+                ("verbose".to_string(), "true".to_string()),
+            ]
         );
     }
 

@@ -1,0 +1,257 @@
+//! Membership-churn tests over TCP loopback threads: a worker killed mid-job
+//! rejoins and the job completes with output *byte-identical* to an
+//! undisturbed run, with zero template re-recordings (edits and patches
+//! only) — the paper's core claim that cluster changes are template edits,
+//! not job restarts.
+//!
+//! Every test runs under an explicit watchdog: a wedged rejoin must fail in
+//! seconds, not hang the suite.
+
+use std::time::Duration;
+
+use nimbus_core::ids::WorkerId;
+use nimbus_runtime::quickstart::{quickstart_setup, PARTITIONS, PARTITION_LEN};
+use nimbus_runtime::{Cluster, ClusterConfig, ClusterReport};
+
+/// Hard per-test timeout: the body runs in its own thread; if it has not
+/// finished in `limit`, the test fails immediately instead of hanging the
+/// suite (and CI) on a wedged recovery.
+fn with_timeout<T: Send + 'static>(
+    name: &str,
+    limit: Duration,
+    body: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name(format!("churn-{name}"))
+        .spawn(move || {
+            let _ = tx.send(body());
+        })
+        .expect("spawn test body");
+    match rx.recv_timeout(limit) {
+        Ok(value) => {
+            thread.join().expect("test body panicked");
+            value
+        }
+        Err(_) => panic!("{name} did not finish within {limit:?} (wedged rejoin?)"),
+    }
+}
+
+/// The closed-form totals of `iterations` quickstart iterations — what an
+/// undisturbed run produces (asserted by the quickstart's own tests), so a
+/// churned run matching this is byte-identical to the undisturbed baseline.
+fn closed_form(iterations: u32) -> Vec<f64> {
+    (1..=iterations)
+        .map(|i| (i as usize * PARTITIONS as usize * PARTITION_LEN) as f64)
+        .collect()
+}
+
+/// When, within the churn iteration, the membership change happens.
+enum ChurnPoint {
+    /// After the iteration's fetch returned: the cluster is quiescent.
+    AfterFetch(u32),
+    /// Between the block's (fire-and-forget) instantiation message and the
+    /// synchronous fetch: the iteration's commands are still in flight when
+    /// the worker dies, exercising the interrupted-sync resume path.
+    BeforeFetch(u32),
+}
+
+impl ChurnPoint {
+    fn iteration(&self) -> u32 {
+        match self {
+            ChurnPoint::AfterFetch(i) | ChurnPoint::BeforeFetch(i) => *i,
+        }
+    }
+}
+
+/// Runs `iterations` quickstart iterations, invoking `churn` with the
+/// cluster at the configured churn point.
+fn run_churned(
+    config: ClusterConfig,
+    iterations: u32,
+    point: ChurnPoint,
+    churn: impl FnOnce(&mut Cluster) + Send + 'static,
+) -> ClusterReport<Vec<f64>> {
+    let cluster = Cluster::start(config, quickstart_setup());
+    let mut churn = Some(churn);
+    cluster
+        .run_driver_with_cluster(move |ctx, cluster| {
+            use nimbus_core::appdata::{Scalar, VecF64};
+            use nimbus_core::TaskParams;
+            use nimbus_driver::{Dataset, StageSpec};
+            use nimbus_runtime::quickstart::{ADD, SUM};
+
+            let data: Dataset<VecF64> = ctx.define_dataset("data", PARTITIONS)?;
+            let total: Dataset<Scalar> = ctx.define_dataset("total", 1)?;
+            let mut totals = Vec::with_capacity(iterations as usize);
+            for i in 0..iterations {
+                ctx.block("inner", |ctx| {
+                    ctx.submit_stage(
+                        StageSpec::new("add", ADD)
+                            .write(&data)
+                            .params(TaskParams::from_scalar(1.0)),
+                    )?;
+                    let mut sum = StageSpec::new("sum", SUM).partitions(1);
+                    for p in 0..data.partitions {
+                        sum = sum.read_partition(&data, p);
+                    }
+                    ctx.submit_stage(sum.write_partition(&total, 0))?;
+                    Ok(())
+                })?;
+                if matches!(point, ChurnPoint::BeforeFetch(_)) && i == point.iteration() {
+                    if let Some(churn) = churn.take() {
+                        churn(cluster);
+                    }
+                }
+                totals.push(ctx.fetch(&total, 0)?);
+                if i == point.iteration() {
+                    if let Some(churn) = churn.take() {
+                        churn(cluster);
+                    }
+                }
+            }
+            Ok(totals)
+        })
+        .expect("churned job completes")
+}
+
+/// Kills a worker, waits for the controller to observe the death and open
+/// its rejoin grace window, then brings the worker back under the same
+/// identity.
+fn kill_then_rejoin(worker: WorkerId) -> impl FnOnce(&mut Cluster) + Send + 'static {
+    move |cluster: &mut Cluster| {
+        cluster.kill_worker(worker);
+        std::thread::sleep(Duration::from_millis(500));
+        cluster.rejoin_worker(worker);
+    }
+}
+
+/// Acceptance: a worker killed mid-job rejoins over TCP loopback and the
+/// job's output is byte-identical to an undisturbed run, with zero template
+/// re-recordings — the block was recorded exactly once, before the failure,
+/// and every post-rejoin adjustment happened through installed-template
+/// reinstalls, edits, and patches.
+#[test]
+fn killed_worker_rejoins_and_output_is_byte_identical() {
+    let report = with_timeout("kill-rejoin", Duration::from_secs(120), || {
+        run_churned(
+            ClusterConfig::new(2)
+                .with_tcp_transport()
+                .with_checkpoint_every(3)
+                .with_rejoin_grace(Duration::from_secs(30)),
+            20,
+            ChurnPoint::AfterFetch(10),
+            kill_then_rejoin(WorkerId(0)),
+        )
+    });
+    assert_eq!(
+        report.output,
+        closed_form(20),
+        "churned output diverges from the undisturbed run"
+    );
+    // Zero re-recordings: the one pre-failure recording served the whole
+    // job; the rejoin was handled with template edits/reinstalls only.
+    assert_eq!(
+        report.controller.controller_templates_installed, 1,
+        "rejoin must not re-record templates"
+    );
+    assert_eq!(report.controller.failures_handled, 1);
+    assert_eq!(report.controller.rejoins_handled, 1);
+    // With checkpoints every 3 instantiations, the failure after iteration
+    // 10 rolled back to an earlier checkpoint; the controller replayed the
+    // gap itself — no driver involvement.
+    assert!(
+        report.controller.instantiations_replayed >= 1,
+        "expected the controller to replay the post-checkpoint gap, got {}",
+        report.controller.instantiations_replayed
+    );
+    assert!(report.controller.checkpoints_committed >= 3);
+}
+
+/// The same churn with the iteration's commands still in flight (the driver
+/// blocked in the fetch right after): the interrupted fetch must resume
+/// against recovered-and-replayed state and produce the exact value.
+#[test]
+fn kill_with_commands_in_flight_is_still_byte_identical() {
+    let report = with_timeout("kill-mid-flight", Duration::from_secs(120), || {
+        run_churned(
+            ClusterConfig::new(2)
+                .with_tcp_transport()
+                .with_checkpoint_every(1)
+                .with_spin_wait(Duration::from_millis(2))
+                .with_rejoin_grace(Duration::from_secs(30)),
+            14,
+            ChurnPoint::BeforeFetch(6),
+            kill_then_rejoin(WorkerId(1)),
+        )
+    });
+    assert_eq!(report.output, closed_form(14));
+    assert_eq!(report.controller.controller_templates_installed, 1);
+    assert_eq!(report.controller.failures_handled, 1);
+    assert_eq!(report.controller.rejoins_handled, 1);
+}
+
+/// Losing the *last* worker with a rejoin grace configured, and having the
+/// grace expire without a return, must surface a clean driver error — not
+/// panic the controller on a workerless recovery or hang the job.
+#[test]
+fn last_worker_lost_and_never_rejoining_errors_cleanly() {
+    let result = with_timeout("last-worker-lost", Duration::from_secs(60), || {
+        let cluster = Cluster::start(
+            ClusterConfig::new(1)
+                .with_tcp_transport()
+                .with_checkpoint_every(1)
+                .with_rejoin_grace(Duration::from_millis(500)),
+            quickstart_setup(),
+        );
+        cluster.run_driver_with_cluster(|ctx, cluster| {
+            use nimbus_runtime::quickstart::quickstart_driver;
+            ctx.set_reply_timeout(Duration::from_secs(20));
+            quickstart_driver(ctx, 3)?;
+            cluster.kill_worker(WorkerId(0));
+            // The grace window expires with nobody left to recover onto.
+            quickstart_driver(ctx, 3)
+        })
+    });
+    let message = match result {
+        Ok(_) => panic!("a workerless job must fail"),
+        Err(err) => err.to_string(),
+    };
+    assert!(
+        message.contains("disconnected") || message.contains("no workers"),
+        "expected a clean no-workers error, got: {message}"
+    );
+}
+
+/// Elastic growth: a brand-new worker joins a running job and is served
+/// through template edits — it executes its migrated share of tasks, the
+/// outputs stay byte-identical, and nothing is re-recorded.
+#[test]
+fn added_worker_joins_via_edits_and_executes_tasks() {
+    let report = with_timeout("elastic-add", Duration::from_secs(120), || {
+        run_churned(
+            ClusterConfig::new(2).with_tcp_transport(),
+            16,
+            ChurnPoint::AfterFetch(5),
+            |cluster: &mut Cluster| {
+                cluster.add_worker();
+            },
+        )
+    });
+    assert_eq!(report.output, closed_form(16));
+    assert_eq!(
+        report.controller.controller_templates_installed, 1,
+        "elastic join must not re-record templates"
+    );
+    assert_eq!(report.controller.rejoins_handled, 1);
+    assert!(
+        report.controller.edits_applied > 0,
+        "the joining worker's share must arrive as template edits"
+    );
+    // All three workers (the two originals and the late joiner) did real
+    // work.
+    assert_eq!(report.workers.len(), 3);
+    for (i, w) in report.workers.iter().enumerate() {
+        assert!(w.tasks_executed > 0, "worker #{i} executed no tasks");
+    }
+}

@@ -104,6 +104,10 @@ pub struct CommandQueue {
     ready: VecDeque<Command>,
     /// Commands that have completed on this worker.
     completed: HashSet<CommandId>,
+    /// Every command id currently enqueued (pending, ready, or popped but
+    /// not yet completed). Guards against duplicate or stale dispatches —
+    /// possible during recovery replay and rejoin — re-entering the queue.
+    enqueued: HashSet<CommandId>,
     /// Data that arrived before its receive command was enqueued (or whose
     /// receive is still blocked on local dependencies).
     arrived: HashMap<TransferId, DataPayload>,
@@ -125,17 +129,31 @@ impl CommandQueue {
         Self::default()
     }
 
-    /// Enqueues a batch of commands.
-    pub fn add_commands(&mut self, commands: Vec<Command>) {
+    /// Enqueues a batch of commands. Returns the number of duplicate or
+    /// stale dispatches that were ignored.
+    pub fn add_commands(&mut self, commands: Vec<Command>) -> u64 {
+        let mut ignored = 0;
         for command in commands {
-            self.add_command(command);
+            if !self.add_command(command) {
+                ignored += 1;
+            }
         }
+        ignored
     }
 
     /// Enqueues a single command, augmenting its before set with locally
     /// tracked data dependencies on earlier commands touching the same
     /// objects.
-    pub fn add_command(&mut self, command: Command) {
+    ///
+    /// A command whose id is already queued, executing, or completed is a
+    /// duplicate or stale dispatch (recovery replay and rejoin can produce
+    /// these); it is ignored and `false` is returned — it must never panic
+    /// the worker or corrupt the dependency bookkeeping by double-counting.
+    pub fn add_command(&mut self, command: Command) -> bool {
+        if self.enqueued.contains(&command.id) || self.completed.contains(&command.id) {
+            return false;
+        }
+        self.enqueued.insert(command.id);
         let extra = self.object_deps.augment(&command);
         let unmet: Vec<CommandId> = command
             .before
@@ -154,7 +172,7 @@ impl CommandQueue {
         };
         if unmet.is_empty() && needs_data.is_none() {
             self.ready.push_back(command);
-            return;
+            return true;
         }
         let id = command.id;
         for dep in &unmet {
@@ -171,6 +189,23 @@ impl CommandQueue {
                 needs_data,
             },
         );
+        true
+    }
+
+    /// Moves a pending command to the ready queue if both its dependency
+    /// count and its data requirement are satisfied. A waiter that is no
+    /// longer pending (released through another path) is ignored rather
+    /// than treated as an invariant violation.
+    fn promote_if_runnable(&mut self, id: CommandId) {
+        let runnable = match self.pending.get(&id) {
+            Some(p) => p.unmet_deps == 0 && p.needs_data.is_none(),
+            None => false,
+        };
+        if runnable {
+            if let Some(p) = self.pending.remove(&id) {
+                self.ready.push_back(p.command);
+            }
+        }
     }
 
     /// Records the arrival of a data transfer. The payload is retained until
@@ -180,11 +215,8 @@ impl CommandQueue {
         if let Some(id) = self.waiting_for_data.remove(&transfer) {
             if let Some(p) = self.pending.get_mut(&id) {
                 p.needs_data = None;
-                if p.unmet_deps == 0 {
-                    let p = self.pending.remove(&id).expect("pending entry exists");
-                    self.ready.push_back(p.command);
-                }
             }
+            self.promote_if_runnable(id);
         }
     }
 
@@ -196,17 +228,15 @@ impl CommandQueue {
     /// Marks a command as completed, releasing its dependents.
     pub fn complete(&mut self, id: CommandId) {
         self.completed.insert(id);
+        self.enqueued.remove(&id);
         let Some(waiters) = self.dependents.remove(&id) else {
             return;
         };
         for waiter in waiters {
             if let Some(p) = self.pending.get_mut(&waiter) {
                 p.unmet_deps = p.unmet_deps.saturating_sub(1);
-                if p.unmet_deps == 0 && p.needs_data.is_none() {
-                    let p = self.pending.remove(&waiter).expect("pending entry exists");
-                    self.ready.push_back(p.command);
-                }
             }
+            self.promote_if_runnable(waiter);
         }
     }
 
@@ -242,6 +272,7 @@ impl CommandQueue {
         self.pending.clear();
         self.dependents.clear();
         self.ready.clear();
+        self.enqueued.clear();
         self.waiting_for_data.clear();
         self.arrived.clear();
         self.object_deps.clear();
@@ -375,6 +406,52 @@ mod tests {
         ]);
         let dropped = q.flush();
         assert_eq!(dropped, 3);
+        assert!(q.is_idle());
+    }
+
+    /// Regression: a duplicate dispatch of a command id — while it is
+    /// pending, ready, or already completed — must be ignored, not panic the
+    /// worker thread or double-release dependents.
+    #[test]
+    fn double_dispatched_command_id_is_ignored_everywhere() {
+        let mut q = CommandQueue::new();
+        // Duplicate while pending (blocked on a dependency).
+        assert_eq!(
+            q.add_commands(vec![task(1, vec![]), task(2, vec![1])]),
+            0,
+            "fresh ids must not count as duplicates"
+        );
+        assert!(!q.add_command(task(2, vec![1])), "pending duplicate");
+        // Duplicate while ready.
+        assert!(!q.add_command(task(1, vec![])), "ready duplicate");
+        assert_eq!(q.ready_len(), 1);
+        // Duplicate while popped but not yet completed.
+        let first = q.pop_ready().unwrap();
+        assert_eq!(first.id, CommandId(1));
+        assert!(!q.add_command(task(1, vec![])), "executing duplicate");
+        q.complete(CommandId(1));
+        // The dependent becomes ready exactly once.
+        assert_eq!(q.ready_len(), 1);
+        q.pop_ready().unwrap();
+        q.complete(CommandId(2));
+        // Duplicate after completion (a stale re-dispatch).
+        assert!(!q.add_command(task(2, vec![1])), "stale duplicate");
+        assert!(q.is_idle());
+        assert_eq!(q.completed_len(), 2);
+    }
+
+    /// Regression: a duplicate receive for a transfer whose payload already
+    /// arrived must not panic or consume the payload twice.
+    #[test]
+    fn double_dispatched_receive_is_ignored() {
+        let mut q = CommandQueue::new();
+        q.data_arrived(TransferId(7), payload());
+        assert!(q.add_command(receive(2, 7, vec![])));
+        assert!(!q.add_command(receive(2, 7, vec![])));
+        assert_eq!(q.ready_len(), 1);
+        q.pop_ready().unwrap();
+        assert!(q.take_payload(TransferId(7)).is_some());
+        q.complete(CommandId(2));
         assert!(q.is_idle());
     }
 

@@ -27,6 +27,11 @@ pub struct WorkerStats {
     pub template_instantiations: u64,
     /// Template edits applied.
     pub edits_applied: u64,
+    /// Duplicate or stale command dispatches ignored by the queue (possible
+    /// during recovery replay and rejoin; must never kill the worker).
+    pub duplicate_commands_ignored: u64,
+    /// `RejoinAccepted` handshake replies received from the controller.
+    pub rejoin_acks: u64,
     /// Total application compute time.
     pub compute_time: Duration,
     /// Data-plane bytes sent to other workers.
@@ -63,6 +68,8 @@ impl WorkerStats {
         self.templates_installed += other.templates_installed;
         self.template_instantiations += other.template_instantiations;
         self.edits_applied += other.edits_applied;
+        self.duplicate_commands_ignored += other.duplicate_commands_ignored;
+        self.rejoin_acks += other.rejoin_acks;
         self.compute_time += other.compute_time;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;

@@ -6,6 +6,7 @@
 //! runnable commands, and reports completions back to the controller in
 //! batches.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +41,11 @@ pub struct WorkerConfig {
     pub spin_wait: Option<Duration>,
     /// How many completions to accumulate before reporting to the controller.
     pub completion_batch: usize,
+    /// Abrupt-death switch for fault-injection tests: when it flips to true
+    /// the worker stops immediately — no final completion flush, no goodbye
+    /// to the controller — emulating a killed process in thread-based
+    /// clusters (the dropped endpoint is what the controller observes).
+    pub kill_switch: Option<Arc<AtomicBool>>,
 }
 
 impl WorkerConfig {
@@ -57,6 +63,7 @@ impl WorkerConfig {
             vault,
             spin_wait: None,
             completion_batch: 64,
+            kill_switch: None,
         }
     }
 }
@@ -77,6 +84,8 @@ pub struct Worker<E: TransportEndpoint = Endpoint> {
     completed: Vec<CommandId>,
     compute_micros: u64,
     running: bool,
+    kill_switch: Option<Arc<AtomicBool>>,
+    killed: bool,
 }
 
 impl<E: TransportEndpoint> Worker<E> {
@@ -98,6 +107,8 @@ impl<E: TransportEndpoint> Worker<E> {
             completed: Vec::new(),
             compute_micros: 0,
             running: true,
+            kill_switch: config.kill_switch,
+            killed: false,
         }
     }
 
@@ -112,9 +123,30 @@ impl<E: TransportEndpoint> Worker<E> {
     }
 
     /// Runs until a `Shutdown` message arrives. Returns the final statistics.
+    ///
+    /// The first act of a running worker is to `Register` with the
+    /// controller: for workers of the initial allocation this is an
+    /// idempotent hello, while a restarted or late-added worker uses it to
+    /// open the rejoin handshake (the controller answers with
+    /// `RejoinAccepted`, reinstalls the worker's patched templates, and
+    /// migrates partitions to it through template edits).
     pub fn run(mut self) -> WorkerStats {
+        // Not routed through `send_to_controller`: on the in-process fabric
+        // a worker thread may start before the controller registers its
+        // endpoint, and that benign startup race must not count as a
+        // failure. The hello is advisory — the initial allocation works
+        // without it.
+        let _ = self.endpoint.send(
+            NodeId::Controller,
+            Message::FromWorker(WorkerToController::Register { worker: self.id }),
+        );
         while self.running {
             self.step(Duration::from_millis(5));
+        }
+        if self.killed {
+            // Abrupt death: vanish without a final report, like a killed
+            // process would.
+            return self.stats;
         }
         // Final flush so the controller sees everything.
         self.flush_completions(true);
@@ -125,6 +157,13 @@ impl<E: TransportEndpoint> Worker<E> {
     /// drains any further queued messages and executes runnable commands.
     /// Exposed for deterministic single-threaded tests.
     pub fn step(&mut self, idle_wait: Duration) {
+        if let Some(kill) = &self.kill_switch {
+            if kill.load(Ordering::Relaxed) {
+                self.running = false;
+                self.killed = true;
+                return;
+            }
+        }
         if self.queue.ready_len() == 0 {
             match self.endpoint.recv_timeout(idle_wait) {
                 Ok(envelope) => self.handle(envelope),
@@ -166,6 +205,10 @@ impl<E: TransportEndpoint> Worker<E> {
                 // A peer worker vanished: the controller notices through its
                 // own connection and drives recovery; nothing to do locally.
             }
+            Message::Transport(TransportEvent::PeerReconnected(_)) => {
+                // A peer (or the controller) came back; data transfers to it
+                // recover through the supervised transport automatically.
+            }
             other => {
                 self.stats.record_failure(format!(
                     "unexpected message {:?} at worker {}",
@@ -179,7 +222,7 @@ impl<E: TransportEndpoint> Worker<E> {
     fn handle_control(&mut self, msg: ControllerToWorker) {
         match msg {
             ControllerToWorker::ExecuteCommands { commands } => {
-                self.queue.add_commands(commands);
+                self.stats.duplicate_commands_ignored += self.queue.add_commands(commands);
             }
             ControllerToWorker::InstallTemplate { template } => {
                 let id = template.id;
@@ -202,7 +245,7 @@ impl<E: TransportEndpoint> Worker<E> {
                     Ok(commands) => {
                         self.stats.template_instantiations += 1;
                         self.stats.edits_applied += inst.edits.len() as u64;
-                        self.queue.add_commands(commands);
+                        self.stats.duplicate_commands_ignored += self.queue.add_commands(commands);
                     }
                     Err(e) => self.stats.record_failure(format!(
                         "instantiation of template {} failed: {e}",
@@ -227,7 +270,20 @@ impl<E: TransportEndpoint> Worker<E> {
                 self.queue.flush();
                 self.completed.clear();
                 self.compute_micros = 0;
+                // Recovery may be readmitting a restarted peer: an old
+                // outbound connection to its previous incarnation would
+                // swallow post-recovery data transfers into a half-open
+                // socket. Re-dial worker peers lazily instead.
+                self.endpoint.reset_worker_peers();
                 self.send_to_controller(WorkerToController::Halted { worker: self.id });
+            }
+            ControllerToWorker::RejoinAccepted { versions } => {
+                // The handshake reply: the controller admitted this worker
+                // and shared its current version map. The worker keeps no
+                // version bookkeeping of its own (the controller owns data
+                // placement), so this is acknowledgement plus observability.
+                self.stats.rejoin_acks += 1;
+                let _ = versions;
             }
             ControllerToWorker::Shutdown => {
                 self.running = false;
@@ -325,11 +381,21 @@ impl<E: TransportEndpoint> Worker<E> {
                 Ok(())
             }
             CommandKind::LoadData { object, key } => {
-                let data = self
-                    .vault
-                    .get(key)
-                    .ok_or_else(|| WorkerError::Net(format!("missing vault key {key}")))?;
-                self.store.replace(*object, data)?;
+                if let Some(data) = self.vault.get(key) {
+                    self.store.replace(*object, data)?;
+                } else if let Some(bytes) = self.vault.get_bytes(key) {
+                    // Saved by another (possibly dead) process into the
+                    // shared file-backed vault: decode the wire bytes into
+                    // the already-created destination object, whose concrete
+                    // type knows its own format — the same path rejoining
+                    // workers use for migrated partitions.
+                    self.store
+                        .get_mut(*object)?
+                        .decode_wire(&bytes)
+                        .map_err(WorkerError::Net)?;
+                } else {
+                    return Err(WorkerError::Net(format!("missing vault key {key}")));
+                }
                 self.stats.loads += 1;
                 Ok(())
             }
