@@ -1,0 +1,142 @@
+//! Codec microbenchmarks: `encode`, `encode_into` (buffer reuse), `decode`,
+//! and batch-frame assembly on representative control-plane envelopes.
+//!
+//! The end-to-end figure benches can hide a codec regression behind
+//! scheduling noise; these pin the per-message encode/decode costs in
+//! isolation so a slow serializer shows up immediately.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nimbus_core::ids::{
+    CommandId, FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, PhysicalObjectId,
+    TaskId, TemplateId, WorkerId,
+};
+use nimbus_core::template::WorkerInstantiation;
+use nimbus_core::{Command, CommandKind, TaskParams};
+use nimbus_net::framing::{append_batch_frame, parse_batch};
+use nimbus_net::{
+    codec, ControllerToWorker, DriverMessage, Envelope, Message, NodeId, WorkerToController,
+};
+
+/// A tiny fixed-size control message (the heartbeat/checkpoint shape).
+fn small_envelope() -> Envelope {
+    Envelope {
+        from: NodeId::Driver,
+        to: NodeId::Controller,
+        message: Message::Driver(DriverMessage::Checkpoint { marker: 42 }),
+    }
+}
+
+/// A realistic per-worker dispatch: eight commands with dependencies.
+fn execute_commands_envelope() -> Envelope {
+    let commands: Vec<Command> = (0..8u64)
+        .map(|i| {
+            Command::new(
+                CommandId(100 + i),
+                CommandKind::RunTask {
+                    function: FunctionId(1),
+                    task: TaskId(i),
+                },
+            )
+            .with_writes(vec![PhysicalObjectId(i)])
+            .with_before(if i == 0 {
+                vec![]
+            } else {
+                vec![CommandId(99 + i)]
+            })
+        })
+        .collect();
+    Envelope {
+        from: NodeId::Controller,
+        to: NodeId::Worker(WorkerId(1)),
+        message: Message::ToWorker(ControllerToWorker::ExecuteCommands { commands }),
+    }
+}
+
+/// The steady-state hot message: a worker-template instantiation with 16
+/// task slots and per-task parameters.
+fn instantiation_envelope() -> Envelope {
+    Envelope {
+        from: NodeId::Controller,
+        to: NodeId::Worker(WorkerId(0)),
+        message: Message::ToWorker(ControllerToWorker::InstantiateTemplate(
+            WorkerInstantiation {
+                template: TemplateId(3),
+                base_command_id: 1_000,
+                base_transfer_id: 64,
+                task_ids: (0..16).map(TaskId).collect(),
+                params: (0..16).map(|i| TaskParams::from_scalar(i as f64)).collect(),
+                edits: vec![],
+            },
+        )),
+    }
+}
+
+/// A completion report (the worker -> controller return path).
+fn completion_envelope() -> Envelope {
+    Envelope {
+        from: NodeId::Worker(WorkerId(1)),
+        to: NodeId::Controller,
+        message: Message::FromWorker(WorkerToController::CommandsCompleted {
+            worker: WorkerId(1),
+            commands: (0..64).map(CommandId).collect(),
+            compute_micros: 1234,
+        }),
+    }
+}
+
+fn cases() -> Vec<(&'static str, Envelope)> {
+    vec![
+        ("small", small_envelope()),
+        ("execute_commands", execute_commands_envelope()),
+        ("instantiation", instantiation_envelope()),
+        ("completion", completion_envelope()),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // Silence an unused-import lint trap for LogicalPartition helpers kept
+    // for future cases.
+    let _ = LogicalPartition::new(LogicalObjectId(1), PartitionIndex(0));
+
+    let mut group = c.benchmark_group("codec_roundtrip");
+    group.sample_size(30);
+    for (name, envelope) in cases() {
+        let bytes = codec::encode(&envelope).unwrap();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| codec::encode(&envelope).unwrap().len());
+        });
+        group.bench_function(format!("encode_into/{name}"), |b| {
+            let mut buf = Vec::with_capacity(bytes.len());
+            b.iter(|| {
+                buf.clear();
+                codec::encode_into(&envelope, &mut buf).unwrap();
+                buf.len()
+            });
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| codec::decode::<Envelope>(&bytes).unwrap());
+        });
+    }
+
+    // Batch frames: assembling and parsing a 64-message cork flush.
+    let batch: Vec<Envelope> = (0..64).map(|_| small_envelope()).collect();
+    let mut assembled = Vec::new();
+    append_batch_frame(&mut assembled, &batch).unwrap();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("batch_frame/append_64", |b| {
+        let mut buf = Vec::with_capacity(assembled.len());
+        b.iter(|| {
+            buf.clear();
+            append_batch_frame(&mut buf, &batch).unwrap();
+            buf.len()
+        });
+    });
+    group.bench_function("batch_frame/parse_64", |b| {
+        b.iter(|| parse_batch(&assembled[4..]).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

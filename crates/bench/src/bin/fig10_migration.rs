@@ -1,7 +1,7 @@
 //! Figure 10: migrating 5% of tasks every 5 iterations — edits versus full
 //! dataflow re-installation.
 
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_sim::{experiments, CostProfile};
 
 fn main() {
@@ -23,4 +23,10 @@ fn main() {
             TableRow::new("speedup", "~2x", format!("{:.2}x", naiad / nimbus)),
         ],
     );
+    BenchJson::new("fig10_migration")
+        .metric("nimbus_elapsed_s_20_iterations", nimbus)
+        .metric("naiad_elapsed_s_20_iterations", naiad)
+        .metric("speedup", naiad / nimbus)
+        .metric("paper_speedup", "~2x")
+        .write_or_die();
 }

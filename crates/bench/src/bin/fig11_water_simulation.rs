@@ -5,7 +5,7 @@
 //! flow.
 
 use nimbus_apps::water;
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_runtime::{AppSetup, Cluster, ClusterConfig};
 use nimbus_sim::{experiments, CostProfile};
 
@@ -48,4 +48,19 @@ fn main() {
         report.controller.controller_templates_installed,
         report.controller.controller_template_instantiations,
     );
+    BenchJson::new("fig11_water")
+        .metric("mpi_s_per_frame", sim.get("mpi_s").unwrap())
+        .metric("nimbus_s_per_frame", sim.get("nimbus_s").unwrap())
+        .metric(
+            "nimbus_without_templates_s_per_frame",
+            sim.get("nimbus_without_templates_s").unwrap(),
+        )
+        .metric("proxy_frames", report.output.frames as u64)
+        .metric("proxy_substeps", report.output.substeps as u64)
+        .metric(
+            "proxy_template_instantiations",
+            report.controller.controller_template_instantiations,
+        )
+        .metric("paper_nimbus_s_per_frame", 36.5)
+        .write_or_die();
 }

@@ -2,7 +2,7 @@
 //! the bottleneck — parallelizing Spark MLlib logistic regression reduces
 //! computation time but increases completion time.
 
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_sim::{experiments, CostProfile};
 
 fn main() {
@@ -31,4 +31,21 @@ fn main() {
             }),
         ],
     );
+    BenchJson::new("fig1_spark_bottleneck")
+        .metric("completion_s_30_workers", at30.get("iteration_s").unwrap())
+        .metric(
+            "completion_s_100_workers",
+            at100.get("iteration_s").unwrap(),
+        )
+        .metric(
+            "computation_s_30_workers",
+            at30.get("computation_s").unwrap(),
+        )
+        .metric(
+            "computation_s_100_workers",
+            at100.get("computation_s").unwrap(),
+        )
+        .metric("paper_completion_s_30_workers", 1.44)
+        .metric("paper_completion_s_100_workers", 1.73)
+        .write_or_die();
 }

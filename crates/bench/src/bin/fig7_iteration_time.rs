@@ -1,7 +1,7 @@
 //! Figure 7: iteration time of logistic regression and k-means on 20/50/100
 //! workers for Spark-opt, Naiad-opt, and Nimbus (execution templates).
 
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_sim::{experiments, CostProfile};
 
 fn main() {
@@ -53,4 +53,26 @@ fn main() {
             ),
         ],
     );
+    BenchJson::new("fig7_iteration_time")
+        .metric(
+            "lr_spark_opt_s_100_workers",
+            lr100.get("spark_opt_s").unwrap(),
+        )
+        .metric(
+            "lr_naiad_opt_s_100_workers",
+            lr100.get("naiad_opt_s").unwrap(),
+        )
+        .metric("lr_nimbus_s_100_workers", lr100.get("nimbus_s").unwrap())
+        .metric(
+            "km_spark_opt_s_100_workers",
+            km100.get("spark_opt_s").unwrap(),
+        )
+        .metric(
+            "km_naiad_opt_s_100_workers",
+            km100.get("naiad_opt_s").unwrap(),
+        )
+        .metric("km_nimbus_s_100_workers", km100.get("nimbus_s").unwrap())
+        .metric("paper_lr_nimbus_s_100_workers", 0.06)
+        .metric("paper_km_nimbus_s_100_workers", 0.10)
+        .write_or_die();
 }

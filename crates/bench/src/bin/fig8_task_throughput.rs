@@ -1,6 +1,6 @@
 //! Figure 8: task throughput of Nimbus and Spark as the worker count grows.
 
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_sim::{experiments, CostProfile};
 
 fn main() {
@@ -28,4 +28,20 @@ fn main() {
             ),
         ],
     );
+    BenchJson::new("fig8_task_throughput")
+        .metric(
+            "spark_tasks_per_sec_100_workers",
+            last.get("spark_tasks_per_s").unwrap(),
+        )
+        .metric(
+            "nimbus_tasks_per_sec_100_workers",
+            last.get("nimbus_tasks_per_s").unwrap(),
+        )
+        .metric(
+            "nimbus_peak_tasks_per_sec",
+            profile.template_steady_state_throughput(),
+        )
+        .metric("paper_nimbus_tasks_per_sec_100_workers", "~128,000")
+        .metric("paper_nimbus_peak_tasks_per_sec", ">500,000")
+        .write_or_die();
 }

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use nimbus_bench::{print_table, TableRow};
+use nimbus_bench::{print_table, BenchJson, TableRow};
 use nimbus_net::{DriverMessage, Message, NodeId, TcpFabric, TransportEndpoint};
 use nimbus_runtime::quickstart::{quickstart_driver, quickstart_setup, PARTITIONS};
 use nimbus_runtime::{Cluster, ClusterConfig};
@@ -126,6 +126,15 @@ fn main() {
         rtt < Duration::from_millis(20),
         "TCP round-trip regressed to the poll-loop era: {rtt:?} >= 20ms"
     );
+
+    BenchJson::new("fig8_transport")
+        .metric("in_process_tasks_per_sec", in_process.tasks_per_sec)
+        .metric("tcp_tasks_per_sec", tcp.tasks_per_sec)
+        .metric("tcp_slowdown", tcp.seconds / in_process.seconds)
+        .metric("in_process_control_bytes", in_process.control_bytes)
+        .metric("tcp_control_bytes", tcp.control_bytes)
+        .metric("tcp_median_round_trip_us", rtt.as_secs_f64() * 1e6)
+        .write_or_die();
 
     // Exact message counts differ by a few completion batches (workers
     // flush on idle, which is timing-dependent), but both transports must

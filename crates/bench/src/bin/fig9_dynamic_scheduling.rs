@@ -2,7 +2,7 @@
 //! iteration 10, eviction of 50 workers at iteration 20, and their return at
 //! iteration 30.
 
-use nimbus_bench::{print_rows, print_table, TableRow};
+use nimbus_bench::{print_rows, print_table, BenchJson, TableRow};
 use nimbus_sim::{experiments, CostProfile};
 
 fn main() {
@@ -36,4 +36,12 @@ fn main() {
             ),
         ],
     );
+    BenchJson::new("fig9_dynamic_scheduling")
+        .metric("iteration_s_templates_disabled", pick(5))
+        .metric("iteration_s_installing", pick(10))
+        .metric("iteration_s_steady_state", pick(15))
+        .metric("iteration_s_after_eviction", pick(25))
+        .metric("iteration_s_after_restore", pick(32))
+        .metric("paper_iteration_s_steady_state", 0.06)
+        .write_or_die();
 }

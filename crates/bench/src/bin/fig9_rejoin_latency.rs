@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use nimbus_bench::{print_table, TableRow};
+use nimbus_bench::{print_table, BenchJson, TableRow};
 use nimbus_core::appdata::{Scalar, VecF64};
 use nimbus_core::ids::WorkerId;
 use nimbus_core::TaskParams;
@@ -175,4 +175,27 @@ fn main() {
             ),
         ],
     );
+    BenchJson::new("fig9_rejoin")
+        .metric(
+            "iterations_to_recover_rejoin",
+            iterations_to_recover(&rejoin),
+        )
+        .metric(
+            "iterations_to_recover_restart",
+            iterations_to_recover(&restart),
+        )
+        .metric(
+            "template_recordings_rejoin",
+            rejoin.report.controller.controller_templates_installed,
+        )
+        .metric(
+            "template_recordings_restart",
+            restart.report.controller.controller_templates_installed,
+        )
+        .metric(
+            "instantiations_replayed_rejoin",
+            rejoin.report.controller.instantiations_replayed,
+        )
+        .metric("outage_ms", OUTAGE.as_millis() as u64)
+        .write_or_die();
 }

@@ -14,7 +14,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fixtures;
+pub mod json;
 pub mod report;
 
 pub use fixtures::{record_block, BenchCluster, BlockShape};
+pub use json::{BenchJson, MetricValue};
 pub use report::{print_rows, print_table, TableRow};

@@ -24,6 +24,17 @@ use nimbus_net::{
 };
 
 use crate::assignment::AssignmentPolicy;
+
+/// Upper bound on how many already-queued envelopes one loop turn handles
+/// before flushing the cork (see [`Controller::run`]).
+const CORK_BURST: usize = 128;
+
+/// Byte budget of one worker's corked buffer. Kept far below the
+/// transport's maximum frame so a flush always fits a single batch frame —
+/// which on TCP is written all-or-nothing, making the failed-flush
+/// uncounting in [`Controller::flush_outbox`] exact (a partial delivery
+/// would otherwise double-count completions against `outstanding`).
+const CORK_MAX_BYTES: usize = 8 << 20;
 use crate::data_manager::DataManager;
 use crate::error::{ControllerError, ControllerResult};
 use crate::expansion::{expand_task, refresh_instance, Bookkeeping, IdGens};
@@ -48,6 +59,13 @@ pub struct ControllerConfig {
     /// re-recordings. `None` (the default) recovers immediately onto the
     /// survivors, as before.
     pub rejoin_grace: Option<Duration>,
+    /// Whether hot-path sends (command dispatch and template instantiation)
+    /// are corked into one batched send per worker per flush (the default).
+    /// Disabled, the controller issues one transport send per message — the
+    /// pre-batching wire behavior the `fig8_real_throughput` bench measures
+    /// against. Message contents and per-worker ordering are identical
+    /// either way.
+    pub batch_sends: bool,
 }
 
 impl ControllerConfig {
@@ -59,6 +77,7 @@ impl ControllerConfig {
             enable_templates: true,
             checkpoint_every: None,
             rejoin_grace: None,
+            batch_sends: true,
         }
     }
 }
@@ -99,11 +118,26 @@ enum PendingSync {
     },
 }
 
+/// Messages corked for one worker between flushes, plus how many commands
+/// of `outstanding` they account for (so a failed flush can uncount them,
+/// matching the per-message path where a failed send was never counted).
+struct WorkerOutbox {
+    worker: WorkerId,
+    messages: Vec<Message>,
+    commands: u64,
+    /// Estimated wire bytes corked, to keep a flush within one frame.
+    bytes: usize,
+}
+
 /// The centralized controller node, generic over the transport connecting
 /// it to the cluster (in-process [`Endpoint`] by default, or TCP).
 pub struct Controller<E: TransportEndpoint = Endpoint> {
     endpoint: E,
     workers: Vec<WorkerId>,
+    /// `workers`, kept sorted and deduplicated: the steady-state template
+    /// lookup key, maintained on every allocation change so instantiation
+    /// never materializes (or sorts) a worker list per block.
+    workers_sorted: Vec<WorkerId>,
     all_workers: Vec<WorkerId>,
     dm: DataManager,
     bk: Bookkeeping,
@@ -152,14 +186,24 @@ pub struct Controller<E: TransportEndpoint = Endpoint> {
     replaying: bool,
     stats: ControlPlaneStats,
     running: bool,
+    /// Whether hot-path sends are corked into per-worker batches.
+    batch_sends: bool,
+    /// The cork: per-worker message buffers filled by the dispatch helpers
+    /// and flushed as one batched send per worker — at most one `write(2)`
+    /// each on TCP — before the controller blocks for more traffic.
+    outbox: Vec<WorkerOutbox>,
 }
 
 impl<E: TransportEndpoint> Controller<E> {
     /// Creates a controller bound to a transport endpoint.
     pub fn new(config: ControllerConfig, endpoint: E) -> Self {
+        let mut workers_sorted = config.workers.clone();
+        workers_sorted.sort_unstable();
+        workers_sorted.dedup();
         Self {
             endpoint,
             all_workers: config.workers.clone(),
+            workers_sorted,
             workers: config.workers,
             dm: DataManager::new(config.policy),
             bk: Bookkeeping::new(),
@@ -183,7 +227,19 @@ impl<E: TransportEndpoint> Controller<E> {
             replaying: false,
             stats: ControlPlaneStats::new(),
             running: true,
+            batch_sends: config.batch_sends,
+            outbox: Vec::new(),
         }
+    }
+
+    /// Re-derives the sorted allocation after `workers` changed. Allocation
+    /// changes are rare (eviction, rejoin, elastic join), so recomputing the
+    /// cache there keeps the per-instantiation path allocation-free.
+    fn note_workers_changed(&mut self) {
+        self.workers_sorted.clear();
+        self.workers_sorted.extend(self.workers.iter().copied());
+        self.workers_sorted.sort_unstable();
+        self.workers_sorted.dedup();
     }
 
     /// Read-only access to the accumulated control-plane statistics.
@@ -200,7 +256,26 @@ impl<E: TransportEndpoint> Controller<E> {
                 None => break,
             };
             self.handle(envelope);
+            // Opportunistic burst drain: handle whatever is already queued
+            // before flushing, so the sends of many pipelined driver
+            // requests (the paper's steady-state instantiation stream)
+            // coalesce into one batched send per worker. Bounded so a
+            // flooding driver cannot starve the flush, and always followed
+            // by a flush before the next blocking receive — corked messages
+            // never outlive the burst that produced them.
+            let mut burst = 1usize;
+            while self.running && burst < CORK_BURST {
+                let next = match self.deferred.pop_front() {
+                    Some(e) => Some(e),
+                    None => self.endpoint.try_recv().ok(),
+                };
+                let Some(envelope) = next else { break };
+                self.handle(envelope);
+                burst += 1;
+            }
+            self.flush_outbox();
         }
+        self.flush_outbox();
         self.stats
     }
 
@@ -289,6 +364,7 @@ impl<E: TransportEndpoint> Controller<E> {
                     // keep the recovery moving instead of wedging.
                     let still_awaited = awaiting_rejoin.is_some();
                     self.workers.retain(|x| *x != w);
+                    self.note_workers_changed();
                     if self.workers.is_empty() && !still_awaited {
                         self.sync = PendingSync::None;
                         self.resume_after_recovery = PendingSync::None;
@@ -329,6 +405,9 @@ impl<E: TransportEndpoint> Controller<E> {
     /// included — their in-process thread may still be alive; a dead TCP
     /// peer just fails the send) and stops the controller loop.
     fn shutdown_workers(&mut self) {
+        // Corked commands first: a Shutdown that overtook them would stop a
+        // worker with work still in flight.
+        self.flush_outbox();
         for w in &self.all_workers {
             let _ = self.endpoint.send(
                 NodeId::Worker(*w),
@@ -432,10 +511,9 @@ impl<E: TransportEndpoint> Controller<E> {
             }
             DriverMessage::MigrateTasks { name, count } => {
                 self.replay_valid = false;
-                let workers = self.workers.clone();
                 match self
                     .tm
-                    .plan_migrations(&name, count, &workers, &mut self.dm)
+                    .plan_migrations(&name, count, &self.workers, &mut self.dm)
                 {
                     Ok(planned) => {
                         self.stats.edits_applied += planned as u64;
@@ -522,7 +600,7 @@ impl<E: TransportEndpoint> Controller<E> {
         let group = self
             .tm
             .registry
-            .find_group_for_workers(ct_id, &self.workers)
+            .find_group_for_sorted_workers(ct_id, &self.workers_sorted)
             .map(|g| g.id);
 
         match group {
@@ -552,15 +630,19 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.stats.edits_applied += edit_count as u64;
                 self.stats.worker_template_instantiations += plan.per_worker.len() as u64;
                 self.stats.tasks_from_templates += plan.task_count;
+                // Counted unconditionally (not per send): a send to a worker
+                // that just died must not fail the instantiation — the
+                // transport's disconnect notice follows and recovery resets
+                // `outstanding` and the data state wholesale.
                 self.outstanding += plan.expected_commands;
                 for (worker, instantiation) in plan.per_worker {
-                    // Tolerate a send to a worker that just died: the
-                    // transport's disconnect notice follows and recovery
-                    // resets `outstanding` and the data state; failing the
-                    // whole instantiation would race that notice.
-                    let _ = self.send_worker(
+                    // Queued behind any patch commands corked for the same
+                    // worker, so the whole instantiation leaves as one
+                    // batched send per worker.
+                    self.queue_worker(
                         worker,
                         ControllerToWorker::InstantiateTemplate(instantiation),
+                        0,
                     );
                 }
             }
@@ -672,6 +754,7 @@ impl<E: TransportEndpoint> Controller<E> {
             self.dm.drop_worker(*w);
         }
         self.workers = new_workers;
+        self.note_workers_changed();
         Ok(())
     }
 
@@ -756,6 +839,7 @@ impl<E: TransportEndpoint> Controller<E> {
         // the in-process "failed" thread still needs a shutdown message at
         // job end (a real deployment would simply have lost the process).
         self.workers.retain(|w| *w != failed);
+        self.note_workers_changed();
         let awaiting_rejoin = if allow_rejoin_wait {
             self.rejoin_grace.map(|grace| {
                 self.rejoin_deadline = Some(Instant::now() + grace);
@@ -774,7 +858,8 @@ impl<E: TransportEndpoint> Controller<E> {
         // sent is dying too — its own disconnect notice will evict it; it
         // must not be waited on for an acknowledgement that cannot come.
         let mut pending_halts = Vec::new();
-        for w in self.workers.clone() {
+        for i in 0..self.workers.len() {
+            let w = self.workers[i];
             if self.send_worker(w, ControllerToWorker::Halt).is_ok() {
                 pending_halts.push(w);
             }
@@ -1014,6 +1099,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 rejoined.push(worker);
                 self.rejoin_deadline = None;
                 self.workers.push(worker);
+                self.note_workers_changed();
                 self.stats.rejoins_handled += 1;
                 self.reinstall_templates(worker);
                 self.send_rejoin_ack(worker);
@@ -1035,8 +1121,8 @@ impl<E: TransportEndpoint> Controller<E> {
             self.all_workers.push(worker);
         }
         self.workers.push(worker);
-        let workers_after = self.workers.clone();
-        match self.tm.admit_worker(worker, &workers_after, &mut self.dm) {
+        self.note_workers_changed();
+        match self.tm.admit_worker(worker, &self.workers, &mut self.dm) {
             Ok((installs, planned)) => {
                 self.stats.edits_applied += planned as u64;
                 for template in installs {
@@ -1054,6 +1140,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 // protocol; the job simply continues on the old allocation
                 // (the idle worker is shut down with everyone at job end).
                 self.workers.retain(|w| *w != worker);
+                self.note_workers_changed();
             }
         }
     }
@@ -1252,26 +1339,109 @@ impl<E: TransportEndpoint> Controller<E> {
         for worker in order {
             let batch = per_worker.remove(&worker).unwrap_or_default();
             let count = batch.len() as u64;
-            // A failed send means the worker just died: its transport
-            // disconnect notice is (or shortly will be) in the inbox, and
-            // recovery will rebuild this state wholesale. Erroring the
-            // driver here would race that notice; not counting the commands
-            // keeps drains from wedging if recovery is impossible.
-            if self
-                .send_worker(
-                    worker,
-                    ControllerToWorker::ExecuteCommands { commands: batch },
-                )
-                .is_ok()
-            {
-                self.outstanding += count;
-                self.stats.commands_dispatched += count;
-            }
+            self.queue_worker(
+                worker,
+                ControllerToWorker::ExecuteCommands { commands: batch },
+                count,
+            );
         }
         Ok(())
     }
 
+    /// Queues a hot-path message for `worker` on the cork, optimistically
+    /// accounting its `commands` into `outstanding` (a failed flush uncounts
+    /// them). With batching disabled this degenerates to the per-message
+    /// path: one transport send, counted only on success — a failed send
+    /// means the worker just died, its transport disconnect notice is (or
+    /// shortly will be) in the inbox, and recovery rebuilds this state
+    /// wholesale; erroring the driver here would race that notice, and not
+    /// counting the commands keeps drains from wedging if recovery is
+    /// impossible.
+    fn queue_worker(&mut self, worker: WorkerId, msg: ControllerToWorker, commands: u64) {
+        if !self.batch_sends {
+            if self.send_worker(worker, msg).is_ok() {
+                self.outstanding += commands;
+                self.stats.commands_dispatched += commands;
+            }
+            return;
+        }
+        let message = Message::ToWorker(msg);
+        let size = message.wire_size();
+        self.stats.record_message(message.tag(), size);
+        self.outstanding += commands;
+        self.stats.commands_dispatched += commands;
+        // An entry about to outgrow one wire frame is flushed first: the
+        // batch stays all-or-nothing on the wire, so failure accounting
+        // never has to guess how much of a batch was delivered.
+        if let Some(entry) = self.outbox.iter().find(|o| o.worker == worker) {
+            if entry.bytes + size > CORK_MAX_BYTES {
+                self.flush_worker_outbox(worker);
+            }
+        }
+        match self.outbox.iter_mut().find(|o| o.worker == worker) {
+            Some(entry) => {
+                entry.messages.push(message);
+                entry.commands += commands;
+                entry.bytes += size;
+            }
+            None => self.outbox.push(WorkerOutbox {
+                worker,
+                messages: vec![message],
+                commands,
+                bytes: size,
+            }),
+        }
+    }
+
+    /// Flushes every corked per-worker buffer: one batched send — at most
+    /// one `write(2)` on TCP — per worker. A failed flush means the worker
+    /// died mid-batch; its optimistically counted commands are uncounted,
+    /// restoring the per-message invariant that undeliverable commands never
+    /// inflate `outstanding`, and the transport's disconnect notice drives
+    /// recovery as usual.
+    fn flush_outbox(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let outbox = std::mem::take(&mut self.outbox);
+        for entry in outbox {
+            if self
+                .endpoint
+                .send_many(NodeId::Worker(entry.worker), entry.messages)
+                .is_err()
+            {
+                self.outstanding = self.outstanding.saturating_sub(entry.commands);
+                self.stats.commands_dispatched = self
+                    .stats
+                    .commands_dispatched
+                    .saturating_sub(entry.commands);
+            }
+        }
+    }
+
+    /// Flushes the corked buffer of one worker (if any). Every direct send
+    /// goes through this first, so a directly sent message can never
+    /// overtake commands corked for the same worker.
+    fn flush_worker_outbox(&mut self, worker: WorkerId) {
+        let Some(index) = self.outbox.iter().position(|o| o.worker == worker) else {
+            return;
+        };
+        let entry = self.outbox.remove(index);
+        if self
+            .endpoint
+            .send_many(NodeId::Worker(entry.worker), entry.messages)
+            .is_err()
+        {
+            self.outstanding = self.outstanding.saturating_sub(entry.commands);
+            self.stats.commands_dispatched = self
+                .stats
+                .commands_dispatched
+                .saturating_sub(entry.commands);
+        }
+    }
+
     fn send_worker(&mut self, worker: WorkerId, msg: ControllerToWorker) -> ControllerResult<()> {
+        self.flush_worker_outbox(worker);
         let message = Message::ToWorker(msg);
         self.stats
             .record_message(message.tag(), message.wire_size());

@@ -141,6 +141,10 @@ pub struct TemplateManager {
     recording: Option<RecordingState>,
     /// Edits planned but not yet shipped, per group and worker.
     pending_edits: HashMap<TemplateId, HashMap<WorkerId, Vec<TemplateEdit>>>,
+    /// Reusable sorted-worker scratch for [`Self::plan_instantiation`], so
+    /// steady-state planning does not materialize a fresh worker list per
+    /// block.
+    worker_scratch: Vec<WorkerId>,
 }
 
 impl Default for TemplateManager {
@@ -160,6 +164,7 @@ impl TemplateManager {
             edits_planned: 0,
             recording: None,
             pending_edits: HashMap::new(),
+            worker_scratch: Vec::new(),
         }
     }
 
@@ -484,7 +489,10 @@ impl TemplateManager {
                 }
             }
         }
-        let group = self.registry.group(group_id)?.clone();
+        // Borrowed, not cloned: the group holds every worker's skeleton, so
+        // cloning it per instantiation was an O(tasks) allocation on the
+        // single hottest path of the controller.
+        let group = self.registry.group(group_id)?;
         let controller_template = self
             .registry
             .controller_template(group.controller_template)?;
@@ -526,18 +534,19 @@ impl TemplateManager {
         // controller; expected_commands covers only the template's entries.
         let mut per_worker = Vec::with_capacity(group.per_worker.len());
         let mut expected_commands = 0u64;
-        let mut workers: Vec<WorkerId> = group.per_worker.keys().copied().collect();
-        workers.sort_unstable();
-        for worker in workers {
+        self.worker_scratch.clear();
+        self.worker_scratch.extend(group.per_worker.keys().copied());
+        self.worker_scratch.sort_unstable();
+        for &worker in &self.worker_scratch {
             let template = &group.per_worker[&worker];
             let live_entries = template.entries.iter().filter(|e| !e.kind.is_nop()).count() as u64;
             expected_commands += live_entries;
             let base_command = ids.commands.next_block(template.len().max(1) as u64);
-            let slot_map = group
+            let slot_map: &[usize] = group
                 .task_slot_map
                 .get(&worker)
-                .cloned()
-                .unwrap_or_default();
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
             let task_ids: Vec<TaskId> = slot_map
                 .iter()
                 .map(|entry| TaskId(task_base + *entry as u64))

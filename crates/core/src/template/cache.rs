@@ -89,6 +89,21 @@ impl TemplateRegistry {
     ) -> Option<&WorkerTemplateGroup> {
         let mut sorted: Vec<WorkerId> = workers.to_vec();
         sorted.sort_unstable();
+        sorted.dedup();
+        self.find_group_for_sorted_workers(controller_template, &sorted)
+    }
+
+    /// [`TemplateRegistry::find_group_for_workers`] for a caller that
+    /// already holds the allocation sorted and deduplicated (the controller
+    /// caches one). This is the steady-state instantiation path, so the
+    /// lookup allocates nothing: membership is checked against the groups'
+    /// key sets directly instead of materializing worker lists.
+    pub fn find_group_for_sorted_workers(
+        &self,
+        controller_template: TemplateId,
+        sorted: &[WorkerId],
+    ) -> Option<&WorkerTemplateGroup> {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
         let candidates = self.groups_by_controller.get(&controller_template)?;
         // Prefer an exact match (most recent first), then any group whose
         // workers are all still allocated.
@@ -96,13 +111,16 @@ impl TemplateRegistry {
             .iter()
             .rev()
             .filter_map(|id| self.groups.get(id))
-            .find(|g| g.workers() == sorted)
+            .find(|g| {
+                g.per_worker.len() == sorted.len()
+                    && sorted.iter().all(|w| g.per_worker.contains_key(w))
+            })
             .or_else(|| {
                 candidates
                     .iter()
                     .rev()
                     .filter_map(|id| self.groups.get(id))
-                    .find(|g| g.workers().iter().all(|w| sorted.contains(w)))
+                    .find(|g| g.per_worker.keys().all(|w| sorted.binary_search(w).is_ok()))
             })
     }
 

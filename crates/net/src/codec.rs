@@ -41,21 +41,51 @@ pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> usize {
 
 /// Encodes `value` into the compact binary wire format.
 pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut encoder = Encoder { buf: Vec::new() };
-    value.serialize(&mut encoder)?;
-    Ok(encoder.buf)
+    let mut buf = Vec::new();
+    encode_into(value, &mut buf)?;
+    Ok(buf)
+}
+
+/// Appends the encoding of `value` to `buf` without clearing it, reserving
+/// exactly the needed capacity up front (the counting serializer and the
+/// encoder share one layout, so [`serialized_size`] is an exact
+/// reservation, not a guess). This is the allocation-free hot path: a caller
+/// that clears and reuses one buffer per connection encodes every
+/// steady-state message with zero allocations once the buffer has grown to
+/// its working size.
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, buf: &mut Vec<u8>) -> Result<(), CodecError> {
+    buf.reserve(serialized_size(value));
+    let mut encoder = Encoder { buf };
+    value.serialize(&mut encoder)
 }
 
 /// Encodes `value` prefixed with its 4-byte little-endian payload length —
 /// the TCP transport's frame layout — in a single buffer, so large payloads
 /// are not copied a second time just to prepend the header.
 pub fn encode_framed<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut encoder = Encoder { buf: vec![0u8; 4] };
+    let mut buf = Vec::new();
+    encode_framed_into(value, &mut buf)?;
+    Ok(buf)
+}
+
+/// Appends a length-prefixed frame containing `value` to `buf` (the
+/// buffer-reuse twin of [`encode_framed`]): 4 placeholder header bytes are
+/// appended, the payload is encoded in place, and the header is patched with
+/// the payload length. Returns the payload length in bytes.
+pub fn encode_framed_into<T: Serialize + ?Sized>(
+    value: &T,
+    buf: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    let start = buf.len();
+    buf.reserve(4 + serialized_size(value));
+    buf.extend_from_slice(&[0u8; 4]);
+    let mut encoder = Encoder { buf };
     value.serialize(&mut encoder)?;
-    let len = u32::try_from(encoder.buf.len() - 4)
+    let payload_len = buf.len() - start - 4;
+    let len = u32::try_from(payload_len)
         .map_err(|_| CodecError("frame payload length exceeds u32".to_string()))?;
-    encoder.buf[..4].copy_from_slice(&len.to_le_bytes());
-    Ok(encoder.buf)
+    buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(payload_len)
 }
 
 /// Decodes a value from the compact binary wire format. The input must be
@@ -78,6 +108,14 @@ pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, CodecErro
 /// truncated input on the decode side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodecError(String);
+
+impl CodecError {
+    /// Crate-internal constructor for framing-level errors that share this
+    /// error type.
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        CodecError(message.into())
+    }
+}
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -377,11 +415,11 @@ impl ser::SerializeStructVariant for &mut ByteCounter {
 // Encoder: the writing twin of ByteCounter.
 // ---------------------------------------------------------------------------
 
-struct Encoder {
-    buf: Vec<u8>,
+struct Encoder<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Encoder {
+impl Encoder<'_> {
     fn put_len(&mut self, len: usize, what: &str) -> Result<(), CodecError> {
         let len = u32::try_from(len)
             .map_err(|_| CodecError(format!("{what} length {len} exceeds u32")))?;
@@ -406,16 +444,16 @@ macro_rules! encode_fixed {
     };
 }
 
-impl<'a> ser::Serializer for &'a mut Encoder {
+impl<'a, 'b> ser::Serializer for &'a mut Encoder<'b> {
     type Ok = ();
     type Error = CodecError;
-    type SerializeSeq = &'a mut Encoder;
-    type SerializeTuple = &'a mut Encoder;
-    type SerializeTupleStruct = &'a mut Encoder;
-    type SerializeTupleVariant = &'a mut Encoder;
-    type SerializeMap = &'a mut Encoder;
-    type SerializeStruct = &'a mut Encoder;
-    type SerializeStructVariant = &'a mut Encoder;
+    type SerializeSeq = &'a mut Encoder<'b>;
+    type SerializeTuple = &'a mut Encoder<'b>;
+    type SerializeTupleStruct = &'a mut Encoder<'b>;
+    type SerializeTupleVariant = &'a mut Encoder<'b>;
+    type SerializeMap = &'a mut Encoder<'b>;
+    type SerializeStruct = &'a mut Encoder<'b>;
+    type SerializeStructVariant = &'a mut Encoder<'b>;
 
     encode_fixed!(serialize_i8, i8);
     encode_fixed!(serialize_i16, i16);
@@ -551,7 +589,7 @@ impl<'a> ser::Serializer for &'a mut Encoder {
     }
 }
 
-impl ser::SerializeSeq for &mut Encoder {
+impl ser::SerializeSeq for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -564,7 +602,7 @@ impl ser::SerializeSeq for &mut Encoder {
     }
 }
 
-impl ser::SerializeTuple for &mut Encoder {
+impl ser::SerializeTuple for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -577,7 +615,7 @@ impl ser::SerializeTuple for &mut Encoder {
     }
 }
 
-impl ser::SerializeTupleStruct for &mut Encoder {
+impl ser::SerializeTupleStruct for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -590,7 +628,7 @@ impl ser::SerializeTupleStruct for &mut Encoder {
     }
 }
 
-impl ser::SerializeTupleVariant for &mut Encoder {
+impl ser::SerializeTupleVariant for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -603,7 +641,7 @@ impl ser::SerializeTupleVariant for &mut Encoder {
     }
 }
 
-impl ser::SerializeMap for &mut Encoder {
+impl ser::SerializeMap for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -620,7 +658,7 @@ impl ser::SerializeMap for &mut Encoder {
     }
 }
 
-impl ser::SerializeStruct for &mut Encoder {
+impl ser::SerializeStruct for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 
@@ -637,7 +675,7 @@ impl ser::SerializeStruct for &mut Encoder {
     }
 }
 
-impl ser::SerializeStructVariant for &mut Encoder {
+impl ser::SerializeStructVariant for &mut Encoder<'_> {
     type Ok = ();
     type Error = CodecError;
 

@@ -15,18 +15,19 @@
 
 pub mod codec;
 pub mod diagnostics;
+pub mod framing;
 pub mod message;
 pub mod payload;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
 
-pub use codec::{decode, encode, serialized_size, CodecError};
+pub use codec::{decode, encode, encode_into, serialized_size, CodecError};
 pub use message::{
     ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message, NodeId,
     PartitionVersion, TransportEvent, WorkerToController,
 };
 pub use payload::DataPayload;
-pub use stats::NetworkStats;
+pub use stats::{NetworkStats, SharedNetworkStats};
 pub use tcp::{DialPolicy, TcpEndpoint, TcpFabric};
 pub use transport::{Endpoint, LatencyModel, NetError, NetResult, Network, TransportEndpoint};

@@ -1,8 +1,187 @@
 //! Network traffic statistics.
+//!
+//! The transports record one entry per delivered message on the hottest path
+//! of the whole system, so the shared recorder ([`SharedNetworkStats`]) is
+//! built from plain atomics: recording a message is a handful of relaxed
+//! `fetch_add`s, never a lock, and never a clone. Per-tag counts use a fixed
+//! table of known control-plane tags ([`TAGS`]) so they get an atomic slot
+//! each instead of a locked hash map. Snapshots ([`NetworkStats`]) are the
+//! plain owned struct the reports and tests consume.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters kept by the transport, split into control plane and data plane.
+/// Every message tag the transports can record, in a fixed order so each tag
+/// owns one atomic counter slot. Unknown tags (future message types that
+/// forget to register here) fall into a shared `"other"` bucket rather than
+/// being dropped.
+pub const TAGS: [&str; 34] = [
+    "define_dataset",
+    "submit_task",
+    "start_template",
+    "finish_template",
+    "abort_template",
+    "instantiate_template",
+    "fetch_value",
+    "barrier",
+    "enable_templates",
+    "checkpoint",
+    "migrate_tasks",
+    "set_workers",
+    "fail_worker",
+    "shutdown",
+    "value_fetched",
+    "barrier_reached",
+    "template_installed",
+    "checkpoint_committed",
+    "recovery_complete",
+    "ack",
+    "error",
+    "job_terminated",
+    "execute_commands",
+    "install_template",
+    "halt",
+    "rejoin_accepted",
+    "commands_completed",
+    "worker_template_installed",
+    "worker_value_fetched",
+    "halted",
+    "heartbeat",
+    "register",
+    "data_transfer",
+    "transport_event",
+];
+
+/// Index of the overflow bucket for tags not present in [`TAGS`].
+const OTHER: usize = TAGS.len();
+
+/// Maps a tag to its counter slot (the `"other"` bucket for unknown tags).
+fn tag_index(tag: &str) -> usize {
+    match tag {
+        "define_dataset" => 0,
+        "submit_task" => 1,
+        "start_template" => 2,
+        "finish_template" => 3,
+        "abort_template" => 4,
+        "instantiate_template" => 5,
+        "fetch_value" => 6,
+        "barrier" => 7,
+        "enable_templates" => 8,
+        "checkpoint" => 9,
+        "migrate_tasks" => 10,
+        "set_workers" => 11,
+        "fail_worker" => 12,
+        "shutdown" => 13,
+        "value_fetched" => 14,
+        "barrier_reached" => 15,
+        "template_installed" => 16,
+        "checkpoint_committed" => 17,
+        "recovery_complete" => 18,
+        "ack" => 19,
+        "error" => 20,
+        "job_terminated" => 21,
+        "execute_commands" => 22,
+        "install_template" => 23,
+        "halt" => 24,
+        "rejoin_accepted" => 25,
+        "commands_completed" => 26,
+        "worker_template_installed" => 27,
+        "worker_value_fetched" => 28,
+        "halted" => 29,
+        "heartbeat" => 30,
+        "register" => 31,
+        "data_transfer" => 32,
+        "transport_event" => 33,
+        _ => OTHER,
+    }
+}
+
+/// Lock-free traffic counters shared between a fabric and its endpoints.
+///
+/// All loads and stores are `Relaxed`: the counters are statistics, not
+/// synchronization, and a snapshot taken while traffic flows is allowed to
+/// be mid-flight by a message.
+#[derive(Debug)]
+pub struct SharedNetworkStats {
+    messages: AtomicU64,
+    control_bytes: AtomicU64,
+    data_bytes: AtomicU64,
+    frames_coalesced: AtomicU64,
+    batched_commands: AtomicU64,
+    tcp_writes: AtomicU64,
+    by_tag: [AtomicU64; TAGS.len() + 1],
+}
+
+impl Default for SharedNetworkStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedNetworkStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self {
+            messages: AtomicU64::new(0),
+            control_bytes: AtomicU64::new(0),
+            data_bytes: AtomicU64::new(0),
+            frames_coalesced: AtomicU64::new(0),
+            batched_commands: AtomicU64::new(0),
+            tcp_writes: AtomicU64::new(0),
+            by_tag: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one delivered message.
+    pub fn record(&self, tag: &str, bytes: usize, is_data: bool) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        if is_data {
+            self.data_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.control_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        self.by_tag[tag_index(tag)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that `n` messages were delivered through one batched send
+    /// (`n >= 2`): the batch saved `n - 1` frames over the per-message path.
+    pub fn record_batch(&self, n: u64) {
+        self.batched_commands.fetch_add(n, Ordering::Relaxed);
+        self.frames_coalesced
+            .fetch_add(n.saturating_sub(1), Ordering::Relaxed);
+    }
+
+    /// Records one `write(2)` issued by a TCP writer (one per flushed frame
+    /// or batch — the counter the syscall-per-flush tests pin).
+    pub fn record_tcp_write(&self) {
+        self.tcp_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes an owned snapshot of every counter.
+    pub fn snapshot(&self) -> NetworkStats {
+        let mut by_tag = HashMap::new();
+        for (i, slot) in self.by_tag.iter().enumerate() {
+            let count = slot.load(Ordering::Relaxed);
+            if count > 0 {
+                let tag = if i == OTHER { "other" } else { TAGS[i] };
+                by_tag.insert(tag.to_string(), count);
+            }
+        }
+        NetworkStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            control_bytes: self.control_bytes.load(Ordering::Relaxed),
+            data_bytes: self.data_bytes.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            batched_commands: self.batched_commands.load(Ordering::Relaxed),
+            tcp_writes: self.tcp_writes.load(Ordering::Relaxed),
+            by_tag,
+        }
+    }
+}
+
+/// An owned snapshot of the transport's counters, split into control plane
+/// and data plane.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetworkStats {
     /// Total messages delivered.
@@ -11,6 +190,14 @@ pub struct NetworkStats {
     pub control_bytes: u64,
     /// Data-plane bytes delivered.
     pub data_bytes: u64,
+    /// Frames saved by batched sends: each batch of `n` messages crosses the
+    /// wire as one frame instead of `n`, saving `n - 1`.
+    pub frames_coalesced: u64,
+    /// Messages that were delivered through a batched send.
+    pub batched_commands: u64,
+    /// `write(2)` calls issued by TCP writers (one per flushed frame or
+    /// batch).
+    pub tcp_writes: u64,
     /// Message counts by tag.
     pub by_tag: HashMap<String, u64>,
 }
@@ -21,7 +208,8 @@ impl NetworkStats {
         Self::default()
     }
 
-    /// Records one delivered message.
+    /// Records one delivered message (snapshot-side convenience, used by
+    /// unit tests; the transports record through [`SharedNetworkStats`]).
     pub fn record(&mut self, tag: &str, bytes: usize, is_data: bool) {
         self.messages += 1;
         if is_data {
@@ -59,5 +247,41 @@ mod tests {
         assert_eq!(s.total_bytes(), 1150);
         assert_eq!(s.count("submit_task"), 2);
         assert_eq!(s.count("missing"), 0);
+    }
+
+    #[test]
+    fn shared_stats_snapshot_matches_recorded_traffic() {
+        let shared = SharedNetworkStats::new();
+        shared.record("submit_task", 100, false);
+        shared.record("data_transfer", 1000, true);
+        shared.record("submit_task", 50, false);
+        shared.record_batch(4);
+        shared.record_tcp_write();
+        let s = shared.snapshot();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.control_bytes, 150);
+        assert_eq!(s.data_bytes, 1000);
+        assert_eq!(s.count("submit_task"), 2);
+        assert_eq!(s.count("data_transfer"), 1);
+        assert_eq!(s.batched_commands, 4);
+        assert_eq!(s.frames_coalesced, 3);
+        assert_eq!(s.tcp_writes, 1);
+    }
+
+    #[test]
+    fn every_known_tag_owns_a_distinct_slot() {
+        for (i, tag) in TAGS.iter().enumerate() {
+            assert_eq!(tag_index(tag), i, "tag {tag} maps to the wrong slot");
+        }
+        assert_eq!(tag_index("definitely_not_a_tag"), OTHER);
+    }
+
+    #[test]
+    fn unknown_tags_land_in_the_other_bucket() {
+        let shared = SharedNetworkStats::new();
+        shared.record("mystery", 10, false);
+        let s = shared.snapshot();
+        assert_eq!(s.count("other"), 1);
+        assert_eq!(s.control_bytes, 10);
     }
 }

@@ -9,10 +9,20 @@
 //! stream is only read, a dialed stream is only written.
 //!
 //! Framing is a 4-byte little-endian payload length followed by one
-//! [`Envelope`] in the compact binary codec ([`crate::codec`]). Frames
-//! larger than [`MAX_FRAME`] and frames that fail to decode are treated as a
-//! malformed peer: the connection is dropped without panicking and the rest
-//! of the fabric keeps working.
+//! [`Envelope`] in the compact binary codec ([`crate::codec`]); a header
+//! with the high bit set marks a *batch frame* carrying several envelopes
+//! back to back (see [`crate::framing`]). Frames larger than [`MAX_FRAME`]
+//! and frames that fail to decode are treated as a malformed peer: the
+//! connection is dropped without panicking and the rest of the fabric keeps
+//! working.
+//!
+//! Writers are *corked*: each peer owns one reusable encode buffer, a
+//! message is encoded straight into it (zero steady-state allocations), and
+//! a batched send ([`TransportEndpoint::send_many`]) coalesces every queued
+//! message into one buffer flushed with a single `write(2)` — instead of
+//! one encode allocation, one lock round-trip, and one syscall per message.
+//! The per-`write(2)` counter in the shared stats pins this behavior in
+//! tests.
 //!
 //! Streams are *supervised*: a dead established stream marks the peer as
 //! down with a bounded exponential redial backoff instead of killing it
@@ -41,13 +51,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::codec;
+use crate::framing::{self, BATCH_FLAG};
 use crate::message::{Envelope, Message, NodeId, TransportEvent};
-use crate::stats::NetworkStats;
+use crate::stats::{NetworkStats, SharedNetworkStats};
 use crate::transport::{NetError, NetResult, TransportEndpoint};
 
-/// Maximum accepted frame payload size. Anything larger is treated as a
-/// malformed peer and the connection is dropped.
-pub const MAX_FRAME: usize = 64 << 20;
+pub use crate::framing::MAX_FRAME;
 
 /// Pause between attempts while a *first* dial waits out the startup window.
 const DIAL_PAUSE: Duration = Duration::from_millis(20);
@@ -107,7 +116,7 @@ struct PeerBackoff {
 pub struct TcpFabric {
     addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
     prebound: Mutex<HashMap<NodeId, TcpListener>>,
-    stats: Arc<Mutex<NetworkStats>>,
+    stats: Arc<SharedNetworkStats>,
     dial_policy: DialPolicy,
 }
 
@@ -124,7 +133,7 @@ impl TcpFabric {
         Ok(Self {
             addrs: Arc::new(RwLock::new(addrs)),
             prebound: Mutex::new(prebound),
-            stats: Arc::new(Mutex::new(NetworkStats::new())),
+            stats: Arc::new(SharedNetworkStats::new()),
             dial_policy: DialPolicy::default(),
         })
     }
@@ -134,7 +143,7 @@ impl TcpFabric {
         Self {
             addrs: Arc::new(RwLock::new(addrs)),
             prebound: Mutex::new(HashMap::new()),
-            stats: Arc::new(Mutex::new(NetworkStats::new())),
+            stats: Arc::new(SharedNetworkStats::new()),
             dial_policy: DialPolicy::default(),
         }
     }
@@ -192,7 +201,7 @@ impl TcpFabric {
     /// fabric (meaningful for single-process clusters; each process of a
     /// multi-process cluster sees only its own endpoints' sends).
     pub fn stats(&self) -> NetworkStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 }
 
@@ -204,8 +213,10 @@ struct Shared {
     node: NodeId,
     addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
     dial_policy: DialPolicy,
-    /// Write halves, one dialed stream per peer.
-    writers: Mutex<HashMap<NodeId, Arc<Mutex<TcpStream>>>>,
+    /// Write halves, one dialed stream per peer, each with its own corked
+    /// encode buffer (cleared and reused per flush, so steady-state sends
+    /// allocate nothing).
+    writers: Mutex<HashMap<NodeId, Arc<Mutex<PeerWriter>>>>,
     /// Peers whose stream died or whose dial gave up, with redial backoff.
     downed: Mutex<HashMap<NodeId, PeerBackoff>>,
     /// Live inbound stream count per identified peer.
@@ -215,7 +226,7 @@ struct Shared {
     /// `PeerReconnected`.
     lost_inbound: Mutex<HashSet<NodeId>>,
     inbox_tx: Sender<Envelope>,
-    stats: Arc<Mutex<NetworkStats>>,
+    stats: Arc<SharedNetworkStats>,
     shutdown: AtomicBool,
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Clones of every live reader's stream, keyed by reader id, so drop can
@@ -239,7 +250,7 @@ impl TcpEndpoint {
         node: NodeId,
         addrs: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
         listener: TcpListener,
-        stats: Arc<Mutex<NetworkStats>>,
+        stats: Arc<SharedNetworkStats>,
         dial_policy: DialPolicy,
     ) -> NetResult<Self> {
         let local_addr = listener.local_addr().map_err(io_err)?;
@@ -279,10 +290,10 @@ impl TcpEndpoint {
 
     /// Snapshot of the traffic counters shared with the fabric.
     pub fn stats(&self) -> NetworkStats {
-        self.shared.stats.lock().clone()
+        self.shared.stats.snapshot()
     }
 
-    fn writer_for(&self, to: NodeId) -> NetResult<Arc<Mutex<TcpStream>>> {
+    fn writer_for(&self, to: NodeId) -> NetResult<Arc<Mutex<PeerWriter>>> {
         if let Some(w) = self.shared.writers.lock().get(&to) {
             return Ok(Arc::clone(w));
         }
@@ -351,12 +362,53 @@ impl TcpEndpoint {
         };
         stream.set_nodelay(true).ok();
         self.shared.downed.lock().remove(&to);
-        let stream = Arc::new(Mutex::new(stream));
+        let writer = Arc::new(Mutex::new(PeerWriter {
+            stream,
+            buf: Vec::new(),
+        }));
         // A concurrent send may have dialed the same peer; keep the first.
         let mut writers = self.shared.writers.lock();
         Ok(Arc::clone(
-            writers.entry(to).or_insert_with(|| Arc::clone(&stream)),
+            writers.entry(to).or_insert_with(|| Arc::clone(&writer)),
         ))
+    }
+
+    /// Marks the established stream to `to` dead and arms an immediate
+    /// redial (the peer may already be back).
+    fn note_write_failure(&self, to: NodeId) {
+        self.shared.writers.lock().remove(&to);
+        let policy = self.shared.dial_policy;
+        self.shared.downed.lock().insert(
+            to,
+            PeerBackoff {
+                next_attempt: Instant::now(),
+                delay: policy.initial_backoff,
+            },
+        );
+    }
+}
+
+/// One dialed stream plus its corked encode buffer. The buffer lives with
+/// the stream so encoding happens under the same short lock as the write:
+/// one lock round-trip and one `write(2)` per flush, zero allocations once
+/// the buffer reaches its working size.
+struct PeerWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// Encode-buffer capacity retained across flushes. Control messages are a
+/// few hundred bytes; without this cap a single near-`MAX_FRAME` data
+/// transfer would pin its high-water capacity on that peer's writer for the
+/// life of the connection.
+const WRITER_BUF_RETAIN: usize = 256 << 10;
+
+impl PeerWriter {
+    /// Releases an outlier-sized buffer after a flush.
+    fn shrink(&mut self) {
+        if self.buf.capacity() > WRITER_BUF_RETAIN {
+            self.buf = Vec::new();
+        }
     }
 }
 
@@ -372,7 +424,7 @@ impl TransportEndpoint for TcpEndpoint {
         // cross-transport comparisons rely on.
         let (tag, wire_size, is_data) = (message.tag(), message.wire_size(), message.is_data());
         let record = |shared: &Shared| {
-            shared.stats.lock().record(tag, wire_size, is_data);
+            shared.stats.record(tag, wire_size, is_data);
         };
         let envelope = Envelope {
             from: self.shared.node,
@@ -387,41 +439,103 @@ impl TransportEndpoint for TcpEndpoint {
             record(&self.shared);
             return Ok(());
         }
-        // One buffer, one write: the frame header is patched into the front
-        // of the encode buffer (no second payload copy), and with
+        let writer = self.writer_for(to)?;
+        // One buffer, one write: the frame (header and payload) is encoded
+        // straight into the peer's reusable buffer — no per-message
+        // allocation — and flushed with a single `write(2)`; with
         // TCP_NODELAY a separate header write would flush as its own
         // segment, doubling the per-message cost.
-        let frame = codec::encode_framed(&envelope).map_err(|e| NetError::Codec(e.to_string()))?;
-        // Validate the length before subtracting the header: a buffer
-        // shorter than the 4-byte header must be rejected as garbage, not
-        // wrapped around into a huge payload size.
-        let payload_len = frame.len().checked_sub(4).ok_or_else(|| {
-            NetError::Codec("framed encoding shorter than its 4-byte header".to_string())
-        })?;
-        if payload_len > MAX_FRAME {
-            return Err(NetError::Codec(format!(
-                "frame of {payload_len} bytes exceeds MAX_FRAME"
-            )));
-        }
-        let writer = self.writer_for(to)?;
-        let mut stream = writer.lock();
-        let result = stream.write_all(&frame);
-        drop(stream);
+        let result = {
+            let mut guard = writer.lock();
+            let w = &mut *guard;
+            w.buf.clear();
+            framing::append_frame(&mut w.buf, &envelope)?;
+            let r = w.stream.write_all(&w.buf);
+            if r.is_ok() {
+                self.shared.stats.record_tcp_write();
+            }
+            w.shrink();
+            r
+        };
         if result.is_err() {
             // Supervised stream: drop the writer and allow an immediate
             // redial on the next send (the peer may already be back).
-            self.shared.writers.lock().remove(&to);
-            let policy = self.shared.dial_policy;
-            self.shared.downed.lock().insert(
-                to,
-                PeerBackoff {
-                    next_attempt: Instant::now(),
-                    delay: policy.initial_backoff,
-                },
-            );
+            self.note_write_failure(to);
             return Err(NetError::Disconnected(to.to_string()));
         }
         record(&self.shared);
+        Ok(())
+    }
+
+    /// The corked write path: every message is encoded into the peer's
+    /// reuse buffer as one batch frame and the whole batch is flushed with
+    /// exactly one `write(2)` — all-or-nothing, order preserved.
+    fn send_many(&self, to: NodeId, messages: Vec<Message>) -> NetResult<()> {
+        if messages.len() <= 1 {
+            return match messages.into_iter().next() {
+                Some(message) => self.send(to, message),
+                None => Ok(()),
+            };
+        }
+        // A batch that cannot fit one frame falls back to per-message sends
+        // rather than failing: correctness first, coalescing second.
+        let total: usize = messages
+            .iter()
+            .map(|m| m.wire_size().saturating_add(64))
+            .sum();
+        if total > MAX_FRAME {
+            for message in messages {
+                self.send(to, message)?;
+            }
+            return Ok(());
+        }
+        let metas: Vec<(&'static str, usize, bool)> = messages
+            .iter()
+            .map(|m| (m.tag(), m.wire_size(), m.is_data()))
+            .collect();
+        let n = messages.len() as u64;
+        let envelopes: Vec<Envelope> = messages
+            .into_iter()
+            .map(|message| Envelope {
+                from: self.shared.node,
+                to,
+                message,
+            })
+            .collect();
+        if to == self.shared.node {
+            for envelope in envelopes {
+                self.shared
+                    .inbox_tx
+                    .send(envelope)
+                    .map_err(|_| NetError::Disconnected(to.to_string()))?;
+            }
+            for (tag, size, is_data) in metas {
+                self.shared.stats.record(tag, size, is_data);
+            }
+            self.shared.stats.record_batch(n);
+            return Ok(());
+        }
+        let writer = self.writer_for(to)?;
+        let result = {
+            let mut guard = writer.lock();
+            let w = &mut *guard;
+            w.buf.clear();
+            framing::append_batch_frame(&mut w.buf, &envelopes)?;
+            let r = w.stream.write_all(&w.buf);
+            if r.is_ok() {
+                self.shared.stats.record_tcp_write();
+            }
+            w.shrink();
+            r
+        };
+        if result.is_err() {
+            self.note_write_failure(to);
+            return Err(NetError::Disconnected(to.to_string()));
+        }
+        for (tag, size, is_data) in metas {
+            self.shared.stats.record(tag, size, is_data);
+        }
+        self.shared.stats.record_batch(n);
         Ok(())
     }
 
@@ -529,39 +643,61 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// Delivers one decoded envelope into the local inbox, identifying the peer
+/// on its first envelope (and injecting the reconnect notice when a
+/// previously lost peer returns). Returns `false` when the connection must
+/// be dropped: a forged transport event, or the endpoint going away.
+fn deliver_envelope(envelope: Envelope, peer: &mut Option<NodeId>, shared: &Shared) -> bool {
+    // Transport events are generated locally, never sent: a peer that puts
+    // one on the wire is forging connectivity notices (e.g. a fake
+    // PeerDisconnected(Controller) would shut a worker down). Treat it as a
+    // malformed peer.
+    if matches!(envelope.message, Message::Transport(_)) {
+        return false;
+    }
+    if peer.is_none() {
+        let from = envelope.from;
+        *peer = Some(from);
+        *shared.inbound.lock().entry(from).or_insert(0) += 1;
+        if shared.lost_inbound.lock().remove(&from) {
+            let notice = Envelope {
+                from,
+                to: shared.node,
+                message: Message::Transport(TransportEvent::PeerReconnected(from)),
+            };
+            if shared.inbox_tx.send(notice).is_err() {
+                return false; // Endpoint dropped.
+            }
+        }
+    }
+    shared.inbox_tx.send(envelope).is_ok()
+}
+
 /// Reads frames off one inbound connection until EOF, error, or shutdown.
+/// Batch frames are expanded into their envelopes in order, so nodes only
+/// ever observe plain envelopes — batching is invisible above the wire.
 /// The first envelope identifies the peer; losing the peer's *last* inbound
 /// stream injects [`TransportEvent::PeerDisconnected`], and a new stream
 /// from a previously lost peer injects [`TransportEvent::PeerReconnected`]
 /// ahead of its first envelope.
 fn reader_loop(mut stream: TcpStream, reader_id: u64, shared: Arc<Shared>) {
     let mut peer: Option<NodeId> = None;
-    loop {
+    'conn: loop {
         match read_frame(&mut stream, &shared) {
-            Ok(Some(payload)) => match codec::decode::<Envelope>(&payload) {
-                // Transport events are generated locally, never sent: a
-                // peer that puts one on the wire is forging connectivity
-                // notices (e.g. a fake PeerDisconnected(Controller) would
-                // shut a worker down). Treat it as a malformed peer.
-                Ok(envelope) if matches!(envelope.message, Message::Transport(_)) => break,
+            Ok(Some(Frame::Single(payload))) => match codec::decode::<Envelope>(&payload) {
                 Ok(envelope) => {
-                    if peer.is_none() {
-                        let from = envelope.from;
-                        peer = Some(from);
-                        *shared.inbound.lock().entry(from).or_insert(0) += 1;
-                        if shared.lost_inbound.lock().remove(&from) {
-                            let notice = Envelope {
-                                from,
-                                to: shared.node,
-                                message: Message::Transport(TransportEvent::PeerReconnected(from)),
-                            };
-                            if shared.inbox_tx.send(notice).is_err() {
-                                break; // Endpoint dropped.
-                            }
-                        }
+                    if !deliver_envelope(envelope, &mut peer, &shared) {
+                        break; // Malformed peer or endpoint dropped.
                     }
-                    if shared.inbox_tx.send(envelope).is_err() {
-                        break; // Endpoint dropped.
+                }
+                Err(_) => break, // Malformed peer: drop the connection.
+            },
+            Ok(Some(Frame::Batch(payload))) => match framing::parse_batch(&payload) {
+                Ok(envelopes) => {
+                    for envelope in envelopes {
+                        if !deliver_envelope(envelope, &mut peer, &shared) {
+                            break 'conn;
+                        }
                     }
                 }
                 Err(_) => break, // Malformed peer: drop the connection.
@@ -609,14 +745,24 @@ fn reader_loop(mut stream: TcpStream, reader_id: u64, shared: Arc<Shared>) {
     }
 }
 
+/// One frame off the wire: a single envelope's payload, or a batch frame's
+/// payload (several concatenated sub-frames; see [`crate::framing`]).
+enum Frame {
+    Single(Vec<u8>),
+    Batch(Vec<u8>),
+}
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` when shutdown was
-/// requested mid-read, `Err` on EOF, oversized frames, or IO errors.
-fn read_frame(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<Option<Vec<u8>>> {
+/// requested mid-read, `Err` on EOF, oversized frames, or IO errors. The
+/// header's high bit distinguishes batch frames from single frames.
+fn read_frame(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<Option<Frame>> {
     let mut header = [0u8; 4];
     if read_full(stream, &mut header, shared)?.is_none() {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(header) as usize;
+    let header = u32::from_le_bytes(header);
+    let is_batch = header & BATCH_FLAG != 0;
+    let len = (header & !BATCH_FLAG) as usize;
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             ErrorKind::InvalidData,
@@ -627,7 +773,11 @@ fn read_frame(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<Option
     if read_full(stream, &mut payload, shared)?.is_none() {
         return Ok(None);
     }
-    Ok(Some(payload))
+    Ok(Some(if is_batch {
+        Frame::Batch(payload)
+    } else {
+        Frame::Single(payload)
+    }))
 }
 
 /// `read_exact` that keeps checking the shutdown flag. Reads block in the
@@ -930,6 +1080,101 @@ mod tests {
             .unwrap();
         let env = late.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+    }
+
+    /// The corked writer contract: a batched send crosses the wire as one
+    /// frame flushed by exactly one `write(2)`, envelopes arrive in order,
+    /// and ordering against surrounding single sends is preserved.
+    #[test]
+    fn batched_send_is_one_write_syscall_and_preserves_order() {
+        let (_fabric, driver, controller) = loopback_pair();
+        // Warm the connection so the dial is out of the way.
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        let before = driver.stats();
+        let batch: Vec<Message> = (0..10u64)
+            .map(|i| Message::Driver(DriverMessage::Checkpoint { marker: i }))
+            .collect();
+        driver.send_many(NodeId::Controller, batch).unwrap();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        for i in 0..10u64 {
+            let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(
+                env.message,
+                Message::Driver(DriverMessage::Checkpoint { marker: i })
+            );
+        }
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        let after = driver.stats();
+        assert_eq!(
+            after.tcp_writes - before.tcp_writes,
+            2,
+            "10-message batch + 1 single send must be exactly 2 write(2)s"
+        );
+        assert_eq!(after.frames_coalesced - before.frames_coalesced, 9);
+        assert_eq!(after.batched_commands - before.batched_commands, 10);
+        assert_eq!(after.messages - before.messages, 11);
+    }
+
+    /// Byte accounting must not depend on batching: the same messages sent
+    /// batched and unbatched record identical message counts and bytes.
+    #[test]
+    fn batched_and_unbatched_sends_account_identically() {
+        let messages = |n: u64| -> Vec<Message> {
+            (0..n)
+                .map(|i| Message::Driver(DriverMessage::Checkpoint { marker: i }))
+                .collect()
+        };
+        let (_fabric, driver, controller) = loopback_pair();
+        driver
+            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .unwrap();
+        controller.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let base = driver.stats();
+        for m in messages(8) {
+            driver.send(NodeId::Controller, m).unwrap();
+        }
+        let unbatched = driver.stats();
+        driver.send_many(NodeId::Controller, messages(8)).unwrap();
+        let batched = driver.stats();
+        for _ in 0..16 {
+            controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(
+            unbatched.messages - base.messages,
+            batched.messages - unbatched.messages
+        );
+        assert_eq!(
+            unbatched.control_bytes - base.control_bytes,
+            batched.control_bytes - unbatched.control_bytes
+        );
+        assert_eq!(
+            unbatched.count("checkpoint") + 8,
+            batched.count("checkpoint")
+        );
+    }
+
+    #[test]
+    fn empty_and_single_batches_degenerate_to_plain_sends() {
+        let (_fabric, driver, controller) = loopback_pair();
+        driver.send_many(NodeId::Controller, Vec::new()).unwrap();
+        driver
+            .send_many(
+                NodeId::Controller,
+                vec![Message::Driver(DriverMessage::Barrier)],
+            )
+            .unwrap();
+        let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        let stats = driver.stats();
+        assert_eq!(stats.batched_commands, 0, "singletons are not batches");
+        assert_eq!(stats.frames_coalesced, 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::message::{Envelope, Message, NodeId};
-use crate::stats::NetworkStats;
+use crate::stats::{NetworkStats, SharedNetworkStats};
 
 /// One node's connection to a message fabric.
 ///
@@ -35,6 +35,27 @@ pub trait TransportEndpoint: Send + 'static {
 
     /// Sends a message to another node.
     fn send(&self, to: NodeId, message: Message) -> NetResult<()>;
+
+    /// Sends several messages to the same node as one batch, preserving
+    /// their order relative to each other and to surrounding [`send`]s.
+    ///
+    /// Fabrics that can exploit it deliver the whole batch with one flush —
+    /// the TCP transport encodes a single batch frame and issues one
+    /// `write(2)` for the lot, which also makes delivery all-or-nothing.
+    /// The default just sends each message in turn, which is always
+    /// semantically equivalent: batching is a transport optimization, never
+    /// a message-visible construct. Note the sequential paths (the default
+    /// impl, and the TCP fallback for batches too large for one frame) can
+    /// fail after delivering a prefix; callers that must account delivered
+    /// messages exactly should keep batches within one frame.
+    ///
+    /// [`send`]: TransportEndpoint::send
+    fn send_many(&self, to: NodeId, messages: Vec<Message>) -> NetResult<()> {
+        for message in messages {
+            self.send(to, message)?;
+        }
+        Ok(())
+    }
 
     /// Blocking receive.
     fn recv(&self) -> NetResult<Envelope>;
@@ -159,7 +180,7 @@ struct DelayQueue {
 
 struct NetworkInner {
     senders: RwLock<HashMap<NodeId, Sender<Envelope>>>,
-    stats: Mutex<NetworkStats>,
+    stats: SharedNetworkStats,
     latency: LatencyModel,
     delay_queue: Arc<DelayQueue>,
     delayer: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -183,7 +204,7 @@ impl Network {
     pub fn new(latency: LatencyModel) -> Self {
         let inner = Arc::new(NetworkInner {
             senders: RwLock::new(HashMap::new()),
-            stats: Mutex::new(NetworkStats::new()),
+            stats: SharedNetworkStats::new(),
             latency,
             delay_queue: Arc::new(DelayQueue::default()),
             delayer: Mutex::new(None),
@@ -257,10 +278,9 @@ impl Network {
                 .cloned()
                 .ok_or_else(|| NetError::UnknownNode(to.to_string()))?
         };
-        {
-            let mut stats = self.inner.stats.lock();
-            stats.record(message.tag(), message.wire_size(), message.is_data());
-        }
+        self.inner
+            .stats
+            .record(message.tag(), message.wire_size(), message.is_data());
         let envelope = Envelope { from, to, message };
         match self.inner.latency.delay() {
             None => sender
@@ -285,9 +305,23 @@ impl Network {
         }
     }
 
+    /// Sends several messages from `from` to `to` as one batch. Delivery is
+    /// still one envelope per message, in order (in-process channels have no
+    /// framing to coalesce), but the batch is recorded in the batching
+    /// counters so cross-transport comparisons line up.
+    pub fn send_many(&self, from: NodeId, to: NodeId, messages: Vec<Message>) -> NetResult<()> {
+        if messages.len() > 1 {
+            self.inner.stats.record_batch(messages.len() as u64);
+        }
+        for message in messages {
+            self.send(from, to, message)?;
+        }
+        Ok(())
+    }
+
     /// Returns a snapshot of the traffic counters.
     pub fn stats(&self) -> NetworkStats {
-        self.inner.stats.lock().clone()
+        self.inner.stats.snapshot()
     }
 
     /// Returns the registered node count.
@@ -361,6 +395,10 @@ impl TransportEndpoint for Endpoint {
 
     fn send(&self, to: NodeId, message: Message) -> NetResult<()> {
         Endpoint::send(self, to, message)
+    }
+
+    fn send_many(&self, to: NodeId, messages: Vec<Message>) -> NetResult<()> {
+        self.network.send_many(self.node, to, messages)
     }
 
     fn recv(&self) -> NetResult<Envelope> {

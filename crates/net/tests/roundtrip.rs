@@ -528,3 +528,93 @@ fn random_garbage_never_panics() {
         let _ = decode::<Envelope>(&garbage);
     }
 }
+
+/// The buffer-reuse encoder is byte-identical to the allocating one, for
+/// every message variant, including when appending to a dirty buffer.
+#[test]
+fn encode_into_matches_encode_for_every_variant() {
+    let mut buf = Vec::new();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for which in 0..MESSAGE_VARIANTS {
+            let m = message(&mut rng, which);
+            let fresh = encode(&m).unwrap();
+            buf.clear();
+            nimbus_net::encode_into(&m, &mut buf).unwrap();
+            assert_eq!(buf, fresh, "seed {seed} variant {which} ({})", m.tag());
+            // Appending after existing contents leaves them untouched.
+            let prefix_len = buf.len();
+            nimbus_net::encode_into(&m, &mut buf).unwrap();
+            assert_eq!(&buf[..prefix_len], fresh.as_slice(), "seed {seed}");
+            assert_eq!(&buf[prefix_len..], fresh.as_slice(), "seed {seed}");
+        }
+    }
+}
+
+/// Batch frames roundtrip every message variant in order, and every
+/// truncation of the batch payload is rejected rather than silently parsed
+/// as a shorter batch.
+#[test]
+fn batch_frames_roundtrip_and_reject_truncation() {
+    use nimbus_net::framing::{append_batch_frame, parse_batch, BATCH_FLAG};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(2usize..8);
+        let mut envelopes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let which = rng.gen_range(0u32..MESSAGE_VARIANTS);
+            envelopes.push(Envelope {
+                from: node(&mut rng),
+                to: node(&mut rng),
+                message: message(&mut rng, which),
+            });
+        }
+        let mut buf = Vec::new();
+        append_batch_frame(&mut buf, &envelopes).unwrap();
+        let header = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        assert_ne!(header & BATCH_FLAG, 0, "seed {seed}: flag missing");
+        assert_eq!(
+            (header & !BATCH_FLAG) as usize,
+            buf.len() - 4,
+            "seed {seed}"
+        );
+        let payload = &buf[4..];
+        assert_eq!(parse_batch(payload).unwrap(), envelopes, "seed {seed}");
+        for cut in 1..payload.len() {
+            assert!(
+                parse_batch(&payload[..payload.len() - cut]).is_err(),
+                "seed {seed}: batch cut by {cut} bytes parsed"
+            );
+        }
+    }
+}
+
+/// Garbage batch payloads never panic the parser.
+#[test]
+fn garbage_batch_payloads_never_panic() {
+    use nimbus_net::framing::parse_batch;
+    for seed in 0..CASES * 8 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let _ = parse_batch(&bytes); // must not panic
+    }
+}
+
+/// Every tag any message can produce owns a dedicated stats slot: no
+/// control-plane traffic is ever folded into the "other" bucket.
+#[test]
+fn every_message_tag_has_a_stats_slot() {
+    use nimbus_net::stats::TAGS;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for which in 0..MESSAGE_VARIANTS {
+            let m = message(&mut rng, which);
+            assert!(
+                TAGS.contains(&m.tag()),
+                "tag {} has no dedicated stats slot",
+                m.tag()
+            );
+        }
+    }
+}

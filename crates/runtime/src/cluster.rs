@@ -118,6 +118,7 @@ impl Cluster {
         controller_config.enable_templates = config.enable_templates;
         controller_config.checkpoint_every = config.checkpoint_every;
         controller_config.rejoin_grace = config.rejoin_grace;
+        controller_config.batch_sends = config.batch_sends;
         let controller_handle = match &cluster.fabric {
             Fabric::InProcess(network) => spawn_controller(Controller::new(
                 controller_config,

@@ -129,9 +129,15 @@ impl CommandQueue {
         Self::default()
     }
 
-    /// Enqueues a batch of commands. Returns the number of duplicate or
-    /// stale dispatches that were ignored.
+    /// Enqueues a batch of commands — the shape every dispatch arrives in,
+    /// whether as one `ExecuteCommands` or expanded from a batched wire
+    /// frame. Bookkeeping capacity is reserved once per batch (not grown
+    /// command by command), and the duplicate/stale-id guard applies to each
+    /// command exactly as in the singleton path. Returns the number of
+    /// duplicate or stale dispatches that were ignored.
     pub fn add_commands(&mut self, commands: Vec<Command>) -> u64 {
+        self.enqueued.reserve(commands.len());
+        self.ready.reserve(commands.len());
         let mut ignored = 0;
         for command in commands {
             if !self.add_command(command) {
@@ -452,6 +458,49 @@ mod tests {
         q.pop_ready().unwrap();
         assert!(q.take_payload(TransferId(7)).is_some());
         q.complete(CommandId(2));
+        assert!(q.is_idle());
+    }
+
+    /// Batched dispatch semantics: several batches drained back to back
+    /// behave exactly like their singleton expansion — per-batch order is
+    /// kept, cross-batch object dependencies are augmented, and duplicate
+    /// ids arriving in a *later* batch (a redelivered batch frame) are
+    /// ignored without double-releasing dependents.
+    #[test]
+    fn batched_dispatches_preserve_order_and_duplicate_guards() {
+        let mut q = CommandQueue::new();
+        let write = |id: u64, object: u64, before: Vec<u64>| {
+            Command::new(
+                CommandId(id),
+                CommandKind::RunTask {
+                    function: FunctionId(1),
+                    task: TaskId(id),
+                },
+            )
+            .with_writes(vec![PhysicalObjectId(object)])
+            .with_before(before.into_iter().map(CommandId).collect())
+        };
+        // Batch 1: two writers of object 9, ordered by their before set.
+        assert_eq!(
+            q.add_commands(vec![write(1, 9, vec![]), write(2, 9, vec![1])]),
+            0
+        );
+        // Batch 2: redelivers batch 1 (duplicates) plus a fresh dependent.
+        assert_eq!(
+            q.add_commands(vec![
+                write(1, 9, vec![]),
+                write(2, 9, vec![1]),
+                write(3, 9, vec![])
+            ]),
+            2,
+            "redelivered commands are ignored, fresh ones accepted"
+        );
+        let mut order = Vec::new();
+        while let Some(c) = q.pop_ready() {
+            order.push(c.id.raw());
+            q.complete(c.id);
+        }
+        assert_eq!(order, vec![1, 2, 3], "object deps serialize across batches");
         assert!(q.is_idle());
     }
 
