@@ -22,7 +22,7 @@ fn small_envelope() -> Envelope {
     Envelope {
         from: NodeId::Driver,
         to: NodeId::Controller,
-        message: Message::Driver(DriverMessage::Checkpoint { marker: 42 }),
+        message: Message::driver0(DriverMessage::Checkpoint { marker: 42 }),
     }
 }
 
@@ -48,7 +48,10 @@ fn execute_commands_envelope() -> Envelope {
     Envelope {
         from: NodeId::Controller,
         to: NodeId::Worker(WorkerId(1)),
-        message: Message::ToWorker(ControllerToWorker::ExecuteCommands { commands }),
+        message: Message::ToWorker(ControllerToWorker::ExecuteCommands {
+            job: nimbus_core::JobId(1),
+            commands,
+        }),
     }
 }
 
@@ -58,8 +61,9 @@ fn instantiation_envelope() -> Envelope {
     Envelope {
         from: NodeId::Controller,
         to: NodeId::Worker(WorkerId(0)),
-        message: Message::ToWorker(ControllerToWorker::InstantiateTemplate(
-            WorkerInstantiation {
+        message: Message::ToWorker(ControllerToWorker::InstantiateTemplate {
+            job: nimbus_core::JobId(1),
+            inst: WorkerInstantiation {
                 template: TemplateId(3),
                 base_command_id: 1_000,
                 base_transfer_id: 64,
@@ -67,7 +71,7 @@ fn instantiation_envelope() -> Envelope {
                 params: (0..16).map(|i| TaskParams::from_scalar(i as f64)).collect(),
                 edits: vec![],
             },
-        )),
+        }),
     }
 }
 
@@ -77,6 +81,7 @@ fn completion_envelope() -> Envelope {
         from: NodeId::Worker(WorkerId(1)),
         to: NodeId::Controller,
         message: Message::FromWorker(WorkerToController::CommandsCompleted {
+            job: nimbus_core::JobId(1),
             worker: WorkerId(1),
             commands: (0..64).map(CommandId).collect(),
             compute_micros: 1234,

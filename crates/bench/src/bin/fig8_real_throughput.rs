@@ -121,7 +121,7 @@ fn wire_throughput(messages: usize) -> (f64, f64) {
             for chunk in 0..messages / WIRE_BATCH {
                 let batch: Vec<Message> = (0..WIRE_BATCH)
                     .map(|i| {
-                        Message::Driver(DriverMessage::Checkpoint {
+                        Message::driver0(DriverMessage::Checkpoint {
                             marker: (chunk * WIRE_BATCH + i) as u64,
                         })
                     })
@@ -132,7 +132,7 @@ fn wire_throughput(messages: usize) -> (f64, f64) {
             for i in 0..messages {
                 tx.send(
                     NodeId::Controller,
-                    Message::Driver(DriverMessage::Checkpoint { marker: i as u64 }),
+                    Message::driver0(DriverMessage::Checkpoint { marker: i as u64 }),
                 )
                 .expect("send");
             }

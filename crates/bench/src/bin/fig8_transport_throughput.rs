@@ -53,10 +53,10 @@ fn tcp_round_trip_median() -> Duration {
     let a = fabric.endpoint(NodeId::Driver).expect("endpoint");
     let b = fabric.endpoint(NodeId::Controller).expect("endpoint");
     // Warm the connections in both directions.
-    a.send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+    a.send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
         .unwrap();
     b.recv().unwrap();
-    b.send(NodeId::Driver, Message::Driver(DriverMessage::Barrier))
+    b.send(NodeId::Driver, Message::driver0(DriverMessage::Barrier))
         .unwrap();
     a.recv().unwrap();
     let mut samples = Vec::with_capacity(200);
@@ -64,13 +64,13 @@ fn tcp_round_trip_median() -> Duration {
         let start = Instant::now();
         a.send(
             NodeId::Controller,
-            Message::Driver(DriverMessage::Checkpoint { marker: i }),
+            Message::driver0(DriverMessage::Checkpoint { marker: i }),
         )
         .unwrap();
         b.recv().unwrap();
         b.send(
             NodeId::Driver,
-            Message::Driver(DriverMessage::Checkpoint { marker: i }),
+            Message::driver0(DriverMessage::Checkpoint { marker: i }),
         )
         .unwrap();
         a.recv().unwrap();

@@ -1,32 +1,46 @@
-//! The centralized Nimbus controller.
+//! The centralized Nimbus controller: a multi-tenant control plane.
 //!
-//! The controller receives the driver's task stream, transforms it into an
-//! execution plan (assigning partitions to workers and inserting copy
-//! commands), and dispatches commands to workers. Execution templates sit on
-//! top of this per-task path: basic blocks are recorded as they are scheduled
-//! and replayed through one small instantiation message per worker on later
-//! executions, with validation, patching, and edits handling dynamic control
-//! flow and scheduling changes.
+//! The controller receives the task streams of **many concurrent driver
+//! sessions**, transforms each into an execution plan (assigning partitions
+//! to workers and inserting copy commands), and dispatches commands to a
+//! shared worker pool. Every piece of job state — datasets, versions,
+//! templates, replay log, checkpoints, outstanding-sync tracking — lives in
+//! a per-job namespace behind the [`JobTable`]: jobs cannot observe each
+//! other's data, identifiers, or recoveries. Execution templates sit on top
+//! of the per-task path exactly as in the single-job design: basic blocks
+//! are recorded as they are scheduled and replayed through one small
+//! instantiation message per worker on later executions.
+//!
+//! Fairness: queued driver messages are serviced **round-robin across
+//! jobs**, one message per turn, so one chatty driver flooding pipelined
+//! instantiations cannot starve another session's requests.
+//!
+//! Recovery is per job: a worker death triggers recovery for every job with
+//! state on that worker, independently — each such job halts, restores its
+//! own checkpoint, and replays its own post-checkpoint window, while jobs
+//! without state on the dead worker keep running undisturbed.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use nimbus_core::checkpoint::{CheckpointDescriptor, CheckpointEntry, CheckpointLog};
 use nimbus_core::graph::AssignedCommand;
-use nimbus_core::ids::{CheckpointId, LogicalPartition, TaskId, WorkerId};
+use nimbus_core::ids::{CheckpointId, JobId, LogicalPartition, TaskId, WorkerId};
 use nimbus_core::lineage::LineageLog;
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
 use nimbus_core::{Command, CommandKind, ControlPlaneStats};
 use nimbus_net::{
-    ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, Message, NetError,
-    NodeId, PartitionVersion, TransportEndpoint, TransportEvent, WorkerToController,
+    ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, JobVersions,
+    Message, NetError, NodeId, PartitionVersion, TransportEndpoint, TransportEvent,
+    WorkerToController,
 };
 
 use crate::assignment::AssignmentPolicy;
 
-/// Upper bound on how many already-queued envelopes one loop turn handles
-/// before flushing the cork (see [`Controller::run`]).
+/// Upper bound on how many already-queued envelopes (or queued driver
+/// messages) one loop turn handles before flushing the cork (see
+/// [`Controller::run`]).
 const CORK_BURST: usize = 128;
 
 /// Byte budget of one worker's corked buffer. Kept far below the
@@ -35,6 +49,14 @@ const CORK_BURST: usize = 128;
 /// uncounting in [`Controller::flush_outbox`] exact (a partial delivery
 /// would otherwise double-count completions against `outstanding`).
 const CORK_MAX_BYTES: usize = 8 << 20;
+
+/// Upper bound on a job's replay log. A job that never checkpoints (the
+/// un-templated Spark-like baseline) would otherwise accumulate one entry
+/// per raw task forever; past the cap the window is marked unfaithful and
+/// the log is dropped — exactly the lossy-recovery behavior such a job had
+/// before the log covered raw submits. A committed checkpoint clears the
+/// log and starts a fresh, faithful window.
+const MAX_REPLAY_LOG: usize = 65_536;
 use crate::data_manager::DataManager;
 use crate::error::{ControllerError, ControllerResult};
 use crate::expansion::{expand_task, refresh_instance, Bookkeeping, IdGens};
@@ -42,22 +64,23 @@ use crate::template_manager::TemplateManager;
 
 /// Static controller configuration.
 pub struct ControllerConfig {
-    /// The initial worker allocation.
+    /// The initial worker allocation (shared by every job).
     pub workers: Vec<WorkerId>,
-    /// Partition assignment policy.
+    /// Partition assignment policy (each job gets its own instance).
     pub policy: AssignmentPolicy,
-    /// Whether execution templates are enabled (disabled = pure centralized
-    /// per-task scheduling, the Spark-like baseline).
+    /// Whether execution templates are enabled for new jobs (disabled = pure
+    /// centralized per-task scheduling, the Spark-like baseline).
     pub enable_templates: bool,
-    /// Automatically checkpoint after this many template instantiations.
+    /// Automatically checkpoint a job after this many of its template
+    /// instantiations.
     pub checkpoint_every: Option<u64>,
     /// How long a transport-detected worker failure waits for the worker to
     /// rejoin before recovery proceeds without it. Within the window a
     /// returning worker is readmitted in place: its templates are
-    /// reinstalled (with every edit applied so far) and the checkpoint
-    /// reload targets it directly, so the job resumes with zero template
-    /// re-recordings. `None` (the default) recovers immediately onto the
-    /// survivors, as before.
+    /// reinstalled per job (with every edit applied so far) and each job's
+    /// checkpoint reload targets it directly, so jobs resume with zero
+    /// template re-recordings. `None` (the default) recovers immediately
+    /// onto the survivors.
     pub rejoin_grace: Option<Duration>,
     /// Whether hot-path sends (command dispatch and template instantiation)
     /// are corked into one batched send per worker per flush (the default).
@@ -97,6 +120,8 @@ enum PendingSync {
         notify: bool,
         descriptor: CheckpointDescriptor,
     },
+    /// The job is draining its outstanding commands before its session ends.
+    Closing,
     Recovering {
         marker: u64,
         /// Workers whose `Halted` acknowledgement is still outstanding. A
@@ -107,10 +132,12 @@ enum PendingSync {
         /// driver-initiated `FailWorker`, false for transport-detected
         /// failures, where the driver is not waiting for one).
         notify: bool,
-        /// The failed worker recovery is still willing to readmit: recovery
-        /// completes only once this worker registers again or the rejoin
-        /// grace deadline passes.
-        awaiting_rejoin: Option<WorkerId>,
+        /// The failed workers this recovery is still willing to readmit:
+        /// recovery completes only once every one of them registers again or
+        /// has its rejoin grace deadline pass. A second worker dying inside
+        /// the grace window joins this set, so simultaneous losses can both
+        /// be readmitted in place.
+        awaiting_rejoin: Vec<WorkerId>,
         /// Workers readmitted during this recovery. They came back as fresh
         /// processes with empty stores, so completion must recreate every
         /// physical instance the restored bookkeeping places on them.
@@ -118,27 +145,32 @@ enum PendingSync {
     },
 }
 
-/// Messages corked for one worker between flushes, plus how many commands
-/// of `outstanding` they account for (so a failed flush can uncount them,
-/// matching the per-message path where a failed send was never counted).
-struct WorkerOutbox {
-    worker: WorkerId,
-    messages: Vec<Message>,
-    commands: u64,
-    /// Estimated wire bytes corked, to keep a flush within one frame.
-    bytes: usize,
+/// One entry of a job's replay log: the driver traffic since the last
+/// committed checkpoint, replayed controller-side after a transport-detected
+/// recovery so the data state catches back up to the pre-failure point.
+/// Covers both templated (`Instantiate`) and raw (`Submit`) streams, so
+/// recoveries spanning un-templated phases stay byte-exact too.
+enum ReplayEntry {
+    /// A successful `InstantiateTemplate`.
+    Instantiate {
+        name: String,
+        params: InstantiationParams,
+    },
+    /// A successful raw `SubmitTask` (outside any recording).
+    Submit(TaskSpec),
+    /// An `EnableTemplates` toggle, replayed in order so surrounding entries
+    /// execute under the scheduling mode they originally ran under.
+    SetTemplates(bool),
 }
 
-/// The centralized controller node, generic over the transport connecting
-/// it to the cluster (in-process [`Endpoint`] by default, or TCP).
-pub struct Controller<E: TransportEndpoint = Endpoint> {
-    endpoint: E,
-    workers: Vec<WorkerId>,
-    /// `workers`, kept sorted and deduplicated: the steady-state template
-    /// lookup key, maintained on every allocation change so instantiation
-    /// never materializes (or sorts) a worker list per block.
-    workers_sorted: Vec<WorkerId>,
-    all_workers: Vec<WorkerId>,
+/// Everything the controller tracks for one job: the per-job namespace that
+/// makes the control plane multi-tenant. Identifier generators, data
+/// placement, templates, checkpoints, and synchronization state are all
+/// private to the job; only the worker allocation is shared.
+struct JobState {
+    id: JobId,
+    /// Where this job's replies go (the session's driver node).
+    driver: NodeId,
     dm: DataManager,
     bk: Bookkeeping,
     ids: IdGens,
@@ -156,34 +188,126 @@ pub struct Controller<E: TransportEndpoint = Endpoint> {
     resume_after_recovery: PendingSync,
     /// A driver synchronization that arrived while another one (typically an
     /// auto-checkpoint) was still in flight. The driver is synchronous, so
-    /// one slot suffices; it is installed as soon as the current one
-    /// resolves. Without this, a fetch racing an auto-checkpoint would
-    /// overwrite the un-committed `CheckpointSave` and silently discard the
-    /// checkpoint.
+    /// one slot suffices.
     queued_sync: Option<PendingSync>,
-    deferred: VecDeque<Envelope>,
-    /// Messages that arrived while a recovery was in flight (driver traffic
-    /// and registrations from workers other than the awaited one). Dispatched
-    /// against post-recovery state once the recovery completes; processing
-    /// them mid-recovery would execute commands against half-restored data.
-    held: VecDeque<Envelope>,
-    /// How long transport-detected failures wait for the worker to rejoin.
-    rejoin_grace: Option<Duration>,
-    /// Deadline of the rejoin wait currently in progress, if any; bounds the
-    /// blocking receive in the controller loop.
-    rejoin_deadline: Option<Instant>,
-    /// Template instantiations since the last *committed* checkpoint, in
-    /// order. After a recovery restores that checkpoint, the controller
-    /// replays them itself — no driver involvement — so the data state
-    /// catches back up to the pre-failure point instead of silently losing
-    /// the iterations in between.
-    replay_log: Vec<(String, InstantiationParams)>,
+    /// Driver traffic since the last committed checkpoint, in order.
+    replay_log: Vec<ReplayEntry>,
     /// False once the log stopped being a faithful reconstruction (e.g. a
     /// failure interrupted an active recording); replay is skipped then.
     replay_valid: bool,
-    /// True while the controller replays logged instantiations (suppresses
+    /// True while the controller replays logged entries (suppresses
     /// re-logging and auto-checkpoint scheduling).
     replaying: bool,
+    /// Queued driver messages awaiting their round-robin service turn.
+    inbox: VecDeque<DriverMessage>,
+    /// True once the job ended (closed or its driver vanished). The entry
+    /// is inert — skipped by every lookup and service path — until the main
+    /// loop's sweep removes it; deferring the removal keeps job indices
+    /// stable for callers iterating the table when a close completes inside
+    /// a nested call (e.g. a recovery resuming an interrupted CloseJob).
+    done: bool,
+}
+
+impl JobState {
+    fn new(
+        id: JobId,
+        driver: NodeId,
+        policy: AssignmentPolicy,
+        enable_templates: bool,
+        checkpoint_every: Option<u64>,
+    ) -> Self {
+        Self {
+            id,
+            driver,
+            dm: DataManager::new(policy),
+            bk: Bookkeeping::new(),
+            ids: IdGens::new(),
+            tm: TemplateManager::new(),
+            lineage: LineageLog::new(),
+            checkpoints: CheckpointLog::new(),
+            outstanding: 0,
+            enable_templates,
+            checkpoint_every,
+            instantiations_since_checkpoint: 0,
+            sync: PendingSync::None,
+            resume_after_recovery: PendingSync::None,
+            queued_sync: None,
+            replay_log: Vec::new(),
+            replay_valid: true,
+            replaying: false,
+            inbox: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    fn recovering(&self) -> bool {
+        matches!(self.sync, PendingSync::Recovering { .. })
+    }
+
+    /// Appends to the replay log, honoring validity, the replay guard, and
+    /// the size cap (past which the window turns lossy, see
+    /// [`MAX_REPLAY_LOG`]).
+    fn log_replay(&mut self, entry: ReplayEntry) {
+        if self.replaying || !self.replay_valid {
+            return;
+        }
+        if self.replay_log.len() >= MAX_REPLAY_LOG {
+            self.replay_valid = false;
+            self.replay_log.clear();
+            return;
+        }
+        self.replay_log.push(entry);
+    }
+}
+
+/// Messages corked for one worker between flushes, plus how many commands
+/// of each job's `outstanding` they account for (so a failed flush can
+/// uncount them per job, matching the per-message path where a failed send
+/// was never counted).
+struct WorkerOutbox {
+    worker: WorkerId,
+    messages: Vec<Message>,
+    commands: Vec<(JobId, u64)>,
+    /// Estimated wire bytes corked, to keep a flush within one frame.
+    bytes: usize,
+}
+
+/// The centralized controller node, generic over the transport connecting
+/// it to the cluster (in-process [`Endpoint`] by default, or TCP).
+pub struct Controller<E: TransportEndpoint = Endpoint> {
+    endpoint: E,
+    workers: Vec<WorkerId>,
+    /// `workers`, kept sorted and deduplicated: the steady-state template
+    /// lookup key, maintained on every allocation change so instantiation
+    /// never materializes (or sorts) a worker list per block.
+    workers_sorted: Vec<WorkerId>,
+    all_workers: Vec<WorkerId>,
+    /// The job table: one [`JobState`] per open session, in open order.
+    /// Sessions are few, so a linear scan beats a hash map on the hot path.
+    jobs: Vec<JobState>,
+    job_ids: nimbus_core::ids::IdGenerator,
+    /// Defaults inherited by every new job.
+    policy: AssignmentPolicy,
+    default_enable_templates: bool,
+    default_checkpoint_every: Option<u64>,
+    /// Round-robin cursor over `jobs` for fair servicing of queued driver
+    /// messages.
+    rr: usize,
+    deferred: VecDeque<Envelope>,
+    /// Worker registrations that arrived while a recovery was in flight and
+    /// no job was awaiting that worker. Dispatched after the recovery
+    /// completes; admitting a worker elastically mid-recovery would race
+    /// half-restored state.
+    held: VecDeque<Envelope>,
+    /// How long transport-detected failures wait for a worker to rejoin.
+    rejoin_grace: Option<Duration>,
+    /// One rejoin deadline per worker currently inside its grace window;
+    /// the earliest bounds the blocking receive in the controller loop.
+    rejoin_deadlines: Vec<(WorkerId, Instant)>,
+    /// True once any session ever opened: a driver disconnect that empties
+    /// the job table then shuts the cluster down (the orphaned-cluster
+    /// policy inherited from the single-job design).
+    had_session: bool,
     stats: ControlPlaneStats,
     running: bool,
     /// Whether hot-path sends are corked into per-worker batches.
@@ -205,26 +329,17 @@ impl<E: TransportEndpoint> Controller<E> {
             all_workers: config.workers.clone(),
             workers_sorted,
             workers: config.workers,
-            dm: DataManager::new(config.policy),
-            bk: Bookkeeping::new(),
-            ids: IdGens::new(),
-            tm: TemplateManager::new(),
-            lineage: LineageLog::new(),
-            checkpoints: CheckpointLog::new(),
-            outstanding: 0,
-            enable_templates: config.enable_templates,
-            checkpoint_every: config.checkpoint_every,
-            instantiations_since_checkpoint: 0,
-            sync: PendingSync::None,
-            resume_after_recovery: PendingSync::None,
-            queued_sync: None,
+            jobs: Vec::new(),
+            job_ids: nimbus_core::ids::IdGenerator::new(),
+            policy: config.policy,
+            default_enable_templates: config.enable_templates,
+            default_checkpoint_every: config.checkpoint_every,
+            rr: 0,
             deferred: VecDeque::new(),
             held: VecDeque::new(),
             rejoin_grace: config.rejoin_grace,
-            rejoin_deadline: None,
-            replay_log: Vec::new(),
-            replay_valid: true,
-            replaying: false,
+            rejoin_deadlines: Vec::new(),
+            had_session: false,
             stats: ControlPlaneStats::new(),
             running: true,
             batch_sends: config.batch_sends,
@@ -247,36 +362,96 @@ impl<E: TransportEndpoint> Controller<E> {
         &self.stats
     }
 
-    /// Runs the controller until the driver shuts the job down; returns the
+    fn job_index_by_id(&self, id: JobId) -> Option<usize> {
+        self.jobs.iter().position(|j| j.id == id && !j.done)
+    }
+
+    fn job_index_by_driver(&self, node: NodeId) -> Option<usize> {
+        self.jobs.iter().position(|j| j.driver == node && !j.done)
+    }
+
+    /// Removes job entries marked done. Called only from the top of the
+    /// main loop, where no job index is live across the call.
+    fn sweep_done_jobs(&mut self) {
+        if self.jobs.iter().any(|j| j.done) {
+            self.jobs.retain(|j| !j.done);
+            self.rr = 0;
+        }
+    }
+
+    /// Runs the controller until the cluster shuts down; returns the
     /// accumulated control-plane statistics.
     pub fn run(mut self) -> ControlPlaneStats {
         while self.running {
-            let envelope = match self.next_envelope() {
-                Some(e) => e,
-                None => break,
-            };
-            self.handle(envelope);
+            // Block only when there is neither transport traffic nor a
+            // serviceable queued driver message.
+            if !self.has_serviceable() {
+                let envelope = match self.next_envelope() {
+                    Some(e) => e,
+                    None => break,
+                };
+                self.handle(envelope);
+            }
             // Opportunistic burst drain: handle whatever is already queued
             // before flushing, so the sends of many pipelined driver
             // requests (the paper's steady-state instantiation stream)
-            // coalesce into one batched send per worker. Bounded so a
-            // flooding driver cannot starve the flush, and always followed
-            // by a flush before the next blocking receive — corked messages
-            // never outlive the burst that produced them.
+            // coalesce into one batched send per worker. Transport traffic
+            // drains first (it carries completions and failure notices);
+            // queued driver messages are then serviced one per job per
+            // turn, round-robin, so no session can starve another. Bounded
+            // so a flooding driver cannot starve the flush, and always
+            // followed by a flush before the next blocking receive —
+            // corked messages never outlive the burst that produced them.
             let mut burst = 1usize;
             while self.running && burst < CORK_BURST {
                 let next = match self.deferred.pop_front() {
                     Some(e) => Some(e),
                     None => self.endpoint.try_recv().ok(),
                 };
-                let Some(envelope) = next else { break };
-                self.handle(envelope);
-                burst += 1;
+                if let Some(envelope) = next {
+                    self.handle(envelope);
+                    burst += 1;
+                    continue;
+                }
+                if self.service_one() {
+                    burst += 1;
+                    continue;
+                }
+                break;
             }
             self.flush_outbox();
+            self.sweep_done_jobs();
         }
         self.flush_outbox();
         self.stats
+    }
+
+    /// True when some job has a queued driver message that may be serviced
+    /// now (its recovery, if any, has completed).
+    fn has_serviceable(&self) -> bool {
+        self.jobs
+            .iter()
+            .any(|j| !j.done && !j.inbox.is_empty() && !j.recovering())
+    }
+
+    /// Services one queued driver message, rotating round-robin across jobs
+    /// so every session makes progress. Returns false when nothing was
+    /// serviceable.
+    fn service_one(&mut self) -> bool {
+        let n = self.jobs.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if self.jobs[i].done || self.jobs[i].inbox.is_empty() || self.jobs[i].recovering() {
+                continue;
+            }
+            let msg = self.jobs[i].inbox.pop_front().expect("checked nonempty");
+            self.rr = (i + 1) % n;
+            let start = Instant::now();
+            self.handle_driver(i, msg);
+            self.stats.control_plane_time += start.elapsed();
+            return true;
+        }
+        false
     }
 
     fn next_envelope(&mut self) -> Option<Envelope> {
@@ -284,40 +459,64 @@ impl<E: TransportEndpoint> Controller<E> {
             return Some(e);
         }
         loop {
-            let Some(deadline) = self.rejoin_deadline else {
+            let deadline = self.rejoin_deadlines.iter().map(|(_, d)| *d).min();
+            let Some(deadline) = deadline else {
                 return self.endpoint.recv().ok();
             };
             let now = Instant::now();
             if now >= deadline {
-                self.expire_rejoin_grace();
+                self.expire_due_deadlines(now);
                 continue;
             }
             match self.endpoint.recv_timeout(deadline - now) {
                 Ok(e) => return Some(e),
-                Err(NetError::Timeout) => self.expire_rejoin_grace(),
+                Err(NetError::Timeout) => self.expire_due_deadlines(Instant::now()),
                 Err(_) => return None,
             }
         }
     }
 
-    /// True for messages that must not be processed against mid-recovery
-    /// state: driver traffic, and registrations from workers other than the
-    /// one recovery is willing to readmit. They are parked in `held` and
-    /// dispatched once the recovery completes.
+    /// Gives up on every worker whose rejoin grace deadline has passed: each
+    /// recovering job stops awaiting it and proceeds once its remaining
+    /// conditions resolve (the checkpoint-restart baseline the rejoin path
+    /// is measured against).
+    fn expire_due_deadlines(&mut self, now: Instant) {
+        let due: Vec<WorkerId> = self
+            .rejoin_deadlines
+            .iter()
+            .filter(|(_, d)| *d <= now)
+            .map(|(w, _)| *w)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        self.rejoin_deadlines.retain(|(_, d)| *d > now);
+        for j in 0..self.jobs.len() {
+            if let PendingSync::Recovering {
+                awaiting_rejoin, ..
+            } = &mut self.jobs[j].sync
+            {
+                awaiting_rejoin.retain(|w| !due.contains(w));
+            }
+            self.maybe_finish_recovery(j);
+        }
+    }
+
+    /// True for worker registrations that must not be processed against
+    /// mid-recovery state: elastic admission while any job is recovering
+    /// would race half-restored data. Registrations a recovering job is
+    /// awaiting are processed immediately (they complete that recovery).
     fn should_hold(&self, envelope: &Envelope) -> bool {
-        let PendingSync::Recovering {
-            awaiting_rejoin, ..
-        } = &self.sync
-        else {
+        let Message::FromWorker(WorkerToController::Register { worker }) = &envelope.message else {
             return false;
         };
-        match &envelope.message {
-            Message::Driver(_) => true,
-            Message::FromWorker(WorkerToController::Register { worker }) => {
-                *awaiting_rejoin != Some(*worker)
-            }
-            _ => false,
+        if !self.jobs.iter().any(JobState::recovering) {
+            return false;
         }
+        !self.jobs.iter().any(|j| {
+            matches!(&j.sync, PendingSync::Recovering { awaiting_rejoin, .. }
+                if awaiting_rejoin.contains(worker))
+        })
     }
 
     fn handle(&mut self, envelope: Envelope) {
@@ -326,10 +525,8 @@ impl<E: TransportEndpoint> Controller<E> {
             return;
         }
         match envelope.message {
-            Message::Driver(msg) => {
-                let start = Instant::now();
-                self.handle_driver(msg);
-                self.stats.control_plane_time += start.elapsed();
+            Message::Driver { job, msg } => {
+                self.accept_driver_message(envelope.from, job, msg);
             }
             Message::FromWorker(msg) => self.handle_worker(msg),
             Message::Transport(TransportEvent::PeerDisconnected(peer)) => {
@@ -338,67 +535,228 @@ impl<E: TransportEndpoint> Controller<E> {
             // The rejoin handshake is driven by the worker's `Register`
             // message, which carries identity; the raw transport notice is
             // informational.
+            Message::Transport(TransportEvent::PeerReconnected(p))
+                if nimbus_core::debug_recovery() =>
+            {
+                eprintln!("[reconnected] {p}");
+            }
             Message::Transport(TransportEvent::PeerReconnected(_)) => {}
             _ => {}
         }
     }
 
-    /// Reacts to a transport-reported peer loss (TCP transport only; the
-    /// in-process fabric never severs connections).
+    // ------------------------------------------------------------------
+    // Session table
+    // ------------------------------------------------------------------
+
+    /// Resolves the sending node to its session (opening one on first
+    /// contact), validates the message's job id against it, and either
+    /// answers the handshake or queues the request for round-robin service.
+    fn accept_driver_message(&mut self, from: NodeId, job: JobId, msg: DriverMessage) {
+        if !from.is_driver() {
+            return; // Workers cannot forge driver traffic.
+        }
+        let j = match self.job_index_by_driver(from) {
+            Some(j) => j,
+            None => {
+                // First contact from this driver node: open its session.
+                // An explicit `OpenJob` is the handshake; any other first
+                // message is the legacy implicit open (the `DriverContext`
+                // shim path), which works because `JobId(0)` resolves
+                // through this table.
+                let id = JobId(self.job_ids.next_raw());
+                self.jobs.push(JobState::new(
+                    id,
+                    from,
+                    self.policy.clone(),
+                    self.default_enable_templates,
+                    self.default_checkpoint_every,
+                ));
+                self.had_session = true;
+                self.jobs.len() - 1
+            }
+        };
+        let expected = self.jobs[j].id;
+        if job != JobId(0) && job != expected {
+            self.reply(
+                j,
+                ControllerToDriver::Error {
+                    message: format!(
+                        "job {job} does not belong to this session (expected {expected})"
+                    ),
+                },
+            );
+            return;
+        }
+        if matches!(msg, DriverMessage::OpenJob) {
+            // Handshake: answered inline (it is always the session's first
+            // message, so ordering with queued traffic is trivial).
+            self.reply(j, ControllerToDriver::JobAccepted { job: expected });
+            return;
+        }
+        self.jobs[j].inbox.push_back(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    /// True when the job has physical state on the worker (the expansion
+    /// path registers every instance in the job's data manager before any
+    /// command is dispatched, so this covers in-flight creates too).
+    fn job_uses_worker(&self, j: usize, worker: WorkerId) -> bool {
+        !self.jobs[j].dm.instances.on_worker(worker).is_empty()
+    }
+
+    /// Reacts to a transport-reported peer loss.
     fn handle_disconnect(&mut self, peer: NodeId) {
         match peer {
-            // A lost worker is an abrupt failure: run the same recovery path
-            // the driver's explicit `FailWorker` exercises. Without a
-            // checkpoint this surfaces a clean error to the driver instead
-            // of hanging the job.
+            // A lost worker is an abrupt failure. Recovery is per job:
+            // every job with state on the worker recovers independently;
+            // jobs without any keep running untouched.
             NodeId::Worker(w) => {
+                if nimbus_core::debug_recovery() {
+                    eprintln!(
+                        "[disconnect] worker={w} allocated={}",
+                        self.workers.contains(&w)
+                    );
+                }
                 if !self.workers.contains(&w) {
                     return; // Already evicted.
                 }
-                if let PendingSync::Recovering {
-                    awaiting_rejoin, ..
-                } = &self.sync
-                {
-                    // A second failure while already recovering: the worker
-                    // will never acknowledge its Halt, so count it out and
-                    // keep the recovery moving instead of wedging.
-                    let still_awaited = awaiting_rejoin.is_some();
-                    self.workers.retain(|x| *x != w);
-                    self.note_workers_changed();
-                    if self.workers.is_empty() && !still_awaited {
-                        self.sync = PendingSync::None;
-                        self.resume_after_recovery = PendingSync::None;
-                        self.reply(ControllerToDriver::Error {
-                            message: "every worker disconnected during recovery".to_string(),
-                        });
-                        return;
-                    }
-                    self.note_halted(w);
-                    return;
+                self.workers.retain(|x| *x != w);
+                self.note_workers_changed();
+                let grace = self.rejoin_grace;
+                if let Some(g) = grace {
+                    self.rejoin_deadlines.push((w, Instant::now() + g));
                 }
-                // Recovery replaces whatever the driver was synchronizing
-                // on; stash it so the pending request is answered (against
-                // recovered state) once recovery completes, instead of the
-                // driver receiving a reply it never asked for. Stashed
-                // *before* `begin_recovery`, which may complete the recovery
-                // synchronously when no halt acknowledgement is expected.
-                let interrupted = std::mem::replace(&mut self.sync, PendingSync::None);
-                self.resume_after_recovery = Self::resumable(interrupted);
-                if let Err(e) = self.begin_recovery(w, false, true) {
-                    // Unrecoverable (no checkpoint / no workers): answer
-                    // the driver's pending request — or its next one —
-                    // with a clean error rather than hanging.
-                    self.resume_after_recovery = PendingSync::None;
-                    self.reply(ControllerToDriver::Error {
-                        message: format!("worker {w} disconnected: {e}"),
-                    });
+                for j in 0..self.jobs.len() {
+                    if self.jobs[j].done {
+                        continue;
+                    }
+                    self.worker_lost_for_job(j, w, grace.is_some());
                 }
             }
-            // A lost driver orphans the job: shut the workers down and exit
-            // rather than running headless forever.
-            NodeId::Driver => self.shutdown_workers(),
-            NodeId::Controller => {}
+            // A lost driver orphans its job: release the job's state. Once
+            // the last LIVE job is gone the cluster shuts down rather than
+            // running headless forever. Deliberate asymmetry: a driver that
+            // already closed its job cleanly has detached — its later
+            // disconnect is the normal end of a session, not a crash, and
+            // must not take a multi-tenant cluster (which other drivers may
+            // still connect to) down with it; such a cluster lives until an
+            // explicit `Shutdown` (see the ROADMAP's lifetime-policy knob).
+            node if node.is_driver() => {
+                if let Some(j) = self.job_index_by_driver(node) {
+                    self.release_job(j);
+                    if self.jobs.iter().all(|j| j.done) && self.had_session {
+                        self.shutdown_workers();
+                    }
+                }
+            }
+            _ => {}
         }
+    }
+
+    /// One job's reaction to losing worker `w` (already evicted from the
+    /// shared allocation by the caller).
+    fn worker_lost_for_job(&mut self, j: usize, w: WorkerId, may_rejoin: bool) {
+        if self.jobs[j].recovering() {
+            // A second failure while already recovering: the worker will
+            // never acknowledge its Halt, so count it out — and, if a grace
+            // window is configured AND this job actually has state on it,
+            // await its return too, so two workers dying in one window can
+            // both be readmitted in place. A worker the job never touched
+            // is not awaited: stalling this recovery a full grace window
+            // for a return that gives the job nothing would leak another
+            // job's failure across the isolation boundary.
+            let workers_empty = self.workers.is_empty();
+            let uses = self.job_uses_worker(j, w);
+            let mut dead_end = false;
+            if let PendingSync::Recovering {
+                pending_halts,
+                awaiting_rejoin,
+                ..
+            } = &mut self.jobs[j].sync
+            {
+                pending_halts.retain(|x| *x != w);
+                if may_rejoin && uses && !awaiting_rejoin.contains(&w) {
+                    awaiting_rejoin.push(w);
+                }
+                dead_end = workers_empty && awaiting_rejoin.is_empty();
+            }
+            if dead_end {
+                self.jobs[j].sync = PendingSync::None;
+                self.jobs[j].resume_after_recovery = PendingSync::None;
+                self.reply(
+                    j,
+                    ControllerToDriver::Error {
+                        message: "every worker disconnected during recovery".to_string(),
+                    },
+                );
+                self.drain_held();
+                return;
+            }
+            self.maybe_finish_recovery(j);
+            return;
+        }
+        if !self.job_uses_worker(j, w) {
+            return; // This job never touched the dead worker: isolation.
+        }
+        // Recovery replaces whatever the driver was synchronizing on; stash
+        // it so the pending request is answered (against recovered state)
+        // once recovery completes. Stashed *before* `begin_recovery`, which
+        // may complete the recovery synchronously when no halt
+        // acknowledgement is expected.
+        let interrupted = std::mem::replace(&mut self.jobs[j].sync, PendingSync::None);
+        self.jobs[j].resume_after_recovery = Self::resumable(interrupted);
+        let awaiting = if may_rejoin { vec![w] } else { Vec::new() };
+        if let Err(e) = self.begin_recovery(j, false, awaiting) {
+            // Unrecoverable (no checkpoint / no workers): answer the
+            // driver's pending request — or its next one — with a clean
+            // error rather than hanging.
+            self.jobs[j].resume_after_recovery = PendingSync::None;
+            self.reply(
+                j,
+                ControllerToDriver::Error {
+                    message: format!("worker {w} disconnected: {e}"),
+                },
+            );
+        }
+    }
+
+    /// Releases one job's state everywhere: the workers drop its runtimes
+    /// (stores, queues, templates) and the controller forgets it. The table
+    /// entry is only marked done here — every lookup skips it from now on —
+    /// and physically removed by the main loop's sweep, so job indices held
+    /// by in-flight iterations stay valid.
+    fn release_job(&mut self, j: usize) {
+        let job_id = self.jobs[j].id;
+        for i in 0..self.workers.len() {
+            let w = self.workers[i];
+            self.queue_worker(j, w, ControllerToWorker::DropJob { job: job_id }, 0);
+        }
+        let job = &mut self.jobs[j];
+        let was_recovering = job.recovering();
+        job.done = true;
+        job.inbox.clear();
+        job.sync = PendingSync::None;
+        job.queued_sync = None;
+        job.resume_after_recovery = PendingSync::None;
+        if was_recovering {
+            // This job's recovery will never complete; registrations it was
+            // holding back must not be stranded with it.
+            self.drain_held();
+        }
+    }
+
+    /// Re-queues the worker registrations parked while a recovery was in
+    /// flight. Called at every point a recovery ends — completion, dead
+    /// end, or its job being released — so a parked `Register` can never be
+    /// stranded; if another job is still recovering, `should_hold` simply
+    /// parks it again.
+    fn drain_held(&mut self) {
+        let held = std::mem::take(&mut self.held);
+        self.deferred.extend(held);
     }
 
     /// Broadcasts `Shutdown` to every worker ever allocated (failed ones
@@ -418,148 +776,248 @@ impl<E: TransportEndpoint> Controller<E> {
     }
 
     // ------------------------------------------------------------------
-    // Driver interface
+    // Driver interface (per job)
     // ------------------------------------------------------------------
 
-    fn handle_driver(&mut self, msg: DriverMessage) {
+    fn handle_driver(&mut self, j: usize, msg: DriverMessage) {
         match msg {
+            DriverMessage::OpenJob => {
+                // Normally answered inline by `accept_driver_message`; kept
+                // total for robustness.
+                let job = self.jobs[j].id;
+                self.reply(j, ControllerToDriver::JobAccepted { job });
+            }
+            DriverMessage::CloseJob => {
+                // Drain the job's outstanding work, then release it and
+                // confirm. Queued behind any in-flight synchronization.
+                self.set_or_queue_sync(j, PendingSync::Closing);
+            }
             DriverMessage::DefineDataset(def) => {
-                self.dm.define_dataset(def);
-                self.reply(ControllerToDriver::Ack);
+                self.jobs[j].dm.define_dataset(def);
+                self.reply(j, ControllerToDriver::Ack);
             }
             DriverMessage::SubmitTask(spec) => {
-                // Individually submitted tasks are not captured by the
-                // instantiation replay log; a recovery spanning them cannot
-                // faithfully reconstruct the stream.
-                self.replay_valid = false;
-                if let Err(e) = self.submit_task(spec) {
-                    self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    });
+                // Raw tasks are replayable as long as they are not part of
+                // an active recording (recording traffic cannot be
+                // faithfully reconstructed controller-side). The spec is
+                // only cloned when it will actually be logged — the
+                // recording path and the already-lossy window stay
+                // clone-free, keeping the per-task hot path unchanged.
+                let in_recording = self.jobs[j].tm.is_recording();
+                let will_log = {
+                    let job = &self.jobs[j];
+                    job.replay_valid && !job.replaying && !in_recording
+                };
+                let logged = will_log.then(|| spec.clone());
+                match self.submit_task(j, spec) {
+                    Ok(()) => {
+                        let job = &mut self.jobs[j];
+                        if in_recording && !job.replaying {
+                            job.replay_valid = false;
+                        } else if let Some(spec) = logged {
+                            job.log_replay(ReplayEntry::Submit(spec));
+                        }
+                    }
+                    Err(e) => {
+                        self.jobs[j].replay_valid = false;
+                        self.reply(
+                            j,
+                            ControllerToDriver::Error {
+                                message: e.to_string(),
+                            },
+                        );
+                    }
                 }
             }
             DriverMessage::StartTemplate { name } => {
-                self.replay_valid = false;
-                let result = if self.enable_templates {
-                    self.tm.start_recording(&name)
+                let job = &mut self.jobs[j];
+                job.replay_valid = false;
+                let result = if job.enable_templates {
+                    job.tm.start_recording(&name)
                 } else {
                     Ok(())
                 };
                 match result {
-                    Ok(()) => self.reply(ControllerToDriver::Ack),
-                    Err(e) => self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    }),
+                    Ok(()) => self.reply(j, ControllerToDriver::Ack),
+                    Err(e) => self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             }
             DriverMessage::AbortTemplate { name } => {
-                let result = if self.enable_templates {
-                    self.tm.abort_recording(&name)
+                let job = &mut self.jobs[j];
+                let result = if job.enable_templates {
+                    job.tm.abort_recording(&name)
                 } else {
                     Ok(())
                 };
                 match result {
-                    Ok(()) => self.reply(ControllerToDriver::Ack),
-                    Err(e) => self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    }),
+                    Ok(()) => self.reply(j, ControllerToDriver::Ack),
+                    Err(e) => self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             }
             DriverMessage::FinishTemplate { name } => {
-                if !self.enable_templates {
-                    self.reply(ControllerToDriver::TemplateInstalled { name });
+                if !self.jobs[j].enable_templates {
+                    self.reply(j, ControllerToDriver::TemplateInstalled { name });
                     return;
                 }
-                match self.finish_template(&name) {
-                    Ok(()) => self.reply(ControllerToDriver::TemplateInstalled { name }),
-                    Err(e) => self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    }),
+                match self.finish_template(j, &name) {
+                    Ok(()) => self.reply(j, ControllerToDriver::TemplateInstalled { name }),
+                    Err(e) => self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             }
             DriverMessage::InstantiateTemplate { name, params } => {
-                match self.instantiate_block(&name, &params) {
+                match self.instantiate_block(j, &name, &params) {
                     // Only successful instantiations enter the replay log: a
                     // failed one (which may have mutated state partially)
                     // makes the window unfaithful, and logging it would
                     // poison any later replay.
-                    Ok(()) => self.replay_log.push((name, params)),
+                    Ok(()) => {
+                        self.jobs[j].log_replay(ReplayEntry::Instantiate { name, params });
+                    }
                     Err(e) => {
-                        self.replay_valid = false;
-                        self.reply(ControllerToDriver::Error {
-                            message: e.to_string(),
-                        });
+                        self.jobs[j].replay_valid = false;
+                        self.reply(
+                            j,
+                            ControllerToDriver::Error {
+                                message: e.to_string(),
+                            },
+                        );
                     }
                 }
             }
             DriverMessage::FetchValue { partition } => {
-                self.set_or_queue_sync(PendingSync::FetchDrain(partition));
+                self.set_or_queue_sync(j, PendingSync::FetchDrain(partition));
             }
             DriverMessage::Barrier => {
-                self.set_or_queue_sync(PendingSync::Barrier);
+                self.set_or_queue_sync(j, PendingSync::Barrier);
             }
             DriverMessage::EnableTemplates(enabled) => {
-                self.enable_templates = enabled;
-                self.replay_valid = false;
-                self.reply(ControllerToDriver::Ack);
+                self.jobs[j].enable_templates = enabled;
+                // Logged (not invalidating): the toggle replays in order so
+                // surrounding raw/templated entries re-execute under their
+                // original scheduling mode.
+                self.jobs[j].log_replay(ReplayEntry::SetTemplates(enabled));
+                self.reply(j, ControllerToDriver::Ack);
             }
             DriverMessage::Checkpoint { marker } => {
-                self.set_or_queue_sync(PendingSync::CheckpointDrain {
-                    marker,
-                    notify: true,
-                });
+                self.set_or_queue_sync(
+                    j,
+                    PendingSync::CheckpointDrain {
+                        marker,
+                        notify: true,
+                    },
+                );
             }
             DriverMessage::MigrateTasks { name, count } => {
-                self.replay_valid = false;
-                match self
+                let job = &mut self.jobs[j];
+                job.replay_valid = false;
+                match job
                     .tm
-                    .plan_migrations(&name, count, &self.workers, &mut self.dm)
+                    .plan_migrations(&name, count, &self.workers, &mut job.dm)
                 {
                     Ok(planned) => {
                         self.stats.edits_applied += planned as u64;
-                        self.reply(ControllerToDriver::Ack);
+                        self.reply(j, ControllerToDriver::Ack);
                     }
-                    Err(e) => self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    }),
+                    Err(e) => self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             }
             DriverMessage::SetWorkerAllocation { workers } => {
-                self.replay_valid = false;
+                // The allocation is shared: every job observes the change
+                // (and drains its data off evicted workers); every job's
+                // replay window becomes unfaithful.
+                for job in &mut self.jobs {
+                    job.replay_valid = false;
+                }
                 match self.change_allocation(workers) {
-                    Ok(()) => self.reply(ControllerToDriver::Ack),
-                    Err(e) => self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    }),
+                    Ok(()) => self.reply(j, ControllerToDriver::Ack),
+                    Err(e) => self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             }
             DriverMessage::FailWorker { worker } => {
                 // Driver-simulated failures are the paper's fault-recovery
                 // experiments: they recover immediately, without waiting for
-                // a rejoin that will never come.
-                if let Err(e) = self.begin_recovery(worker, true, false) {
-                    self.reply(ControllerToDriver::Error {
-                        message: e.to_string(),
-                    });
-                }
+                // a rejoin that will never come — every job with state on
+                // the worker, independently.
+                self.fail_worker(j, worker);
             }
             DriverMessage::Shutdown => {
+                // The whole cluster goes down: every session is terminated.
+                for i in 0..self.jobs.len() {
+                    if !self.jobs[i].done {
+                        self.reply(i, ControllerToDriver::JobTerminated);
+                    }
+                }
                 self.shutdown_workers();
-                self.reply(ControllerToDriver::JobTerminated);
             }
         }
     }
 
-    fn submit_task(&mut self, spec: TaskSpec) -> ControllerResult<()> {
+    /// Evicts `worker` and recovers every affected job. The requesting job
+    /// always recovers (with a driver notification); other jobs recover
+    /// transport-style — silently, with a controller-side replay.
+    fn fail_worker(&mut self, requesting: usize, worker: WorkerId) {
+        self.workers.retain(|w| *w != worker);
+        self.note_workers_changed();
+        for j in 0..self.jobs.len() {
+            let is_requesting = j == requesting;
+            if self.jobs[j].done || self.jobs[j].recovering() {
+                continue;
+            }
+            if !is_requesting && !self.job_uses_worker(j, worker) {
+                continue;
+            }
+            if !is_requesting {
+                let interrupted = std::mem::replace(&mut self.jobs[j].sync, PendingSync::None);
+                self.jobs[j].resume_after_recovery = Self::resumable(interrupted);
+            }
+            if let Err(e) = self.begin_recovery(j, is_requesting, Vec::new()) {
+                self.jobs[j].resume_after_recovery = PendingSync::None;
+                self.reply(
+                    j,
+                    ControllerToDriver::Error {
+                        message: e.to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn submit_task(&mut self, j: usize, spec: TaskSpec) -> ControllerResult<()> {
+        let job = &mut self.jobs[j];
         let expanded = expand_task(
             &spec,
             &self.workers,
-            &mut self.dm,
-            &mut self.bk,
-            &self.ids,
-            &mut self.lineage,
+            &mut job.dm,
+            &mut job.bk,
+            &job.ids,
+            &mut job.lineage,
         )?;
-        self.tm.record_task(&spec, &expanded);
+        job.tm.record_task(&spec, &expanded);
         self.stats.tasks_scheduled_directly += 1;
         self.stats.copies_inserted += expanded
             .commands
@@ -567,27 +1025,37 @@ impl<E: TransportEndpoint> Controller<E> {
             .filter(|c| c.command.kind.is_network_copy())
             .count() as u64
             / 2;
-        self.dispatch(expanded.commands)?;
-        Ok(())
+        self.dispatch(j, expanded.commands)
     }
 
-    fn finish_template(&mut self, name: &str) -> ControllerResult<()> {
-        let (_ct, _group, installs) = self.tm.finish_recording(name, &self.dm, &self.ids)?;
+    fn finish_template(&mut self, j: usize, name: &str) -> ControllerResult<()> {
+        let job = &mut self.jobs[j];
+        let job_id = job.id;
+        let (_ct, _group, installs) = job.tm.finish_recording(name, &job.dm, &job.ids)?;
         self.stats.controller_templates_installed += 1;
         self.stats.worker_template_groups_generated += 1;
         self.stats.worker_templates_installed += installs.len() as u64;
         for (worker, template) in installs {
-            self.send_worker(worker, ControllerToWorker::InstallTemplate { template })?;
+            self.send_worker(
+                worker,
+                ControllerToWorker::InstallTemplate {
+                    job: job_id,
+                    template,
+                },
+            )?;
         }
         Ok(())
     }
 
     fn instantiate_block(
         &mut self,
+        j: usize,
         name: &str,
         params: &InstantiationParams,
     ) -> ControllerResult<()> {
-        let ct = self
+        let job = &mut self.jobs[j];
+        let job_id = job.id;
+        let ct = job
             .tm
             .registry
             .controller_template_by_name(name)
@@ -595,53 +1063,63 @@ impl<E: TransportEndpoint> Controller<E> {
         let ct_id = ct.id;
         let task_count = ct.task_count();
         self.stats.controller_template_instantiations += 1;
-        self.instantiations_since_checkpoint += 1;
+        job.instantiations_since_checkpoint += 1;
 
-        let group = self
+        let group = job
             .tm
             .registry
             .find_group_for_sorted_workers(ct_id, &self.workers_sorted)
             .map(|g| g.id);
 
         match group {
-            Some(group_id) if self.enable_templates => {
-                let plan = self.tm.plan_instantiation(
+            Some(group_id) if job.enable_templates => {
+                let plan = job.tm.plan_instantiation(
                     group_id,
                     params,
-                    &mut self.dm,
-                    &mut self.bk,
-                    &self.ids,
+                    &mut job.dm,
+                    &mut job.bk,
+                    &job.ids,
                 )?;
                 if plan.auto_validated {
                     self.stats.auto_validations += 1;
                 } else {
                     self.stats.full_validations += 1;
                 }
-                if !plan.patch_commands.is_empty() {
+                let had_patches = !plan.patch_commands.is_empty();
+                if had_patches {
                     self.stats.patches_applied += 1;
                     if plan.patch_cache_hit {
                         self.stats.patch_cache_hits += 1;
                     } else {
                         self.stats.patch_cache_misses += 1;
                     }
-                    self.dispatch(plan.patch_commands)?;
                 }
                 let edit_count: usize = plan.per_worker.iter().map(|(_, i)| i.edits.len()).sum();
                 self.stats.edits_applied += edit_count as u64;
                 self.stats.worker_template_instantiations += plan.per_worker.len() as u64;
                 self.stats.tasks_from_templates += plan.task_count;
+                let expected = plan.expected_commands;
+                let patches = plan.patch_commands;
+                let per_worker = plan.per_worker;
+                if had_patches {
+                    self.dispatch(j, patches)?;
+                }
                 // Counted unconditionally (not per send): a send to a worker
                 // that just died must not fail the instantiation — the
                 // transport's disconnect notice follows and recovery resets
                 // `outstanding` and the data state wholesale.
-                self.outstanding += plan.expected_commands;
-                for (worker, instantiation) in plan.per_worker {
+                self.jobs[j].outstanding += expected;
+                for (worker, instantiation) in per_worker {
                     // Queued behind any patch commands corked for the same
                     // worker, so the whole instantiation leaves as one
                     // batched send per worker.
                     self.queue_worker(
+                        j,
                         worker,
-                        ControllerToWorker::InstantiateTemplate(instantiation),
+                        ControllerToWorker::InstantiateTemplate {
+                            job: job_id,
+                            inst: instantiation,
+                        },
                         0,
                     );
                 }
@@ -650,54 +1128,59 @@ impl<E: TransportEndpoint> Controller<E> {
                 // No worker templates match the current allocation (or
                 // templates are disabled): schedule the block task by task,
                 // recording a fresh group if templates are enabled.
-                let task_base = self.ids.tasks.next_block(task_count as u64);
+                let task_base = job.ids.tasks.next_block(task_count as u64);
                 let task_ids: Vec<TaskId> = (0..task_count as u64)
                     .map(|i| TaskId(task_base + i))
                     .collect();
-                let ct = self
+                let ct = job
                     .tm
                     .registry
                     .controller_template_by_name(name)
                     .expect("checked above");
                 let specs = ct.instantiate(&task_ids, params)?;
-                let record = self.enable_templates && !self.tm.is_recording();
+                let record = job.enable_templates && !job.tm.is_recording();
                 if record {
-                    self.tm.start_recording(name)?;
+                    job.tm.start_recording(name)?;
                 }
                 for spec in &specs {
                     // Placement hints from the old assignment may point at
                     // evicted workers; expansion falls back to the current
                     // allocation automatically.
+                    let job = &mut self.jobs[j];
                     let expanded = expand_task(
                         spec,
                         &self.workers,
-                        &mut self.dm,
-                        &mut self.bk,
-                        &self.ids,
-                        &mut self.lineage,
+                        &mut job.dm,
+                        &mut job.bk,
+                        &job.ids,
+                        &mut job.lineage,
                     )?;
-                    self.tm.record_task(spec, &expanded);
+                    job.tm.record_task(spec, &expanded);
                     self.stats.tasks_scheduled_directly += 1;
-                    self.dispatch(expanded.commands)?;
+                    self.dispatch(j, expanded.commands)?;
                 }
                 if record {
-                    self.finish_template(name)?;
+                    self.finish_template(j, name)?;
                 }
             }
         }
 
-        if let Some(every) = self.checkpoint_every {
-            if !self.replaying
-                && self.instantiations_since_checkpoint >= every
-                && matches!(self.sync, PendingSync::None)
+        let job = &mut self.jobs[j];
+        if let Some(every) = job.checkpoint_every {
+            if !job.replaying
+                && job.instantiations_since_checkpoint >= every
+                && matches!(job.sync, PendingSync::None)
             {
-                let marker = self.instantiations_since_checkpoint;
-                self.instantiations_since_checkpoint = 0;
+                let marker = job.instantiations_since_checkpoint;
+                job.instantiations_since_checkpoint = 0;
                 // Drains the just-dispatched instantiation first, then saves.
-                self.set_or_queue_sync(PendingSync::CheckpointDrain {
-                    marker,
-                    notify: false,
-                });
+                self.set_or_queue_sync(
+                    j,
+                    PendingSync::CheckpointDrain {
+                        marker,
+                        notify: false,
+                    },
+                );
             }
         }
         Ok(())
@@ -718,40 +1201,51 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.all_workers.push(*w);
             }
         }
-        // Drain evicted workers: move the latest copy of every partition they
-        // exclusively hold onto a surviving worker, then forget their
-        // instances.
+        // Drain evicted workers, per job: move the latest copy of every
+        // partition a job exclusively holds there onto a surviving worker,
+        // then forget the job's instances on it. A job that is mid-recovery
+        // is left alone: its data manager and outstanding count are about
+        // to be wholesale-restored by `complete_recovery`, which itself
+        // drops instances on workers no longer in the allocation and
+        // re-homes their checkpointed partitions — draining it here would
+        // corrupt exactly the state the restore is built on.
         for w in &evicted {
-            let partitions: Vec<LogicalPartition> = self
-                .dm
-                .instances
-                .on_worker(*w)
-                .iter()
-                .map(|i| i.logical)
-                .collect();
-            let mut commands = Vec::new();
-            for lp in partitions {
-                let holders = self.dm.instances.latest_holders(lp, &self.dm.versions);
-                let only_here = holders.iter().all(|h| h.worker == *w) && !holders.is_empty();
-                if only_here {
-                    self.dm.set_home(lp, {
-                        // Re-home deterministically among the new allocation.
-                        let idx = (lp.partition.raw() as usize) % new_workers.len();
-                        new_workers[idx]
-                    });
-                    let target = self.dm.current_home(lp).expect("home just set");
-                    refresh_instance(
-                        lp,
-                        target,
-                        &mut self.dm,
-                        &mut self.bk,
-                        &self.ids,
-                        &mut commands,
-                    )?;
+            for j in 0..self.jobs.len() {
+                if self.jobs[j].done || self.jobs[j].recovering() {
+                    continue;
                 }
+                let job = &mut self.jobs[j];
+                let partitions: Vec<LogicalPartition> = job
+                    .dm
+                    .instances
+                    .on_worker(*w)
+                    .iter()
+                    .map(|i| i.logical)
+                    .collect();
+                let mut commands = Vec::new();
+                for lp in partitions {
+                    let holders = job.dm.instances.latest_holders(lp, &job.dm.versions);
+                    let only_here = holders.iter().all(|h| h.worker == *w) && !holders.is_empty();
+                    if only_here {
+                        job.dm.set_home(lp, {
+                            // Re-home deterministically among the new allocation.
+                            let idx = (lp.partition.raw() as usize) % new_workers.len();
+                            new_workers[idx]
+                        });
+                        let target = job.dm.current_home(lp).expect("home just set");
+                        refresh_instance(
+                            lp,
+                            target,
+                            &mut job.dm,
+                            &mut job.bk,
+                            &job.ids,
+                            &mut commands,
+                        )?;
+                    }
+                }
+                self.dispatch(j, commands)?;
+                self.jobs[j].dm.drop_worker(*w);
             }
-            self.dispatch(commands)?;
-            self.dm.drop_worker(*w);
         }
         self.workers = new_workers;
         self.note_workers_changed();
@@ -771,60 +1265,62 @@ impl<E: TransportEndpoint> Controller<E> {
         }
     }
 
-    /// Records that `worker` will produce no (further) `Halted` reply —
-    /// because it halted, or because it disconnected — and completes the
-    /// recovery once every expected acknowledgement is accounted for.
-    fn note_halted(&mut self, worker: WorkerId) {
-        if let PendingSync::Recovering { pending_halts, .. } = &mut self.sync {
+    /// Records that `worker` will produce no (further) `Halted` reply for
+    /// job `j` — because it halted, or because it disconnected — and
+    /// completes the recovery once every expected acknowledgement is
+    /// accounted for.
+    fn note_halted(&mut self, j: usize, worker: WorkerId) {
+        if let PendingSync::Recovering { pending_halts, .. } = &mut self.jobs[j].sync {
             pending_halts.retain(|w| *w != worker);
-            self.maybe_finish_recovery();
+            self.maybe_finish_recovery(j);
         }
     }
 
-    /// Completes the recovery once every halt is acknowledged *and* the
-    /// rejoin wait (if any) has resolved — the awaited worker registered or
-    /// the grace deadline passed.
-    fn maybe_finish_recovery(&mut self) {
+    /// Completes job `j`'s recovery once every halt is acknowledged *and*
+    /// every awaited worker has resolved — registered again or had its
+    /// grace deadline pass.
+    fn maybe_finish_recovery(&mut self, j: usize) {
+        if nimbus_core::debug_recovery() {
+            if let PendingSync::Recovering {
+                pending_halts,
+                awaiting_rejoin,
+                ..
+            } = &self.jobs[j].sync
+            {
+                eprintln!(
+                    "[maybe_finish] job={} halts={:?} awaiting={:?}",
+                    self.jobs[j].id, pending_halts, awaiting_rejoin
+                );
+            }
+        }
         if let PendingSync::Recovering {
             marker,
             pending_halts,
             notify,
             awaiting_rejoin,
             rejoined,
-        } = &self.sync
+        } = &self.jobs[j].sync
         {
-            if pending_halts.is_empty() && awaiting_rejoin.is_none() {
+            if pending_halts.is_empty() && awaiting_rejoin.is_empty() {
                 let (marker, notify, rejoined) = (*marker, *notify, rejoined.clone());
-                self.sync = PendingSync::None;
-                self.complete_recovery(marker, notify, &rejoined);
+                self.jobs[j].sync = PendingSync::None;
+                self.complete_recovery(j, marker, notify, &rejoined);
             }
         }
     }
 
-    /// Gives up on the awaited worker: recovery proceeds onto the survivors
-    /// (the pre-rejoin behavior). Its groups are left installed but
-    /// unfindable for the shrunken allocation, so the next instantiation
-    /// regenerates templates — the checkpoint-restart baseline the rejoin
-    /// path is measured against.
-    fn expire_rejoin_grace(&mut self) {
-        self.rejoin_deadline = None;
-        if let PendingSync::Recovering {
-            awaiting_rejoin, ..
-        } = &mut self.sync
-        {
-            awaiting_rejoin.take();
-            self.maybe_finish_recovery();
-        }
-    }
-
+    /// Starts recovery for job `j`. The failed worker(s) have already been
+    /// evicted from the shared allocation by the caller; `awaiting_rejoin`
+    /// lists those this recovery should hold open for.
     fn begin_recovery(
         &mut self,
-        failed: WorkerId,
+        j: usize,
         notify: bool,
-        allow_rejoin_wait: bool,
+        awaiting_rejoin: Vec<WorkerId>,
     ) -> ControllerResult<()> {
         self.stats.failures_handled += 1;
-        let marker = self
+        let job = &mut self.jobs[j];
+        let marker = job
             .checkpoints
             .latest()
             .map(|c| c.progress_marker)
@@ -832,39 +1328,37 @@ impl<E: TransportEndpoint> Controller<E> {
         // A failure that lands while a basic block is being recorded leaves
         // the log without the surrounding recording traffic; replaying it
         // later would desynchronize the driver's view. Skip replay then.
-        if self.tm.is_recording() {
-            self.replay_valid = false;
+        if job.tm.is_recording() {
+            job.replay_valid = false;
         }
-        // The failed worker leaves the allocation but stays in `all_workers`:
-        // the in-process "failed" thread still needs a shutdown message at
-        // job end (a real deployment would simply have lost the process).
-        self.workers.retain(|w| *w != failed);
-        self.note_workers_changed();
-        let awaiting_rejoin = if allow_rejoin_wait {
-            self.rejoin_grace.map(|grace| {
-                self.rejoin_deadline = Some(Instant::now() + grace);
-                failed
-            })
-        } else {
-            None
-        };
+        let job_id = job.id;
         // Without a rejoin wait the job cannot continue workerless; with one
         // it may ride out the window even if the failed worker was the last.
-        if self.workers.is_empty() && awaiting_rejoin.is_none() {
+        if self.workers.is_empty() && awaiting_rejoin.is_empty() {
             return Err(ControllerError::NoWorkers);
         }
-        // Halt every surviving worker: they terminate ongoing commands and
-        // flush their queues (Section 4.4). A survivor whose Halt cannot be
+        // Halt every surviving worker — for this job only: they terminate
+        // its ongoing commands and flush its queue (Section 4.4) while other
+        // jobs' runtimes keep executing. A survivor whose Halt cannot be
         // sent is dying too — its own disconnect notice will evict it; it
         // must not be waited on for an acknowledgement that cannot come.
         let mut pending_halts = Vec::new();
         for i in 0..self.workers.len() {
             let w = self.workers[i];
-            if self.send_worker(w, ControllerToWorker::Halt).is_ok() {
+            if self
+                .send_worker(w, ControllerToWorker::Halt { job: job_id })
+                .is_ok()
+            {
                 pending_halts.push(w);
             }
         }
-        self.sync = PendingSync::Recovering {
+        if nimbus_core::debug_recovery() {
+            eprintln!(
+                "[begin] job={} marker={} halts={:?} awaiting={:?}",
+                job_id, marker, pending_halts, awaiting_rejoin
+            );
+        }
+        self.jobs[j].sync = PendingSync::Recovering {
             marker,
             pending_halts,
             notify,
@@ -873,39 +1367,41 @@ impl<E: TransportEndpoint> Controller<E> {
         };
         // With no halts outstanding and no rejoin to wait for (every
         // survivor's Halt send failed), nothing else will drive completion.
-        self.maybe_finish_recovery();
+        self.maybe_finish_recovery(j);
         Ok(())
     }
 
-    fn complete_recovery(&mut self, marker: u64, notify: bool, rejoined: &[WorkerId]) {
+    fn complete_recovery(&mut self, j: usize, marker: u64, notify: bool, rejoined: &[WorkerId]) {
         // A rejoin-grace recovery can ride out the window with zero workers
         // (the failed worker was the last one); if the grace expired without
         // a return there is nothing to recover onto — surface a clean error
         // instead of dividing the reload re-homing by zero.
         if self.workers.is_empty() {
-            self.resume_after_recovery = PendingSync::None;
-            self.replay_valid = false;
-            self.reply(ControllerToDriver::Error {
-                message: "every worker disconnected during recovery".to_string(),
-            });
-            // Held driver traffic is answered against the workerless state
-            // (each request fails cleanly with NoWorkers).
-            let held = std::mem::take(&mut self.held);
-            self.deferred.extend(held);
+            self.jobs[j].resume_after_recovery = PendingSync::None;
+            self.jobs[j].replay_valid = false;
+            self.reply(
+                j,
+                ControllerToDriver::Error {
+                    message: "every worker disconnected during recovery".to_string(),
+                },
+            );
+            // Held registrations are answered against the workerless state.
+            self.drain_held();
             return;
         }
-        let descriptor = self
+        let job = &mut self.jobs[j];
+        let descriptor = job
             .checkpoints
             .latest()
             .cloned()
             .expect("recovery requires a checkpoint");
         // Reset execution state to the snapshot.
-        self.outstanding = 0;
-        self.bk.clear();
-        self.dm.versions = descriptor.versions.clone();
-        self.dm.instances = descriptor.instances.clone();
+        job.outstanding = 0;
+        job.bk.clear();
+        job.dm.versions = descriptor.versions.clone();
+        job.dm.instances = descriptor.instances.clone();
         // Forget instances that lived on workers no longer in the allocation.
-        let snapshot_workers: Vec<WorkerId> = self
+        let snapshot_workers: Vec<WorkerId> = job
             .dm
             .instances
             .iter()
@@ -915,7 +1411,7 @@ impl<E: TransportEndpoint> Controller<E> {
             .collect();
         for w in snapshot_workers {
             if !self.workers.contains(&w) {
-                self.dm.drop_worker(w);
+                job.dm.drop_worker(w);
             }
         }
         // A rejoined worker is a fresh process with an empty store, while the
@@ -927,7 +1423,7 @@ impl<E: TransportEndpoint> Controller<E> {
         // and anything stale is refreshed by validation patches before use.
         let mut commands: Vec<AssignedCommand> = Vec::new();
         for rw in rejoined {
-            let resident: Vec<nimbus_core::PhysicalInstance> = self
+            let resident: Vec<nimbus_core::PhysicalInstance> = job
                 .dm
                 .instances
                 .on_worker(*rw)
@@ -935,7 +1431,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 .copied()
                 .collect();
             for instance in resident {
-                let id = self.ids.command();
+                let id = job.ids.command();
                 let create = Command::new(
                     id,
                     CommandKind::CreateData {
@@ -943,7 +1439,7 @@ impl<E: TransportEndpoint> Controller<E> {
                         logical: instance.logical,
                     },
                 );
-                self.bk.note_write(instance.id, id);
+                job.bk.note_write(instance.id, id);
                 commands.push(AssignedCommand {
                     command: create,
                     worker: *rw,
@@ -962,12 +1458,12 @@ impl<E: TransportEndpoint> Controller<E> {
             let instance = crate::expansion::ensure_instance_commands(
                 entry.partition,
                 target,
-                &mut self.dm,
-                &mut self.bk,
-                &self.ids,
+                &mut job.dm,
+                &mut job.bk,
+                &job.ids,
                 &mut commands,
             );
-            let id = self.ids.command();
+            let id = job.ids.command();
             let load = Command::new(
                 id,
                 CommandKind::LoadData {
@@ -975,70 +1471,88 @@ impl<E: TransportEndpoint> Controller<E> {
                     key: entry.key.clone(),
                 },
             )
-            .with_before(self.bk.write_deps(instance.id));
-            self.bk.note_write(instance.id, id);
+            .with_before(job.bk.write_deps(instance.id));
+            job.bk.note_write(instance.id, id);
             commands.push(AssignedCommand {
                 command: load,
                 worker: target,
             });
-            self.dm.record_refresh(entry.partition, instance.id);
+            job.dm.record_refresh(entry.partition, instance.id);
         }
-        let _ = self.dispatch(commands);
         // Templates built for the old allocation will be regenerated lazily
         // (or reused as-is when the failed worker rejoined in place); cached
         // patches may reference lost objects.
-        self.tm.last_executed = None;
-        self.tm.patch_cache = nimbus_core::PatchCache::new();
+        job.tm.last_executed = None;
+        job.tm.patch_cache = nimbus_core::PatchCache::new();
+        let _ = self.dispatch(j, commands);
         // For transport-detected failures (`notify == false`: the driver is
         // oblivious and keeps the values it already fetched), replay the
-        // instantiations issued since the restored checkpoint so the data
-        // state catches back up to the exact pre-failure point — losing them
-        // would silently fork history. Replay is controller-local: no driver
+        // entries logged since the restored checkpoint so the data state
+        // catches back up to the exact pre-failure point — losing them would
+        // silently fork history. Replay is controller-local: no driver
         // involvement, and with a rejoined worker no template re-recording
         // either. Driver-initiated `FailWorker` recoveries skip this: the
         // paper's experiment pattern has the driver re-run the lost
         // iterations itself. The log is kept: a second failure before the
         // next checkpoint commit replays the same window.
-        if !notify && self.replay_valid && !self.replay_log.is_empty() {
-            let log = self.replay_log.clone();
-            self.replaying = true;
-            for (name, params) in &log {
-                if self.instantiate_block(name, params).is_err() {
+        if !notify && self.jobs[j].replay_valid && !self.jobs[j].replay_log.is_empty() {
+            let log = std::mem::take(&mut self.jobs[j].replay_log);
+            self.jobs[j].replaying = true;
+            for entry in &log {
+                let ok = match entry {
+                    ReplayEntry::Instantiate { name, params } => {
+                        self.instantiate_block(j, name, params).is_ok()
+                    }
+                    ReplayEntry::Submit(spec) => self.submit_task(j, spec.clone()).is_ok(),
+                    ReplayEntry::SetTemplates(enabled) => {
+                        self.jobs[j].enable_templates = *enabled;
+                        true
+                    }
+                };
+                if !ok {
                     // The window can no longer be reconstructed faithfully;
                     // stop (the data state stays at a consistent prefix) and
                     // never trust this log again.
-                    self.replay_valid = false;
+                    self.jobs[j].replay_valid = false;
                     break;
                 }
                 self.stats.instantiations_replayed += 1;
             }
-            self.replaying = false;
+            self.jobs[j].replaying = false;
+            self.jobs[j].replay_log = log;
         } else if notify {
             // Driver-initiated recovery: the driver re-runs the lost
             // iterations itself, so the faithful replay window restarts at
             // the restored checkpoint.
-            self.replay_log.clear();
-            self.replay_valid = true;
+            self.jobs[j].replay_log.clear();
+            self.jobs[j].replay_valid = true;
         }
         if notify {
-            self.reply(ControllerToDriver::RecoveryComplete { marker });
+            self.reply(j, ControllerToDriver::RecoveryComplete { marker });
         }
         // Re-arm the driver operation the failure interrupted: it proceeds
         // against the recovered state once the reload and replay commands
         // drain.
-        match std::mem::replace(&mut self.resume_after_recovery, PendingSync::None) {
+        match std::mem::replace(&mut self.jobs[j].resume_after_recovery, PendingSync::None) {
             PendingSync::None => {}
             resume => {
-                self.sync = resume;
-                if self.outstanding == 0 {
-                    self.advance_sync();
+                self.jobs[j].sync = resume;
+                if self.jobs[j].outstanding == 0 {
+                    self.advance_sync(j);
                 }
             }
         }
-        // Release the messages recovery held back; they observe the fully
-        // recovered (and replayed) state, in arrival order.
-        let held = std::mem::take(&mut self.held);
-        self.deferred.extend(held);
+        if nimbus_core::debug_recovery() {
+            eprintln!(
+                "[recovered] job={} outstanding={}",
+                self.jobs[j].id, self.jobs[j].outstanding
+            );
+        }
+        // Release the registrations recovery held back; they observe the
+        // fully recovered (and replayed) state, in arrival order. (Held
+        // driver traffic needs no release: it sits in the job's own inbox,
+        // which becomes serviceable again the moment recovery ends.)
+        self.drain_held();
     }
 
     // ------------------------------------------------------------------
@@ -1048,65 +1562,102 @@ impl<E: TransportEndpoint> Controller<E> {
     fn handle_worker(&mut self, msg: WorkerToController) {
         match msg {
             WorkerToController::CommandsCompleted {
+                job,
                 commands,
                 compute_micros,
                 ..
             } => {
+                // The job may have closed while completions were in flight.
+                let Some(j) = self.job_index_by_id(job) else {
+                    return;
+                };
                 let n = commands.len() as u64;
-                self.outstanding = self.outstanding.saturating_sub(n);
+                self.jobs[j].outstanding = self.jobs[j].outstanding.saturating_sub(n);
                 self.stats.computation_time += std::time::Duration::from_micros(compute_micros);
-                if self.outstanding == 0 {
-                    self.advance_sync();
+                if self.jobs[j].outstanding == 0 {
+                    self.advance_sync(j);
                 }
             }
             WorkerToController::TemplateInstalled { .. } => {}
-            WorkerToController::ValueFetched { value, .. } => {
-                if let PendingSync::FetchValue(partition) = self.sync {
-                    self.sync = PendingSync::None;
-                    self.reply(ControllerToDriver::ValueFetched { partition, value });
+            WorkerToController::ValueFetched { job, value, .. } => {
+                let Some(j) = self.job_index_by_id(job) else {
+                    return;
+                };
+                if let PendingSync::FetchValue(partition) = self.jobs[j].sync {
+                    self.jobs[j].sync = PendingSync::None;
+                    self.reply(j, ControllerToDriver::ValueFetched { partition, value });
                 }
             }
-            WorkerToController::Halted { worker } => self.note_halted(worker),
+            WorkerToController::Halted { job, worker } => {
+                if nimbus_core::debug_recovery() {
+                    eprintln!("[halted] job={job} worker={worker}");
+                }
+                if let Some(j) = self.job_index_by_id(job) {
+                    self.note_halted(j, worker);
+                }
+            }
             WorkerToController::Heartbeat { .. } => {}
             WorkerToController::Register { worker } => self.handle_register(worker),
         }
     }
 
     // ------------------------------------------------------------------
-    // Rejoin handshake
+    // Rejoin handshake (cluster-level; template work fans out per job)
     // ------------------------------------------------------------------
 
     /// A worker announced itself. Three cases:
     ///
-    /// 1. It is the worker an in-flight recovery is waiting for: readmit it
-    ///    in place — reinstall its (patched) templates, answer with the
-    ///    current version map, and let the recovery reload the checkpoint
+    /// 1. One or more recovering jobs are awaiting it: readmit it in place —
+    ///    reinstall each such job's (patched) templates, answer with the
+    ///    per-job version maps, and let each recovery reload its checkpoint
     ///    directly onto it. Zero template re-recordings.
     /// 2. It is already allocated: the idempotent startup hello.
-    /// 3. It is new to the running job (brand-new id, or returning after a
-    ///    permanent eviction): admit it elastically — install an (empty)
-    ///    member template per group and queue migration edits that move its
-    ///    share of tasks over; data follows through the patch copy path.
+    /// 3. It is new to the running cluster (brand-new id, or returning after
+    ///    a permanent eviction): admit it elastically — per job, install an
+    ///    (empty) member template per group and queue migration edits that
+    ///    move its share of tasks over; data follows through the patch copy
+    ///    path.
     fn handle_register(&mut self, worker: WorkerId) {
-        if let PendingSync::Recovering {
-            awaiting_rejoin,
-            rejoined,
-            ..
-        } = &mut self.sync
-        {
-            if *awaiting_rejoin == Some(worker) {
-                *awaiting_rejoin = None;
-                rejoined.push(worker);
-                self.rejoin_deadline = None;
+        if nimbus_core::debug_recovery() {
+            eprintln!("[register] worker={worker}");
+        }
+        let awaiting_jobs: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| {
+                !job.done
+                    && matches!(&job.sync, PendingSync::Recovering { awaiting_rejoin, .. }
+                        if awaiting_rejoin.contains(&worker))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !awaiting_jobs.is_empty() {
+            self.rejoin_deadlines.retain(|(w, _)| *w != worker);
+            if !self.workers.contains(&worker) {
                 self.workers.push(worker);
                 self.note_workers_changed();
-                self.stats.rejoins_handled += 1;
-                self.reinstall_templates(worker);
-                self.send_rejoin_ack(worker);
-                self.maybe_finish_recovery();
             }
-            // Registrations from other workers are parked by `should_hold`
-            // and handled after the recovery completes.
+            if !self.all_workers.contains(&worker) {
+                self.all_workers.push(worker);
+            }
+            self.stats.rejoins_handled += 1;
+            for &j in &awaiting_jobs {
+                if let PendingSync::Recovering {
+                    awaiting_rejoin,
+                    rejoined,
+                    ..
+                } = &mut self.jobs[j].sync
+                {
+                    awaiting_rejoin.retain(|w| *w != worker);
+                    rejoined.push(worker);
+                }
+                self.reinstall_templates(j, worker);
+            }
+            self.send_rejoin_ack(worker);
+            for &j in &awaiting_jobs {
+                self.maybe_finish_recovery(j);
+            }
             return;
         }
         if self.workers.contains(&worker) {
@@ -1115,206 +1666,282 @@ impl<E: TransportEndpoint> Controller<E> {
             self.send_rejoin_ack(worker);
             return;
         }
-        // Elastic join of a running job.
+        // Elastic join of a running cluster.
+        self.rejoin_deadlines.retain(|(w, _)| *w != worker);
         self.stats.rejoins_handled += 1;
         if !self.all_workers.contains(&worker) {
             self.all_workers.push(worker);
         }
         self.workers.push(worker);
         self.note_workers_changed();
-        match self.tm.admit_worker(worker, &self.workers, &mut self.dm) {
-            Ok((installs, planned)) => {
-                self.stats.edits_applied += planned as u64;
-                for template in installs {
-                    self.stats.worker_templates_installed += 1;
-                    let _ =
-                        self.send_worker(worker, ControllerToWorker::InstallTemplate { template });
-                }
-                self.send_rejoin_ack(worker);
+        for j in 0..self.jobs.len() {
+            if self.jobs[j].done {
+                continue;
             }
-            Err(_) => {
-                // Admission failed: withdraw the worker rather than leave a
-                // half-admitted member the planner will trip over. No reply
-                // goes to the driver — it never asked for this join, and an
-                // unsolicited Error would desynchronize its request/reply
-                // protocol; the job simply continues on the old allocation
-                // (the idle worker is shut down with everyone at job end).
-                self.workers.retain(|w| *w != worker);
-                self.note_workers_changed();
+            let job_id = self.jobs[j].id;
+            let result = {
+                let job = &mut self.jobs[j];
+                job.tm.admit_worker(worker, &self.workers, &mut job.dm)
+            };
+            match result {
+                Ok((installs, planned)) => {
+                    self.stats.edits_applied += planned as u64;
+                    for template in installs {
+                        self.stats.worker_templates_installed += 1;
+                        let _ = self.send_worker(
+                            worker,
+                            ControllerToWorker::InstallTemplate {
+                                job: job_id,
+                                template,
+                            },
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Admission failed mid-way: `admit_worker` may already
+                    // have grown some groups with an (uninstalled) member
+                    // and queued migration edits toward it. Retire every
+                    // group containing the half-admitted member so nothing
+                    // can instantiate against it — this job re-records for
+                    // the grown allocation on its next instantiation
+                    // instead. No reply goes to its driver — it never asked
+                    // for this join, and an unsolicited Error would
+                    // desynchronize its request/reply protocol.
+                    self.jobs[j].tm.registry.remove_groups_with_worker(worker);
+                }
             }
         }
+        self.send_rejoin_ack(worker);
     }
 
     /// Reinstalls, on a worker returning within the rejoin grace window,
-    /// every worker template the controller-side mirror holds for it —
+    /// every worker template job `j`'s controller-side mirror holds for it —
     /// including all edits applied over the job's lifetime, which is what
     /// makes the reinstall a "patched template" rather than a re-recording.
-    fn reinstall_templates(&mut self, worker: WorkerId) {
-        for template in self.tm.templates_for_worker(worker) {
+    fn reinstall_templates(&mut self, j: usize, worker: WorkerId) {
+        let job_id = self.jobs[j].id;
+        let templates = self.jobs[j].tm.templates_for_worker(worker);
+        if nimbus_core::debug_recovery() {
+            eprintln!(
+                "[reinstall] job={} worker={} templates={:?}",
+                job_id,
+                worker,
+                templates.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+        }
+        for template in templates {
             self.stats.worker_templates_installed += 1;
-            let _ = self.send_worker(worker, ControllerToWorker::InstallTemplate { template });
+            let tid = template.id;
+            let sent = self.send_worker(
+                worker,
+                ControllerToWorker::InstallTemplate {
+                    job: job_id,
+                    template,
+                },
+            );
+            if nimbus_core::debug_recovery() {
+                eprintln!("[reinstall] job={job_id} template={tid} sent={sent:?}");
+            }
         }
     }
 
-    /// Completes the handshake: the worker receives the controller's current
-    /// version map (sorted for determinism).
+    /// Completes the handshake: the worker receives every job's current
+    /// version map (sorted by job then partition for determinism).
     fn send_rejoin_ack(&mut self, worker: WorkerId) {
-        let mut versions: Vec<PartitionVersion> = self
-            .dm
-            .versions
+        let mut jobs: Vec<JobVersions> = self
+            .jobs
             .iter()
-            .map(|(partition, version)| PartitionVersion {
-                partition,
-                version: version.raw(),
+            .filter(|job| !job.done)
+            .map(|job| {
+                let mut versions: Vec<PartitionVersion> = job
+                    .dm
+                    .versions
+                    .iter()
+                    .map(|(partition, version)| PartitionVersion {
+                        partition,
+                        version: version.raw(),
+                    })
+                    .collect();
+                versions.sort_unstable_by_key(|pv| pv.partition);
+                JobVersions {
+                    job: job.id,
+                    versions,
+                }
             })
             .collect();
-        versions.sort_unstable_by_key(|pv| pv.partition);
-        let _ = self.send_worker(worker, ControllerToWorker::RejoinAccepted { versions });
+        jobs.sort_unstable_by_key(|jv| jv.job);
+        let _ = self.send_worker(worker, ControllerToWorker::RejoinAccepted { jobs });
     }
 
-    /// Installs a driver synchronization, running it immediately when the
-    /// cluster is idle, or queueing it behind whatever synchronization is
-    /// already in flight (at most one can be: the driver is synchronous, and
-    /// the only controller-originated one is the auto-checkpoint).
-    fn set_or_queue_sync(&mut self, new_sync: PendingSync) {
-        if matches!(self.sync, PendingSync::None) {
-            self.sync = new_sync;
-            if self.outstanding == 0 {
-                self.advance_sync();
+    // ------------------------------------------------------------------
+    // Per-job synchronization
+    // ------------------------------------------------------------------
+
+    /// Installs a driver synchronization for job `j`, running it immediately
+    /// when the job is idle, or queueing it behind whatever synchronization
+    /// is already in flight (at most one can be: the driver is synchronous,
+    /// and the only controller-originated one is the auto-checkpoint).
+    fn set_or_queue_sync(&mut self, j: usize, new_sync: PendingSync) {
+        if matches!(self.jobs[j].sync, PendingSync::None) {
+            self.jobs[j].sync = new_sync;
+            if self.jobs[j].outstanding == 0 {
+                self.advance_sync(j);
             }
         } else {
-            self.queued_sync = Some(new_sync);
+            self.jobs[j].queued_sync = Some(new_sync);
         }
     }
 
-    fn advance_sync(&mut self) {
-        match std::mem::replace(&mut self.sync, PendingSync::None) {
+    /// Advances job `j`'s pending synchronization after its outstanding
+    /// commands drained. Returns false when the job was removed (a close
+    /// completed); the caller must not touch index `j` afterwards.
+    fn advance_sync(&mut self, j: usize) -> bool {
+        match std::mem::replace(&mut self.jobs[j].sync, PendingSync::None) {
             PendingSync::None => {}
-            PendingSync::Barrier => self.reply(ControllerToDriver::BarrierReached),
-            PendingSync::FetchDrain(partition) => self.start_fetch(partition),
+            PendingSync::Barrier => self.reply(j, ControllerToDriver::BarrierReached),
+            PendingSync::FetchDrain(partition) => self.start_fetch(j, partition),
             PendingSync::FetchValue(partition) => {
                 // Still waiting for the worker's reply.
-                self.sync = PendingSync::FetchValue(partition);
+                self.jobs[j].sync = PendingSync::FetchValue(partition);
             }
             PendingSync::CheckpointDrain { marker, notify } => {
-                self.start_checkpoint(marker, notify);
+                self.start_checkpoint(j, marker, notify);
             }
             PendingSync::CheckpointSave {
                 marker,
                 notify,
                 descriptor,
             } => {
-                self.checkpoints.commit(descriptor);
+                let job = &mut self.jobs[j];
+                job.checkpoints.commit(descriptor);
                 self.stats.checkpoints_committed += 1;
                 // The committed checkpoint is the new replay baseline:
-                // instantiations before it are durable, and the log starts a
+                // entries before it are durable, and the log starts a
                 // fresh, faithful window.
-                self.replay_log.clear();
-                self.replay_valid = true;
+                job.replay_log.clear();
+                job.replay_valid = true;
                 if notify {
-                    self.reply(ControllerToDriver::CheckpointCommitted { marker });
+                    self.reply(j, ControllerToDriver::CheckpointCommitted { marker });
                 }
             }
-            PendingSync::Recovering {
-                marker,
-                pending_halts,
-                notify,
-                awaiting_rejoin,
-                rejoined,
-            } => {
+            PendingSync::Closing => {
+                // The job's work has drained: confirm and release it.
+                self.reply(j, ControllerToDriver::JobTerminated);
+                self.release_job(j);
+                return false;
+            }
+            recovering @ PendingSync::Recovering { .. } => {
                 // Still waiting for halt acknowledgements or a rejoin.
-                self.sync = PendingSync::Recovering {
-                    marker,
-                    pending_halts,
-                    notify,
-                    awaiting_rejoin,
-                    rejoined,
-                };
+                self.jobs[j].sync = recovering;
             }
         }
         // The current synchronization resolved: start the queued one, if any
         // (e.g. the fetch that arrived while an auto-checkpoint was saving).
-        if matches!(self.sync, PendingSync::None) {
-            if let Some(queued) = self.queued_sync.take() {
-                self.sync = queued;
-                if self.outstanding == 0 {
-                    self.advance_sync();
+        if matches!(self.jobs[j].sync, PendingSync::None) {
+            if let Some(queued) = self.jobs[j].queued_sync.take() {
+                self.jobs[j].sync = queued;
+                if self.jobs[j].outstanding == 0 {
+                    return self.advance_sync(j);
                 }
             }
         }
+        true
     }
 
-    fn start_fetch(&mut self, partition: LogicalPartition) {
-        match self.dm.latest_holder(partition, None) {
+    fn start_fetch(&mut self, j: usize, partition: LogicalPartition) {
+        let job_id = self.jobs[j].id;
+        let holder = self.jobs[j].dm.latest_holder(partition, None);
+        match holder {
             Some(instance) => {
                 if self
                     .send_worker(
                         instance.worker,
                         ControllerToWorker::FetchValue {
+                            job: job_id,
                             object: instance.id,
                         },
                     )
                     .is_ok()
                 {
-                    self.sync = PendingSync::FetchValue(partition);
+                    self.jobs[j].sync = PendingSync::FetchValue(partition);
                 } else {
-                    self.reply(ControllerToDriver::Error {
-                        message: format!("worker {} unreachable", instance.worker),
-                    });
+                    self.reply(
+                        j,
+                        ControllerToDriver::Error {
+                            message: format!("worker {} unreachable", instance.worker),
+                        },
+                    );
                 }
             }
-            None => self.reply(ControllerToDriver::Error {
-                message: format!("no instance of {partition} exists"),
-            }),
+            None => self.reply(
+                j,
+                ControllerToDriver::Error {
+                    message: format!("no instance of {partition} exists"),
+                },
+            ),
         }
     }
 
-    fn start_checkpoint(&mut self, marker: u64, notify: bool) {
-        let ckpt_id = CheckpointId(self.ids.checkpoints.next_raw());
+    fn start_checkpoint(&mut self, j: usize, marker: u64, notify: bool) {
+        let job = &mut self.jobs[j];
+        let job_id = job.id;
+        let ckpt_id = CheckpointId(job.ids.checkpoints.next_raw());
         let mut manifest = Vec::new();
         let mut commands: Vec<AssignedCommand> = Vec::new();
-        for lp in self.dm.known_partitions() {
-            let Some(holder) = self.dm.latest_holder(lp, None) else {
+        for lp in job.dm.known_partitions() {
+            let Some(holder) = job.dm.latest_holder(lp, None) else {
                 continue;
             };
-            let key = format!("ckpt/{}/{}/{}", ckpt_id, lp.object, lp.partition);
-            let id = self.ids.command();
+            let (holder_id, holder_worker) = (holder.id, holder.worker);
+            // Vault keys are namespaced by job: two jobs' checkpoints can
+            // never collide in the shared vault even though their
+            // checkpoint ids and partition names do.
+            let key = format!(
+                "job{}/ckpt/{}/{}/{}",
+                job_id, ckpt_id, lp.object, lp.partition
+            );
+            let id = job.ids.command();
             let save = Command::new(
                 id,
                 CommandKind::SaveData {
-                    object: holder.id,
+                    object: holder_id,
                     key: key.clone(),
                 },
             )
-            .with_before(self.bk.read_deps(holder.id));
-            self.bk.note_read(holder.id, id);
+            .with_before(job.bk.read_deps(holder_id));
+            job.bk.note_read(holder_id, id);
             commands.push(AssignedCommand {
                 command: save,
-                worker: holder.worker,
+                worker: holder_worker,
             });
             manifest.push(CheckpointEntry {
                 partition: lp,
-                version: self.dm.versions.current(lp),
-                worker: holder.worker,
+                version: job.dm.versions.current(lp),
+                worker: holder_worker,
                 key,
             });
         }
         let descriptor = CheckpointDescriptor {
             id: ckpt_id,
-            versions: self.dm.versions.clone(),
-            instances: self.dm.instances.clone(),
+            versions: job.dm.versions.clone(),
+            instances: job.dm.instances.clone(),
             manifest,
             progress_marker: marker,
         };
         let has_commands = !commands.is_empty();
-        let _ = self.dispatch(commands);
-        self.sync = PendingSync::CheckpointSave {
+        // Armed BEFORE the dispatch: a save whose send fails outright (its
+        // worker just died) must find the pending `CheckpointSave` in place
+        // so it can poison it back to the drain step — otherwise the drain
+        // would complete without those saves and commit a manifest whose
+        // keys were never written.
+        self.jobs[j].sync = PendingSync::CheckpointSave {
             marker,
             notify,
             descriptor,
         };
+        let _ = self.dispatch(j, commands);
         if !has_commands {
-            self.advance_sync();
+            self.advance_sync(j);
         }
     }
 
@@ -1322,10 +1949,11 @@ impl<E: TransportEndpoint> Controller<E> {
     // Dispatch helpers
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, commands: Vec<AssignedCommand>) -> ControllerResult<()> {
+    fn dispatch(&mut self, j: usize, commands: Vec<AssignedCommand>) -> ControllerResult<()> {
         if commands.is_empty() {
             return Ok(());
         }
+        let job_id = self.jobs[j].id;
         // Group into one message per worker while preserving program order.
         let mut order: Vec<WorkerId> = Vec::new();
         let mut per_worker: std::collections::HashMap<WorkerId, Vec<Command>> =
@@ -1340,8 +1968,12 @@ impl<E: TransportEndpoint> Controller<E> {
             let batch = per_worker.remove(&worker).unwrap_or_default();
             let count = batch.len() as u64;
             self.queue_worker(
+                j,
                 worker,
-                ControllerToWorker::ExecuteCommands { commands: batch },
+                ControllerToWorker::ExecuteCommands {
+                    job: job_id,
+                    commands: batch,
+                },
                 count,
             );
         }
@@ -1349,27 +1981,38 @@ impl<E: TransportEndpoint> Controller<E> {
     }
 
     /// Queues a hot-path message for `worker` on the cork, optimistically
-    /// accounting its `commands` into `outstanding` (a failed flush uncounts
-    /// them). With batching disabled this degenerates to the per-message
-    /// path: one transport send, counted only on success — a failed send
-    /// means the worker just died, its transport disconnect notice is (or
-    /// shortly will be) in the inbox, and recovery rebuilds this state
-    /// wholesale; erroring the driver here would race that notice, and not
-    /// counting the commands keeps drains from wedging if recovery is
-    /// impossible.
-    fn queue_worker(&mut self, worker: WorkerId, msg: ControllerToWorker, commands: u64) {
+    /// accounting its `commands` into the owning job's `outstanding` (a
+    /// failed flush uncounts them). With batching disabled this degenerates
+    /// to the per-message path: one transport send, counted only on success
+    /// — a failed send means the worker just died, its transport disconnect
+    /// notice is (or shortly will be) in the inbox, and recovery rebuilds
+    /// this state wholesale; erroring the driver here would race that
+    /// notice, and not counting the commands keeps drains from wedging if
+    /// recovery is impossible.
+    fn queue_worker(&mut self, j: usize, worker: WorkerId, msg: ControllerToWorker, commands: u64) {
+        let job = self.jobs[j].id;
         if !self.batch_sends {
-            if self.send_worker(worker, msg).is_ok() {
-                self.outstanding += commands;
-                self.stats.commands_dispatched += commands;
+            match self.send_worker(worker, msg) {
+                Ok(()) if commands > 0 => {
+                    self.jobs[j].outstanding += commands;
+                    self.stats.commands_dispatched += commands;
+                }
+                Ok(()) => {}
+                Err(_) => {
+                    if commands > 0 {
+                        self.poison_pending_checkpoint(j);
+                    }
+                }
             }
             return;
         }
         let message = Message::ToWorker(msg);
         let size = message.wire_size();
         self.stats.record_message(message.tag(), size);
-        self.outstanding += commands;
-        self.stats.commands_dispatched += commands;
+        if commands > 0 {
+            self.jobs[j].outstanding += commands;
+            self.stats.commands_dispatched += commands;
+        }
         // An entry about to outgrow one wire frame is flushed first: the
         // batch stays all-or-nothing on the wire, so failure accounting
         // never has to guess how much of a batch was delivered.
@@ -1381,24 +2024,63 @@ impl<E: TransportEndpoint> Controller<E> {
         match self.outbox.iter_mut().find(|o| o.worker == worker) {
             Some(entry) => {
                 entry.messages.push(message);
-                entry.commands += commands;
+                if commands > 0 {
+                    match entry.commands.iter_mut().find(|(id, _)| *id == job) {
+                        Some(slot) => slot.1 += commands,
+                        None => entry.commands.push((job, commands)),
+                    }
+                }
                 entry.bytes += size;
             }
             None => self.outbox.push(WorkerOutbox {
                 worker,
                 messages: vec![message],
-                commands,
+                commands: if commands > 0 {
+                    vec![(job, commands)]
+                } else {
+                    Vec::new()
+                },
                 bytes: size,
             }),
         }
     }
 
+    /// Uncounts the per-job commands of a failed flush, restoring the
+    /// per-message invariant that undeliverable commands never inflate
+    /// `outstanding` — and poisons any checkpoint those commands may have
+    /// been saving.
+    fn uncount(&mut self, commands: &[(JobId, u64)]) {
+        for (job, n) in commands {
+            if let Some(j) = self.jobs.iter().position(|x| x.id == *job) {
+                self.jobs[j].outstanding = self.jobs[j].outstanding.saturating_sub(*n);
+                self.poison_pending_checkpoint(j);
+            }
+            self.stats.commands_dispatched = self.stats.commands_dispatched.saturating_sub(*n);
+        }
+    }
+
+    /// Demotes a pending `CheckpointSave` back to its drain step. Called
+    /// whenever some of the job's dispatched commands are known to be
+    /// undeliverable (a send or flush to a dying worker failed): those
+    /// commands may have been this checkpoint's `SaveData`s, and committing
+    /// would record manifest keys that were never written — a recovery
+    /// restoring that checkpoint would then load half a snapshot and fork
+    /// the data state. The re-drain runs once the cluster settles; if the
+    /// failed sends were to a dead worker, its disconnect notice interrupts
+    /// the drain and recovery restarts it against the recovered allocation
+    /// (`resumable` maps the drain through unchanged).
+    fn poison_pending_checkpoint(&mut self, j: usize) {
+        if let PendingSync::CheckpointSave { marker, notify, .. } = &self.jobs[j].sync {
+            let (marker, notify) = (*marker, *notify);
+            self.jobs[j].sync = PendingSync::CheckpointDrain { marker, notify };
+        }
+    }
+
     /// Flushes every corked per-worker buffer: one batched send — at most
     /// one `write(2)` on TCP — per worker. A failed flush means the worker
-    /// died mid-batch; its optimistically counted commands are uncounted,
-    /// restoring the per-message invariant that undeliverable commands never
-    /// inflate `outstanding`, and the transport's disconnect notice drives
-    /// recovery as usual.
+    /// died mid-batch; its optimistically counted commands are uncounted
+    /// per job, and the transport's disconnect notice drives recovery as
+    /// usual.
     fn flush_outbox(&mut self) {
         if self.outbox.is_empty() {
             return;
@@ -1410,11 +2092,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 .send_many(NodeId::Worker(entry.worker), entry.messages)
                 .is_err()
             {
-                self.outstanding = self.outstanding.saturating_sub(entry.commands);
-                self.stats.commands_dispatched = self
-                    .stats
-                    .commands_dispatched
-                    .saturating_sub(entry.commands);
+                self.uncount(&entry.commands);
             }
         }
     }
@@ -1432,11 +2110,7 @@ impl<E: TransportEndpoint> Controller<E> {
             .send_many(NodeId::Worker(entry.worker), entry.messages)
             .is_err()
         {
-            self.outstanding = self.outstanding.saturating_sub(entry.commands);
-            self.stats.commands_dispatched = self
-                .stats
-                .commands_dispatched
-                .saturating_sub(entry.commands);
+            self.uncount(&entry.commands);
         }
     }
 
@@ -1450,10 +2124,11 @@ impl<E: TransportEndpoint> Controller<E> {
             .map_err(|e| ControllerError::Net(e.to_string()))
     }
 
-    fn reply(&mut self, msg: ControllerToDriver) {
+    fn reply(&mut self, j: usize, msg: ControllerToDriver) {
+        let driver = self.jobs[j].driver;
         let message = Message::ToDriver(msg);
         self.stats
             .record_message(message.tag(), message.wire_size());
-        let _ = self.endpoint.send(NodeId::Driver, message);
+        let _ = self.endpoint.send(driver, message);
     }
 }

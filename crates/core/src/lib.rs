@@ -66,3 +66,14 @@ pub use template::{
     WorkerTemplateGroup,
 };
 pub use versioning::{InstanceMap, VersionMap};
+
+/// Cached `NIMBUS_DEBUG_RECOVERY` check (one atomic load per call), shared
+/// by the controller's and the workers' opt-in recovery tracing so the two
+/// halves of the system can never diverge on how the flag is read — and so
+/// the tracing perturbs timing as little as possible when disabled.
+#[doc(hidden)]
+pub fn debug_recovery() -> bool {
+    use std::sync::OnceLock;
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("NIMBUS_DEBUG_RECOVERY").is_ok())
+}

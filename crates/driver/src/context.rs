@@ -1,11 +1,18 @@
-//! The driver context: a synchronous handle to the controller.
+//! The driver session: a synchronous, job-scoped handle to the controller.
 //!
-//! A driver program defines datasets, submits stages, and wraps its loop
-//! bodies in named basic blocks. The first execution of a block records an
-//! execution template; later executions of the same block run the body again
-//! locally (to collect fresh parameters and honour data-dependent control
-//! flow) but send the controller a single template-instantiation message
-//! instead of one message per task.
+//! A driver program opens a [`Session`] (the controller assigns it a
+//! [`JobId`] through the `OpenJob`/`JobAccepted` handshake), defines
+//! datasets, submits stages, and wraps its loop bodies in named basic
+//! blocks. The first execution of a block records an execution template;
+//! later executions of the same block run the body again locally (to
+//! collect fresh parameters and honour data-dependent control flow) but
+//! send the controller a single template-instantiation message instead of
+//! one message per task.
+//!
+//! Many sessions can be open against one controller at once — each is its
+//! own job, fully namespaced controller- and worker-side. [`DriverContext`]
+//! remains as a deprecated alias of [`Session`] so pre-session driver
+//! programs compile unchanged (they run as an implicitly opened session).
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -13,7 +20,8 @@ use std::time::Duration;
 use nimbus_core::appdata::AppData;
 use nimbus_core::data::DatasetDef;
 use nimbus_core::ids::{
-    IdGenerator, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, WorkerId,
+    IdGenerator, JobId, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId,
+    WorkerId,
 };
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
@@ -95,13 +103,24 @@ enum BlockMode {
     },
 }
 
-/// The driver program's connection to the controller.
+/// A driver program's session with the controller: one job.
+///
+/// Open one with [`Session::connect`] (the explicit handshake, which learns
+/// the controller-assigned [`JobId`]) or [`Session::new`] (the legacy
+/// implicit open, where the controller creates the job on first contact and
+/// the session tags its traffic with the `JobId(0)` wildcard). Either way,
+/// every dataset, stage, template, checkpoint, and fetch of this session is
+/// namespaced by its job — concurrent sessions against one controller are
+/// fully isolated from each other.
 ///
 /// The endpoint is type-erased rather than generic so driver programs — the
-/// user-facing API surface — keep the same `&mut DriverContext` signature
-/// whether the cluster runs in-process or over TCP.
-pub struct DriverContext {
+/// user-facing API surface — keep the same `&mut Session` signature whether
+/// the cluster runs in-process or over TCP.
+pub struct Session {
     endpoint: Box<dyn TransportEndpoint>,
+    /// The controller-assigned job, or `JobId(0)` for an implicit session
+    /// (resolved controller-side through the session table).
+    job: JobId,
     dataset_ids: IdGenerator,
     task_ids: IdGenerator,
     stage_ids: IdGenerator,
@@ -117,11 +136,23 @@ pub struct DriverContext {
     pub instantiations_sent: u64,
 }
 
-impl DriverContext {
-    /// Creates a context over a registered driver endpoint (any transport).
+/// Deprecated alias of [`Session`].
+///
+/// The single-implicit-job `DriverContext` API predates multi-tenant
+/// sessions; it is kept so existing driver programs compile unchanged. New
+/// code should use [`Session::connect`] and hold a `Session`.
+pub type DriverContext = Session;
+
+impl Session {
+    /// Creates an implicitly opened session over a registered driver
+    /// endpoint (any transport). No handshake is performed: the controller
+    /// opens the job on this session's first message, and traffic is tagged
+    /// with the `JobId(0)` wildcard. Prefer [`Session::connect`], which
+    /// learns the real job id.
     pub fn new(endpoint: impl TransportEndpoint) -> Self {
         Self {
             endpoint: Box::new(endpoint),
+            job: JobId(0),
             dataset_ids: IdGenerator::new(),
             task_ids: IdGenerator::new(),
             stage_ids: IdGenerator::new(),
@@ -135,19 +166,58 @@ impl DriverContext {
         }
     }
 
+    /// Opens a session: sends `OpenJob` and waits for the controller's
+    /// `JobAccepted`, so [`Session::job`] returns the controller-assigned
+    /// job id and every subsequent message carries it explicitly.
+    pub fn connect(endpoint: impl TransportEndpoint) -> DriverResult<Self> {
+        let mut session = Self::new(endpoint);
+        session.send(DriverMessage::OpenJob)?;
+        match session.wait_reply("open_job")? {
+            ControllerToDriver::JobAccepted { job } => {
+                session.job = job;
+                Ok(session)
+            }
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to open_job: {}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// This session's job. `JobId(0)` for an implicit (non-handshake)
+    /// session — the controller resolves the wildcard through its session
+    /// table.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// Ends this session's job: the controller releases the job's state on
+    /// itself and on every worker, and confirms. The cluster (and any other
+    /// session) keeps running.
+    pub fn close(&mut self) -> DriverResult<()> {
+        self.send(DriverMessage::CloseJob)?;
+        match self.wait_reply("close_job")? {
+            ControllerToDriver::JobTerminated => Ok(()),
+            other => Err(DriverError::Controller(format!(
+                "unexpected reply to close_job: {}",
+                other.tag()
+            ))),
+        }
+    }
+
     /// Sets the timeout used while waiting for controller replies.
     pub fn set_reply_timeout(&mut self, timeout: Duration) {
         self.reply_timeout = timeout;
     }
 
-    /// Returns whether templates are currently enabled on this driver.
+    /// Returns whether templates are currently enabled on this session.
     pub fn templates_enabled(&self) -> bool {
         self.templates_enabled
     }
 
     fn send(&mut self, msg: DriverMessage) -> DriverResult<()> {
         self.endpoint
-            .send(NodeId::Controller, Message::Driver(msg))
+            .send(NodeId::Controller, Message::Driver { job: self.job, msg })
             .map_err(|e| DriverError::Net(e.to_string()))
     }
 
@@ -205,7 +275,8 @@ impl DriverContext {
     /// assigned in definition order and must line up with the
     /// `LogicalObjectId`s the factories were registered under. A `T` that
     /// disagrees with the factory's concrete type surfaces at runtime as a
-    /// downcast error inside task functions, not here.
+    /// downcast error inside task functions, not here. (Dataset ids are
+    /// per-session: two sessions' "dataset 1" are different datasets.)
     pub fn define_dataset<T: AppData>(
         &mut self,
         name: &str,
@@ -217,9 +288,9 @@ impl DriverContext {
     }
 
     /// Defines a dataset without a compile-time partition type. Prefer
-    /// [`DriverContext::define_dataset`]; this exists for generic
-    /// infrastructure (benchmark harnesses, baselines) that manufactures
-    /// datasets dynamically.
+    /// [`Session::define_dataset`]; this exists for generic infrastructure
+    /// (benchmark harnesses, baselines) that manufactures datasets
+    /// dynamically.
     pub fn define_dataset_untyped(
         &mut self,
         name: &str,
@@ -300,7 +371,7 @@ impl DriverContext {
     pub fn block(
         &mut self,
         name: &str,
-        body: impl FnOnce(&mut DriverContext) -> DriverResult<()>,
+        body: impl FnOnce(&mut Session) -> DriverResult<()>,
     ) -> DriverResult<()> {
         if !matches!(self.mode, BlockMode::Direct) {
             return Err(DriverError::Misuse(format!(
@@ -374,8 +445,8 @@ impl DriverContext {
 
     /// Fetches the current scalar value of one partition of a dataset whose
     /// type is known to have a scalar projection. This is the typed
-    /// counterpart of [`DriverContext::fetch_scalar`]: fetching a dataset of
-    /// a non-[`ScalarReadable`] partition type is a compile error.
+    /// counterpart of [`Session::fetch_scalar`]: fetching a dataset of a
+    /// non-[`ScalarReadable`] partition type is a compile error.
     pub fn fetch<T: ScalarReadable>(
         &mut self,
         dataset: &Dataset<T>,
@@ -403,7 +474,7 @@ impl DriverContext {
         }
     }
 
-    /// Waits until every outstanding command in the cluster has completed.
+    /// Waits until every outstanding command of this job has completed.
     pub fn barrier(&mut self) -> DriverResult<()> {
         self.send(DriverMessage::Barrier)?;
         self.expect_ack("barrier")
@@ -437,7 +508,8 @@ impl DriverContext {
     }
 
     /// Informs the controller of a new worker allocation (cluster-manager
-    /// events in Figure 9).
+    /// events in Figure 9). The allocation is shared by every job on the
+    /// controller.
     pub fn set_worker_allocation(&mut self, workers: Vec<WorkerId>) -> DriverResult<()> {
         self.send(DriverMessage::SetWorkerAllocation { workers })?;
         self.expect_ack("set_worker_allocation")
@@ -456,7 +528,9 @@ impl DriverContext {
         }
     }
 
-    /// Shuts the job down and waits for the controller to confirm.
+    /// Shuts the whole cluster down (every job, every worker) and waits for
+    /// the controller to confirm. To end only this session's job, use
+    /// [`Session::close`].
     pub fn shutdown(&mut self) -> DriverResult<()> {
         self.send(DriverMessage::Shutdown)?;
         match self.wait_reply("shutdown")? {
@@ -477,7 +551,8 @@ mod tests {
     use nimbus_net::{LatencyModel, Network};
 
     /// Spawns a thread acknowledging every driver request like a controller
-    /// would, so `DriverContext` can be unit-tested without a cluster.
+    /// would — including the `OpenJob` handshake — so `Session` can be
+    /// unit-tested without a cluster.
     fn ack_controller(network: &Network) -> std::thread::JoinHandle<u64> {
         let endpoint = network.register(NodeId::Controller);
         std::thread::spawn(move || {
@@ -487,32 +562,44 @@ mod tests {
                     Ok(e) => e,
                     Err(_) => return replies,
                 };
+                let from = envelope.from;
                 let reply = match envelope.message {
-                    Message::Driver(DriverMessage::Shutdown) => {
-                        let _ = endpoint.send(
-                            NodeId::Driver,
-                            Message::ToDriver(ControllerToDriver::JobTerminated),
-                        );
+                    Message::Driver {
+                        msg: DriverMessage::Shutdown,
+                        ..
+                    } => {
+                        let _ = endpoint
+                            .send(from, Message::ToDriver(ControllerToDriver::JobTerminated));
                         return replies + 1;
                     }
-                    Message::Driver(DriverMessage::SubmitTask(_))
-                    | Message::Driver(DriverMessage::InstantiateTemplate { .. }) => None,
-                    Message::Driver(_) => Some(ControllerToDriver::Ack),
+                    Message::Driver {
+                        msg: DriverMessage::OpenJob,
+                        ..
+                    } => Some(ControllerToDriver::JobAccepted { job: JobId(7) }),
+                    Message::Driver {
+                        msg: DriverMessage::CloseJob,
+                        ..
+                    } => Some(ControllerToDriver::JobTerminated),
+                    Message::Driver {
+                        msg: DriverMessage::SubmitTask(_),
+                        ..
+                    }
+                    | Message::Driver {
+                        msg: DriverMessage::InstantiateTemplate { .. },
+                        ..
+                    } => None,
+                    Message::Driver { .. } => Some(ControllerToDriver::Ack),
                     _ => None,
                 };
                 if let Some(reply) = reply {
                     replies += 1;
-                    let _ = endpoint.send(NodeId::Driver, Message::ToDriver(reply));
+                    let _ = endpoint.send(from, Message::ToDriver(reply));
                 }
             }
         })
     }
 
-    fn two_stage_body(
-        ctx: &mut DriverContext,
-        data: &Dataset<VecF64>,
-        stages: u32,
-    ) -> DriverResult<()> {
+    fn two_stage_body(ctx: &mut Session, data: &Dataset<VecF64>, stages: u32) -> DriverResult<()> {
         for s in 0..stages {
             ctx.submit_stage(
                 StageSpec::new(format!("s{s}"), FunctionId(1))
@@ -523,11 +610,37 @@ mod tests {
         Ok(())
     }
 
+    /// The `OpenJob` handshake assigns the session its job, and subsequent
+    /// traffic carries it.
+    #[test]
+    fn connect_learns_the_assigned_job() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut session = Session::connect(network.register(NodeId::Driver)).unwrap();
+        assert_eq!(session.job(), JobId(7));
+        session.close().unwrap();
+        session.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
+    /// The legacy constructor stays an implicit session: job zero, no
+    /// handshake round trip.
+    #[test]
+    fn legacy_context_is_an_implicit_session() {
+        let network = Network::new(LatencyModel::None);
+        let controller = ack_controller(&network);
+        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        assert_eq!(ctx.job(), JobId(0));
+        ctx.barrier().unwrap();
+        ctx.shutdown().unwrap();
+        controller.join().unwrap();
+    }
+
     #[test]
     fn replay_with_fewer_stages_is_misuse() {
         let network = Network::new(LatencyModel::None);
         let controller = ack_controller(&network);
-        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        let mut ctx = Session::connect(network.register(NodeId::Driver)).unwrap();
 
         let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
         // Record with two stages (8 tasks).
@@ -551,7 +664,7 @@ mod tests {
     fn replay_with_different_task_count_is_misuse() {
         let network = Network::new(LatencyModel::None);
         let controller = ack_controller(&network);
-        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        let mut ctx = Session::new(network.register(NodeId::Driver));
 
         let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
         ctx.block("b", |ctx| {
@@ -579,7 +692,7 @@ mod tests {
     fn replay_with_same_totals_but_reordered_stages_is_misuse() {
         let network = Network::new(LatencyModel::None);
         let controller = ack_controller(&network);
-        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        let mut ctx = Session::new(network.register(NodeId::Driver));
 
         let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
         // Record: wide stage (4 tasks) then narrow stage (1 task).
@@ -620,7 +733,7 @@ mod tests {
     fn failed_recording_sends_abort() {
         let network = Network::new(LatencyModel::None);
         let controller = ack_controller(&network);
-        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        let mut ctx = Session::new(network.register(NodeId::Driver));
 
         let data = ctx.define_dataset::<VecF64>("data", 4).unwrap();
         let err = ctx
@@ -646,7 +759,7 @@ mod tests {
     fn nested_blocks_are_misuse() {
         let network = Network::new(LatencyModel::None);
         let controller = ack_controller(&network);
-        let mut ctx = DriverContext::new(network.register(NodeId::Driver));
+        let mut ctx = Session::new(network.register(NodeId::Driver));
 
         let err = ctx
             .block("outer", |ctx| ctx.block("inner", |_| Ok(())))

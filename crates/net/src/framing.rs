@@ -143,7 +143,7 @@ mod tests {
         Envelope {
             from: NodeId::Driver,
             to: NodeId::Controller,
-            message: Message::Driver(DriverMessage::Checkpoint { marker }),
+            message: Message::driver0(DriverMessage::Checkpoint { marker }),
         }
     }
 

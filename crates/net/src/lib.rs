@@ -24,8 +24,8 @@ pub mod transport;
 
 pub use codec::{decode, encode, encode_into, serialized_size, CodecError};
 pub use message::{
-    ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, Message, NodeId,
-    PartitionVersion, TransportEvent, WorkerToController,
+    ControllerToDriver, ControllerToWorker, DataTransfer, DriverMessage, Envelope, JobVersions,
+    Message, NodeId, PartitionVersion, TransportEvent, WorkerToController,
 };
 pub use payload::DataPayload;
 pub use stats::{NetworkStats, SharedNetworkStats};

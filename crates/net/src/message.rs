@@ -4,12 +4,18 @@
 //! talks to the controller, the controller talks to workers, and workers talk
 //! to each other (data plane) and back to the controller (completion and
 //! status reports).
+//!
+//! Every stream is **job-scoped**: a driver opens a session with
+//! [`DriverMessage::OpenJob`], the controller assigns a [`JobId`], and from
+//! then on every driver request, every command dispatched to a worker, every
+//! completion report, and every data transfer carries that job — one
+//! controller and one worker pool serve many mutually isolated jobs at once.
 
 use serde::{Deserialize, Serialize};
 
 use nimbus_core::data::DatasetDef;
 use nimbus_core::ids::{
-    CommandId, LogicalPartition, PhysicalObjectId, TemplateId, TransferId, WorkerId,
+    CommandId, JobId, LogicalPartition, PhysicalObjectId, TemplateId, TransferId, WorkerId,
 };
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::{InstantiationParams, WorkerInstantiation, WorkerTemplate};
@@ -20,12 +26,23 @@ use crate::payload::DataPayload;
 /// Identifies a node in the cluster for message addressing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NodeId {
-    /// The driver program.
+    /// The primary driver program (the classic single-driver address).
     Driver,
     /// The centralized controller.
     Controller,
     /// A worker node.
     Worker(WorkerId),
+    /// An additional driver client: one of many concurrent driver programs
+    /// multiplexed onto the same controller, each running its own job.
+    Client(u32),
+}
+
+impl NodeId {
+    /// True for nodes that speak the driver side of the control plane (the
+    /// classic [`NodeId::Driver`] or any [`NodeId::Client`] session).
+    pub fn is_driver(&self) -> bool {
+        matches!(self, NodeId::Driver | NodeId::Client(_))
+    }
 }
 
 impl std::fmt::Display for NodeId {
@@ -34,13 +51,22 @@ impl std::fmt::Display for NodeId {
             NodeId::Driver => write!(f, "driver"),
             NodeId::Controller => write!(f, "controller"),
             NodeId::Worker(w) => write!(f, "worker-{w}"),
+            NodeId::Client(c) => write!(f, "client-{c}"),
         }
     }
 }
 
-/// Messages from the driver program to the controller.
+/// Messages from a driver program to the controller.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DriverMessage {
+    /// Open a session: the controller assigns a fresh [`JobId`] and answers
+    /// with [`ControllerToDriver::JobAccepted`]. Every later message of this
+    /// session carries the assigned job.
+    OpenJob,
+    /// End this session's job: the controller releases the job's state on
+    /// itself and on the workers and answers `JobTerminated`. The cluster
+    /// keeps serving other sessions.
+    CloseJob,
     /// Declare a logical dataset and its partitioning.
     DefineDataset(DatasetDef),
     /// Submit one logical task (the non-template path).
@@ -76,7 +102,7 @@ pub enum DriverMessage {
         /// The partition whose value the driver needs.
         partition: LogicalPartition,
     },
-    /// Wait until every outstanding task has completed.
+    /// Wait until every outstanding task of this job has completed.
     Barrier,
     /// Enable or disable template usage (used by the evaluation to compare
     /// against the centrally-scheduled baseline).
@@ -94,20 +120,19 @@ pub enum DriverMessage {
         /// Number of tasks to migrate.
         count: usize,
     },
-    /// Inform the controller that the cluster manager changed the job's
+    /// Inform the controller that the cluster manager changed the shared
     /// worker allocation.
     SetWorkerAllocation {
-        /// The workers now available to the job.
+        /// The workers now available to the cluster.
         workers: Vec<WorkerId>,
     },
     /// Simulate an abrupt worker failure (fault-recovery experiments). The
-    /// controller halts the remaining workers and restores the latest
-    /// checkpoint.
+    /// controller recovers every job with state on the failed worker.
     FailWorker {
         /// The worker that failed.
         worker: WorkerId,
     },
-    /// Terminate the job.
+    /// Terminate the whole cluster (every job, every worker).
     Shutdown,
 }
 
@@ -115,6 +140,8 @@ impl DriverMessage {
     /// Short tag for statistics.
     pub fn tag(&self) -> &'static str {
         match self {
+            DriverMessage::OpenJob => "open_job",
+            DriverMessage::CloseJob => "close_job",
             DriverMessage::DefineDataset(_) => "define_dataset",
             DriverMessage::SubmitTask(_) => "submit_task",
             DriverMessage::StartTemplate { .. } => "start_template",
@@ -133,9 +160,15 @@ impl DriverMessage {
     }
 }
 
-/// Messages from the controller back to the driver program.
+/// Messages from the controller back to a driver program.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ControllerToDriver {
+    /// The controller accepted an [`DriverMessage::OpenJob`] and assigned
+    /// this session its job.
+    JobAccepted {
+        /// The controller-assigned job identifier.
+        job: JobId,
+    },
     /// The requested value (scalars only; larger objects stay on workers).
     ValueFetched {
         /// The partition that was read.
@@ -168,7 +201,7 @@ pub enum ControllerToDriver {
         /// Human-readable description.
         message: String,
     },
-    /// The job has terminated and the controller is shutting down.
+    /// This session's job has terminated.
     JobTerminated,
 }
 
@@ -176,6 +209,7 @@ impl ControllerToDriver {
     /// Short tag for statistics.
     pub fn tag(&self) -> &'static str {
         match self {
+            ControllerToDriver::JobAccepted { .. } => "job_accepted",
             ControllerToDriver::ValueFetched { .. } => "value_fetched",
             ControllerToDriver::BarrierReached => "barrier_reached",
             ControllerToDriver::TemplateInstalled { .. } => "template_installed",
@@ -188,46 +222,79 @@ impl ControllerToDriver {
     }
 }
 
-/// Messages from the controller to a worker.
+/// Messages from the controller to a worker. Commands, templates, fetches,
+/// and halts are all scoped to one job: a worker keeps an isolated runtime
+/// (store, queue, template cache) per job, so two jobs' physical objects and
+/// command identifiers can never collide.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ControllerToWorker {
     /// Execute a batch of concrete commands (the per-task dispatch path,
     /// also used for patches and checkpoint load/save commands).
     ExecuteCommands {
+        /// The job these commands belong to.
+        job: JobId,
         /// The commands to enqueue.
         commands: Vec<Command>,
     },
-    /// Install a worker template in the worker's template cache.
+    /// Install a worker template in the job's template cache.
     InstallTemplate {
+        /// The job the template belongs to.
+        job: JobId,
         /// The template to install.
         template: WorkerTemplate,
     },
     /// Instantiate a previously installed worker template.
-    InstantiateTemplate(WorkerInstantiation),
+    InstantiateTemplate {
+        /// The job the template belongs to.
+        job: JobId,
+        /// The instantiation (template id, fresh ids, params, edits).
+        inst: WorkerInstantiation,
+    },
     /// Read a scalar value out of a physical object and report it back.
     FetchValue {
+        /// The job the object belongs to.
+        job: JobId,
         /// The object to read.
         object: PhysicalObjectId,
     },
-    /// Stop executing, flush queues, and acknowledge (fault recovery).
-    Halt,
+    /// Stop executing this job's commands and flush its queue (fault
+    /// recovery). Other jobs on the same worker are untouched.
+    Halt {
+        /// The job being recovered.
+        job: JobId,
+    },
+    /// Release every resource of a finished job (store, queue, templates).
+    DropJob {
+        /// The job that ended.
+        job: JobId,
+    },
     /// The controller accepted this worker's [`WorkerToController::Register`]
-    /// and admitted it to the allocation. Carries the controller's current
-    /// version map so the rejoining worker sees the data state it is joining
-    /// (Section 4.3: membership changes are template edits, not job
+    /// and admitted it to the allocation. Carries, per job, the controller's
+    /// current version map so the rejoining worker sees the data state it is
+    /// joining (Section 4.3: membership changes are template edits, not job
     /// restarts). Migrated partition contents follow separately through the
     /// ordinary send/receive copy path.
     RejoinAccepted {
-        /// Current version of every known logical partition, sorted by
-        /// partition for deterministic encoding.
-        versions: Vec<PartitionVersion>,
+        /// Per-job version maps, sorted by job then partition for
+        /// deterministic encoding.
+        jobs: Vec<JobVersions>,
     },
-    /// Shut the worker down at the end of the job.
+    /// Shut the worker down at the end of the cluster's life.
     Shutdown,
 }
 
-/// One `(partition, version)` entry of the version map a rejoining worker
-/// receives in [`ControllerToWorker::RejoinAccepted`].
+/// The version map of one job, as carried by
+/// [`ControllerToWorker::RejoinAccepted`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobVersions {
+    /// The job these versions belong to.
+    pub job: JobId,
+    /// Current version of every known logical partition of the job, sorted
+    /// by partition.
+    pub versions: Vec<PartitionVersion>,
+}
+
+/// One `(partition, version)` entry of a job's version map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartitionVersion {
     /// The logical partition.
@@ -242,9 +309,10 @@ impl ControllerToWorker {
         match self {
             ControllerToWorker::ExecuteCommands { .. } => "execute_commands",
             ControllerToWorker::InstallTemplate { .. } => "install_template",
-            ControllerToWorker::InstantiateTemplate(_) => "instantiate_template",
+            ControllerToWorker::InstantiateTemplate { .. } => "instantiate_template",
             ControllerToWorker::FetchValue { .. } => "fetch_value",
-            ControllerToWorker::Halt => "halt",
+            ControllerToWorker::Halt { .. } => "halt",
+            ControllerToWorker::DropJob { .. } => "drop_job",
             ControllerToWorker::RejoinAccepted { .. } => "rejoin_accepted",
             ControllerToWorker::Shutdown => "shutdown",
         }
@@ -254,8 +322,10 @@ impl ControllerToWorker {
 /// Messages from a worker to the controller.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WorkerToController {
-    /// A batch of commands completed on the worker.
+    /// A batch of commands of one job completed on the worker.
     CommandsCompleted {
+        /// The job the commands belong to.
+        job: JobId,
         /// The reporting worker.
         worker: WorkerId,
         /// The completed command identifiers.
@@ -265,6 +335,8 @@ pub enum WorkerToController {
     },
     /// A worker template finished installing.
     TemplateInstalled {
+        /// The job the template belongs to.
+        job: JobId,
         /// The reporting worker.
         worker: WorkerId,
         /// The installed template.
@@ -272,6 +344,8 @@ pub enum WorkerToController {
     },
     /// The value requested by `FetchValue`.
     ValueFetched {
+        /// The job the object belongs to.
+        job: JobId,
         /// The reporting worker.
         worker: WorkerId,
         /// The object that was read.
@@ -279,12 +353,14 @@ pub enum WorkerToController {
         /// Its current scalar value.
         value: f64,
     },
-    /// The worker halted in response to a `Halt` command.
+    /// The worker halted one job in response to a `Halt` command.
     Halted {
+        /// The job that was halted.
+        job: JobId,
         /// The reporting worker.
         worker: WorkerId,
     },
-    /// Periodic liveness and load report.
+    /// Periodic liveness and load report (job-agnostic).
     Heartbeat {
         /// The reporting worker.
         worker: WorkerId,
@@ -298,7 +374,7 @@ pub enum WorkerToController {
     /// idempotent hello; for a restarted or brand-new worker it opens the
     /// rejoin handshake (the controller answers with
     /// [`ControllerToWorker::RejoinAccepted`] and, mid-job, reinstalls the
-    /// worker's patched templates and plans migration edits).
+    /// worker's patched templates and plans migration edits — per job).
     Register {
         /// The registering worker.
         worker: WorkerId,
@@ -319,9 +395,12 @@ impl WorkerToController {
     }
 }
 
-/// A worker-to-worker data transfer (the data plane).
+/// A worker-to-worker data transfer (the data plane). Transfer identifiers
+/// are issued per job, so the job field is part of the routing key.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DataTransfer {
+    /// The job this transfer belongs to.
+    pub job: JobId,
     /// The transfer this payload belongs to (matches a `ReceiveCopy`).
     pub transfer: TransferId,
     /// The sending worker.
@@ -347,8 +426,15 @@ pub enum TransportEvent {
 /// Any message carried by the transport.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Message {
-    /// Driver → controller.
-    Driver(DriverMessage),
+    /// Driver → controller, scoped to the sending session's job. `JobId(0)`
+    /// means "my session's job" and is resolved by the controller's session
+    /// table; an explicit id must match the session that sends it.
+    Driver {
+        /// The sending session's job (zero before/without a handshake).
+        job: JobId,
+        /// The request.
+        msg: DriverMessage,
+    },
     /// Controller → driver.
     ToDriver(ControllerToDriver),
     /// Controller → worker.
@@ -362,10 +448,22 @@ pub enum Message {
 }
 
 impl Message {
+    /// Convenience constructor for a job-scoped driver message.
+    pub fn driver(job: JobId, msg: DriverMessage) -> Message {
+        Message::Driver { job, msg }
+    }
+
+    /// A driver message of the implicit session job (`JobId(0)`, resolved by
+    /// the controller's session table). What a [`DriverMessage`] sender uses
+    /// before — or without — the `OpenJob` handshake.
+    pub fn driver0(msg: DriverMessage) -> Message {
+        Message::Driver { job: JobId(0), msg }
+    }
+
     /// Short tag for statistics.
     pub fn tag(&self) -> &'static str {
         match self {
-            Message::Driver(m) => m.tag(),
+            Message::Driver { msg, .. } => msg.tag(),
             Message::ToDriver(m) => m.tag(),
             Message::ToWorker(m) => m.tag(),
             Message::FromWorker(m) => m.tag(),
@@ -383,11 +481,11 @@ impl Message {
     /// codec; data transfers use their payload size plus a small header.
     pub fn wire_size(&self) -> usize {
         match self {
-            Message::Driver(m) => crate::codec::serialized_size(m),
+            Message::Driver { .. } => crate::codec::serialized_size(self),
             Message::ToDriver(m) => crate::codec::serialized_size(m),
             Message::ToWorker(m) => crate::codec::serialized_size(m),
             Message::FromWorker(m) => crate::codec::serialized_size(m),
-            Message::Data(d) => 24 + d.payload.size(),
+            Message::Data(d) => 32 + d.payload.size(),
             Message::Transport(_) => 0,
         }
     }
@@ -413,39 +511,65 @@ mod tests {
     fn node_display() {
         assert_eq!(NodeId::Driver.to_string(), "driver");
         assert_eq!(NodeId::Worker(WorkerId(3)).to_string(), "worker-3");
+        assert_eq!(NodeId::Client(2).to_string(), "client-2");
+        assert!(NodeId::Driver.is_driver());
+        assert!(NodeId::Client(0).is_driver());
+        assert!(!NodeId::Controller.is_driver());
+        assert!(!NodeId::Worker(WorkerId(0)).is_driver());
     }
 
     #[test]
     fn tags_cover_variants() {
-        assert_eq!(Message::Driver(DriverMessage::Barrier).tag(), "barrier");
+        assert_eq!(
+            Message::Driver {
+                job: JobId(1),
+                msg: DriverMessage::Barrier
+            }
+            .tag(),
+            "barrier"
+        );
+        assert_eq!(
+            Message::Driver {
+                job: JobId(0),
+                msg: DriverMessage::OpenJob
+            }
+            .tag(),
+            "open_job"
+        );
         assert_eq!(
             Message::FromWorker(WorkerToController::Halted {
+                job: JobId(1),
                 worker: WorkerId(1)
             })
             .tag(),
             "halted"
         );
         let data = Message::Data(DataTransfer {
+            job: JobId(1),
             transfer: TransferId(1),
             from_worker: WorkerId(0),
             payload: DataPayload::Bytes(Bytes::from_static(&[0; 8])),
         });
         assert!(data.is_data());
         assert_eq!(data.tag(), "data_transfer");
-        assert_eq!(data.wire_size(), 32);
+        assert_eq!(data.wire_size(), 40);
     }
 
     #[test]
     fn control_message_wire_size_is_positive_and_scales() {
-        let small = Message::Driver(DriverMessage::Barrier);
+        let small = Message::Driver {
+            job: JobId(1),
+            msg: DriverMessage::Barrier,
+        };
         let task = nimbus_core::TaskSpec::new(
             nimbus_core::TaskId(1),
             nimbus_core::StageId(1),
             nimbus_core::FunctionId(1),
         );
-        let big = Message::Driver(DriverMessage::SubmitTask(
-            task.with_reads(vec![LogicalPartition::default(); 16]),
-        ));
+        let big = Message::Driver {
+            job: JobId(1),
+            msg: DriverMessage::SubmitTask(task.with_reads(vec![LogicalPartition::default(); 16])),
+        };
         assert!(small.wire_size() > 0);
         assert!(big.wire_size() > small.wire_size());
     }

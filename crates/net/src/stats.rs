@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// owns one atomic counter slot. Unknown tags (future message types that
 /// forget to register here) fall into a shared `"other"` bucket rather than
 /// being dropped.
-pub const TAGS: [&str; 34] = [
+pub const TAGS: [&str; 38] = [
+    "open_job",
+    "close_job",
     "define_dataset",
     "submit_task",
     "start_template",
@@ -30,6 +32,7 @@ pub const TAGS: [&str; 34] = [
     "set_workers",
     "fail_worker",
     "shutdown",
+    "job_accepted",
     "value_fetched",
     "barrier_reached",
     "template_installed",
@@ -41,6 +44,7 @@ pub const TAGS: [&str; 34] = [
     "execute_commands",
     "install_template",
     "halt",
+    "drop_job",
     "rejoin_accepted",
     "commands_completed",
     "worker_template_installed",
@@ -58,40 +62,44 @@ const OTHER: usize = TAGS.len();
 /// Maps a tag to its counter slot (the `"other"` bucket for unknown tags).
 fn tag_index(tag: &str) -> usize {
     match tag {
-        "define_dataset" => 0,
-        "submit_task" => 1,
-        "start_template" => 2,
-        "finish_template" => 3,
-        "abort_template" => 4,
-        "instantiate_template" => 5,
-        "fetch_value" => 6,
-        "barrier" => 7,
-        "enable_templates" => 8,
-        "checkpoint" => 9,
-        "migrate_tasks" => 10,
-        "set_workers" => 11,
-        "fail_worker" => 12,
-        "shutdown" => 13,
-        "value_fetched" => 14,
-        "barrier_reached" => 15,
-        "template_installed" => 16,
-        "checkpoint_committed" => 17,
-        "recovery_complete" => 18,
-        "ack" => 19,
-        "error" => 20,
-        "job_terminated" => 21,
-        "execute_commands" => 22,
-        "install_template" => 23,
-        "halt" => 24,
-        "rejoin_accepted" => 25,
-        "commands_completed" => 26,
-        "worker_template_installed" => 27,
-        "worker_value_fetched" => 28,
-        "halted" => 29,
-        "heartbeat" => 30,
-        "register" => 31,
-        "data_transfer" => 32,
-        "transport_event" => 33,
+        "open_job" => 0,
+        "close_job" => 1,
+        "define_dataset" => 2,
+        "submit_task" => 3,
+        "start_template" => 4,
+        "finish_template" => 5,
+        "abort_template" => 6,
+        "instantiate_template" => 7,
+        "fetch_value" => 8,
+        "barrier" => 9,
+        "enable_templates" => 10,
+        "checkpoint" => 11,
+        "migrate_tasks" => 12,
+        "set_workers" => 13,
+        "fail_worker" => 14,
+        "shutdown" => 15,
+        "job_accepted" => 16,
+        "value_fetched" => 17,
+        "barrier_reached" => 18,
+        "template_installed" => 19,
+        "checkpoint_committed" => 20,
+        "recovery_complete" => 21,
+        "ack" => 22,
+        "error" => 23,
+        "job_terminated" => 24,
+        "execute_commands" => 25,
+        "install_template" => 26,
+        "halt" => 27,
+        "drop_job" => 28,
+        "rejoin_accepted" => 29,
+        "commands_completed" => 30,
+        "worker_template_installed" => 31,
+        "worker_value_fetched" => 32,
+        "halted" => 33,
+        "heartbeat" => 34,
+        "register" => 35,
+        "data_transfer" => 36,
+        "transport_event" => 37,
         _ => OTHER,
     }
 }

@@ -373,6 +373,13 @@ impl TcpEndpoint {
         ))
     }
 
+    /// True when we currently hold at least one live inbound stream from
+    /// `peer` — proof the peer's process is up regardless of what the
+    /// outbound backoff or a cached writer's fate says.
+    fn peer_observably_up(&self, peer: NodeId) -> bool {
+        self.shared.inbound.lock().get(&peer).copied().unwrap_or(0) > 0
+    }
+
     /// Marks the established stream to `to` dead and arms an immediate
     /// redial (the peer may already be back).
     fn note_write_failure(&self, to: NodeId) {
@@ -439,32 +446,49 @@ impl TransportEndpoint for TcpEndpoint {
             record(&self.shared);
             return Ok(());
         }
-        let writer = self.writer_for(to)?;
         // One buffer, one write: the frame (header and payload) is encoded
         // straight into the peer's reusable buffer — no per-message
         // allocation — and flushed with a single `write(2)`; with
         // TCP_NODELAY a separate header write would flush as its own
         // segment, doubling the per-message cost.
-        let result = {
-            let mut guard = writer.lock();
-            let w = &mut *guard;
-            w.buf.clear();
-            framing::append_frame(&mut w.buf, &envelope)?;
-            let r = w.stream.write_all(&w.buf);
-            if r.is_ok() {
-                self.shared.stats.record_tcp_write();
+        //
+        // A failed write marks the stream dead (supervision) — and, when we
+        // are actively *receiving* from the peer, retries exactly once over
+        // a fresh dial: a restarting peer can leave a stale cached writer
+        // (a dial that landed in its dying endpoint's accept window) whose
+        // first write fails just as the peer is provably back up, and a
+        // fire-and-forget caller (the rejoin handshake's template
+        // reinstalls) would otherwise lose the message silently.
+        for attempt in 0..2 {
+            let writer = self.writer_for(to)?;
+            let result = {
+                let mut guard = writer.lock();
+                let w = &mut *guard;
+                w.buf.clear();
+                framing::append_frame(&mut w.buf, &envelope)?;
+                let r = w.stream.write_all(&w.buf);
+                if r.is_ok() {
+                    self.shared.stats.record_tcp_write();
+                }
+                w.shrink();
+                r
+            };
+            match result {
+                Ok(()) => {
+                    record(&self.shared);
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Drop the writer and allow an immediate redial.
+                    self.note_write_failure(to);
+                    if attempt == 0 && self.peer_observably_up(to) {
+                        continue;
+                    }
+                    return Err(NetError::Disconnected(to.to_string()));
+                }
             }
-            w.shrink();
-            r
-        };
-        if result.is_err() {
-            // Supervised stream: drop the writer and allow an immediate
-            // redial on the next send (the peer may already be back).
-            self.note_write_failure(to);
-            return Err(NetError::Disconnected(to.to_string()));
         }
-        record(&self.shared);
-        Ok(())
+        unreachable!("send retry loop returns on every path")
     }
 
     /// The corked write path: every message is encoded into the peer's
@@ -515,28 +539,41 @@ impl TransportEndpoint for TcpEndpoint {
             self.shared.stats.record_batch(n);
             return Ok(());
         }
-        let writer = self.writer_for(to)?;
-        let result = {
-            let mut guard = writer.lock();
-            let w = &mut *guard;
-            w.buf.clear();
-            framing::append_batch_frame(&mut w.buf, &envelopes)?;
-            let r = w.stream.write_all(&w.buf);
-            if r.is_ok() {
-                self.shared.stats.record_tcp_write();
+        // Same single-retry-when-observably-up policy as `send` (see there):
+        // the whole batch is all-or-nothing, so retrying the failed write
+        // re-sends nothing that was delivered.
+        for attempt in 0..2 {
+            let writer = self.writer_for(to)?;
+            let result = {
+                let mut guard = writer.lock();
+                let w = &mut *guard;
+                w.buf.clear();
+                framing::append_batch_frame(&mut w.buf, &envelopes)?;
+                let r = w.stream.write_all(&w.buf);
+                if r.is_ok() {
+                    self.shared.stats.record_tcp_write();
+                }
+                w.shrink();
+                r
+            };
+            match result {
+                Ok(()) => {
+                    for (tag, size, is_data) in metas {
+                        self.shared.stats.record(tag, size, is_data);
+                    }
+                    self.shared.stats.record_batch(n);
+                    return Ok(());
+                }
+                Err(_) => {
+                    self.note_write_failure(to);
+                    if attempt == 0 && self.peer_observably_up(to) {
+                        continue;
+                    }
+                    return Err(NetError::Disconnected(to.to_string()));
+                }
             }
-            w.shrink();
-            r
-        };
-        if result.is_err() {
-            self.note_write_failure(to);
-            return Err(NetError::Disconnected(to.to_string()));
         }
-        for (tag, size, is_data) in metas {
-            self.shared.stats.record(tag, size, is_data);
-        }
-        self.shared.stats.record_batch(n);
-        Ok(())
+        unreachable!("send_many retry loop returns on every path")
     }
 
     fn recv(&self) -> NetResult<Envelope> {
@@ -659,6 +696,13 @@ fn deliver_envelope(envelope: Envelope, peer: &mut Option<NodeId>, shared: &Shar
         let from = envelope.from;
         *peer = Some(from);
         *shared.inbound.lock().entry(from).or_insert(0) += 1;
+        // A fresh inbound stream is live proof the peer is up: clear any
+        // redial backoff immediately. Without this, dial failures during
+        // the peer's dead window keep doubling the backoff, and a send
+        // right after the peer returns (e.g. the rejoin handshake's
+        // template reinstalls) would still fail fast inside the stale
+        // window — silently, since handshake sends are best-effort.
+        shared.downed.lock().remove(&from);
         if shared.lost_inbound.lock().remove(&from) {
             let notice = Envelope {
                 from,
@@ -829,12 +873,12 @@ mod tests {
     fn send_and_receive_over_loopback() {
         let (_fabric, driver, controller) = loopback_pair();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(env.from, NodeId::Driver);
         assert_eq!(env.to, NodeId::Controller);
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
 
         controller
             .send(
@@ -856,7 +900,7 @@ mod tests {
             driver
                 .send(
                     NodeId::Controller,
-                    Message::Driver(DriverMessage::Checkpoint { marker: i }),
+                    Message::driver0(DriverMessage::Checkpoint { marker: i }),
                 )
                 .unwrap();
         }
@@ -864,7 +908,7 @@ mod tests {
             let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(
                 env.message,
-                Message::Driver(DriverMessage::Checkpoint { marker: i })
+                Message::driver0(DriverMessage::Checkpoint { marker: i })
             );
         }
     }
@@ -875,7 +919,7 @@ mod tests {
         let err = driver
             .send(
                 NodeId::Worker(WorkerId(7)),
-                Message::Driver(DriverMessage::Barrier),
+                Message::driver0(DriverMessage::Barrier),
             )
             .unwrap_err();
         assert!(matches!(err, NetError::UnknownNode(_)), "{err}");
@@ -885,7 +929,7 @@ mod tests {
     fn peer_drop_is_reported_and_sends_fail_fast() {
         let (_fabric, driver, controller) = loopback_pair();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         controller.recv_timeout(Duration::from_secs(5)).unwrap();
         drop(driver);
@@ -906,7 +950,7 @@ mod tests {
         let (fabric, driver, controller) = loopback_pair();
         // Establish traffic in both directions.
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         controller.recv_timeout(Duration::from_secs(5)).unwrap();
         controller
@@ -926,7 +970,7 @@ mod tests {
         driver2
             .send(
                 NodeId::Controller,
-                Message::Driver(DriverMessage::Checkpoint { marker: 42 }),
+                Message::driver0(DriverMessage::Checkpoint { marker: 42 }),
             )
             .unwrap();
         // Reconnect notice arrives strictly before the new traffic.
@@ -938,7 +982,7 @@ mod tests {
         let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(
             env.message,
-            Message::Driver(DriverMessage::Checkpoint { marker: 42 })
+            Message::driver0(DriverMessage::Checkpoint { marker: 42 })
         );
 
         // Outbound recovers too: the controller's old writer is dead, but
@@ -981,10 +1025,14 @@ mod tests {
         let a = fabric.endpoint(w0).unwrap();
 
         // First send exhausts the startup window and fails...
-        assert!(a.send(w1, Message::Driver(DriverMessage::Barrier)).is_err());
+        assert!(a
+            .send(w1, Message::driver0(DriverMessage::Barrier))
+            .is_err());
         // ...and within the backoff window further sends fail fast.
         let t = Instant::now();
-        assert!(a.send(w1, Message::Driver(DriverMessage::Barrier)).is_err());
+        assert!(a
+            .send(w1, Message::driver0(DriverMessage::Barrier))
+            .is_err());
         assert!(
             t.elapsed() < Duration::from_millis(90),
             "backoff gate did not fail fast: {:?}",
@@ -995,7 +1043,7 @@ mod tests {
         let b = fabric.endpoint(w1).unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            match a.send(w1, Message::Driver(DriverMessage::Barrier)) {
+            match a.send(w1, Message::driver0(DriverMessage::Barrier)) {
                 Ok(()) => break,
                 Err(_) if Instant::now() < deadline => {
                     std::thread::sleep(Duration::from_millis(10))
@@ -1004,7 +1052,64 @@ mod tests {
             }
         }
         let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
+    }
+
+    /// A peer's fresh inbound stream clears its redial backoff immediately:
+    /// sends issued right after the peer announces itself (the rejoin
+    /// handshake's template reinstalls) must not fail fast inside a stale
+    /// backoff window grown by dial failures during the dead window.
+    #[test]
+    fn inbound_stream_clears_redial_backoff_immediately() {
+        let w0 = NodeId::Worker(WorkerId(0));
+        let w1 = NodeId::Worker(WorkerId(1));
+        let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+        let w1_addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let a_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut addrs = HashMap::new();
+        addrs.insert(w0, a_listener.local_addr().unwrap());
+        addrs.insert(w1, w1_addr);
+        drop(a_listener);
+        // A LONG max backoff: repeated dial failures push next_attempt far
+        // into the future, so only the inbound-stream clearing (not the
+        // passage of time) can explain a recovered send below.
+        let fabric = TcpFabric::from_addrs(addrs).with_dial_policy(DialPolicy {
+            retry_window: Duration::from_millis(50),
+            initial_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(60),
+            connect_timeout: Duration::from_millis(100),
+        });
+        let a = fabric.endpoint(w0).unwrap();
+        // Grow the backoff with a few failed dial rounds.
+        for _ in 0..4 {
+            let _ = a.send(w1, Message::driver0(DriverMessage::Barrier));
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        // The peer comes up and announces itself with an inbound stream.
+        let b = fabric.endpoint(w1).unwrap();
+        b.send(w0, Message::driver0(DriverMessage::Barrier))
+            .unwrap();
+        let env = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            env.message,
+            Message::Driver {
+                msg: DriverMessage::Barrier,
+                ..
+            }
+        ));
+        // An immediate outbound send succeeds — no waiting out the stale
+        // backoff window.
+        a.send(w1, Message::driver0(DriverMessage::Barrier))
+            .unwrap();
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            env.message,
+            Message::Driver {
+                msg: DriverMessage::Barrier,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1027,10 +1132,10 @@ mod tests {
         drop(raw3);
         // Legitimate traffic still flows.
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
         // And the garbage never surfaced as an envelope.
         assert!(controller.try_recv().is_err());
     }
@@ -1050,6 +1155,7 @@ mod tests {
         a.send(
             w1,
             Message::Data(DataTransfer {
+                job: nimbus_core::JobId(1),
                 transfer: TransferId(3),
                 from_worker: WorkerId(0),
                 payload: DataPayload::Object(Box::new(VecF64::new(vec![1.0, -2.5]))),
@@ -1076,10 +1182,10 @@ mod tests {
         fabric.add_loopback_node(w9).unwrap();
         let late = fabric.endpoint(w9).unwrap();
         driver
-            .send(w9, Message::Driver(DriverMessage::Barrier))
+            .send(w9, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         let env = late.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
     }
 
     /// The corked writer contract: a batched send crosses the wire as one
@@ -1090,26 +1196,26 @@ mod tests {
         let (_fabric, driver, controller) = loopback_pair();
         // Warm the connection so the dial is out of the way.
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         controller.recv_timeout(Duration::from_secs(5)).unwrap();
         let before = driver.stats();
         let batch: Vec<Message> = (0..10u64)
-            .map(|i| Message::Driver(DriverMessage::Checkpoint { marker: i }))
+            .map(|i| Message::driver0(DriverMessage::Checkpoint { marker: i }))
             .collect();
         driver.send_many(NodeId::Controller, batch).unwrap();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         for i in 0..10u64 {
             let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(
                 env.message,
-                Message::Driver(DriverMessage::Checkpoint { marker: i })
+                Message::driver0(DriverMessage::Checkpoint { marker: i })
             );
         }
         let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
         let after = driver.stats();
         assert_eq!(
             after.tcp_writes - before.tcp_writes,
@@ -1127,12 +1233,12 @@ mod tests {
     fn batched_and_unbatched_sends_account_identically() {
         let messages = |n: u64| -> Vec<Message> {
             (0..n)
-                .map(|i| Message::Driver(DriverMessage::Checkpoint { marker: i }))
+                .map(|i| Message::driver0(DriverMessage::Checkpoint { marker: i }))
                 .collect()
         };
         let (_fabric, driver, controller) = loopback_pair();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         controller.recv_timeout(Duration::from_secs(5)).unwrap();
 
@@ -1167,11 +1273,11 @@ mod tests {
         driver
             .send_many(
                 NodeId::Controller,
-                vec![Message::Driver(DriverMessage::Barrier)],
+                vec![Message::driver0(DriverMessage::Barrier)],
             )
             .unwrap();
         let env = controller.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(env.message, Message::Driver(DriverMessage::Barrier));
+        assert_eq!(env.message, Message::driver0(DriverMessage::Barrier));
         let stats = driver.stats();
         assert_eq!(stats.batched_commands, 0, "singletons are not batches");
         assert_eq!(stats.frames_coalesced, 0);
@@ -1181,7 +1287,7 @@ mod tests {
     fn drop_joins_all_transport_threads() {
         let (_fabric, driver, controller) = loopback_pair();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         controller.recv_timeout(Duration::from_secs(5)).unwrap();
         drop(driver);

@@ -264,6 +264,30 @@ impl Network {
         self.inner.senders.write().remove(&node);
     }
 
+    /// Injectable failure: severs `node` from the fabric the way a killed
+    /// process severs a TCP peer. The node is unregistered (later sends to
+    /// it fail, like dials to a dead address) and every *other* registered
+    /// node receives a [`TransportEvent::PeerDisconnected`] notice in its
+    /// inbox — which is exactly what the TCP transport injects when a peer's
+    /// last inbound stream dies. This is what lets the kill/rejoin churn
+    /// suite run on the in-process transport too; a subsequent
+    /// [`Network::register`] of the same node plays the role of the
+    /// restarted process.
+    pub fn disconnect(&self, node: NodeId) {
+        let peers: Vec<(NodeId, Sender<Envelope>)> = {
+            let mut senders = self.inner.senders.write();
+            senders.remove(&node);
+            senders.iter().map(|(n, s)| (*n, s.clone())).collect()
+        };
+        for (peer, sender) in peers {
+            let _ = sender.send(Envelope {
+                from: node,
+                to: peer,
+                message: Message::Transport(crate::message::TransportEvent::PeerDisconnected(node)),
+            });
+        }
+    }
+
     /// Returns true if the node is currently registered.
     pub fn is_registered(&self, node: NodeId) -> bool {
         self.inner.senders.read().contains_key(&node)
@@ -432,13 +456,16 @@ mod tests {
         assert_eq!(net.node_count(), 2);
 
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(env.from, NodeId::Driver);
         assert!(matches!(
             env.message,
-            Message::Driver(DriverMessage::Barrier)
+            Message::Driver {
+                msg: DriverMessage::Barrier,
+                ..
+            }
         ));
         assert_eq!(controller.pending(), 0);
     }
@@ -450,7 +477,7 @@ mod tests {
         let err = driver
             .send(
                 NodeId::Worker(WorkerId(9)),
-                Message::Driver(DriverMessage::Barrier),
+                Message::driver0(DriverMessage::Barrier),
             )
             .unwrap_err();
         assert!(matches!(err, NetError::UnknownNode(_)));
@@ -466,7 +493,7 @@ mod tests {
         assert!(driver
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::Driver(DriverMessage::Barrier)
+                Message::driver0(DriverMessage::Barrier)
             )
             .is_err());
     }
@@ -478,7 +505,7 @@ mod tests {
         let driver = net.register(NodeId::Driver);
         for _ in 0..3 {
             driver
-                .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+                .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
                 .unwrap();
         }
         let stats = net.stats();
@@ -495,7 +522,7 @@ mod tests {
         let driver = net.register(NodeId::Driver);
         let start = Instant::now();
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         // Should not be there immediately.
         assert!(controller.try_recv().is_err());
@@ -503,7 +530,10 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(15));
         assert!(matches!(
             env.message,
-            Message::Driver(DriverMessage::Barrier)
+            Message::Driver {
+                msg: DriverMessage::Barrier,
+                ..
+            }
         ));
     }
 
@@ -516,14 +546,18 @@ mod tests {
             driver
                 .send(
                     NodeId::Controller,
-                    Message::Driver(DriverMessage::Checkpoint { marker: i }),
+                    Message::driver0(DriverMessage::Checkpoint { marker: i }),
                 )
                 .unwrap();
         }
         let mut got = Vec::new();
         for _ in 0..10 {
             let env = controller.recv_timeout(Duration::from_secs(1)).unwrap();
-            if let Message::Driver(DriverMessage::Checkpoint { marker }) = env.message {
+            if let Message::Driver {
+                msg: DriverMessage::Checkpoint { marker },
+                ..
+            } = env.message
+            {
                 got.push(marker);
             }
         }
@@ -536,7 +570,7 @@ mod tests {
         let controller = net.register(NodeId::Controller);
         let driver = net.register(NodeId::Driver);
         driver
-            .send(NodeId::Controller, Message::Driver(DriverMessage::Barrier))
+            .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
         let start = Instant::now();
         drop(driver);

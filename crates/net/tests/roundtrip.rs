@@ -15,8 +15,8 @@ use rand::{Rng, SeedableRng};
 
 use nimbus_core::data::DatasetDef;
 use nimbus_core::ids::{
-    CommandId, FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, PhysicalObjectId,
-    StageId, TaskId, TemplateId, TransferId, WorkerId,
+    CommandId, FunctionId, JobId, LogicalObjectId, LogicalPartition, PartitionIndex,
+    PhysicalObjectId, StageId, TaskId, TemplateId, TransferId, WorkerId,
 };
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::{
@@ -26,8 +26,8 @@ use nimbus_core::template::{
 use nimbus_core::{Command, CommandKind, TaskParams};
 use nimbus_net::{
     decode, encode, serialized_size, ControllerToDriver, ControllerToWorker, DataPayload,
-    DataTransfer, DriverMessage, Envelope, Message, NodeId, PartitionVersion, TransportEvent,
-    WorkerToController,
+    DataTransfer, DriverMessage, Envelope, JobVersions, Message, NodeId, PartitionVersion,
+    TransportEvent, WorkerToController,
 };
 
 const CASES: u64 = 32;
@@ -70,6 +70,10 @@ fn lp(rng: &mut StdRng) -> LogicalPartition {
 
 fn worker(rng: &mut StdRng) -> WorkerId {
     WorkerId(rng.gen_range(0usize..64) as u32)
+}
+
+fn jid(rng: &mut StdRng) -> JobId {
+    JobId(rng.gen_range(0usize..8) as u64)
 }
 
 fn oid(rng: &mut StdRng) -> PhysicalObjectId {
@@ -261,16 +265,19 @@ fn instantiation_params(rng: &mut StdRng, which: u32) -> InstantiationParams {
 }
 
 fn node(rng: &mut StdRng) -> NodeId {
-    match rng.gen_range(0u32..3) {
+    match rng.gen_range(0u32..4) {
         0 => NodeId::Driver,
         1 => NodeId::Controller,
+        2 => NodeId::Client(rng.gen_range(0usize..16) as u32),
         _ => NodeId::Worker(worker(rng)),
     }
 }
 
 /// Every `DriverMessage` variant, by index.
 fn driver_message(rng: &mut StdRng, which: u32) -> DriverMessage {
-    match which % 14 {
+    match which % 16 {
+        14 => DriverMessage::OpenJob,
+        15 => DriverMessage::CloseJob,
         0 => DriverMessage::DefineDataset(DatasetDef::new(
             LogicalObjectId(rng.gen_range(0usize..1 << 20) as u64),
             string(rng),
@@ -309,7 +316,8 @@ fn driver_message(rng: &mut StdRng, which: u32) -> DriverMessage {
 
 /// Every `ControllerToDriver` variant, by index.
 fn controller_to_driver(rng: &mut StdRng, which: u32) -> ControllerToDriver {
-    match which % 8 {
+    match which % 9 {
+        8 => ControllerToDriver::JobAccepted { job: jid(rng) },
         0 => ControllerToDriver::ValueFetched {
             partition: lp(rng),
             value: rng.gen_range(-1e9..1e9),
@@ -332,26 +340,40 @@ fn controller_to_driver(rng: &mut StdRng, which: u32) -> ControllerToDriver {
 
 /// Every `ControllerToWorker` variant, by index.
 fn controller_to_worker(rng: &mut StdRng, which: u32) -> ControllerToWorker {
-    match which % 7 {
+    match which % 9 {
         0 => ControllerToWorker::ExecuteCommands {
+            job: jid(rng),
             commands: (0..rng.gen_range(1usize..4))
                 .map(|i| command(rng, which + i as u32))
                 .collect(),
         },
         1 => ControllerToWorker::InstallTemplate {
+            job: jid(rng),
             template: worker_template(rng),
         },
-        2 => ControllerToWorker::InstantiateTemplate(worker_instantiation(rng)),
-        3 => ControllerToWorker::FetchValue { object: oid(rng) },
-        4 => ControllerToWorker::Halt,
+        2 => ControllerToWorker::InstantiateTemplate {
+            job: jid(rng),
+            inst: worker_instantiation(rng),
+        },
+        3 => ControllerToWorker::FetchValue {
+            job: jid(rng),
+            object: oid(rng),
+        },
+        4 => ControllerToWorker::Halt { job: jid(rng) },
         5 => ControllerToWorker::RejoinAccepted {
-            versions: (0..rng.gen_range(0usize..6))
-                .map(|_| PartitionVersion {
-                    partition: lp(rng),
-                    version: rng.gen_range(0usize..1 << 30) as u64,
+            jobs: (0..rng.gen_range(0usize..3))
+                .map(|_| JobVersions {
+                    job: jid(rng),
+                    versions: (0..rng.gen_range(0usize..6))
+                        .map(|_| PartitionVersion {
+                            partition: lp(rng),
+                            version: rng.gen_range(0usize..1 << 30) as u64,
+                        })
+                        .collect(),
                 })
                 .collect(),
         },
+        7 => ControllerToWorker::DropJob { job: jid(rng) },
         _ => ControllerToWorker::Shutdown,
     }
 }
@@ -360,6 +382,7 @@ fn controller_to_worker(rng: &mut StdRng, which: u32) -> ControllerToWorker {
 fn worker_to_controller(rng: &mut StdRng, which: u32) -> WorkerToController {
     match which % 6 {
         0 => WorkerToController::CommandsCompleted {
+            job: jid(rng),
             worker: worker(rng),
             commands: (0..rng.gen_range(0usize..5))
                 .map(|_| CommandId(rng.gen_range(0usize..1 << 30) as u64))
@@ -367,15 +390,18 @@ fn worker_to_controller(rng: &mut StdRng, which: u32) -> WorkerToController {
             compute_micros: rng.gen_range(0usize..1 << 30) as u64,
         },
         1 => WorkerToController::TemplateInstalled {
+            job: jid(rng),
             worker: worker(rng),
             template: TemplateId(rng.gen_range(0usize..1 << 20) as u64),
         },
         2 => WorkerToController::ValueFetched {
+            job: jid(rng),
             worker: worker(rng),
             object: oid(rng),
             value: rng.gen_range(-1e9..1e9),
         },
         3 => WorkerToController::Halted {
+            job: jid(rng),
             worker: worker(rng),
         },
         4 => WorkerToController::Heartbeat {
@@ -393,6 +419,7 @@ fn data_message(rng: &mut StdRng) -> Message {
     let len = rng.gen_range(0usize..64);
     let contents: Vec<u8> = (0..len).map(|_| rng.gen_range(0usize..256) as u8).collect();
     Message::Data(DataTransfer {
+        job: jid(rng),
         transfer: TransferId(rng.gen_range(0usize..1 << 20) as u64),
         from_worker: worker(rng),
         payload: DataPayload::Bytes(bytes::Bytes::copy_from_slice(&contents)),
@@ -401,17 +428,20 @@ fn data_message(rng: &mut StdRng) -> Message {
 
 /// Total number of `Message` variants `message` cycles through (all nested
 /// enum variants counted individually).
-const MESSAGE_VARIANTS: u32 = 38;
+const MESSAGE_VARIANTS: u32 = 43;
 
 /// Every `Message` variant, cycling through all nested variants.
 fn message(rng: &mut StdRng, which: u32) -> Message {
     match which % MESSAGE_VARIANTS {
-        w @ 0..=13 => Message::Driver(driver_message(rng, w)),
-        w @ 14..=21 => Message::ToDriver(controller_to_driver(rng, w - 14)),
-        w @ 22..=28 => Message::ToWorker(controller_to_worker(rng, w - 22)),
-        w @ 29..=34 => Message::FromWorker(worker_to_controller(rng, w - 29)),
-        35 => data_message(rng),
-        36 => Message::Transport(TransportEvent::PeerDisconnected(node(rng))),
+        w @ 0..=15 => Message::Driver {
+            job: jid(rng),
+            msg: driver_message(rng, w),
+        },
+        w @ 16..=24 => Message::ToDriver(controller_to_driver(rng, w - 16)),
+        w @ 25..=33 => Message::ToWorker(controller_to_worker(rng, w - 25)),
+        w @ 34..=39 => Message::FromWorker(worker_to_controller(rng, w - 34)),
+        40 => data_message(rng),
+        41 => Message::Transport(TransportEvent::PeerDisconnected(node(rng))),
         _ => Message::Transport(TransportEvent::PeerReconnected(node(rng))),
     }
 }
@@ -475,11 +505,13 @@ fn object_payloads_canonicalize_to_bytes() {
             .map(|_| rng.gen_range(-1e6..1e6))
             .collect();
         let object_form = Message::Data(DataTransfer {
+            job: JobId(3),
             transfer: TransferId(7),
             from_worker: WorkerId(1),
             payload: DataPayload::Object(Box::new(VecF64::new(values.clone()))),
         });
         let bytes_form = Message::Data(DataTransfer {
+            job: JobId(3),
             transfer: TransferId(7),
             from_worker: WorkerId(1),
             payload: DataPayload::Bytes(bytes::Bytes::from_vec(

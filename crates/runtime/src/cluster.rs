@@ -1,12 +1,19 @@
 //! The single-process Nimbus cluster: controller and worker threads wired
-//! over a selectable transport (in-process channels or loopback TCP), plus a
-//! synchronous driver handle.
+//! over a selectable transport (in-process channels or loopback TCP), plus
+//! synchronous driver handles.
+//!
+//! The cluster is **multi-tenant**: [`Cluster::connect_driver`] opens any
+//! number of independent [`Session`]s against the one controller — each its
+//! own job, isolated from the others — while [`Cluster::run_driver`] keeps
+//! the classic single-driver shape.
 //!
 //! Worker membership is *elastic*: [`Cluster::add_worker`] grows a running
-//! cluster, and on the TCP transport [`Cluster::kill_worker`] /
-//! [`Cluster::rejoin_worker`] emulate the death and restart of a worker
-//! process — the pair the membership-churn tests and the fig9 rejoin bench
-//! are built on.
+//! cluster, and [`Cluster::kill_worker`] / [`Cluster::rejoin_worker`]
+//! emulate the death and restart of a worker process on **either**
+//! transport — over TCP the dropped sockets carry the disconnect notice;
+//! in-process the fabric injects the same notice through
+//! [`Network::disconnect`] — the pair the membership-churn tests and the
+//! fig9 rejoin bench are built on.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,7 +23,7 @@ use std::time::Duration;
 use nimbus_controller::{Controller, ControllerConfig};
 use nimbus_core::ids::WorkerId;
 use nimbus_core::ControlPlaneStats;
-use nimbus_driver::{DriverContext, DriverError, DriverResult};
+use nimbus_driver::{DriverContext, DriverError, DriverResult, Session};
 use nimbus_net::{Network, NetworkStats, NodeId, TcpFabric, TransportEndpoint};
 use nimbus_worker::{
     DataFactoryRegistry, FunctionRegistry, ObjectVault, Worker, WorkerConfig, WorkerStats,
@@ -72,6 +79,9 @@ pub struct Cluster {
     spin_wait: Option<Duration>,
     completion_batch: usize,
     worker_ids: Vec<WorkerId>,
+    /// Number of additional driver clients handed out by
+    /// [`Cluster::connect_driver`] (each gets its own `NodeId::Client`).
+    clients: u32,
 }
 
 impl Cluster {
@@ -105,6 +115,7 @@ impl Cluster {
             spin_wait: config.spin_wait,
             completion_batch: config.completion_batch,
             worker_ids: worker_ids.clone(),
+            clients: 0,
         };
 
         // Workers first so the controller can address them immediately.
@@ -188,22 +199,17 @@ impl Cluster {
         id
     }
 
-    /// Kills a worker abruptly (TCP transport only): the worker thread stops
-    /// without any goodbye, its endpoint drops, and the controller observes
-    /// the death exactly as it would a killed OS process — through the
-    /// transport's disconnect notice.
+    /// Kills a worker abruptly: the worker thread stops without any
+    /// goodbye, its endpoint drops, and the controller observes the death
+    /// exactly as it would a killed OS process — over TCP through the
+    /// transport's own disconnect notice; in-process through the fabric's
+    /// injectable [`Network::disconnect`] failure, which unregisters the
+    /// node and delivers the same `PeerDisconnected` notice to every peer.
     ///
     /// # Panics
     ///
-    /// Panics on the in-process transport (it has no disconnect semantics,
-    /// so a silent thread death would simply hang the job) or if the worker
-    /// is unknown or already dead.
+    /// Panics if the worker is unknown or already dead.
     pub fn kill_worker(&mut self, id: WorkerId) {
-        assert!(
-            matches!(self.fabric, Fabric::Tcp(_)),
-            "kill_worker requires the TCP transport (in-process channels \
-             have no disconnect notion)"
-        );
         let slot = self
             .workers
             .iter_mut()
@@ -213,6 +219,11 @@ impl Cluster {
         slot.kill.store(true, Ordering::Relaxed);
         let stats = handle.join().expect("killed worker thread panicked");
         self.reaped.push(stats);
+        if let Fabric::InProcess(network) = &self.fabric {
+            // The in-process fabric has no sockets to sever; inject the
+            // failure so the controller observes the death the same way.
+            network.disconnect(NodeId::Worker(id));
+        }
     }
 
     /// Restarts a previously killed worker under the same identity: a fresh
@@ -225,10 +236,6 @@ impl Cluster {
     ///
     /// Panics if the worker is unknown or still alive.
     pub fn rejoin_worker(&mut self, id: WorkerId) {
-        assert!(
-            matches!(self.fabric, Fabric::Tcp(_)),
-            "rejoin_worker requires the TCP transport"
-        );
         let slot_exists = self
             .workers
             .iter()
@@ -262,12 +269,14 @@ impl Cluster {
         self.fabric.stats()
     }
 
-    /// Creates the driver context connected to this cluster.
+    /// Creates the classic (implicit-session) driver context connected to
+    /// this cluster, addressed as the primary `NodeId::Driver`.
     ///
     /// On the in-process transport this can be called repeatedly (each call
     /// re-registers the driver node). On a TCP cluster the driver's listener
     /// exists once, so a second call while the first context is alive
-    /// panics with an address-in-use error.
+    /// panics with an address-in-use error. For concurrent drivers use
+    /// [`Cluster::connect_driver`], which hands out independent sessions.
     pub fn driver(&self) -> DriverContext {
         match &self.fabric {
             Fabric::InProcess(network) => DriverContext::new(network.register(NodeId::Driver)),
@@ -277,6 +286,39 @@ impl Cluster {
                 ))
             }
         }
+    }
+
+    /// Opens an independent driver [`Session`] against the running
+    /// controller: each call gets its own client address and its own
+    /// controller-assigned job, fully isolated from every other session.
+    /// Sessions are `Send`, so drivers can run concurrently from separate
+    /// threads. End a session with [`Session::close`]; once every session
+    /// is done, stop the cluster with [`Cluster::shutdown_and_join`] (or a
+    /// final session's [`Session::shutdown`]).
+    pub fn connect_driver(&mut self) -> DriverResult<Session> {
+        self.clients += 1;
+        let node = NodeId::Client(self.clients);
+        match &self.fabric {
+            Fabric::InProcess(network) => Session::connect(network.register(node)),
+            Fabric::Tcp(tcp) => {
+                tcp.add_loopback_node(node)
+                    .map_err(|e| DriverError::Net(e.to_string()))?;
+                let endpoint = tcp
+                    .endpoint(node)
+                    .map_err(|e| DriverError::Net(e.to_string()))?;
+                Session::connect(endpoint)
+            }
+        }
+    }
+
+    /// Shuts the whole cluster down (a multi-driver run's counterpart to the
+    /// shutdown `run_driver` performs): opens one last control session,
+    /// broadcasts the cluster-wide shutdown through it, and joins every
+    /// thread. Returns the statistics blocks.
+    pub fn shutdown_and_join(mut self) -> DriverResult<ClusterReport<()>> {
+        let mut control = self.connect_driver()?;
+        control.shutdown()?;
+        self.join(())
     }
 
     /// Runs a driver program to completion, shuts the cluster down, and

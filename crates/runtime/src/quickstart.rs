@@ -10,8 +10,9 @@
 use nimbus_core::appdata::{Scalar, VecF64};
 use nimbus_core::ids::{FunctionId, LogicalObjectId};
 use nimbus_core::TaskParams;
-use nimbus_driver::{Dataset, DriverContext, DriverResult, StageSpec};
+use nimbus_driver::{Dataset, DriverResult, Session, StageSpec};
 
+use crate::cluster::Cluster;
 use crate::config::AppSetup;
 
 /// Function id of the per-partition `add` stage.
@@ -54,7 +55,7 @@ pub fn quickstart_setup() -> AppSetup {
 /// two-stage basic block (add 1.0 everywhere, reduce into a scalar) followed
 /// by a scalar fetch. Returns the fetched total of every iteration —
 /// iteration `i` totals `(i + 1) * PARTITIONS * PARTITION_LEN`.
-pub fn quickstart_driver(ctx: &mut DriverContext, iterations: u32) -> DriverResult<Vec<f64>> {
+pub fn quickstart_driver(ctx: &mut Session, iterations: u32) -> DriverResult<Vec<f64>> {
     quickstart_driver_with(ctx, iterations, |_, _| {})
 }
 
@@ -62,7 +63,7 @@ pub fn quickstart_driver(ctx: &mut DriverContext, iterations: u32) -> DriverResu
 /// iteration index and its fetched total. The multi-process binaries use it
 /// to print progress and to pace iterations for fault-injection tests.
 pub fn quickstart_driver_with(
-    ctx: &mut DriverContext,
+    ctx: &mut Session,
     iterations: u32,
     mut on_iteration: impl FnMut(u32, f64),
 ) -> DriverResult<Vec<f64>> {
@@ -90,10 +91,53 @@ pub fn quickstart_driver_with(
     Ok(totals)
 }
 
+/// Runs `jobs` concurrent quickstart drivers against one running cluster —
+/// the multi-driver quickstart. Each driver opens its own [`Session`]
+/// (independent job, independent dataset namespace), runs `iterations`
+/// iterations, and closes its session; the per-job totals come back in
+/// session-open order. Every job's totals follow the same closed form as a
+/// solo run — which is exactly the isolation property the multijob suite
+/// pins.
+pub fn quickstart_multijob(
+    cluster: &mut Cluster,
+    jobs: usize,
+    iterations: u32,
+) -> DriverResult<Vec<Vec<f64>>> {
+    let mut handles = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        let mut session = cluster.connect_driver()?;
+        handles.push(std::thread::spawn(move || -> DriverResult<Vec<f64>> {
+            let totals = quickstart_driver(&mut session, iterations)?;
+            session.close()?;
+            Ok(totals)
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("driver thread panicked"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Cluster, ClusterConfig};
+
+    #[test]
+    fn multijob_quickstart_every_job_follows_the_closed_form() {
+        let mut cluster = Cluster::start(ClusterConfig::new(2), quickstart_setup());
+        let outputs = quickstart_multijob(&mut cluster, 3, 4).unwrap();
+        let report = cluster.shutdown_and_join().unwrap();
+        let expected: Vec<f64> = (1..=4)
+            .map(|i| (i * PARTITIONS as usize * PARTITION_LEN) as f64)
+            .collect();
+        assert_eq!(outputs.len(), 3);
+        for (job, totals) in outputs.iter().enumerate() {
+            assert_eq!(totals, &expected, "job {job} diverged");
+        }
+        // Each job recorded its own template once.
+        assert_eq!(report.controller.controller_templates_installed, 3);
+    }
 
     #[test]
     fn quickstart_totals_follow_the_closed_form() {

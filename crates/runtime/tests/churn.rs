@@ -13,29 +13,8 @@ use nimbus_core::ids::WorkerId;
 use nimbus_runtime::quickstart::{quickstart_setup, PARTITIONS, PARTITION_LEN};
 use nimbus_runtime::{Cluster, ClusterConfig, ClusterReport};
 
-/// Hard per-test timeout: the body runs in its own thread; if it has not
-/// finished in `limit`, the test fails immediately instead of hanging the
-/// suite (and CI) on a wedged recovery.
-fn with_timeout<T: Send + 'static>(
-    name: &str,
-    limit: Duration,
-    body: impl FnOnce() -> T + Send + 'static,
-) -> T {
-    let (tx, rx) = std::sync::mpsc::channel();
-    let thread = std::thread::Builder::new()
-        .name(format!("churn-{name}"))
-        .spawn(move || {
-            let _ = tx.send(body());
-        })
-        .expect("spawn test body");
-    match rx.recv_timeout(limit) {
-        Ok(value) => {
-            thread.join().expect("test body panicked");
-            value
-        }
-        Err(_) => panic!("{name} did not finish within {limit:?} (wedged rejoin?)"),
-    }
-}
+mod common;
+use common::with_timeout;
 
 /// The closed-form totals of `iterations` quickstart iterations — what an
 /// undisturbed run produces (asserted by the quickstart's own tests), so a
@@ -254,4 +233,141 @@ fn added_worker_joins_via_edits_and_executes_tasks() {
     for (i, w) in report.workers.iter().enumerate() {
         assert!(w.tasks_executed > 0, "worker #{i} executed no tasks");
     }
+}
+
+/// Satellite of the multi-tenant PR (ROADMAP open item): TWO workers dying
+/// inside one grace window are both readmitted in place. `awaiting_rejoin`
+/// is a set now, not a single slot — the first death opens the recovery,
+/// the second folds into it, and completion waits for both returns. Output
+/// stays byte-identical with zero template re-recordings.
+#[test]
+fn two_workers_killed_in_one_window_both_rejoin() {
+    let report = with_timeout("double-kill", Duration::from_secs(120), || {
+        run_churned(
+            ClusterConfig::new(3)
+                .with_tcp_transport()
+                .with_checkpoint_every(3)
+                .with_rejoin_grace(Duration::from_secs(30)),
+            20,
+            ChurnPoint::AfterFetch(10),
+            |cluster: &mut Cluster| {
+                cluster.kill_worker(WorkerId(0));
+                cluster.kill_worker(WorkerId(1));
+                std::thread::sleep(Duration::from_millis(500));
+                cluster.rejoin_worker(WorkerId(0));
+                cluster.rejoin_worker(WorkerId(1));
+            },
+        )
+    });
+    assert_eq!(
+        report.output,
+        closed_form(20),
+        "double-churned output diverges from the undisturbed run"
+    );
+    assert_eq!(
+        report.controller.controller_templates_installed, 1,
+        "simultaneous rejoins must not re-record templates"
+    );
+    // One recovery absorbed both deaths; each return was a readmission.
+    assert_eq!(report.controller.failures_handled, 1);
+    assert_eq!(report.controller.rejoins_handled, 2);
+    assert!(report.controller.instantiations_replayed >= 1);
+}
+
+/// Satellite of the multi-tenant PR (ROADMAP open item): the kill/rejoin
+/// churn suite now runs on the in-process transport too. The fabric's
+/// injectable `Network::disconnect` delivers the same `PeerDisconnected`
+/// notice a dropped TCP socket would, so the whole rejoin handshake —
+/// grace window, template reinstalls, checkpoint reload, replay — is
+/// transport-independent.
+#[test]
+fn killed_worker_rejoins_in_process_and_output_is_byte_identical() {
+    let report = with_timeout("kill-rejoin-inproc", Duration::from_secs(120), || {
+        run_churned(
+            ClusterConfig::new(2)
+                .with_checkpoint_every(3)
+                .with_rejoin_grace(Duration::from_secs(30)),
+            20,
+            ChurnPoint::AfterFetch(10),
+            kill_then_rejoin(WorkerId(0)),
+        )
+    });
+    assert_eq!(report.output, closed_form(20));
+    assert_eq!(report.controller.controller_templates_installed, 1);
+    assert_eq!(report.controller.failures_handled, 1);
+    assert_eq!(report.controller.rejoins_handled, 1);
+    assert!(report.controller.instantiations_replayed >= 1);
+}
+
+/// Satellite of the multi-tenant PR: the controller's replay log now covers
+/// raw `SubmitTask` traffic, not only `InstantiateTemplate`. A job running
+/// with templates disabled (pure per-task scheduling) loses a worker after
+/// its last checkpoint; the controller restores the checkpoint and replays
+/// the logged submit stream itself, so the un-templated recovery is
+/// byte-exact — previously this window fell back to lossy recovery
+/// (`replay_valid = false`) and the post-checkpoint iterations were
+/// silently lost.
+#[test]
+fn raw_submit_stream_recovers_byte_exact() {
+    use nimbus_core::appdata::{Scalar, VecF64};
+    use nimbus_core::TaskParams;
+    use nimbus_driver::{Dataset, StageSpec};
+    use nimbus_runtime::quickstart::{ADD, SUM};
+
+    let report = with_timeout("raw-submit-replay", Duration::from_secs(120), || {
+        let cluster = Cluster::start(
+            ClusterConfig::new(2)
+                .without_templates()
+                .with_tcp_transport()
+                .with_rejoin_grace(Duration::from_secs(30)),
+            quickstart_setup(),
+        );
+        cluster
+            .run_driver_with_cluster(|ctx, cluster| {
+                let data: Dataset<VecF64> = ctx.define_dataset("data", PARTITIONS)?;
+                let total: Dataset<Scalar> = ctx.define_dataset("total", 1)?;
+                let mut totals = Vec::new();
+                for i in 0..14u32 {
+                    // No blocks: every stage goes out as raw SubmitTask
+                    // messages (the un-templated stream).
+                    ctx.submit_stage(
+                        StageSpec::new("add", ADD)
+                            .write(&data)
+                            .params(TaskParams::from_scalar(1.0)),
+                    )?;
+                    let mut sum = StageSpec::new("sum", SUM).partitions(1);
+                    for p in 0..data.partitions {
+                        sum = sum.read_partition(&data, p);
+                    }
+                    ctx.submit_stage(sum.write_partition(&total, 0))?;
+                    totals.push(ctx.fetch(&total, 0)?);
+                    if i == 5 {
+                        // The only checkpoint: iterations 6.. exist solely
+                        // in the replay log.
+                        ctx.checkpoint(u64::from(i))?;
+                    }
+                    if i == 8 {
+                        cluster.kill_worker(WorkerId(0));
+                        std::thread::sleep(Duration::from_millis(500));
+                        cluster.rejoin_worker(WorkerId(0));
+                    }
+                }
+                Ok(totals)
+            })
+            .expect("un-templated churned job completes")
+    });
+    assert_eq!(
+        report.output,
+        closed_form(14),
+        "raw-submit recovery lost post-checkpoint iterations"
+    );
+    // Purely per-task: nothing was ever recorded, and the recovery replayed
+    // the logged submit stream controller-side.
+    assert_eq!(report.controller.controller_templates_installed, 0);
+    assert_eq!(report.controller.failures_handled, 1);
+    assert!(
+        report.controller.instantiations_replayed >= 1,
+        "expected the submit window to replay, got {}",
+        report.controller.instantiations_replayed
+    );
 }

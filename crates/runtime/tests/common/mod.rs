@@ -1,0 +1,27 @@
+//! Shared harness for the integration suites.
+
+use std::time::Duration;
+
+/// Hard per-test timeout: the body runs in its own thread; if it has not
+/// finished in `limit`, the test fails immediately instead of hanging the
+/// suite (and CI) on a wedged recovery.
+pub fn with_timeout<T: Send + 'static>(
+    name: &str,
+    limit: Duration,
+    body: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            let _ = tx.send(body());
+        })
+        .expect("spawn test body");
+    match rx.recv_timeout(limit) {
+        Ok(value) => {
+            thread.join().expect("test body panicked");
+            value
+        }
+        Err(_) => panic!("{name} did not finish within {limit:?} (wedged recovery?)"),
+    }
+}

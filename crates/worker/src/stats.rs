@@ -50,6 +50,9 @@ impl WorkerStats {
 
     /// Records a failure message (keeps at most 64).
     pub fn record_failure(&mut self, message: String) {
+        if nimbus_core::debug_recovery() {
+            eprintln!("[worker-failure] {message}");
+        }
         if self.failures.len() < 64 {
             self.failures.push(message);
         }

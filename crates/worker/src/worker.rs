@@ -1,17 +1,20 @@
 //! The worker event loop.
 //!
-//! A worker owns a command queue, a data store, a template cache, and an
-//! executor. It receives control messages from the controller and data
-//! transfers from peer workers, locally resolves dependencies, executes
-//! runnable commands, and reports completions back to the controller in
-//! batches.
+//! A worker serves many concurrent jobs: it keeps one isolated runtime —
+//! command queue, data store, template cache — **per job**, so two jobs'
+//! physical object identifiers, command identifiers, and transfer
+//! identifiers can never collide even though each controller-side job issues
+//! them from its own counters. Control messages and data transfers arrive
+//! tagged with their [`JobId`] and are routed to the owning runtime; ready
+//! commands are executed round-robin across jobs so one busy job cannot
+//! starve another on a shared worker.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use nimbus_core::appdata::AppData;
-use nimbus_core::ids::{CommandId, WorkerId};
+use nimbus_core::ids::{CommandId, JobId, WorkerId};
 use nimbus_core::template::cache::WorkerTemplateCache;
 use nimbus_core::{Command, CommandKind};
 use nimbus_net::{
@@ -68,21 +71,56 @@ impl WorkerConfig {
     }
 }
 
+/// Upper bound on retained drop tombstones (see `Worker::dropped_jobs`).
+const MAX_TOMBSTONES: usize = 65_536;
+
+/// One job's isolated execution state on a worker. Everything a command can
+/// touch lives here, so jobs sharing the worker cannot observe each other.
+struct JobRuntime {
+    job: JobId,
+    store: DataStore,
+    queue: CommandQueue,
+    templates: WorkerTemplateCache,
+    completed: Vec<CommandId>,
+    compute_micros: u64,
+}
+
+impl JobRuntime {
+    fn new(job: JobId) -> Self {
+        Self {
+            job,
+            store: DataStore::new(),
+            queue: CommandQueue::new(),
+            templates: WorkerTemplateCache::new(),
+            completed: Vec::new(),
+            compute_micros: 0,
+        }
+    }
+}
+
 /// A Nimbus worker node, generic over the transport connecting it to the
 /// cluster (in-process [`Endpoint`] by default, or a TCP endpoint).
 pub struct Worker<E: TransportEndpoint = Endpoint> {
     id: WorkerId,
     endpoint: E,
-    store: DataStore,
-    queue: CommandQueue,
-    templates: WorkerTemplateCache,
+    /// Per-job runtimes, in admission order. Jobs are few per worker, so a
+    /// linear scan beats a hash map on the hot path.
+    jobs: Vec<JobRuntime>,
+    /// Jobs whose `DropJob` already arrived. Tombstones keep a straggler —
+    /// an in-flight data transfer or a stale redelivered batch racing the
+    /// drop — from silently resurrecting an empty runtime that nothing
+    /// would ever release again. Bounded: past [`MAX_TOMBSTONES`] the
+    /// oldest (lowest, since the controller issues job ids monotonically)
+    /// are evicted — stragglers arrive within moments of the drop, so an
+    /// ancient tombstone protects nothing.
+    dropped_jobs: std::collections::BTreeSet<JobId>,
+    /// Round-robin cursor over `jobs` for ready-command execution.
+    rr: usize,
     executor: Executor,
     factories: Arc<DataFactoryRegistry>,
     vault: Arc<ObjectVault>,
     stats: WorkerStats,
     completion_batch: usize,
-    completed: Vec<CommandId>,
-    compute_micros: u64,
     running: bool,
     kill_switch: Option<Arc<AtomicBool>>,
     killed: bool,
@@ -96,16 +134,14 @@ impl<E: TransportEndpoint> Worker<E> {
         Self {
             id: config.id,
             endpoint,
-            store: DataStore::new(),
-            queue: CommandQueue::new(),
-            templates: WorkerTemplateCache::new(),
+            jobs: Vec::new(),
+            dropped_jobs: std::collections::BTreeSet::new(),
+            rr: 0,
             executor,
             factories: config.factories,
             vault: config.vault,
             stats: WorkerStats::new(),
             completion_batch: config.completion_batch.max(1),
-            completed: Vec::new(),
-            compute_micros: 0,
             running: true,
             kill_switch: config.kill_switch,
             killed: false,
@@ -122,14 +158,37 @@ impl<E: TransportEndpoint> Worker<E> {
         &self.stats
     }
 
+    /// Number of jobs with live runtimes on this worker.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The runtime of `job`, created on first contact. Returns `None` for a
+    /// job whose `DropJob` already arrived: its messages are stragglers and
+    /// must not re-create state.
+    fn runtime(&mut self, job: JobId) -> Option<&mut JobRuntime> {
+        if self.dropped_jobs.contains(&job) {
+            return None;
+        }
+        if let Some(i) = self.jobs.iter().position(|j| j.job == job) {
+            return Some(&mut self.jobs[i]);
+        }
+        self.jobs.push(JobRuntime::new(job));
+        Some(self.jobs.last_mut().expect("just pushed"))
+    }
+
+    fn runtime_index(&self, job: JobId) -> Option<usize> {
+        self.jobs.iter().position(|j| j.job == job)
+    }
+
     /// Runs until a `Shutdown` message arrives. Returns the final statistics.
     ///
     /// The first act of a running worker is to `Register` with the
     /// controller: for workers of the initial allocation this is an
     /// idempotent hello, while a restarted or late-added worker uses it to
     /// open the rejoin handshake (the controller answers with
-    /// `RejoinAccepted`, reinstalls the worker's patched templates, and
-    /// migrates partitions to it through template edits).
+    /// `RejoinAccepted`, reinstalls the worker's patched templates per job,
+    /// and migrates partitions to it through template edits).
     pub fn run(mut self) -> WorkerStats {
         // Not routed through `send_to_controller`: on the in-process fabric
         // a worker thread may start before the controller registers its
@@ -149,7 +208,7 @@ impl<E: TransportEndpoint> Worker<E> {
             return self.stats;
         }
         // Final flush so the controller sees everything.
-        self.flush_completions(true);
+        self.flush_all_completions(true);
         self.stats
     }
 
@@ -164,7 +223,7 @@ impl<E: TransportEndpoint> Worker<E> {
                 return;
             }
         }
-        if self.queue.ready_len() == 0 {
+        if !self.jobs.iter().any(|j| j.queue.ready_len() > 0) {
             match self.endpoint.recv_timeout(idle_wait) {
                 Ok(envelope) => self.handle(envelope),
                 Err(nimbus_net::NetError::Timeout) => {}
@@ -178,18 +237,34 @@ impl<E: TransportEndpoint> Worker<E> {
         while let Ok(envelope) = self.endpoint.try_recv() {
             self.handle(envelope);
         }
-        // Execute a bounded burst of ready commands, then yield back to
-        // message processing so data transfers keep flowing.
+        // Execute a bounded burst of ready commands — rotating across jobs so
+        // a shared worker advances every job — then yield back to message
+        // processing so data transfers keep flowing.
         let mut executed = 0usize;
         while executed < 64 {
-            let Some(command) = self.queue.pop_ready() else {
+            let Some(job_index) = self.next_ready_job() else {
                 break;
             };
-            self.execute(command);
+            let command = self.jobs[job_index].queue.pop_ready().expect("has ready");
+            self.execute(job_index, command);
             executed += 1;
         }
-        let idle = self.queue.is_idle();
-        self.flush_completions(idle);
+        let idle = self.jobs.iter().all(|j| j.queue.is_idle());
+        self.flush_all_completions(idle);
+    }
+
+    /// Picks the next job with a runnable command, continuing round-robin
+    /// from where the previous pick left off.
+    fn next_ready_job(&mut self) -> Option<usize> {
+        let n = self.jobs.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if self.jobs[i].queue.ready_len() > 0 {
+                self.rr = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
     }
 
     fn handle(&mut self, envelope: Envelope) {
@@ -202,8 +277,9 @@ impl<E: TransportEndpoint> Worker<E> {
                 self.running = false;
             }
             Message::Transport(TransportEvent::PeerDisconnected(_)) => {
-                // A peer worker vanished: the controller notices through its
-                // own connection and drives recovery; nothing to do locally.
+                // A peer worker (or one driver of many) vanished: the
+                // controller notices through its own connection and drives
+                // recovery; nothing to do locally.
             }
             Message::Transport(TransportEvent::PeerReconnected(_)) => {
                 // A peer (or the controller) came back; data transfers to it
@@ -221,21 +297,26 @@ impl<E: TransportEndpoint> Worker<E> {
 
     fn handle_control(&mut self, msg: ControllerToWorker) {
         match msg {
-            ControllerToWorker::ExecuteCommands { commands } => {
-                self.stats.duplicate_commands_ignored += self.queue.add_commands(commands);
+            ControllerToWorker::ExecuteCommands { job, commands } => {
+                let Some(rt) = self.runtime(job) else { return };
+                let ignored = rt.queue.add_commands(commands);
+                self.stats.duplicate_commands_ignored += ignored;
             }
-            ControllerToWorker::InstallTemplate { template } => {
+            ControllerToWorker::InstallTemplate { job, template } => {
                 let id = template.id;
-                self.templates.install(template);
+                let Some(rt) = self.runtime(job) else { return };
+                rt.templates.install(template);
                 self.stats.templates_installed += 1;
                 self.send_to_controller(WorkerToController::TemplateInstalled {
+                    job,
                     worker: self.id,
                     template: id,
                 });
             }
-            ControllerToWorker::InstantiateTemplate(inst) => {
+            ControllerToWorker::InstantiateTemplate { job, inst } => {
+                let Some(rt) = self.runtime(job) else { return };
                 let result: WorkerResult<Vec<Command>> = (|| {
-                    let template = self.templates.get_mut(inst.template)?;
+                    let template = rt.templates.get_mut(inst.template)?;
                     if !inst.edits.is_empty() {
                         template.apply_edits(&inst.edits)?;
                     }
@@ -243,9 +324,10 @@ impl<E: TransportEndpoint> Worker<E> {
                 })();
                 match result {
                     Ok(commands) => {
+                        let ignored = rt.queue.add_commands(commands);
                         self.stats.template_instantiations += 1;
                         self.stats.edits_applied += inst.edits.len() as u64;
-                        self.stats.duplicate_commands_ignored += self.queue.add_commands(commands);
+                        self.stats.duplicate_commands_ignored += ignored;
                     }
                     Err(e) => self.stats.record_failure(format!(
                         "instantiation of template {} failed: {e}",
@@ -253,37 +335,69 @@ impl<E: TransportEndpoint> Worker<E> {
                     )),
                 }
             }
-            ControllerToWorker::FetchValue { object } => {
-                let value = self
+            ControllerToWorker::FetchValue { job, object } => {
+                let Some(rt) = self.runtime(job) else { return };
+                let value = rt
                     .store
                     .get(object)
                     .ok()
                     .and_then(extract_scalar)
                     .unwrap_or(f64::NAN);
                 self.send_to_controller(WorkerToController::ValueFetched {
+                    job,
                     worker: self.id,
                     object,
                     value,
                 });
             }
-            ControllerToWorker::Halt => {
-                self.queue.flush();
-                self.completed.clear();
-                self.compute_micros = 0;
+            ControllerToWorker::Halt { job } => {
+                // Recovery of ONE job: flush that job's queue and pending
+                // completions; every other job on this worker keeps running
+                // untouched. A worker that never hosted the job still
+                // acknowledges (the controller halts every survivor of the
+                // shared allocation and awaits each acknowledgement) but
+                // does not create a runtime for it.
+                if let Some(i) = self.runtime_index(job) {
+                    let rt = &mut self.jobs[i];
+                    rt.queue.flush();
+                    rt.completed.clear();
+                    rt.compute_micros = 0;
+                }
                 // Recovery may be readmitting a restarted peer: an old
                 // outbound connection to its previous incarnation would
                 // swallow post-recovery data transfers into a half-open
                 // socket. Re-dial worker peers lazily instead.
                 self.endpoint.reset_worker_peers();
-                self.send_to_controller(WorkerToController::Halted { worker: self.id });
+                self.send_to_controller(WorkerToController::Halted {
+                    job,
+                    worker: self.id,
+                });
             }
-            ControllerToWorker::RejoinAccepted { versions } => {
+            ControllerToWorker::DropJob { job } => {
+                // The job ended: release its runtime wholesale (objects,
+                // queue, templates) and tombstone the id so in-flight
+                // stragglers cannot resurrect it. Unreported completions
+                // die with it — the controller has already forgotten the
+                // job.
+                if let Some(i) = self.runtime_index(job) {
+                    self.jobs.remove(i);
+                    if self.rr > i {
+                        self.rr -= 1;
+                    }
+                }
+                self.dropped_jobs.insert(job);
+                while self.dropped_jobs.len() > MAX_TOMBSTONES {
+                    self.dropped_jobs.pop_first();
+                }
+            }
+            ControllerToWorker::RejoinAccepted { jobs } => {
                 // The handshake reply: the controller admitted this worker
-                // and shared its current version map. The worker keeps no
-                // version bookkeeping of its own (the controller owns data
-                // placement), so this is acknowledgement plus observability.
+                // and shared its current per-job version maps. The worker
+                // keeps no version bookkeeping of its own (the controller
+                // owns data placement), so this is acknowledgement plus
+                // observability.
                 self.stats.rejoin_acks += 1;
-                let _ = versions;
+                let _ = jobs;
             }
             ControllerToWorker::Shutdown => {
                 self.running = false;
@@ -293,44 +407,52 @@ impl<E: TransportEndpoint> Worker<E> {
 
     fn handle_data(&mut self, transfer: DataTransfer) {
         self.stats.bytes_received += transfer.payload.size() as u64;
-        self.queue.data_arrived(transfer.transfer, transfer.payload);
+        // A transfer may legitimately precede its job's first control
+        // message (the fabric's channels are independent), so an unknown
+        // job gets a runtime to buffer into — but a *dropped* job's
+        // straggler is discarded.
+        if let Some(rt) = self.runtime(transfer.job) {
+            rt.queue.data_arrived(transfer.transfer, transfer.payload);
+        }
     }
 
-    fn execute(&mut self, command: Command) {
+    fn execute(&mut self, job_index: usize, command: Command) {
         let id = command.id;
-        if let Err(e) = self.execute_inner(&command) {
+        if let Err(e) = self.execute_inner(job_index, &command) {
             self.stats
                 .record_failure(format!("command {id} ({}) failed: {e}", command.kind.tag()));
         }
         self.stats.commands_executed += 1;
-        self.queue.complete(id);
-        self.completed.push(id);
-        if self.completed.len() >= self.completion_batch {
-            self.flush_completions(false);
+        let rt = &mut self.jobs[job_index];
+        rt.queue.complete(id);
+        rt.completed.push(id);
+        if rt.completed.len() >= self.completion_batch {
+            self.flush_completions(job_index, false);
         }
     }
 
-    fn execute_inner(&mut self, command: &Command) -> WorkerResult<()> {
+    fn execute_inner(&mut self, job_index: usize, command: &Command) -> WorkerResult<()> {
+        let rt = &mut self.jobs[job_index];
         match &command.kind {
             CommandKind::CreateData { object, logical } => {
-                if !self.store.contains(*object) {
+                if !rt.store.contains(*object) {
                     let data = self.factories.create(*logical)?;
-                    self.store.create(*object, *logical, data);
+                    rt.store.create(*object, *logical, data);
                 }
                 self.stats.creates += 1;
                 Ok(())
             }
             CommandKind::DestroyData { object } => {
-                self.store.destroy(*object)?;
+                rt.store.destroy(*object)?;
                 Ok(())
             }
             CommandKind::LocalCopy { from, to } => {
-                let data = self.store.clone_data(*from)?;
-                if self.store.contains(*to) {
-                    self.store.replace(*to, data)?;
+                let data = rt.store.clone_data(*from)?;
+                if rt.store.contains(*to) {
+                    rt.store.replace(*to, data)?;
                 } else {
-                    let logical = self.store.logical_of(*from)?;
-                    self.store.create(*to, logical, data);
+                    let logical = rt.store.logical_of(*from)?;
+                    rt.store.create(*to, logical, data);
                 }
                 self.stats.local_copies += 1;
                 Ok(())
@@ -340,14 +462,16 @@ impl<E: TransportEndpoint> Worker<E> {
                 to_worker,
                 transfer,
             } => {
-                let data = self.store.clone_data(*from)?;
+                let data = rt.store.clone_data(*from)?;
                 let payload = DataPayload::Object(data);
                 self.stats.bytes_sent += payload.size() as u64;
                 self.stats.sends += 1;
+                let job = rt.job;
                 self.endpoint
                     .send(
                         NodeId::Worker(*to_worker),
                         Message::Data(DataTransfer {
+                            job,
                             transfer: *transfer,
                             from_worker: self.id,
                             payload,
@@ -356,22 +480,22 @@ impl<E: TransportEndpoint> Worker<E> {
                     .map_err(|e| WorkerError::Net(e.to_string()))
             }
             CommandKind::ReceiveCopy { to, transfer, .. } => {
-                let payload = self
+                let payload = rt
                     .queue
                     .take_payload(*transfer)
                     .ok_or(WorkerError::MissingTransfer(*transfer))?;
-                if !self.store.contains(*to) {
+                if !rt.store.contains(*to) {
                     // The controller creates objects before copying into them.
                     return Err(WorkerError::UnknownObject(*to));
                 }
                 match payload {
                     // In-process transfer: the object itself was handed over.
-                    DataPayload::Object(data) => self.store.replace(*to, data)?,
+                    DataPayload::Object(data) => rt.store.replace(*to, data)?,
                     // Cross-process transfer: decode the serialized contents
                     // into the already-created destination object, whose
                     // concrete type knows its own wire format.
                     DataPayload::Bytes(bytes) => {
-                        self.store
+                        rt.store
                             .get_mut(*to)?
                             .decode_wire(bytes.as_slice())
                             .map_err(WorkerError::Net)?;
@@ -382,14 +506,14 @@ impl<E: TransportEndpoint> Worker<E> {
             }
             CommandKind::LoadData { object, key } => {
                 if let Some(data) = self.vault.get(key) {
-                    self.store.replace(*object, data)?;
+                    rt.store.replace(*object, data)?;
                 } else if let Some(bytes) = self.vault.get_bytes(key) {
                     // Saved by another (possibly dead) process into the
                     // shared file-backed vault: decode the wire bytes into
                     // the already-created destination object, whose concrete
                     // type knows its own format — the same path rejoining
                     // workers use for migrated partitions.
-                    self.store
+                    rt.store
                         .get_mut(*object)?
                         .decode_wire(&bytes)
                         .map_err(WorkerError::Net)?;
@@ -400,31 +524,40 @@ impl<E: TransportEndpoint> Worker<E> {
                 Ok(())
             }
             CommandKind::SaveData { object, key } => {
-                let data = self.store.clone_data(*object)?;
+                let data = rt.store.clone_data(*object)?;
                 self.vault.put(key, data);
                 self.stats.saves += 1;
                 Ok(())
             }
             CommandKind::RunTask { .. } => {
-                let elapsed = self.executor.run_task(command, &mut self.store)?;
+                let elapsed = self.executor.run_task(command, &mut rt.store)?;
                 self.stats.tasks_executed += 1;
                 self.stats.compute_time += elapsed;
-                self.compute_micros += elapsed.as_micros() as u64;
+                rt.compute_micros += elapsed.as_micros() as u64;
                 Ok(())
             }
         }
     }
 
-    fn flush_completions(&mut self, force: bool) {
-        if self.completed.is_empty() {
+    fn flush_all_completions(&mut self, force: bool) {
+        for i in 0..self.jobs.len() {
+            self.flush_completions(i, force);
+        }
+    }
+
+    fn flush_completions(&mut self, job_index: usize, force: bool) {
+        let rt = &mut self.jobs[job_index];
+        if rt.completed.is_empty() {
             return;
         }
-        if !force && self.completed.len() < self.completion_batch {
+        if !force && rt.completed.len() < self.completion_batch {
             return;
         }
-        let commands = std::mem::take(&mut self.completed);
-        let compute_micros = std::mem::take(&mut self.compute_micros);
+        let job = rt.job;
+        let commands = std::mem::take(&mut rt.completed);
+        let compute_micros = std::mem::take(&mut rt.compute_micros);
         self.send_to_controller(WorkerToController::CommandsCompleted {
+            job,
             worker: self.id,
             commands,
             compute_micros,
@@ -460,6 +593,9 @@ mod tests {
     use nimbus_core::template::{SkeletonEntry, SkeletonKind, WorkerInstantiation, WorkerTemplate};
     use nimbus_core::TaskParams;
     use nimbus_net::{LatencyModel, Network};
+
+    const JOB: JobId = JobId(1);
+    const OTHER_JOB: JobId = JobId(2);
 
     fn lp(o: u64, p: u32) -> LogicalPartition {
         LogicalPartition::new(LogicalObjectId(o), PartitionIndex(p))
@@ -512,10 +648,26 @@ mod tests {
         .with_before(before.into_iter().map(CommandId).collect())
     }
 
+    fn exec(job: JobId, commands: Vec<Command>) -> Message {
+        Message::ToWorker(ControllerToWorker::ExecuteCommands { job, commands })
+    }
+
     fn drive(worker: &mut Worker, steps: usize) {
         for _ in 0..steps {
             worker.step(Duration::from_millis(1));
         }
+    }
+
+    fn store_value(worker: &Worker, job: JobId, object: u64) -> Vec<f64> {
+        let rt = worker
+            .jobs
+            .iter()
+            .find(|j| j.job == job)
+            .expect("job runtime exists");
+        downcast_ref::<VecF64>(rt.store.get(PhysicalObjectId(object)).unwrap())
+            .unwrap()
+            .values
+            .clone()
     }
 
     #[test]
@@ -524,25 +676,210 @@ mod tests {
         controller
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::ExecuteCommands {
-                    commands: vec![create_cmd(1, 10, 1, 0), task_cmd(2, 10, vec![1])],
-                }),
+                exec(JOB, vec![create_cmd(1, 10, 1, 0), task_cmd(2, 10, vec![1])]),
             )
             .unwrap();
         drive(&mut worker, 4);
         assert_eq!(worker.stats().tasks_executed, 1);
         assert_eq!(worker.stats().creates, 1);
-        // The controller got a completion report covering both commands.
+        // The controller got a completion report covering both commands,
+        // tagged with the owning job.
         let mut completed = Vec::new();
         while let Ok(env) = controller.try_recv() {
-            if let Message::FromWorker(WorkerToController::CommandsCompleted { commands, .. }) =
-                env.message
+            if let Message::FromWorker(WorkerToController::CommandsCompleted {
+                job,
+                commands,
+                ..
+            }) = env.message
             {
+                assert_eq!(job, JOB);
                 completed.extend(commands);
             }
         }
         assert!(completed.contains(&CommandId(1)));
         assert!(completed.contains(&CommandId(2)));
+    }
+
+    /// Two jobs using the SAME physical object and command identifiers on
+    /// one worker never collide: each job's commands run against its own
+    /// store, and each job's completions are reported under its own id.
+    #[test]
+    fn jobs_are_isolated_on_one_worker() {
+        let (_net, controller, mut worker) = setup();
+        // Both jobs use object id 10 and command ids 1/2 — deliberately
+        // identical — but job B runs the add twice.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(JOB, vec![create_cmd(1, 10, 1, 0), task_cmd(2, 10, vec![1])]),
+            )
+            .unwrap();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(
+                    OTHER_JOB,
+                    vec![
+                        create_cmd(1, 10, 1, 0),
+                        task_cmd(2, 10, vec![1]),
+                        task_cmd(3, 10, vec![2]),
+                    ],
+                ),
+            )
+            .unwrap();
+        drive(&mut worker, 6);
+        assert_eq!(worker.job_count(), 2);
+        assert_eq!(store_value(&worker, JOB, 10), vec![1.0, 1.0, 1.0]);
+        assert_eq!(store_value(&worker, OTHER_JOB, 10), vec![2.0, 2.0, 2.0]);
+        // Completions arrive per job; job A's command 2 and job B's command 2
+        // are different commands.
+        let mut per_job = std::collections::HashMap::new();
+        while let Ok(env) = controller.try_recv() {
+            if let Message::FromWorker(WorkerToController::CommandsCompleted {
+                job,
+                commands,
+                ..
+            }) = env.message
+            {
+                per_job.entry(job).or_insert_with(Vec::new).extend(commands);
+            }
+        }
+        assert_eq!(per_job.get(&JOB).map(Vec::len), Some(2));
+        assert_eq!(per_job.get(&OTHER_JOB).map(Vec::len), Some(3));
+    }
+
+    /// Halting one job flushes only that job's queue; the other job's
+    /// blocked work survives and completes.
+    #[test]
+    fn halt_is_scoped_to_one_job() {
+        let (_net, controller, mut worker) = setup();
+        // Job A: blocked forever on a missing dependency.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(JOB, vec![task_cmd(5, 99, vec![4])]),
+            )
+            .unwrap();
+        // Job B: object created, its add blocked on a command (id 2) that
+        // will only arrive after the halt.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(
+                    OTHER_JOB,
+                    vec![create_cmd(1, 10, 1, 0), task_cmd(3, 10, vec![1, 2])],
+                ),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::Halt { job: JOB }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        let mut halted_job = None;
+        while let Ok(env) = controller.try_recv() {
+            if let Message::FromWorker(WorkerToController::Halted { job, .. }) = env.message {
+                halted_job = Some(job);
+            }
+        }
+        assert_eq!(halted_job, Some(JOB));
+        // Job B's pending command is still there and completes once its
+        // remaining dependency (a command on an unrelated object) lands.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(OTHER_JOB, vec![create_cmd(2, 20, 2, 0)]),
+            )
+            .unwrap();
+        drive(&mut worker, 4);
+        assert_eq!(store_value(&worker, OTHER_JOB, 10), vec![1.0, 1.0, 1.0]);
+    }
+
+    /// Dropping a job releases its runtime (store, queue, templates) without
+    /// touching other jobs.
+    #[test]
+    fn drop_job_releases_runtime() {
+        let (_net, controller, mut worker) = setup();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(JOB, vec![create_cmd(1, 10, 1, 0)]),
+            )
+            .unwrap();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(OTHER_JOB, vec![create_cmd(1, 10, 1, 0)]),
+            )
+            .unwrap();
+        drive(&mut worker, 4);
+        assert_eq!(worker.job_count(), 2);
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::DropJob { job: JOB }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        assert_eq!(worker.job_count(), 1);
+        assert_eq!(store_value(&worker, OTHER_JOB, 10), vec![0.0, 0.0, 0.0]);
+    }
+
+    /// A dropped job is tombstoned: stragglers racing the `DropJob` — a
+    /// late data transfer, a stale redelivered batch — are discarded
+    /// instead of resurrecting an empty runtime nothing would ever release.
+    #[test]
+    fn dropped_job_stragglers_do_not_resurrect_the_runtime() {
+        let (net, controller, mut worker) = setup();
+        let peer = net.register(NodeId::Worker(WorkerId(1)));
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(JOB, vec![create_cmd(1, 10, 1, 0)]),
+            )
+            .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.job_count(), 1);
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                Message::ToWorker(ControllerToWorker::DropJob { job: JOB }),
+            )
+            .unwrap();
+        drive(&mut worker, 2);
+        assert_eq!(worker.job_count(), 0);
+        // Stragglers: a data transfer and a redelivered batch for the
+        // dropped job.
+        peer.send(
+            NodeId::Worker(WorkerId(0)),
+            Message::Data(DataTransfer {
+                job: JOB,
+                transfer: TransferId(9),
+                from_worker: WorkerId(1),
+                payload: DataPayload::Object(Box::new(VecF64::new(vec![1.0]))),
+            }),
+        )
+        .unwrap();
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(JOB, vec![create_cmd(2, 11, 1, 1)]),
+            )
+            .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.job_count(), 0, "straggler resurrected the job");
+        // A different job still works normally.
+        controller
+            .send(
+                NodeId::Worker(WorkerId(0)),
+                exec(OTHER_JOB, vec![create_cmd(1, 10, 1, 0)]),
+            )
+            .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.job_count(), 1);
     }
 
     #[test]
@@ -566,7 +903,7 @@ mod tests {
         controller
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::InstallTemplate { template }),
+                Message::ToWorker(ControllerToWorker::InstallTemplate { job: JOB, template }),
             )
             .unwrap();
         drive(&mut worker, 2);
@@ -575,8 +912,9 @@ mod tests {
         controller
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::InstantiateTemplate(
-                    WorkerInstantiation {
+                Message::ToWorker(ControllerToWorker::InstantiateTemplate {
+                    job: JOB,
+                    inst: WorkerInstantiation {
                         template: TemplateId(5),
                         base_command_id: 100,
                         base_transfer_id: 0,
@@ -584,7 +922,7 @@ mod tests {
                         params: vec![TaskParams::empty()],
                         edits: vec![],
                     },
-                )),
+                }),
             )
             .unwrap();
         drive(&mut worker, 4);
@@ -600,8 +938,9 @@ mod tests {
         controller
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::ExecuteCommands {
-                    commands: vec![
+                exec(
+                    JOB,
+                    vec![
                         create_cmd(1, 10, 1, 0),
                         Command::new(
                             CommandId(2),
@@ -613,14 +952,29 @@ mod tests {
                         )
                         .with_before(vec![CommandId(1)]),
                     ],
-                }),
+                ),
             )
             .unwrap();
         drive(&mut worker, 3);
         assert_eq!(worker.stats().receives, 0, "blocked on data");
+        // A transfer with the same id but a DIFFERENT job must not satisfy
+        // job A's receive.
         peer.send(
             NodeId::Worker(WorkerId(0)),
             Message::Data(DataTransfer {
+                job: OTHER_JOB,
+                transfer: TransferId(7),
+                from_worker: WorkerId(1),
+                payload: DataPayload::Object(Box::new(VecF64::new(vec![5.0, 5.0, 5.0]))),
+            }),
+        )
+        .unwrap();
+        drive(&mut worker, 3);
+        assert_eq!(worker.stats().receives, 0, "foreign job's transfer held");
+        peer.send(
+            NodeId::Worker(WorkerId(0)),
+            Message::Data(DataTransfer {
+                job: JOB,
                 transfer: TransferId(7),
                 from_worker: WorkerId(1),
                 payload: DataPayload::Object(Box::new(VecF64::new(vec![9.0, 9.0, 9.0]))),
@@ -629,8 +983,7 @@ mod tests {
         .unwrap();
         drive(&mut worker, 3);
         assert_eq!(worker.stats().receives, 1);
-        let v = downcast_ref::<VecF64>(worker.store.get(PhysicalObjectId(10)).unwrap()).unwrap();
-        assert_eq!(v.values, vec![9.0, 9.0, 9.0]);
+        assert_eq!(store_value(&worker, JOB, 10), vec![9.0, 9.0, 9.0]);
     }
 
     #[test]
@@ -639,9 +992,7 @@ mod tests {
         controller
             .send(
                 NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::ExecuteCommands {
-                    commands: vec![create_cmd(1, 20, 2, 0)],
-                }),
+                exec(JOB, vec![create_cmd(1, 20, 2, 0)]),
             )
             .unwrap();
         drive(&mut worker, 3);
@@ -649,6 +1000,7 @@ mod tests {
             .send(
                 NodeId::Worker(WorkerId(0)),
                 Message::ToWorker(ControllerToWorker::FetchValue {
+                    job: JOB,
                     object: PhysicalObjectId(20),
                 }),
             )
@@ -656,44 +1008,14 @@ mod tests {
         drive(&mut worker, 2);
         let mut fetched = None;
         while let Ok(env) = controller.try_recv() {
-            if let Message::FromWorker(WorkerToController::ValueFetched { value, .. }) = env.message
+            if let Message::FromWorker(WorkerToController::ValueFetched { job, value, .. }) =
+                env.message
             {
+                assert_eq!(job, JOB);
                 fetched = Some(value);
             }
         }
         assert_eq!(fetched, Some(0.0));
-    }
-
-    #[test]
-    fn halt_flushes_queue_and_acknowledges() {
-        let (_net, controller, mut worker) = setup();
-        controller
-            .send(
-                NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::ExecuteCommands {
-                    commands: vec![task_cmd(5, 99, vec![4])],
-                }),
-            )
-            .unwrap();
-        drive(&mut worker, 2);
-        controller
-            .send(
-                NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::Halt),
-            )
-            .unwrap();
-        drive(&mut worker, 2);
-        let mut halted = false;
-        while let Ok(env) = controller.try_recv() {
-            if matches!(
-                env.message,
-                Message::FromWorker(WorkerToController::Halted { .. })
-            ) {
-                halted = true;
-            }
-        }
-        assert!(halted);
-        assert!(worker.queue.is_idle());
     }
 
     #[test]
@@ -706,7 +1028,7 @@ mod tests {
                 CommandId(3),
                 CommandKind::SaveData {
                     object: PhysicalObjectId(10),
-                    key: "ckpt/10".to_string(),
+                    key: "job1/ckpt/10".to_string(),
                 },
             )
             .with_before(vec![CommandId(2)]),
@@ -715,23 +1037,19 @@ mod tests {
                 CommandId(5),
                 CommandKind::LoadData {
                     object: PhysicalObjectId(10),
-                    key: "ckpt/10".to_string(),
+                    key: "job1/ckpt/10".to_string(),
                 },
             )
             .with_before(vec![CommandId(4)]),
         ];
         controller
-            .send(
-                NodeId::Worker(WorkerId(0)),
-                Message::ToWorker(ControllerToWorker::ExecuteCommands { commands }),
-            )
+            .send(NodeId::Worker(WorkerId(0)), exec(JOB, commands))
             .unwrap();
         drive(&mut worker, 6);
         assert_eq!(worker.stats().saves, 1);
         assert_eq!(worker.stats().loads, 1);
         // After load, the value reverts to the checkpointed state (one add_one applied).
-        let v = downcast_ref::<VecF64>(worker.store.get(PhysicalObjectId(10)).unwrap()).unwrap();
-        assert_eq!(v.values, vec![1.0, 1.0, 1.0]);
+        assert_eq!(store_value(&worker, JOB, 10), vec![1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Multi-job quickstart: one controller, one worker pool, many concurrent
+//! driver sessions.
+//!
+//! Each driver opens its own [`Session`] with `Cluster::connect_driver` —
+//! the controller assigns it a `JobId` through the `OpenJob`/`JobAccepted`
+//! handshake — and from then on everything the driver does (datasets,
+//! stages, templates, fetches, checkpoints) lives in that job's namespace,
+//! fully isolated from the other sessions sharing the cluster. This is the
+//! regime where caching control-plane decisions pays off most: the
+//! controller serves every job's instantiation stream from its templates
+//! while each driver's round-trip stalls are filled with the others' work.
+//!
+//! Run with: `cargo run --release --example multijob`
+
+use nimbus::prelude::*;
+use nimbus_runtime::quickstart::{quickstart_driver, quickstart_setup, PARTITIONS, PARTITION_LEN};
+
+const JOBS: usize = 4;
+const ITERATIONS: u32 = 5;
+
+fn main() {
+    let mut cluster = Cluster::start(ClusterConfig::new(2), quickstart_setup());
+
+    // Open one independent session per driver and run them concurrently.
+    let mut handles = Vec::new();
+    for d in 0..JOBS {
+        let mut session: Session = cluster.connect_driver().expect("open session");
+        handles.push(std::thread::spawn(move || {
+            let job = session.job();
+            let totals = quickstart_driver(&mut session, ITERATIONS).expect("driver runs");
+            session.close().expect("close session");
+            (d, job, totals)
+        }));
+    }
+
+    let expected: Vec<f64> = (1..=ITERATIONS)
+        .map(|i| (i as usize * PARTITIONS as usize * PARTITION_LEN) as f64)
+        .collect();
+    for handle in handles {
+        let (d, job, totals) = handle.join().expect("driver thread");
+        assert_eq!(totals, expected, "driver {d} (job {job}) diverged");
+        println!("driver {d} ran as job {job}: totals {totals:?}");
+    }
+
+    let report = cluster.shutdown_and_join().expect("cluster shuts down");
+    println!(
+        "controller served {} jobs: {} templates recorded, {} instantiations, {} tasks from templates",
+        JOBS,
+        report.controller.controller_templates_installed,
+        report.controller.controller_template_instantiations,
+        report.controller.tasks_from_templates,
+    );
+    assert_eq!(
+        report.controller.controller_templates_installed, JOBS as u64,
+        "each job records its block exactly once"
+    );
+}

@@ -54,7 +54,7 @@ pub use nimbus_worker as worker;
 
 pub use nimbus_driver::{
     AsDataset, Dataset, DatasetHandle, DriverContext, DriverError, DriverResult, ScalarReadable,
-    StageSpec,
+    Session, StageSpec,
 };
 pub use nimbus_runtime::{AppSetup, Cluster, ClusterConfig, ClusterReport};
 
@@ -63,13 +63,14 @@ pub use nimbus_runtime::{AppSetup, Cluster, ClusterConfig, ClusterReport};
 /// staged basic blocks, and read back convergence scalars.
 pub mod prelude {
     pub use nimbus_core::appdata::{downcast_mut, downcast_ref, AppData, Scalar, VecF64};
+    pub use nimbus_core::ids::JobId;
     pub use nimbus_core::ids::{
         FunctionId, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId, WorkerId,
     };
     pub use nimbus_core::TaskParams;
     pub use nimbus_driver::{
         AsDataset, Dataset, DatasetHandle, DriverContext, DriverError, DriverResult,
-        PartitionMapping, ScalarReadable, StageParams, StageSpec,
+        PartitionMapping, ScalarReadable, Session, StageParams, StageSpec,
     };
     pub use nimbus_runtime::{AppSetup, Cluster, ClusterConfig, ClusterReport};
 }
