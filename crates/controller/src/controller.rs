@@ -29,7 +29,7 @@ use nimbus_core::ids::{CheckpointId, JobId, LogicalPartition, TaskId, WorkerId};
 use nimbus_core::lineage::LineageLog;
 use nimbus_core::task::TaskSpec;
 use nimbus_core::template::InstantiationParams;
-use nimbus_core::{Command, CommandKind, ControlPlaneStats};
+use nimbus_core::{Clock, Command, CommandKind, ControlPlaneStats};
 use nimbus_net::{
     ControllerToDriver, ControllerToWorker, DriverMessage, Endpoint, Envelope, JobVersions,
     Message, NetError, NodeId, PartitionVersion, TransportEndpoint, TransportEvent,
@@ -89,6 +89,11 @@ pub struct ControllerConfig {
     /// against. Message contents and per-worker ordering are identical
     /// either way.
     pub batch_sends: bool,
+    /// Where the controller reads "now" for its timeout logic (rejoin-grace
+    /// deadlines). [`Clock::Real`] in production; the deterministic
+    /// simulation harness substitutes a scheduler-driven virtual clock so
+    /// grace expiry races are explored at decision points, not wall time.
+    pub clock: Clock,
 }
 
 impl ControllerConfig {
@@ -101,6 +106,7 @@ impl ControllerConfig {
             checkpoint_every: None,
             rejoin_grace: None,
             batch_sends: true,
+            clock: Clock::Real,
         }
     }
 }
@@ -301,6 +307,8 @@ pub struct Controller<E: TransportEndpoint = Endpoint> {
     held: VecDeque<Envelope>,
     /// How long transport-detected failures wait for a worker to rejoin.
     rejoin_grace: Option<Duration>,
+    /// Source of "now" for rejoin deadlines (virtual under simulation).
+    clock: Clock,
     /// One rejoin deadline per worker currently inside its grace window;
     /// the earliest bounds the blocking receive in the controller loop.
     rejoin_deadlines: Vec<(WorkerId, Instant)>,
@@ -338,6 +346,7 @@ impl<E: TransportEndpoint> Controller<E> {
             deferred: VecDeque::new(),
             held: VecDeque::new(),
             rejoin_grace: config.rejoin_grace,
+            clock: config.clock,
             rejoin_deadlines: Vec::new(),
             had_session: false,
             stats: ControlPlaneStats::new(),
@@ -463,14 +472,17 @@ impl<E: TransportEndpoint> Controller<E> {
             let Some(deadline) = deadline else {
                 return self.endpoint.recv().ok();
             };
-            let now = Instant::now();
+            let now = self.clock.now();
             if now >= deadline {
                 self.expire_due_deadlines(now);
                 continue;
             }
             match self.endpoint.recv_timeout(deadline - now) {
                 Ok(e) => return Some(e),
-                Err(NetError::Timeout) => self.expire_due_deadlines(Instant::now()),
+                Err(NetError::Timeout) => {
+                    let now = self.clock.now();
+                    self.expire_due_deadlines(now);
+                }
                 Err(_) => return None,
             }
         }
@@ -628,7 +640,7 @@ impl<E: TransportEndpoint> Controller<E> {
                 self.note_workers_changed();
                 let grace = self.rejoin_grace;
                 if let Some(g) = grace {
-                    self.rejoin_deadlines.push((w, Instant::now() + g));
+                    self.rejoin_deadlines.push((w, self.clock.now() + g));
                 }
                 for j in 0..self.jobs.len() {
                     if self.jobs[j].done {
@@ -1419,8 +1431,13 @@ impl<E: TransportEndpoint> Controller<E> {
         // every instance resident on it (idempotent on workers that still
         // hold the object) so the reloads, copies, and template entries that
         // follow have real objects to land in. Contents start as factory
-        // defaults; the manifest reload below restores checkpointed values,
-        // and anything stale is refreshed by validation patches before use.
+        // defaults — whatever version the checkpoint recorded for the old
+        // incarnation — so each instance is also marked stale (version 0,
+        // the factory state): the manifest reload below refreshes the ones
+        // it reloads, and validation patches the rest before any template
+        // reads them or updates them in place. Trusting the checkpointed
+        // versions here would make validation skip exactly those patches
+        // and replay on factory zeros.
         let mut commands: Vec<AssignedCommand> = Vec::new();
         for rw in rejoined {
             let resident: Vec<nimbus_core::PhysicalInstance> = job
@@ -1431,6 +1448,10 @@ impl<E: TransportEndpoint> Controller<E> {
                 .copied()
                 .collect();
             for instance in resident {
+                let _ = job
+                    .dm
+                    .instances
+                    .set_version(instance.id, nimbus_core::Version(0));
                 let id = job.ids.command();
                 let create = Command::new(
                     id,

@@ -507,6 +507,25 @@ impl TemplateManager {
             let violated =
                 validate_preconditions(&group.preconditions, &dm.instances, &dm.versions);
             if !violated.is_empty() {
+                // A checkpoint restore rewinds the instance map, but the
+                // template mirror keeps every edit applied since — so a
+                // precondition may name an instance the restored map has
+                // never heard of (created by a migration after the
+                // checkpoint). Re-register it from the precondition's own
+                // metadata, at the factory version: the patch below then
+                // creates and fills it before any entry reads or writes it.
+                // Without this the patch path has no destination to create
+                // (`emit_patch_commands` skips unknown objects) and the copy
+                // lands on a worker that was never told to allocate it.
+                for pre in &violated {
+                    if dm.instances.get(pre.physical).is_none() {
+                        dm.instances.insert(nimbus_core::PhysicalInstance::new(
+                            pre.physical,
+                            pre.logical,
+                            pre.worker,
+                        ));
+                    }
+                }
                 let cached = self.patch_cache.lookup(self.last_executed, group_id);
                 let patch = match cached {
                     Some(p) if patch_covers(&p, &violated, dm) => {
@@ -941,6 +960,21 @@ pub fn build_group(
                 }
             }
         }
+        // Nimbus data objects are mutable: a task write updates the object's
+        // current contents in place, so an object a task writes before any
+        // in-block refresh depends on the block-entry version exactly like a
+        // read does. Copy, load, and receive destinations are full overwrites
+        // and carry no such dependency.
+        if matches!(ac.command.kind, CommandKind::RunTask { .. }) {
+            for obj in &writes {
+                if !build.written.contains(obj) && !precondition_objs.contains(obj) {
+                    if let Some(inst) = dm.instances.get(*obj) {
+                        preconditions.push(Precondition::new(worker, *obj, inst.logical));
+                        precondition_objs.insert(*obj);
+                    }
+                }
+            }
+        }
 
         let next_slot = transfer_slots.len();
         let kind = match &ac.command.kind {
@@ -1178,7 +1212,7 @@ pub fn build_group(
         postconditions.push(*pre);
     }
 
-    let mut per_worker = HashMap::new();
+    let mut per_worker = std::collections::BTreeMap::new();
     for (worker, build) in builds {
         let template =
             WorkerTemplate::new(group_id, controller_template.id, worker, build.entries)?;

@@ -35,6 +35,7 @@
 
 pub mod appdata;
 pub mod checkpoint;
+pub mod clock;
 pub mod command;
 pub mod data;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod template;
 pub mod versioning;
 
 pub use appdata::{downcast_mut, downcast_ref, AppData, Scalar, ScalarReadable, VecF64};
+pub use clock::{Clock, VirtualClock};
 pub use command::{Command, CommandKind};
 pub use data::{DatasetDef, DatasetRegistry, PhysicalInstance};
 pub use error::{CoreError, CoreResult};

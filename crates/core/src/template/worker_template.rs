@@ -11,7 +11,7 @@
 //! exit state, and slot bookkeeping needed for validation, patching, and
 //! version-map updates.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -437,8 +437,10 @@ pub struct WorkerTemplateGroup {
     pub id: TemplateId,
     /// The controller template (basic block) this group realizes.
     pub controller_template: TemplateId,
-    /// Per-worker command skeletons.
-    pub per_worker: HashMap<WorkerId, WorkerTemplate>,
+    /// Per-worker command skeletons. Ordered so that every iteration —
+    /// notably the install fan-out when a recording finishes — emits
+    /// messages in the same worker order on every run.
+    pub per_worker: BTreeMap<WorkerId, WorkerTemplate>,
     /// Objects that must be up to date when the group is instantiated.
     pub preconditions: Vec<Precondition>,
     /// Objects guaranteed to be up to date when the group finishes. Template

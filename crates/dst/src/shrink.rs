@@ -1,0 +1,229 @@
+//! Plan shrinking: delta-debugging a failing [`SchedulePlan`] down to a
+//! minimal reproduction.
+//!
+//! Two phases, both budget-bounded:
+//!
+//! 1. **Faults** — remove chunks of the injected fault list (largest chunks
+//!    first) as long as *some* validation failure survives.
+//! 2. **Chaos** — the failing run reports which decisions' random draws
+//!    actually changed the schedule ([`SimReport::chaotic_effective`]); try
+//!    the fully calm schedule first, then delta-debug that set. Because the
+//!    scheduler draws its stream identically whether or not a decision is
+//!    chaotic, restricting the set never shifts the remaining draws — the
+//!    execution prefix before the first calmed decision is untouched.
+//!
+//! The result is a plan that still fails, usually with a handful of faults
+//! and a few truly load-bearing reorderings — small enough to read, commit,
+//! and replay forever.
+
+use std::collections::BTreeSet;
+
+use crate::harness::{run_plan, SimReport};
+use crate::plan::SchedulePlan;
+use crate::scenario::Scenario;
+use crate::trace::SimTrace;
+
+/// A minimized failing plan, with the failure it reproduces.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The minimized plan (same seed as the input).
+    pub plan: SchedulePlan,
+    /// The validation failure the minimized plan reproduces.
+    pub failure: String,
+    /// The trace of the minimized plan's failing run.
+    pub trace: SimTrace,
+    /// How many simulated runs the shrink spent.
+    pub runs: usize,
+}
+
+struct Checker<'a> {
+    scenario: &'a Scenario,
+    runs: usize,
+    budget: usize,
+}
+
+struct Failure {
+    message: String,
+    trace: SimTrace,
+    effective: BTreeSet<u64>,
+}
+
+impl Checker<'_> {
+    /// Runs a candidate; `Some` iff it still fails validation (any failure
+    /// counts — shrinking may legitimately shift the failure mode).
+    fn fails(&mut self, candidate: &SchedulePlan) -> Option<Failure> {
+        self.runs += 1;
+        let report: SimReport = run_plan(self.scenario, candidate);
+        match self.scenario.validate(candidate, &report) {
+            Ok(()) => None,
+            Err(message) => Some(Failure {
+                message,
+                trace: report.trace,
+                effective: report.chaotic_effective,
+            }),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.runs >= self.budget
+    }
+}
+
+/// One bounded delta-debugging pass over `items`: drop contiguous chunks
+/// (largest first, halving) as long as `keep_failing` confirms the reduced
+/// list still reproduces the failure. `keep_failing` returns `None` when the
+/// run budget is exhausted; the best reduction so far is returned as-is.
+fn ddmin<T: Clone>(
+    mut items: Vec<T>,
+    start_chunk: usize,
+    mut keep_failing: impl FnMut(&[T]) -> Option<bool>,
+) -> Vec<T> {
+    let mut chunk = start_chunk.min(items.len());
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < items.len() {
+            let mut candidate = items.clone();
+            let end = (start + chunk).min(candidate.len());
+            candidate.drain(start..end);
+            match keep_failing(&candidate) {
+                None => return items,
+                // Same position now holds the next chunk; don't advance.
+                Some(true) => items = candidate,
+                Some(false) => start += chunk,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    items
+}
+
+/// Minimizes a failing plan. Returns `None` if the input plan does not
+/// actually fail (nothing to shrink). `budget` caps the total number of
+/// simulated runs spent (the input confirmation run included).
+pub fn shrink(scenario: &Scenario, plan: &SchedulePlan, budget: usize) -> Option<ShrinkResult> {
+    let mut checker = Checker {
+        scenario,
+        runs: 0,
+        budget,
+    };
+    let mut best = plan.clone();
+    let mut failure = checker.fails(&best)?;
+
+    // Phase 1: drop fault chunks, largest first.
+    let faults = best.faults.clone();
+    let start_chunk = faults.len();
+    let kept_faults = ddmin(faults, start_chunk, |candidate_faults| {
+        if checker.exhausted() {
+            return None;
+        }
+        let candidate = SchedulePlan {
+            faults: candidate_faults.to_vec(),
+            ..best.clone()
+        };
+        match checker.fails(&candidate) {
+            Some(f) => {
+                failure = f;
+                Some(true)
+            }
+            None => Some(false),
+        }
+    });
+    best.faults = kept_faults;
+
+    // Phase 2: calm the schedule down to the load-bearing reorderings.
+    if best.chaos_at.is_none() && !checker.exhausted() {
+        let calm = SchedulePlan {
+            chaos_at: Some(BTreeSet::new()),
+            ..best.clone()
+        };
+        if let Some(f) = checker.fails(&calm) {
+            best = calm;
+            failure = f;
+        } else {
+            let effective: Vec<u64> = failure.effective.iter().copied().collect();
+            let start_chunk = effective.len().max(1).div_ceil(2);
+            let kept = ddmin(effective, start_chunk, |candidate_set| {
+                if checker.exhausted() {
+                    return None;
+                }
+                let candidate = SchedulePlan {
+                    chaos_at: Some(candidate_set.iter().copied().collect()),
+                    ..best.clone()
+                };
+                match checker.fails(&candidate) {
+                    Some(f) => {
+                        failure = f;
+                        Some(true)
+                    }
+                    None => Some(false),
+                }
+            });
+            best = SchedulePlan {
+                chaos_at: Some(kept.into_iter().collect()),
+                ..best
+            };
+        }
+    }
+
+    Some(ShrinkResult {
+        plan: best,
+        failure: failure.message,
+        trace: failure.trace,
+        runs: checker.runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ddmin;
+
+    /// Runs `ddmin` with a synthetic failure predicate and a run budget,
+    /// returning the reduction and how many candidate evaluations it spent.
+    fn reduce(items: Vec<u32>, fails: impl Fn(&[u32]) -> bool, budget: usize) -> (Vec<u32>, usize) {
+        let mut runs = 0;
+        let start = items.len();
+        let out = ddmin(items, start, |candidate| {
+            if runs >= budget {
+                return None;
+            }
+            runs += 1;
+            Some(fails(candidate))
+        });
+        (out, runs)
+    }
+
+    #[test]
+    fn finds_the_minimal_pair() {
+        let (out, _) = reduce(
+            (0..16).collect(),
+            |c| c.contains(&3) && c.contains(&11),
+            10_000,
+        );
+        assert_eq!(out, vec![3, 11]);
+    }
+
+    #[test]
+    fn unconditional_failure_reduces_to_empty_in_one_run() {
+        let (out, runs) = reduce((0..8).collect(), |_| true, 10_000);
+        assert!(out.is_empty());
+        // The first candidate (drop everything) already fails; the inner
+        // loop then has nothing left to try at any chunk size.
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_best_so_far() {
+        let (out, runs) = reduce(vec![1, 2, 3], |_| true, 0);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn singleton_failure_survives_reduction() {
+        let (out, _) = reduce((0..7).collect(), |c| c.contains(&6), 10_000);
+        assert_eq!(out, vec![6]);
+    }
+}

@@ -30,4 +30,6 @@ pub use message::{
 pub use payload::DataPayload;
 pub use stats::{NetworkStats, SharedNetworkStats};
 pub use tcp::{DialPolicy, TcpEndpoint, TcpFabric};
-pub use transport::{Endpoint, LatencyModel, NetError, NetResult, Network, TransportEndpoint};
+pub use transport::{
+    DeliveryHook, Endpoint, HookWake, LatencyModel, NetError, NetResult, Network, TransportEndpoint,
+};

@@ -24,7 +24,10 @@ use nimbus_core::Command;
 use crate::payload::DataPayload;
 
 /// Identifies a node in the cluster for message addressing.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The `Ord` impl (variant order, then payload) gives simulation harnesses a
+/// stable total order for link keys; nothing semantic depends on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum NodeId {
     /// The primary driver program (the classic single-driver address).
     Driver,

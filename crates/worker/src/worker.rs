@@ -419,8 +419,11 @@ impl<E: TransportEndpoint> Worker<E> {
     fn execute(&mut self, job_index: usize, command: Command) {
         let id = command.id;
         if let Err(e) = self.execute_inner(job_index, &command) {
-            self.stats
-                .record_failure(format!("command {id} ({}) failed: {e}", command.kind.tag()));
+            self.stats.record_failure(format!(
+                "worker {}: command {id} ({}) failed: {e}",
+                self.id,
+                command.kind.tag()
+            ));
         }
         self.stats.commands_executed += 1;
         let rt = &mut self.jobs[job_index];
