@@ -453,11 +453,13 @@ impl<E: TransportEndpoint> Controller<E> {
             if self.jobs[i].done || self.jobs[i].inbox.is_empty() || self.jobs[i].recovering() {
                 continue;
             }
-            let msg = self.jobs[i].inbox.pop_front().expect("checked nonempty");
+            let Some(msg) = self.jobs[i].inbox.pop_front() else {
+                continue;
+            };
             self.rr = (i + 1) % n;
-            let start = Instant::now();
+            let start = self.clock.now();
             self.handle_driver(i, msg);
-            self.stats.control_plane_time += start.elapsed();
+            self.stats.control_plane_time += self.clock.now().saturating_duration_since(start);
             return true;
         }
         false
@@ -1148,7 +1150,7 @@ impl<E: TransportEndpoint> Controller<E> {
                     .tm
                     .registry
                     .controller_template_by_name(name)
-                    .expect("checked above");
+                    .ok_or_else(|| ControllerError::UnknownBlock(name.to_string()))?;
                 let specs = ct.instantiate(&task_ids, params)?;
                 let record = job.enable_templates && !job.tm.is_recording();
                 if record {
@@ -1239,12 +1241,10 @@ impl<E: TransportEndpoint> Controller<E> {
                     let holders = job.dm.instances.latest_holders(lp, &job.dm.versions);
                     let only_here = holders.iter().all(|h| h.worker == *w) && !holders.is_empty();
                     if only_here {
-                        job.dm.set_home(lp, {
-                            // Re-home deterministically among the new allocation.
-                            let idx = (lp.partition.raw() as usize) % new_workers.len();
-                            new_workers[idx]
-                        });
-                        let target = job.dm.current_home(lp).expect("home just set");
+                        // Re-home deterministically among the new allocation.
+                        let idx = (lp.partition.raw() as usize) % new_workers.len();
+                        let target = new_workers[idx];
+                        job.dm.set_home(lp, target);
                         refresh_instance(
                             lp,
                             target,
@@ -1401,12 +1401,22 @@ impl<E: TransportEndpoint> Controller<E> {
             self.drain_held();
             return;
         }
+        // Recovery is only begun with a checkpoint on file, but the state
+        // machine can't prove that here — propagate instead of panicking so
+        // a bookkeeping bug degrades to one failed job, not a dead cluster.
+        let Some(descriptor) = self.jobs[j].checkpoints.latest().cloned() else {
+            self.jobs[j].resume_after_recovery = PendingSync::None;
+            self.jobs[j].replay_valid = false;
+            self.reply(
+                j,
+                ControllerToDriver::Error {
+                    message: ControllerError::NoCheckpoint.to_string(),
+                },
+            );
+            self.drain_held();
+            return;
+        };
         let job = &mut self.jobs[j];
-        let descriptor = job
-            .checkpoints
-            .latest()
-            .cloned()
-            .expect("recovery requires a checkpoint");
         // Reset execution state to the snapshot.
         job.outstanding = 0;
         job.bk.clear();

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use nimbus_core::appdata::AppData;
+use nimbus_core::clock::Clock;
 use nimbus_core::data::DatasetDef;
 use nimbus_core::ids::{
     IdGenerator, JobId, LogicalObjectId, LogicalPartition, PartitionIndex, StageId, TaskId,
@@ -128,6 +129,10 @@ pub struct Session {
     templates_enabled: bool,
     mode: BlockMode,
     reply_timeout: Duration,
+    /// Where reply deadlines are read from. Real for production drivers;
+    /// the simulation harness installs its virtual clock so the reply
+    /// timeout becomes a scheduler-visible virtual deadline.
+    clock: Clock,
     /// Number of controller round trips performed (for tests and metrics).
     pub control_round_trips: u64,
     /// Number of task-submission messages sent (for tests and metrics).
@@ -160,6 +165,7 @@ impl Session {
             templates_enabled: true,
             mode: BlockMode::Direct,
             reply_timeout: Duration::from_secs(60),
+            clock: Clock::Real,
             control_round_trips: 0,
             tasks_submitted: 0,
             instantiations_sent: 0,
@@ -170,7 +176,18 @@ impl Session {
     /// `JobAccepted`, so [`Session::job`] returns the controller-assigned
     /// job id and every subsequent message carries it explicitly.
     pub fn connect(endpoint: impl TransportEndpoint) -> DriverResult<Self> {
+        Self::connect_with_clock(endpoint, Clock::Real)
+    }
+
+    /// [`Session::connect`] with an explicit clock for reply deadlines.
+    /// The simulation harness uses this to put driver timeouts on virtual
+    /// time; production code should keep [`Session::connect`].
+    pub fn connect_with_clock(
+        endpoint: impl TransportEndpoint,
+        clock: Clock,
+    ) -> DriverResult<Self> {
         let mut session = Self::new(endpoint);
+        session.clock = clock;
         session.send(DriverMessage::OpenJob)?;
         match session.wait_reply("open_job")? {
             ControllerToDriver::JobAccepted { job } => {
@@ -210,6 +227,12 @@ impl Session {
         self.reply_timeout = timeout;
     }
 
+    /// Replaces the clock reply deadlines are read from (see
+    /// [`Session::connect_with_clock`]).
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
     /// Returns whether templates are currently enabled on this session.
     pub fn templates_enabled(&self) -> bool {
         self.templates_enabled
@@ -223,10 +246,10 @@ impl Session {
 
     fn wait_reply(&mut self, what: &str) -> DriverResult<ControllerToDriver> {
         self.control_round_trips += 1;
-        let deadline = std::time::Instant::now() + self.reply_timeout;
+        let deadline = self.clock.now() + self.reply_timeout;
         loop {
             let remaining = deadline
-                .checked_duration_since(std::time::Instant::now())
+                .checked_duration_since(self.clock.now())
                 .ok_or_else(|| DriverError::Timeout(what.to_string()))?;
             let envelope = self
                 .endpoint

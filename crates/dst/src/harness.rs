@@ -80,6 +80,9 @@ pub struct SimCluster {
     scenario: Scenario,
     plan: SchedulePlan,
     scheduler: Arc<SimScheduler>,
+    /// The shared virtual clock, handed to every node (controller, workers,
+    /// drivers) so no simulated component ever reads wall time.
+    clock: Clock,
     network: Network,
     controller: Option<JoinHandle<ControlPlaneStats>>,
     workers: Vec<SimWorkerSlot>,
@@ -111,6 +114,7 @@ impl SimCluster {
             scenario: scenario.clone(),
             plan: plan.clone(),
             scheduler,
+            clock: clock.clone(),
             network,
             controller: None,
             workers: Vec::new(),
@@ -168,10 +172,12 @@ impl SimCluster {
 
         for (client, endpoint) in (1..=scenario.jobs).zip(client_endpoints) {
             let iterations = scenario.iterations;
+            let clock = cluster.clock.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("sim-driver-{client}"))
                 .spawn(move || -> Result<Vec<f64>, String> {
-                    let mut session = Session::connect(endpoint).map_err(|e| e.to_string())?;
+                    let mut session =
+                        Session::connect_with_clock(endpoint, clock).map_err(|e| e.to_string())?;
                     let totals =
                         quickstart_driver(&mut session, iterations).map_err(|e| e.to_string())?;
                     session.close().map_err(|e| e.to_string())?;
@@ -192,6 +198,7 @@ impl SimCluster {
             Arc::clone(&self.vault),
         );
         config.kill_switch = Some(Arc::clone(&kill));
+        config.clock = self.clock.clone();
         let worker = Worker::new(config, endpoint);
         let handle = std::thread::Builder::new()
             .name(format!("sim-worker-{id}"))
@@ -532,6 +539,7 @@ impl SimCluster {
             Arc::clone(&self.vault),
         );
         config.kill_switch = Some(Arc::clone(&kill));
+        config.clock = self.clock.clone();
         let endpoint = self.network.register(NodeId::Worker(id));
         let worker = Worker::new(config, endpoint);
         let handle = std::thread::Builder::new()
@@ -573,6 +581,7 @@ impl SimCluster {
         let node = NodeId::Client(self.scenario.jobs + 1);
         self.scheduler.add_node(node);
         let endpoint = self.network.register(node);
+        let clock = self.clock.clone();
         self.terminator = Some(
             std::thread::Builder::new()
                 .name("sim-terminator".into())
@@ -583,6 +592,7 @@ impl SimCluster {
                     // before the controller's confirmation arrives, and a
                     // terminator that gives up strands the whole cluster.
                     let mut session = Session::new(endpoint);
+                    session.set_clock(clock);
                     session.set_reply_timeout(Duration::from_secs(10));
                     for _ in 0..4 {
                         if session.shutdown().is_ok() {

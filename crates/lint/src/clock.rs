@@ -1,0 +1,92 @@
+//! Clock discipline: wall-clock primitives are denied outside the `Clock`
+//! abstraction and an explicit allowlist.
+//!
+//! Replay determinism in `nimbus-dst` holds only if every time read in the
+//! runtime goes through `nimbus_core::clock::Clock`, which the simulation
+//! swaps for virtual time. A single stray `Instant::now()` makes schedules
+//! unreproducible in a way no dynamic test reliably catches — so the rule
+//! is syntactic and total: the tokens below may not appear anywhere outside
+//! `crates/core/src/clock.rs` and the allowlist in [`crate::config`].
+//!
+//! Test modules are scanned too: a test that sleeps or reads real time is
+//! either genuinely about real time (waive it, or move the file to an
+//! allowlisted OS-process test dir) or a latent source of flakes.
+
+use crate::config;
+use crate::report::{Diagnostic, Rule};
+use crate::scanner::{is_ident_byte, ScannedFile};
+
+/// The denied wall-clock tokens. `thread::sleep` also matches
+/// `std::thread::sleep`; matching is token-boundary-aware, so
+/// `virtual_thread::sleepy` does not fire.
+const DENIED: &[&str] = &["Instant::now", "SystemTime::now", "thread::sleep"];
+
+/// Runs the clock rule over one file.
+pub fn check(file: &ScannedFile, rel: &str, out: &mut Vec<Diagnostic>) {
+    if let Some(_why) = config::clock_allowance(rel) {
+        return;
+    }
+    let src = &file.stripped;
+    let b = src.as_bytes();
+    for needle in DENIED {
+        let mut i = 0;
+        while let Some(pos) = src[i..].find(needle).map(|p| p + i) {
+            i = pos + needle.len();
+            // Token boundaries: no identifier byte on either side (a `::`
+            // prefix like `std::thread::sleep` is fine and expected).
+            let before_ok = pos == 0 || !is_ident_byte(b[pos - 1]);
+            let after = pos + needle.len();
+            let after_ok = after >= b.len() || !is_ident_byte(b[after]);
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                Rule::Clock,
+                rel,
+                file.line_of(pos),
+                format!(
+                    "`{needle}` outside the Clock abstraction: route timing through \
+                     nimbus_core::clock::Clock (or add an allowlist entry in \
+                     crates/lint/src/config.rs with a justification)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = ScannedFile::new(PathBuf::from(rel), src.to_string());
+        let mut out = Vec::new();
+        check(&f, rel, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_all_three_primitives_with_lines() {
+        let src = "fn f() {\n let t = Instant::now();\n std::thread::sleep(d);\n let w = SystemTime::now();\n}";
+        let d = run("crates/worker/src/executor.rs", src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn comments_strings_and_allowlisted_paths_are_exempt() {
+        let src = "// Instant::now()\nlet s = \"thread::sleep\";";
+        assert!(run("crates/worker/src/worker.rs", src).is_empty());
+        let real = "let t = Instant::now();";
+        assert!(run("crates/core/src/clock.rs", real).is_empty());
+        assert!(run("crates/bench/src/bin/fig7_iteration_time.rs", real).is_empty());
+        assert!(!run("crates/controller/src/controller.rs", real).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_prevent_substring_hits() {
+        let src = "my_thread::sleepy(); InstantX::nowhere();";
+        assert!(run("crates/worker/src/worker.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Job scoping: every command-stream variant carries a `JobId`.
+//!
+//! The control plane is multi-tenant (PR 4): one controller and one worker
+//! pool serve many mutually isolated jobs, and isolation rests on every
+//! `ControllerToWorker`/`WorkerToController` message naming the job it
+//! belongs to. A variant added without a `job` field would route by
+//! whatever ambient state happens to be around — the exact bug class this
+//! rule deletes. Deliberately job-agnostic worker-lifecycle variants are
+//! enumerated (with justifications) in [`crate::config::JOB_AGNOSTIC`].
+
+use crate::config;
+use crate::report::{Diagnostic, Rule};
+use crate::scanner::{parse_enums, ScannedFile};
+
+/// The command-stream enums the rule governs.
+const SCOPED_ENUMS: &[&str] = &["ControllerToWorker", "WorkerToController"];
+
+/// Runs the job-scoping rule over the message definitions file.
+pub fn check(message_file: &ScannedFile, rel: &str, out: &mut Vec<Diagnostic>) {
+    let enums = parse_enums(message_file);
+    for name in SCOPED_ENUMS {
+        let Some(def) = enums.iter().find(|e| e.name == *name) else {
+            out.push(Diagnostic::new(
+                Rule::JobScope,
+                rel,
+                0,
+                format!("command-stream enum `{name}` not found in {rel}"),
+            ));
+            continue;
+        };
+        for variant in &def.variants {
+            if variant.fields.iter().any(|f| f == "job") {
+                continue;
+            }
+            if config::JOB_AGNOSTIC
+                .iter()
+                .any(|(e, v, _)| e == name && v == &variant.name)
+            {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                Rule::JobScope,
+                rel,
+                message_file.line_of(variant.start),
+                format!(
+                    "`{name}::{}` has no `job: JobId` field: every command-stream \
+                     variant must be job-scoped (or listed as job-agnostic, with a \
+                     justification, in crates/lint/src/config.rs)",
+                    variant.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = ScannedFile::new(PathBuf::from("message.rs"), src.to_string());
+        let mut out = Vec::new();
+        check(&f, "crates/net/src/message.rs", &mut out);
+        out
+    }
+
+    #[test]
+    fn unscoped_variant_fires_exempt_variant_does_not() {
+        let src = "pub enum ControllerToWorker {\n Halt { job: JobId },\n Shutdown,\n Probe { worker: WorkerId },\n}\npub enum WorkerToController { Heartbeat { worker: WorkerId } }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ControllerToWorker::Probe"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn missing_enum_is_reported() {
+        let d = run("pub enum ControllerToWorker { Halt { job: JobId } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("WorkerToController"));
+    }
+}

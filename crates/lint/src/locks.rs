@@ -1,0 +1,639 @@
+//! Lock-order analysis: find cycles in the "acquired while held" graph.
+//!
+//! For every product function the rule extracts `Mutex`/`RwLock`
+//! acquisition sites (`.lock()` / `.read()` / `.write()` with empty
+//! argument lists — the io traits take arguments, so they never match) and
+//! the scope each guard is held for: a `let`-bound guard lives to the end
+//! of its enclosing block (or an explicit `drop(guard)`), a temporary
+//! guard to the end of its statement.
+//!
+//! A lock's identity is its receiver field path within its crate
+//! (`nimbus-controller/checkpoints`), so the same field reached through
+//! different functions unifies while unrelated same-named fields in other
+//! crates stay distinct. While a guard is held, every later acquisition in
+//! scope adds an edge — directly, or transitively through calls to
+//! same-crate functions (a fixpoint over the call graph, so `f` holding A
+//! and calling `g` that locks B yields A → B even across files).
+//!
+//! Two lock identities in one strongly connected component mean two code
+//! paths can acquire them in opposite orders: a potential deadlock,
+//! reported with one example edge per direction. A self-edge in a single
+//! function (the same identity acquired while held) is reported too —
+//! the vendored `parking_lot` shim, like the real crate, is not reentrant.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::report::{Diagnostic, Rule};
+use crate::scanner::{is_ident_byte, ScannedFile};
+
+/// Method names that are ubiquitous std/collection vocabulary: calls to
+/// these never propagate lock sets through the call graph, because a name
+/// match alone would be meaningless (`x.get(..)` is almost never *our*
+/// `get`). Distinctively named functions still propagate.
+const COMMON_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clone",
+    "drop",
+    "next",
+    "iter",
+    "into_iter",
+    "send",
+    "recv",
+    "write",
+    "read",
+    "lock",
+    "flush",
+    "clear",
+    "contains",
+    "contains_key",
+    "take",
+    "set",
+    "from",
+    "into",
+    "entry",
+    "extend",
+    "join",
+    "spawn",
+    "name",
+    "id",
+    "tag",
+];
+
+/// One acquisition site.
+#[derive(Clone, Debug)]
+struct Site {
+    /// Lock identity: `<crate>/<receiver path>`.
+    lock: String,
+    /// Byte offset in the file (span anchor).
+    pos: usize,
+    /// The guard is held for `[pos, scope_end)`.
+    scope_end: usize,
+}
+
+/// Per-function facts feeding the inter-procedural pass.
+struct FnFacts {
+    rel: String,
+    qualified: String,
+    krate: String,
+    sites: Vec<Site>,
+    /// `(callee name, byte offset)` of same-crate candidate calls.
+    calls: Vec<(String, usize)>,
+    /// Line lookup data: the owning file's index into `files`.
+    file_idx: usize,
+}
+
+/// Whole-workspace lock-order check. Returns the number of acquisition
+/// sites seen (report telemetry).
+pub fn check(files: &[ScannedFile], rels: &[String], out: &mut Vec<Diagnostic>) -> usize {
+    // Pass 1: per-function sites and candidate calls.
+    let mut facts: Vec<FnFacts> = Vec::new();
+    let mut defined: BTreeMap<String, BTreeSet<String>> = BTreeMap::new(); // crate -> fn names
+    for (idx, (file, rel)) in files.iter().zip(rels).enumerate() {
+        let krate = crate_of(rel);
+        for f in file.functions() {
+            if f.in_test {
+                continue;
+            }
+            defined
+                .entry(krate.clone())
+                .or_default()
+                .insert(f.name.clone());
+            let sites = find_sites(&file.stripped, f.body.clone(), &krate);
+            let calls = find_calls(&file.stripped, f.body.clone());
+            facts.push(FnFacts {
+                rel: rel.clone(),
+                qualified: f.qualified(),
+                krate: krate.clone(),
+                sites,
+                calls,
+                file_idx: idx,
+            });
+        }
+    }
+    let total_sites: usize = facts.iter().map(|f| f.sites.len()).sum();
+
+    // Keep only calls that resolve to a distinctive same-crate function.
+    for f in &mut facts {
+        let known = defined.get(&f.krate);
+        f.calls.retain(|(name, _)| {
+            !COMMON_NAMES.contains(&name.as_str()) && known.is_some_and(|set| set.contains(name))
+        });
+    }
+
+    // Pass 2: transitive lock sets per (crate, fn name), to fixpoint.
+    let mut acquires: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut callees: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for f in &facts {
+        let key = (
+            f.krate.clone(),
+            f.qualified.rsplit("::").next().unwrap_or("").to_string(),
+        );
+        let entry = acquires.entry(key.clone()).or_default();
+        entry.extend(f.sites.iter().map(|s| s.lock.clone()));
+        callees
+            .entry(key)
+            .or_default()
+            .extend(f.calls.iter().map(|(n, _)| n.clone()));
+    }
+    loop {
+        let mut changed = false;
+        let snapshot = acquires.clone();
+        for ((krate, name), callee_names) in &callees {
+            let mut gained: BTreeSet<String> = BTreeSet::new();
+            for callee in callee_names {
+                if let Some(locks) = snapshot.get(&(krate.clone(), callee.clone())) {
+                    gained.extend(locks.iter().cloned());
+                }
+            }
+            let entry = acquires.entry((krate.clone(), name.clone())).or_default();
+            let before = entry.len();
+            entry.extend(gained);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: edges. An edge records one example span per (from, to) pair.
+    let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, rel: &str, line: usize, via: &str| {
+        edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert_with(|| (rel.to_string(), line, via.to_string()));
+    };
+    for f in &facts {
+        let file = &files[f.file_idx];
+        for (i, a) in f.sites.iter().enumerate() {
+            // Later direct acquisitions while `a` is held.
+            for b in f.sites.iter().skip(i + 1) {
+                if b.pos > a.pos && b.pos < a.scope_end {
+                    add_edge(&a.lock, &b.lock, &f.rel, file.line_of(b.pos), &f.qualified);
+                }
+            }
+            // Calls made while `a` is held pull in the callee's locks.
+            for (callee, pos) in &f.calls {
+                if *pos > a.pos && *pos < a.scope_end {
+                    if let Some(locks) = acquires.get(&(f.krate.clone(), callee.clone())) {
+                        for lock in locks {
+                            if lock != &a.lock {
+                                add_edge(
+                                    &a.lock,
+                                    lock,
+                                    &f.rel,
+                                    file.line_of(*pos),
+                                    &format!("{} -> {callee}()", f.qualified),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Self-edges: the same identity acquired while already held, in one
+    // function. Reported directly (not via SCCs).
+    for ((from, to), (rel, line, via)) in &edges {
+        if from == to {
+            out.push(Diagnostic::new(
+                Rule::LockOrder,
+                rel.clone(),
+                *line,
+                format!(
+                    "`{from}` acquired while already held in `{via}`: parking_lot locks \
+                     are not reentrant, this self-deadlocks"
+                ),
+            ));
+        }
+    }
+
+    // Pass 4: SCCs over the edge graph; any component with >= 2 locks is a
+    // potential deadlock (two opposite-order paths exist).
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let index_of: BTreeMap<&String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let node_list: Vec<&String> = nodes.iter().copied().collect();
+    let mut adj = vec![Vec::new(); node_list.len()];
+    for (a, b) in edges.keys() {
+        if a != b {
+            adj[index_of[a]].push(index_of[b]);
+        }
+    }
+    for comp in sccs(&adj) {
+        if comp.len() < 2 {
+            continue;
+        }
+        let members: Vec<&str> = comp.iter().map(|&i| node_list[i].as_str()).collect();
+        // One example edge per direction inside the component.
+        let mut examples = Vec::new();
+        for ((a, b), (rel, line, via)) in &edges {
+            if members.contains(&a.as_str()) && members.contains(&b.as_str()) && a != b {
+                examples.push(format!("{a} -> {b} at {rel}:{line} (in {via})"));
+            }
+        }
+        let (rel, line) = edges
+            .iter()
+            .find(|((a, b), _)| {
+                members.contains(&a.as_str()) && members.contains(&b.as_str()) && a != b
+            })
+            .map(|(_, (rel, line, _))| (rel.clone(), *line))
+            .unwrap_or_default();
+        out.push(Diagnostic::new(
+            Rule::LockOrder,
+            rel,
+            line,
+            format!(
+                "lock-order cycle between {{{}}}: opposite-order acquisition paths exist \
+                 ({})",
+                members.join(", "),
+                examples.join("; ")
+            ),
+        ));
+    }
+    total_sites
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("root").to_string()
+    } else {
+        "root".to_string()
+    }
+}
+
+/// Finds acquisition sites in a function body (stripped view).
+fn find_sites(src: &str, body: Range<usize>, krate: &str) -> Vec<Site> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut i = body.start;
+        while let Some(pos) = src[i..body.end].find(method).map(|p| p + i) {
+            i = pos + method.len();
+            let path = receiver_path(src, body.start, pos);
+            if path.is_empty() {
+                continue;
+            }
+            let bound = let_bound(src, body.start, pos);
+            let scope_end = if let Some(var) = bound {
+                guard_scope(src, body.end, pos + method.len(), &var)
+            } else {
+                statement_end(b, body.end, pos + method.len())
+            };
+            out.push(Site {
+                lock: format!("{krate}/{path}"),
+                pos,
+                scope_end,
+            });
+        }
+    }
+    out.sort_by_key(|s| s.pos);
+    out
+}
+
+/// Walks the receiver chain backwards from the `.` of `.lock()` and
+/// returns the field path (method-call segments skipped, leading `self`
+/// dropped): `self.inner.state.lock()` → `inner.state`.
+fn receiver_path(src: &str, start: usize, dot: usize) -> String {
+    let b = src.as_bytes();
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot;
+    loop {
+        if j <= start {
+            break;
+        }
+        let c = b[j - 1];
+        if is_ident_byte(c) {
+            let mut s = j;
+            while s > start && is_ident_byte(b[s - 1]) {
+                s -= 1;
+            }
+            segs.push(src[s..j].to_string());
+            j = s;
+        } else if c == b')' || c == b']' {
+            // Skip the balanced group, then the method/field name before it
+            // (a method name is not part of the lock's identity).
+            let open = if c == b')' { b'(' } else { b'[' };
+            let close = c;
+            let mut depth = 0usize;
+            while j > start {
+                let c2 = b[j - 1];
+                if c2 == close {
+                    depth += 1;
+                } else if c2 == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        j -= 1;
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            if c == b')' {
+                // Drop the method name (if any) preceding the call parens.
+                while j > start && is_ident_byte(b[j - 1]) {
+                    j -= 1;
+                }
+            } else {
+                // For `]` the preceding ident is the indexed field (no dot
+                // between them): let the next iteration pick it up.
+                continue;
+            }
+        } else {
+            break;
+        }
+        if j > start && b[j - 1] == b'.' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    if segs.first().is_some_and(|s| s == "self") {
+        segs.remove(0);
+    }
+    segs.join(".")
+}
+
+/// If the statement containing `pos` is a `let` binding, returns the bound
+/// variable name.
+fn let_bound(src: &str, start: usize, pos: usize) -> Option<String> {
+    let stmt_start = src[start..pos]
+        .rfind([';', '{', '}'])
+        .map(|p| p + start + 1)
+        .unwrap_or(start);
+    let stmt = src[stmt_start..pos].trim_start();
+    let rest = stmt.strip_prefix("let ")?;
+    let rest = rest
+        .trim_start()
+        .strip_prefix("mut ")
+        .unwrap_or(rest)
+        .trim_start();
+    let end = rest
+        .as_bytes()
+        .iter()
+        .position(|&c| !is_ident_byte(c))
+        .unwrap_or(rest.len());
+    // Only a plain `let name = <acquire>` counts; destructuring patterns
+    // don't bind a guard we can track.
+    if end == 0 || !rest[end..].trim_start().starts_with('=') {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+/// The guard's scope: up to `drop(var)` if present, else the end of the
+/// enclosing block.
+fn guard_scope(src: &str, body_end: usize, from: usize, var: &str) -> usize {
+    let block_end = enclosing_block_end(src.as_bytes(), body_end, from);
+    let needle = format!("drop({var})");
+    if let Some(p) = src[from..block_end].find(&needle) {
+        return from + p;
+    }
+    block_end
+}
+
+/// First position after `from` where the enclosing block closes.
+fn enclosing_block_end(b: &[u8], body_end: usize, from: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, &c) in b.iter().enumerate().take(body_end).skip(from) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// End of the statement containing `from` (the next `;` at bracket depth
+/// zero, or the enclosing block end).
+fn statement_end(b: &[u8], body_end: usize, from: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, &c) in b.iter().enumerate().take(body_end).skip(from) {
+        match c {
+            b'{' | b'(' | b'[' => depth += 1,
+            // Clamp at zero: an acquire inside a call argument closes its
+            // enclosing parens before its statement's `;`.
+            b')' | b']' => depth = (depth - 1).max(0),
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// `ident(`-shaped call candidates in a body (the caller filters them
+/// against the crate's defined-function set).
+fn find_calls(src: &str, body: Range<usize>) -> Vec<(String, usize)> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        if is_ident_byte(b[i]) && (i == body.start || !is_ident_byte(b[i - 1])) {
+            let s = i;
+            while i < body.end && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            let mut k = i;
+            while k < body.end && b[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if k < body.end && b[k] == b'(' {
+                out.push((src[s..i].to_string(), s));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan SCC over an adjacency list.
+fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next child position) work stack.
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = work.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(sources: &[(&str, &str)]) -> (Vec<Diagnostic>, usize) {
+        let files: Vec<ScannedFile> = sources
+            .iter()
+            .map(|(rel, src)| ScannedFile::new(PathBuf::from(rel), src.to_string()))
+            .collect();
+        let rels: Vec<String> = sources.iter().map(|(rel, _)| rel.to_string()).collect();
+        let mut out = Vec::new();
+        let sites = check(&files, &rels, &mut out);
+        (out, sites)
+    }
+
+    #[test]
+    fn opposite_order_in_one_file_is_a_cycle() {
+        let src = "
+fn forward(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+}
+fn backward(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+}";
+        let (d, sites) = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(sites, 4);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lock-order cycle"));
+        assert!(d[0].message.contains("x/alpha"));
+        assert!(d[0].message.contains("x/beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+fn one(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+fn two(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let (d, _) = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cycle_through_a_call_is_found() {
+        let src = "
+fn holds_alpha(&self) {
+    let a = self.alpha.lock();
+    self.grab_beta_distinctively();
+}
+fn grab_beta_distinctively(&self) { let b = self.beta.lock(); }
+fn reversed(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }";
+        let (d, _) = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lock-order cycle"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "
+fn forward(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+fn fine(&self) {
+    let b = self.beta.lock();
+    drop(b);
+    let a = self.alpha.lock();
+}";
+        let (d, _) = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn self_edge_is_reported() {
+        let src = "
+fn double(&self) { let a = self.alpha.lock(); let b = self.alpha.lock(); }";
+        let (d, _) = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not reentrant"));
+    }
+
+    #[test]
+    fn crates_do_not_unify_and_io_writes_do_not_match() {
+        let fwd = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        let bwd = "fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }
+fn io(&self, w: &mut W, buf: &[u8]) { w.write(buf); }";
+        let (d, sites) = run(&[("crates/x/src/lib.rs", fwd), ("crates/y/src/lib.rs", bwd)]);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(sites, 4, "write(buf) must not count as an acquisition");
+    }
+
+    #[test]
+    fn temporary_guard_is_held_for_its_statement_only() {
+        let src = "
+fn f(&self) { self.alpha.lock().push(1); let b = self.beta.lock(); }
+fn g(&self) { self.beta.lock().push(1); let a = self.alpha.lock(); }";
+        let (d, _) = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(d.is_empty(), "temporaries end at their statement: {d:?}");
+    }
+
+    #[test]
+    fn receiver_paths_skip_method_calls() {
+        let src = "fn f(&self) { let g = self.jobs.get(&id).unwrap().queue.lock(); }";
+        let files = [ScannedFile::new(
+            PathBuf::from("crates/x/src/lib.rs"),
+            src.to_string(),
+        )];
+        let f = files[0].functions();
+        let sites = find_sites(&files[0].stripped, f[0].body.clone(), "x");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].lock, "x/jobs.queue");
+    }
+}

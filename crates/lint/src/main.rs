@@ -1,0 +1,28 @@
+//! The `nimbus-lint` binary: run the workspace lints, print the table,
+//! write `LINT_REPORT.json`, and exit nonzero on unwaived findings.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = nimbus_lint::config::find_root();
+    let report = match nimbus_lint::run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "nimbus-lint: cannot scan workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_table());
+    if let Err(e) = report.write_json(&root) {
+        eprintln!("nimbus-lint: cannot write LINT_REPORT.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

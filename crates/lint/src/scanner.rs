@@ -1,0 +1,893 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The lints in this crate do not need a full parser — they need reliable
+//! answers to four questions about a source file:
+//!
+//! 1. *Is this byte inside a comment or a string literal?* ([`strip`]
+//!    blanks both out, preserving byte offsets and line structure, so a
+//!    token search over the stripped text cannot be fooled by
+//!    `// Instant::now()` in a comment or `".lock()"` in a string.)
+//! 2. *Which function does this byte belong to?* ([`ScannedFile::functions`]
+//!    segments items with brace matching and records test-module spans, so
+//!    rules can attribute findings to `Type::method` and skip
+//!    `#[cfg(test)]` code when a rule only governs product code.)
+//! 3. *What variants (and fields) does this enum declare?*
+//!    ([`parse_enums`], used by the wire and job-scoping lints.)
+//! 4. *Has a human waived this finding?* ([`ScannedFile::waivers`] parses
+//!    `// nimbus-lint: allow(<rule>) — <reason>` comments; an empty reason
+//!    is itself a diagnostic.)
+//!
+//! Everything operates on byte offsets into the original text, so every
+//! finding carries an exact `file:line` span.
+
+use std::path::PathBuf;
+
+/// Which byte classes [`strip`] blanks out (delimiters are always kept so
+/// token boundaries survive).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Blank comments *and* string contents: the token-search view.
+    Tokens,
+    /// Blank comments, keep string contents: the enum/match parsing view.
+    Code,
+    /// Keep comments, blank string contents: the waiver-parsing view (a
+    /// waiver is a comment; waiver-shaped text inside a string literal —
+    /// e.g. in this crate's own tests — must not count).
+    Comments,
+}
+
+/// Replaces comments (line, nested block) and optionally string contents
+/// with spaces, byte for byte: the result has exactly the same length and
+/// newline positions as the input, so offsets and line numbers computed on
+/// one apply to the other.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`, any number of `#`s), byte and
+/// byte-raw strings, and char literals — while leaving lifetimes (`'a`)
+/// alone.
+pub fn strip(source: &str, mode: Mode) -> String {
+    let b = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+
+    // Blank `n` bytes starting at `i`, preserving newlines.
+    fn blank(out: &mut Vec<u8>, b: &[u8], from: usize, to: usize) {
+        for &byte in &b[from..to] {
+            out.push(if byte == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = memchr(b, i, b'\n').unwrap_or(b.len());
+            if mode == Mode::Comments {
+                out.extend_from_slice(&b[i..end]);
+            } else {
+                blank(&mut out, b, i, end);
+            }
+            i = end;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if mode == Mode::Comments {
+                out.extend_from_slice(&b[i..j]);
+            } else {
+                blank(&mut out, b, i, j);
+            }
+            i = j;
+            continue;
+        }
+        // Raw (and byte-raw) string: r"…", r#"…"#, br"…", br##"…"##.
+        if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' && j + 1 < b.len() && (b[j + 1] == b'#' || b[j + 1] == b'"') {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    // Find closing `"####`.
+                    let content_start = k + 1;
+                    let mut m = content_start;
+                    let close = loop {
+                        match memchr(b, m, b'"') {
+                            None => break b.len(),
+                            Some(q) => {
+                                if b[q + 1..].len() >= hashes
+                                    && b[q + 1..q + 1 + hashes].iter().all(|&h| h == b'#')
+                                {
+                                    break q;
+                                }
+                                m = q + 1;
+                            }
+                        }
+                    };
+                    out.extend_from_slice(&b[i..content_start]);
+                    if mode == Mode::Code {
+                        out.extend_from_slice(&b[content_start..close]);
+                    } else {
+                        blank(&mut out, b, content_start, close);
+                    }
+                    let end = (close + 1 + hashes).min(b.len());
+                    out.extend_from_slice(&b[close.min(b.len())..end]);
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        // Ordinary (and byte) string.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(b, i)) {
+            let open = if c == b'"' { i } else { i + 1 };
+            let mut j = open + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => break,
+                    _ => j += 1,
+                }
+            }
+            let close = j.min(b.len());
+            out.extend_from_slice(&b[i..open + 1]);
+            if mode == Mode::Code {
+                out.extend_from_slice(&b[open + 1..close]);
+            } else {
+                blank(&mut out, b, open + 1, close);
+            }
+            if close < b.len() {
+                out.push(b'"');
+            }
+            i = close + 1;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let rest = &b[i + 1..];
+            let is_char = match rest.first() {
+                Some(b'\\') => true,
+                Some(_) => rest.get(1) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                if b[j] == b'\\' {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                // Closing quote (multi-byte escapes like \u{..} walk on).
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                let end = (j + 1).min(b.len());
+                out.push(b'\'');
+                blank(&mut out, b, i + 1, end.saturating_sub(1).max(i + 1));
+                if end > i + 1 {
+                    out.push(b'\'');
+                }
+                i = end;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8: only ASCII is blanked")
+}
+
+fn memchr(b: &[u8], from: usize, needle: u8) -> Option<usize> {
+    b[from..]
+        .iter()
+        .position(|&c| c == needle)
+        .map(|p| p + from)
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+pub(crate) fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// A function (or method) found in a file: name, optional `impl` type, the
+/// byte range of its body, and whether it lives under `#[cfg(test)]`.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// The bare function name.
+    pub name: String,
+    /// The enclosing `impl` type, when the function is a method.
+    pub impl_type: Option<String>,
+    /// Byte offset of the `fn` keyword (span anchor).
+    pub start: usize,
+    /// Byte range of the body, *inside* the braces.
+    pub body: std::ops::Range<usize>,
+    /// True when the function sits inside a `#[cfg(test)]` module or
+    /// carries a `#[test]`/`#[cfg(test)]` attribute itself.
+    pub in_test: bool,
+}
+
+impl Function {
+    /// `Type::name` when the impl type is known, else `name`.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One enum variant: its name and named-field list (empty for tuple/unit).
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Named fields, in declaration order (empty for tuple/unit variants).
+    pub fields: Vec<String>,
+    /// Byte offset of the variant name (span anchor).
+    pub start: usize,
+}
+
+/// A parsed `enum` item.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variants in declaration order.
+    pub variants: Vec<Variant>,
+}
+
+/// A waiver comment: `// nimbus-lint: allow(<rule>) — <reason>`.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The waived rule name.
+    pub rule: String,
+    /// The human justification (must be non-empty to be honoured).
+    pub reason: String,
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+}
+
+/// A source file with its stripped views and line table.
+pub struct ScannedFile {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// The original text.
+    pub raw: String,
+    /// Comments and string contents blanked (token-search view).
+    pub stripped: String,
+    /// Comments blanked, string contents kept (enum/match parsing view).
+    pub code: String,
+    line_starts: Vec<usize>,
+}
+
+impl ScannedFile {
+    /// Scans a file's contents.
+    pub fn new(path: PathBuf, raw: String) -> Self {
+        let stripped = strip(&raw, Mode::Tokens);
+        let code = strip(&raw, Mode::Code);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self {
+            path,
+            raw,
+            stripped,
+            code,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Parses every waiver comment in the file. Only *comments* count: the
+    /// scan runs over the comments-kept/strings-blanked view, so waiver
+    /// syntax quoted in a string literal is invisible.
+    pub fn waivers(&self) -> Vec<Waiver> {
+        let comments = strip(&self.raw, Mode::Comments);
+        let mut out = Vec::new();
+        for (idx, line) in comments.lines().enumerate() {
+            let Some(pos) = line.find("nimbus-lint:") else {
+                continue;
+            };
+            let rest = line[pos + "nimbus-lint:".len()..].trim_start();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            // Accept an em dash, double hyphen, or single hyphen separator.
+            let reason = ["—", "--", "-"]
+                .iter()
+                .find_map(|sep| after.strip_prefix(sep))
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            out.push(Waiver {
+                rule,
+                reason,
+                line: idx + 1,
+            });
+        }
+        out
+    }
+
+    /// Byte ranges covered by `#[cfg(test)]`-gated items (whole modules or
+    /// single functions) plus `#[test]` functions' bodies.
+    pub fn test_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let b = self.stripped.as_bytes();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while let Some(pos) = find_token(&self.stripped, i, "#") {
+            i = pos + 1;
+            let rest = &self.stripped[pos..];
+            let is_test_attr = rest.starts_with("#[cfg(test)]")
+                || rest.starts_with("#[test]")
+                || rest.starts_with("#[cfg(all(test");
+            if !is_test_attr {
+                continue;
+            }
+            // The attribute gates the next item: find its opening brace and
+            // cover the whole braced body.
+            if let Some(open) = find_at_depth(b, pos, b'{') {
+                if let Some(close) = match_brace(b, open) {
+                    ranges.push(pos..close + 1);
+                    i = pos + 1; // keep scanning inside for nested attrs
+                }
+            }
+        }
+        ranges
+    }
+
+    /// Segments the file into functions (brace-aware, impl-qualified).
+    pub fn functions(&self) -> Vec<Function> {
+        let src = &self.stripped;
+        let b = src.as_bytes();
+        let tests = self.test_ranges();
+        let impls = impl_ranges(src);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(pos) = find_keyword(src, i, "fn") {
+            i = pos + 2;
+            // Name.
+            let mut j = pos + 2;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < b.len() && is_ident_byte(b[j]) {
+                j += 1;
+            }
+            if j == name_start {
+                continue;
+            }
+            let name = src[name_start..j].to_string();
+            // Opening brace of the body: first `{` at paren depth 0 after
+            // the signature. A `;` first means a trait method declaration.
+            let mut depth = 0i32;
+            let mut k = j;
+            let open = loop {
+                if k >= b.len() {
+                    break None;
+                }
+                match b[k] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => break Some(k),
+                    b';' if depth == 0 => break None,
+                    _ => {}
+                }
+                k += 1;
+            };
+            let Some(open) = open else {
+                continue;
+            };
+            let Some(close) = match_brace(b, open) else {
+                continue;
+            };
+            let in_test = tests.iter().any(|r| r.contains(&pos));
+            let impl_type = impls
+                .iter()
+                .filter(|(r, _)| r.contains(&pos))
+                .min_by_key(|(r, _)| r.len())
+                .map(|(_, t)| t.clone());
+            out.push(Function {
+                name,
+                impl_type,
+                start: pos,
+                body: open + 1..close,
+                in_test,
+            });
+        }
+        out
+    }
+}
+
+/// `(body range, type name)` for every `impl` block in stripped source.
+fn impl_ranges(src: &str) -> Vec<(std::ops::Range<usize>, String)> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_keyword(src, i, "impl") {
+        i = pos + 4;
+        let Some(open) = find_at_depth(b, pos, b'{') else {
+            continue;
+        };
+        let Some(close) = match_brace(b, open) else {
+            continue;
+        };
+        // The implemented type is the last path segment before the brace
+        // (after `for`, if present), generics stripped.
+        let header = &src[pos + 4..open];
+        let header = match header.rfind(" for ") {
+            Some(p) => &header[p + 5..],
+            None => header,
+        };
+        let name = header
+            .split(|c: char| c == '<' || c == '(' || c.is_whitespace())
+            .find(|s| !s.is_empty() && s.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+            .unwrap_or("")
+            .to_string();
+        if !name.is_empty() {
+            out.push((open + 1..close, name));
+        }
+    }
+    out
+}
+
+/// Finds `needle` at `from` or later as a standalone keyword (not part of a
+/// longer identifier).
+fn find_keyword(src: &str, from: usize, needle: &str) -> Option<usize> {
+    let b = src.as_bytes();
+    let mut i = from;
+    while let Some(pos) = src[i..].find(needle).map(|p| p + i) {
+        let before_ok = pos == 0 || !is_ident_byte(b[pos - 1]);
+        let after = pos + needle.len();
+        let after_ok = after >= b.len() || !is_ident_byte(b[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        i = pos + 1;
+    }
+    None
+}
+
+fn find_token(src: &str, from: usize, needle: &str) -> Option<usize> {
+    src[from..].find(needle).map(|p| p + from)
+}
+
+/// First occurrence of `target` after `from`, skipping nothing (the caller
+/// guarantees no earlier brace opens).
+fn find_at_depth(b: &[u8], from: usize, target: u8) -> Option<usize> {
+    (from..b.len()).find(|&i| b[i] == target)
+}
+
+/// Given the offset of an opening `{`, returns the offset of its matching
+/// `}` (operating on stripped source, so braces in strings don't count).
+pub fn match_brace(b: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses every `enum` in a file's `code` view (comments blanked, strings
+/// kept): variant names, named fields, and spans.
+pub fn parse_enums(file: &ScannedFile) -> Vec<EnumDef> {
+    let src = &file.code;
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_keyword(src, i, "enum") {
+        i = pos + 4;
+        let mut j = pos + 4;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < b.len() && is_ident_byte(b[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = src[name_start..j].to_string();
+        let Some(open) = find_at_depth(b, j, b'{') else {
+            continue;
+        };
+        let Some(close) = match_brace(b, open) else {
+            continue;
+        };
+        let variants = parse_variants(src, open + 1, close);
+        out.push(EnumDef { name, variants });
+    }
+    out
+}
+
+fn parse_variants(src: &str, from: usize, to: usize) -> Vec<Variant> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = from;
+    while i < to {
+        // Skip whitespace and attributes.
+        while i < to && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        while i < to && b[i] == b'#' {
+            // Attribute: skip the bracketed group.
+            let Some(open) = find_at_depth(b, i, b'[') else {
+                return out;
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < to {
+                match b[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+            while i < to && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+        }
+        if i >= to {
+            break;
+        }
+        // Variant name.
+        let name_start = i;
+        while i < to && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            i += 1;
+            continue;
+        }
+        let name = src[name_start..i].to_string();
+        while i < to && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let mut fields = Vec::new();
+        match b.get(i) {
+            Some(b'{') => {
+                let close = match_brace(b, i).unwrap_or(to).min(to);
+                fields = parse_named_fields(src, i + 1, close);
+                i = close + 1;
+            }
+            Some(b'(') => {
+                // Tuple variant: skip the balanced parens.
+                let mut depth = 0usize;
+                while i < to {
+                    match b[i] {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            _ => {}
+        }
+        out.push(Variant {
+            name,
+            fields,
+            start: name_start,
+        });
+        // Skip to the next top-level comma.
+        while i < to && b[i] != b',' {
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_named_fields(src: &str, from: usize, to: usize) -> Vec<String> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = from;
+    let mut depth = 0usize;
+    while i < to {
+        match b[i] {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => depth = depth.saturating_sub(1),
+            b':' if depth == 0 => {
+                // Walk back over the field name.
+                let mut j = i;
+                while j > from && b[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                let end = j;
+                while j > from && is_ident_byte(b[j - 1]) {
+                    j -= 1;
+                }
+                if j < end {
+                    out.push(src[j..end].to_string());
+                }
+                // Skip the type up to the next top-level comma.
+                let mut d = 0usize;
+                while i < to {
+                    match b[i] {
+                        b'<' | b'(' | b'[' => d += 1,
+                        b'>' | b')' | b']' => d = d.saturating_sub(1),
+                        b',' if d == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses `Enum::Variant … => "literal"` match arms anywhere in a text
+/// region (the `code` view). Returns `(variant, literal)` pairs for arms of
+/// the named enum.
+pub fn parse_tag_arms(region: &str, enum_name: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let needle = format!("{enum_name}::");
+    let b = region.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = region[i..].find(&needle).map(|p| p + i) {
+        i = pos + needle.len();
+        let mut j = i;
+        while j < b.len() && is_ident_byte(b[j]) {
+            j += 1;
+        }
+        let variant = region[i..j].to_string();
+        // Skip an optional pattern body `{ .. }` or `( .. )`.
+        let mut k = j;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        match b.get(k) {
+            Some(b'{') => {
+                if let Some(c) = match_brace(b, k) {
+                    k = c + 1;
+                }
+            }
+            Some(b'(') => {
+                let mut depth = 0usize;
+                while k < b.len() {
+                    match b[k] {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k += 1;
+            }
+            _ => {}
+        }
+        while k < b.len() && (b[k].is_ascii_whitespace() || b[k] == b'|') {
+            k += 1;
+        }
+        if !region[k..].starts_with("=>") {
+            continue;
+        }
+        k += 2;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'"') {
+            let end = region[k + 1..].find('"').map(|p| p + k + 1);
+            if let Some(end) = end {
+                out.push((variant, region[k + 1..end].to_string()));
+            }
+        } else {
+            // Non-literal arm (e.g. `msg.tag()`); record with empty tag so
+            // coverage checks still see the variant.
+            out.push((variant, String::new()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new(PathBuf::from("test.rs"), src.to_string())
+    }
+
+    #[test]
+    fn strip_preserves_length_and_newlines() {
+        let src = "let a = 1; // Instant::now()\nlet b = \"thread::sleep\"; /* x\n y */ let c = 2;";
+        let s = strip(src, Mode::Tokens);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(
+            s.match_indices('\n').count(),
+            src.match_indices('\n').count()
+        );
+        assert!(!s.contains("Instant::now"));
+        assert!(!s.contains("thread::sleep"));
+        assert!(s.contains("let b ="));
+        assert!(s.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn strip_handles_nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let s = strip(src, Mode::Tokens);
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+        assert!(!s.contains("inner"));
+        assert!(!s.contains("still"));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings() {
+        let src = r####"let x = r#"lock() "quoted" inside"# + r"plain" + "esc\"aped";"####;
+        let s = strip(src, Mode::Tokens);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("lock()"));
+        assert!(!s.contains("quoted"));
+        assert!(!s.contains("plain"));
+        assert!(!s.contains("aped"));
+        assert!(s.ends_with(';'));
+    }
+
+    #[test]
+    fn strip_keeps_strings_when_asked() {
+        let src = "m! { A::B => \"tag\" } // comment";
+        let s = strip(src, Mode::Code);
+        assert!(s.contains("\"tag\""));
+        assert!(!s.contains("comment"));
+    }
+
+    #[test]
+    fn strip_distinguishes_chars_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }";
+        let s = strip(src, Mode::Tokens);
+        assert_eq!(s.len(), src.len());
+        assert!(s.contains("<'a>"), "lifetime untouched: {s}");
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn functions_are_segmented_with_nested_braces() {
+        let src = "impl Foo { fn alpha(&self) { if x { y(); } } }\nfn beta() -> u8 { let v = vec![1]; v[0] }";
+        let f = scan(src);
+        let fns = f.functions();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].qualified(), "Foo::alpha");
+        assert_eq!(fns[1].qualified(), "beta");
+        assert!(f.raw[fns[0].body.clone()].contains("if x { y(); }"));
+        assert!(f.raw[fns[1].body.clone()].contains("v[0]"));
+    }
+
+    #[test]
+    fn test_modules_are_detected() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn case() {}\n}";
+        let f = scan(src);
+        let fns = f.functions();
+        let by_name: std::collections::HashMap<_, _> =
+            fns.iter().map(|f| (f.name.clone(), f.in_test)).collect();
+        assert!(!by_name["prod"]);
+        assert!(by_name["helper"]);
+        assert!(by_name["case"]);
+    }
+
+    #[test]
+    fn enums_parse_variants_and_named_fields() {
+        let src = "pub enum M { Unit, Tup(u8, String), Named { job: JobId, n: Vec<u8> }, #[doc = \"x\"] Attr { a: u8 } }";
+        let f = scan(src);
+        let enums = parse_enums(&f);
+        assert_eq!(enums.len(), 1);
+        let m = &enums[0];
+        assert_eq!(m.name, "M");
+        let names: Vec<_> = m.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Unit", "Tup", "Named", "Attr"]);
+        assert_eq!(m.variants[2].fields, vec!["job", "n"]);
+        assert_eq!(m.variants[3].fields, vec!["a"]);
+    }
+
+    #[test]
+    fn tag_arms_parse_struct_tuple_and_unit_patterns() {
+        let src = r#"match self {
+            M::Unit => "unit",
+            M::Tup(_, _) => "tup",
+            M::Named { .. } => "named",
+            M::Fwd(m) => m.tag(),
+        }"#;
+        let arms = parse_tag_arms(src, "M");
+        assert_eq!(
+            arms,
+            vec![
+                ("Unit".to_string(), "unit".to_string()),
+                ("Tup".to_string(), "tup".to_string()),
+                ("Named".to_string(), "named".to_string()),
+                ("Fwd".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_reason() {
+        let src = "x(); // nimbus-lint: allow(clock) — real-time test\ny(); // nimbus-lint: allow(panic) —\n";
+        let f = scan(src);
+        let ws = f.waivers();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rule, "clock");
+        assert_eq!(ws[0].reason, "real-time test");
+        assert_eq!(ws[0].line, 1);
+        assert_eq!(ws[1].rule, "panic");
+        assert_eq!(ws[1].reason, "");
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let f = scan("a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(3), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+}

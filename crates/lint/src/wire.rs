@@ -1,0 +1,694 @@
+//! Wire exhaustiveness: the protocol enums, the `TAGS` stats table, the
+//! `tag_index` slot map, the `tag()`/`wire_size()` match arms, and the
+//! committed golden vectors must all describe the same protocol.
+//!
+//! These five artifacts were re-synced by hand in PR 5 and PR 6; each sync
+//! was a reviewer noticing drift. This rule makes the drift a build
+//! failure instead:
+//!
+//! - every variant of every tagged enum has a `tag()` arm, and every
+//!   `Message` variant has a `wire_size()` arm;
+//! - every tag literal is in `TAGS`, every `TAGS` entry is produced by
+//!   some `tag()` arm, and `tag_index` maps each `TAGS[i]` to exactly `i`;
+//! - the committed vector bank has one file per variant index
+//!   (`msg-NN-<tag>.bin`, contiguous `0..MESSAGE_VARIANTS`), every tag is
+//!   exercised by at least one vector, and every envelope label in
+//!   `vector_envelopes` has its `env-<label>.bin`.
+//!
+//! The checks run on parsed sources passed in as [`WireSources`], so the
+//! tests can feed mutated copies (a deleted `TAGS` entry, a removed vector
+//! file) and assert the lint fails.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Diagnostic, Rule};
+use crate::scanner::{parse_enums, parse_tag_arms, ScannedFile};
+
+/// Enums whose `tag()` method must cover every variant.
+const TAG_ENUMS: &[&str] = &[
+    "DriverMessage",
+    "ControllerToDriver",
+    "ControllerToWorker",
+    "WorkerToController",
+    "Message",
+];
+
+/// The parsed inputs of the wire rule.
+pub struct WireSources<'a> {
+    /// `crates/net/src/message.rs` (enums, `tag()`, `wire_size()`).
+    pub message: &'a ScannedFile,
+    /// `crates/net/src/stats.rs` (`TAGS`, `tag_index`).
+    pub stats: &'a ScannedFile,
+    /// `crates/net/tests/vectors.rs` (`MESSAGE_VARIANTS`, envelope labels).
+    pub vectors_rs: &'a ScannedFile,
+    /// File names committed under `crates/net/tests/vectors/`.
+    pub vector_files: Vec<String>,
+}
+
+/// Runs every wire cross-check.
+pub fn check(ws: &WireSources<'_>, out: &mut Vec<Diagnostic>) {
+    let message_rel = rel(ws.message);
+    let stats_rel = rel(ws.stats);
+    let vectors_rel = rel(ws.vectors_rs);
+
+    // 1. Per-enum tag() coverage, collecting the leaf tag set.
+    let enums = parse_enums(ws.message);
+    let mut leaf_tags: Vec<(String, usize)> = Vec::new(); // (tag, line in message.rs)
+    for enum_name in TAG_ENUMS {
+        let Some(def) = enums.iter().find(|e| e.name == *enum_name) else {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                &message_rel,
+                0,
+                format!("protocol enum `{enum_name}` not found"),
+            ));
+            continue;
+        };
+        let arms = method_arms(ws.message, enum_name, "tag");
+        match arms {
+            None => out.push(Diagnostic::new(
+                Rule::Wire,
+                &message_rel,
+                0,
+                format!("`{enum_name}::tag()` not found"),
+            )),
+            Some((arms, fn_line)) => {
+                for v in &def.variants {
+                    if !arms.iter().any(|(variant, _)| variant == &v.name) {
+                        out.push(Diagnostic::new(
+                            Rule::Wire,
+                            &message_rel,
+                            fn_line,
+                            format!("`{enum_name}::tag()` has no arm for variant `{}`", v.name),
+                        ));
+                    }
+                }
+                for (variant, tag) in &arms {
+                    if !def.variants.iter().any(|v| &v.name == variant) {
+                        out.push(Diagnostic::new(
+                            Rule::Wire,
+                            &message_rel,
+                            fn_line,
+                            format!(
+                                "`{enum_name}::tag()` matches `{variant}`, which is not a \
+                                 variant of `{enum_name}`"
+                            ),
+                        ));
+                    }
+                    if !tag.is_empty() {
+                        leaf_tags.push((tag.clone(), fn_line));
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Message::wire_size() coverage.
+    if let Some(def) = enums.iter().find(|e| e.name == "Message") {
+        match method_arms(ws.message, "Message", "wire_size") {
+            None => out.push(Diagnostic::new(
+                Rule::Wire,
+                &message_rel,
+                0,
+                "`Message::wire_size()` not found".to_string(),
+            )),
+            Some((arms, fn_line)) => {
+                for v in &def.variants {
+                    if !arms.iter().any(|(variant, _)| variant == &v.name) {
+                        out.push(Diagnostic::new(
+                            Rule::Wire,
+                            &message_rel,
+                            fn_line,
+                            format!("`Message::wire_size()` has no arm for variant `{}`", v.name),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. TAGS vs leaf tags, both directions.
+    let tags = parse_tags_array(ws.stats);
+    let Some((tags, tags_line)) = tags else {
+        out.push(Diagnostic::new(
+            Rule::Wire,
+            &stats_rel,
+            0,
+            "`TAGS` array not found".to_string(),
+        ));
+        return;
+    };
+    for (tag, line) in &leaf_tags {
+        if !tags.iter().any(|(t, _)| t == tag) {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                &message_rel,
+                *line,
+                format!(
+                    "tag \"{tag}\" is produced by a tag() arm but missing from TAGS in \
+                     {stats_rel}: its traffic would land in the \"other\" bucket"
+                ),
+            ));
+        }
+    }
+    for (tag, line) in &tags {
+        if !leaf_tags.iter().any(|(t, _)| t == tag) {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                &stats_rel,
+                *line,
+                format!(
+                    "TAGS entry \"{tag}\" is not produced by any tag() method: dead slot or typo"
+                ),
+            ));
+        }
+    }
+
+    // 4. tag_index maps each TAGS[i] to exactly i.
+    match fn_body_line(ws.stats, "tag_index") {
+        None => out.push(Diagnostic::new(
+            Rule::Wire,
+            &stats_rel,
+            0,
+            "`tag_index` not found".to_string(),
+        )),
+        Some((body, fn_line)) => {
+            let index_arms = parse_index_arms(&body);
+            for (i, (tag, line)) in tags.iter().enumerate() {
+                match index_arms.get(tag.as_str()) {
+                    Some(&slot) if slot == i => {}
+                    Some(&slot) => out.push(Diagnostic::new(
+                        Rule::Wire,
+                        &stats_rel,
+                        *line,
+                        format!("tag_index maps \"{tag}\" to slot {slot}, but it is TAGS[{i}]"),
+                    )),
+                    None => out.push(Diagnostic::new(
+                        Rule::Wire,
+                        &stats_rel,
+                        *line,
+                        format!(
+                            "tag_index has no arm for \"{tag}\" (TAGS[{i}]): its traffic \
+                             would land in the \"other\" bucket"
+                        ),
+                    )),
+                }
+            }
+            for tag in index_arms.keys() {
+                if !tags.iter().any(|(t, _)| t == tag) {
+                    out.push(Diagnostic::new(
+                        Rule::Wire,
+                        &stats_rel,
+                        fn_line,
+                        format!("tag_index maps \"{tag}\", which is not in TAGS"),
+                    ));
+                }
+            }
+        }
+    }
+    let _ = tags_line;
+
+    // 5. The committed vector bank.
+    let variants = parse_message_variants(ws.vectors_rs);
+    let Some(variants) = variants else {
+        out.push(Diagnostic::new(
+            Rule::Wire,
+            &vectors_rel,
+            0,
+            "`MESSAGE_VARIANTS` constant not found".to_string(),
+        ));
+        return;
+    };
+    let env_labels = envelope_labels(ws.vectors_rs);
+    // `crates/net/tests/vectors.rs` → `crates/net/tests/vectors`.
+    let dir_rel = vectors_rel.trim_end_matches(".rs").to_string();
+
+    let mut msg_by_index: BTreeMap<u32, Vec<(String, String)>> = BTreeMap::new(); // index -> (tag, file)
+    let mut env_files: Vec<String> = Vec::new();
+    for name in &ws.vector_files {
+        if let Some(rest) = name.strip_prefix("msg-") {
+            let parsed = rest
+                .strip_suffix(".bin")
+                .and_then(|r| r.split_once('-'))
+                .and_then(|(idx, tag)| idx.parse::<u32>().ok().map(|i| (i, tag.to_string())));
+            match parsed {
+                Some((idx, tag)) => msg_by_index
+                    .entry(idx)
+                    .or_default()
+                    .push((tag, name.clone())),
+                None => out.push(Diagnostic::new(
+                    Rule::Wire,
+                    format!("{dir_rel}/{name}"),
+                    0,
+                    "vector file name does not match `msg-NN-<tag>.bin`".to_string(),
+                )),
+            }
+        } else if let Some(label) = name
+            .strip_prefix("env-")
+            .and_then(|r| r.strip_suffix(".bin"))
+        {
+            env_files.push(label.to_string());
+        } else {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                format!("{dir_rel}/{name}"),
+                0,
+                "unexpected file in the vector bank (not `msg-*.bin` or `env-*.bin`)".to_string(),
+            ));
+        }
+    }
+    for idx in 0..variants {
+        match msg_by_index.get(&idx) {
+            None => out.push(Diagnostic::new(
+                Rule::Wire,
+                &dir_rel,
+                0,
+                format!(
+                    "vector index {idx} has no committed `msg-{idx:02}-<tag>.bin`: \
+                     regenerate with NIMBUS_REGEN_VECTORS=1 and commit the bank"
+                ),
+            )),
+            Some(files) if files.len() > 1 => out.push(Diagnostic::new(
+                Rule::Wire,
+                &dir_rel,
+                0,
+                format!("vector index {idx} has {} committed files", files.len()),
+            )),
+            Some(files) => {
+                let (tag, file) = &files[0];
+                if !tags.iter().any(|(t, _)| t == tag) {
+                    out.push(Diagnostic::new(
+                        Rule::Wire,
+                        format!("{dir_rel}/{file}"),
+                        0,
+                        format!("vector tag \"{tag}\" is not in TAGS"),
+                    ));
+                }
+            }
+        }
+    }
+    for (idx, _) in msg_by_index.range(variants..) {
+        out.push(Diagnostic::new(
+            Rule::Wire,
+            &dir_rel,
+            0,
+            format!(
+                "vector index {idx} exceeds MESSAGE_VARIANTS ({variants}): stale file or \
+                 the census in {vectors_rel} was not bumped"
+            ),
+        ));
+    }
+    // Every leaf tag must be pinned by at least one vector.
+    let vector_tags: Vec<&str> = msg_by_index
+        .values()
+        .flatten()
+        .map(|(t, _)| t.as_str())
+        .collect();
+    for (tag, line) in &leaf_tags {
+        if !vector_tags.contains(&tag.as_str()) {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                &message_rel,
+                *line,
+                format!("no committed vector exercises tag \"{tag}\""),
+            ));
+        }
+    }
+    // Envelope labels, both directions.
+    for label in &env_labels {
+        if !env_files.contains(label) {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                &dir_rel,
+                0,
+                format!("envelope label \"{label}\" has no committed `env-{label}.bin`"),
+            ));
+        }
+    }
+    for label in &env_files {
+        if !env_labels.contains(label) {
+            out.push(Diagnostic::new(
+                Rule::Wire,
+                format!("{dir_rel}/env-{label}.bin"),
+                0,
+                format!("no envelope labelled \"{label}\" in {vectors_rel}::vector_envelopes"),
+            ));
+        }
+    }
+}
+
+fn rel(file: &ScannedFile) -> String {
+    file.path.to_string_lossy().replace('\\', "/")
+}
+
+/// `(variant, tag)` arms of `impl <enum_name> { fn <method> }`, plus the
+/// function's line.
+fn method_arms(
+    file: &ScannedFile,
+    enum_name: &str,
+    method: &str,
+) -> Option<(Vec<(String, String)>, usize)> {
+    let f = file
+        .functions()
+        .into_iter()
+        .find(|f| f.name == method && f.impl_type.as_deref() == Some(enum_name))?;
+    let body = &file.code[f.body.clone()];
+    Some((parse_tag_arms(body, enum_name), file.line_of(f.start)))
+}
+
+/// The named free function's body (from the `code` view) and line.
+fn fn_body_line(file: &ScannedFile, name: &str) -> Option<(String, usize)> {
+    let f = file.functions().into_iter().find(|f| f.name == name)?;
+    Some((file.code[f.body.clone()].to_string(), file.line_of(f.start)))
+}
+
+/// Parses the `TAGS` array literal: `(tag, line)` in declaration order.
+fn parse_tags_array(file: &ScannedFile) -> Option<(Vec<(String, usize)>, usize)> {
+    let src = &file.code;
+    let decl = src.find("TAGS")?;
+    let eq = decl + src[decl..].find('=')?;
+    let open = eq + src[eq..].find('[')?;
+    let close = matching_bracket(src.as_bytes(), open)?;
+    let mut tags = Vec::new();
+    let region = &src[open..close];
+    let mut i = 0;
+    while let Some(q) = region[i..].find('"').map(|p| p + i) {
+        let end = region[q + 1..].find('"').map(|p| p + q + 1)?;
+        tags.push((region[q + 1..end].to_string(), file.line_of(open + q)));
+        i = end + 1;
+    }
+    Some((tags, file.line_of(decl)))
+}
+
+fn matching_bracket(b: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `"tag" => N,` arms out of a `tag_index`-shaped body.
+fn parse_index_arms(body: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while let Some(q) = body[i..].find('"').map(|p| p + i) {
+        let Some(end) = body[q + 1..].find('"').map(|p| p + q + 1) else {
+            break;
+        };
+        let tag = body[q + 1..end].to_string();
+        let mut k = end + 1;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if body[k..].starts_with("=>") {
+            k += 2;
+            while k < b.len() && b[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            let num_start = k;
+            while k < b.len() && b[k].is_ascii_digit() {
+                k += 1;
+            }
+            if let Ok(slot) = body[num_start..k].parse::<usize>() {
+                out.insert(tag, slot);
+            }
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Parses `const MESSAGE_VARIANTS: u32 = N;`.
+fn parse_message_variants(file: &ScannedFile) -> Option<u32> {
+    let src = &file.stripped;
+    let decl = src.find("MESSAGE_VARIANTS")?;
+    let eq = decl + src[decl..].find('=')?;
+    let rest = src[eq + 1..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// String literals inside `fn vector_envelopes` — the envelope labels.
+fn envelope_labels(file: &ScannedFile) -> Vec<String> {
+    let Some(f) = file
+        .functions()
+        .into_iter()
+        .find(|f| f.name == "vector_envelopes")
+    else {
+        return Vec::new();
+    };
+    let body = &file.code[f.body.clone()];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(q) = body[i..].find('"').map(|p| p + i) {
+        let Some(end) = body[q + 1..].find('"').map(|p| p + q + 1) else {
+            break;
+        };
+        out.push(body[q + 1..end].to_string());
+        i = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scanned(path: &str, src: &str) -> ScannedFile {
+        ScannedFile::new(PathBuf::from(path), src.to_string())
+    }
+
+    struct Toy {
+        message: ScannedFile,
+        stats: ScannedFile,
+        vectors_rs: ScannedFile,
+        vector_files: Vec<String>,
+    }
+
+    impl Toy {
+        fn ws(&self) -> WireSources<'_> {
+            WireSources {
+                message: &self.message,
+                stats: &self.stats,
+                vectors_rs: &self.vectors_rs,
+                vector_files: self.vector_files.clone(),
+            }
+        }
+    }
+
+    fn toy_sources(vector_files: Vec<&str>) -> Toy {
+        let message = r#"
+pub enum DriverMessage { Ping, Stop }
+impl DriverMessage {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DriverMessage::Ping => "ping",
+            DriverMessage::Stop => "stop",
+        }
+    }
+}
+pub enum ControllerToDriver { Ack }
+impl ControllerToDriver {
+    pub fn tag(&self) -> &'static str {
+        match self { ControllerToDriver::Ack => "ack" }
+    }
+}
+pub enum ControllerToWorker { Halt { job: JobId } }
+impl ControllerToWorker {
+    pub fn tag(&self) -> &'static str {
+        match self { ControllerToWorker::Halt { .. } => "halt" }
+    }
+}
+pub enum WorkerToController { Done { job: JobId } }
+impl WorkerToController {
+    pub fn tag(&self) -> &'static str {
+        match self { WorkerToController::Done { .. } => "done" }
+    }
+}
+pub enum Message { Driver(DriverMessage), ToDriver(ControllerToDriver), ToWorker(ControllerToWorker), FromWorker(WorkerToController) }
+impl Message {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Driver(m) => m.tag(),
+            Message::ToDriver(m) => m.tag(),
+            Message::ToWorker(m) => m.tag(),
+            Message::FromWorker(m) => m.tag(),
+        }
+    }
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Driver(_) => 1,
+            Message::ToDriver(_) => 1,
+            Message::ToWorker(_) => 1,
+            Message::FromWorker(_) => 1,
+        }
+    }
+}
+"#;
+        let stats = r#"
+pub const TAGS: [&str; 5] = ["ping", "stop", "ack", "halt", "done"];
+fn tag_index(tag: &str) -> usize {
+    match tag {
+        "ping" => 0,
+        "stop" => 1,
+        "ack" => 2,
+        "halt" => 3,
+        "done" => 4,
+        _ => 5,
+    }
+}
+"#;
+        let vectors = r#"
+const MESSAGE_VARIANTS: u32 = 5;
+fn vector_envelopes() -> Vec<(&'static str, Envelope)> {
+    vec![("driver-controller", mk())]
+}
+"#;
+        Toy {
+            message: scanned("crates/net/src/message.rs", message),
+            stats: scanned("crates/net/src/stats.rs", stats),
+            vectors_rs: scanned("crates/net/tests/vectors.rs", vectors),
+            vector_files: vector_files.into_iter().map(String::from).collect(),
+        }
+    }
+
+    const CLEAN_FILES: [&str; 6] = [
+        "msg-00-ping.bin",
+        "msg-01-stop.bin",
+        "msg-02-ack.bin",
+        "msg-03-halt.bin",
+        "msg-04-done.bin",
+        "env-driver-controller.bin",
+    ];
+
+    fn run(toy: &Toy) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(&toy.ws(), &mut out);
+        out
+    }
+
+    #[test]
+    fn consistent_toy_protocol_is_clean() {
+        let toy = toy_sources(CLEAN_FILES.to_vec());
+        let d = run(&toy);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn deleting_a_tags_entry_fails() {
+        let mut toy = toy_sources(CLEAN_FILES.to_vec());
+        let src = toy
+            .stats
+            .raw
+            .replace(", \"done\"", "")
+            .replace("\"done\" => 4,\n", "");
+        toy.stats = scanned("crates/net/src/stats.rs", &src);
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("\"done\"") && d.message.contains("missing from TAGS")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn deleting_a_vector_file_fails() {
+        let mut files = CLEAN_FILES.to_vec();
+        files.retain(|f| *f != "msg-04-done.bin");
+        let toy = toy_sources(files);
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("vector index 4 has no committed")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|d| d
+                .message
+                .contains("no committed vector exercises tag \"done\"")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn missing_tag_arm_fails() {
+        let mut toy = toy_sources(CLEAN_FILES.to_vec());
+        let src = toy
+            .message
+            .raw
+            .replace("DriverMessage::Stop => \"stop\",\n", "");
+        toy.message = scanned("crates/net/src/message.rs", &src);
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("no arm for variant `Stop`")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn tag_index_slot_mismatch_fails() {
+        let mut toy = toy_sources(CLEAN_FILES.to_vec());
+        let src = toy.stats.raw.replace("\"halt\" => 3,", "\"halt\" => 9,");
+        toy.stats = scanned("crates/net/src/stats.rs", &src);
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("maps \"halt\" to slot 9")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn missing_envelope_vector_fails() {
+        let toy = toy_sources(CLEAN_FILES[..5].to_vec());
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("env-driver-controller.bin")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn stray_vector_file_fails() {
+        let mut files = CLEAN_FILES.to_vec();
+        files.push("msg-99-ghost.bin");
+        let toy = toy_sources(files);
+        let d = run(&toy);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("exceeds MESSAGE_VARIANTS")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wire_size_coverage_is_checked() {
+        let mut toy = toy_sources(CLEAN_FILES.to_vec());
+        let src = toy
+            .message
+            .raw
+            .replace("Message::FromWorker(_) => 1,\n", "");
+        toy.message = scanned("crates/net/src/message.rs", &src);
+        let d = run(&toy);
+        assert!(
+            d.iter().any(|d| d
+                .message
+                .contains("`Message::wire_size()` has no arm for variant `FromWorker`")),
+            "{d:?}"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Fixture-driven tests: each lint must fire on its bad fixture at the
+//! expected `file:line` spans, and the wire lint must fail when the real
+//! workspace's `TAGS` array or vector bank loses an entry.
+//!
+//! The fixture sources live in `tests/fixtures/` (excluded from workspace
+//! scans) and are loaded under a plausible workspace-relative path so the
+//! per-path policies (clock allowlist, panic-free list) apply.
+
+use std::path::{Path, PathBuf};
+
+use nimbus_lint::scanner::ScannedFile;
+use nimbus_lint::{apply_waivers, clock, config, job_scope, locks, panic_free, wire};
+use nimbus_lint::{Diagnostic, Rule};
+
+/// Loads a fixture file, re-anchored under `rel` so path-keyed policies
+/// (allowlists, panic-free modules) treat it as product code.
+fn fixture(name: &str, rel: &str) -> (ScannedFile, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    (ScannedFile::new(PathBuf::from(rel), raw), rel.to_string())
+}
+
+/// Spans sorted by line: individual rules emit per-needle, and the
+/// orchestrator (not the rule) does the final ordering.
+fn spans(diags: &[Diagnostic]) -> Vec<(String, usize)> {
+    let mut spans: Vec<(String, usize)> = diags.iter().map(|d| (d.file.clone(), d.line)).collect();
+    spans.sort();
+    spans
+}
+
+#[test]
+fn clock_fixture_fires_at_every_wall_clock_read() {
+    let rel = "crates/worker/src/executor.rs";
+    let (f, r) = fixture("bad_clock.rs", rel);
+    let mut diags = Vec::new();
+    clock::check(&f, &r, &mut diags);
+    assert!(diags.iter().all(|d| d.rule == Rule::Clock));
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (rel.to_string(), 6),  // Instant::now
+            (rel.to_string(), 7),  // thread::sleep
+            (rel.to_string(), 12), // SystemTime::now
+        ],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn clock_fixture_is_silent_under_an_allowlisted_path() {
+    let (f, r) = fixture("bad_clock.rs", "crates/core/src/clock.rs");
+    let mut diags = Vec::new();
+    clock::check(&f, &r, &mut diags);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_fixture_fires_on_indexing_unwrap_and_expect() {
+    let rel = "crates/net/src/codec.rs"; // indexing denied here
+    let (f, r) = fixture("bad_panic.rs", rel);
+    let mut diags = Vec::new();
+    panic_free::check(&f, &r, &mut diags);
+    assert!(diags.iter().all(|d| d.rule == Rule::Panic));
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (rel.to_string(), 4),  // bytes[0]
+            (rel.to_string(), 8),  // unwrap
+            (rel.to_string(), 12), // expect
+        ],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_fixture_is_silent_outside_panic_free_modules() {
+    let (f, r) = fixture("bad_panic.rs", "crates/apps/src/lib.rs");
+    let mut diags = Vec::new();
+    panic_free::check(&f, &r, &mut diags);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn job_scope_fixture_fires_on_the_unscoped_variant() {
+    let rel = "crates/net/src/message.rs";
+    let (f, r) = fixture("bad_job_scope.rs", rel);
+    let mut diags = Vec::new();
+    job_scope::check(&f, &r, &mut diags);
+    assert_eq!(spans(&diags), vec![(rel.to_string(), 5)], "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::JobScope);
+    assert!(diags[0].message.contains("ControllerToWorker::Probe"));
+}
+
+#[test]
+fn lock_order_fixture_reports_the_ab_ba_cycle() {
+    let rel = "crates/x/src/state.rs";
+    let (f, r) = fixture("bad_lock_order.rs", rel);
+    let mut diags = Vec::new();
+    let sites = locks::check(&[f], &[r], &mut diags);
+    assert_eq!(sites, 4, "two locks acquired in each of two functions");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::LockOrder);
+    assert_eq!((diags[0].file.as_str(), diags[0].line), (rel, 12));
+    assert!(diags[0].message.contains("lock-order cycle"));
+    assert!(diags[0].message.contains("x/a") && diags[0].message.contains("x/b"));
+}
+
+#[test]
+fn waiver_fixture_reports_empty_reason_and_unused_waiver() {
+    let rel = "crates/worker/src/worker.rs";
+    let (f, r) = fixture("bad_waiver.rs", rel);
+    let mut diags = Vec::new();
+    apply_waivers(&[f], &[r], &mut diags);
+    assert!(diags.iter().all(|d| d.rule == Rule::Waiver));
+    assert_eq!(
+        spans(&diags),
+        vec![(rel.to_string(), 3), (rel.to_string(), 5)],
+        "{diags:?}"
+    );
+    assert!(diags[0].message.contains("no reason"));
+    assert!(diags[1].message.contains("unused waiver"));
+}
+
+// ---------------------------------------------------------------------------
+// Wire-lint mutation tests against the REAL workspace sources: the lint must
+// be clean as committed, and must fail if a TAGS entry or a vector file
+// disappears.
+// ---------------------------------------------------------------------------
+
+struct RealWire {
+    message: ScannedFile,
+    stats: ScannedFile,
+    vectors_rs: ScannedFile,
+    vector_files: Vec<String>,
+}
+
+impl RealWire {
+    fn load() -> Self {
+        let root = config::find_root();
+        let read = |rel: &str| {
+            let raw = std::fs::read_to_string(root.join(rel))
+                .unwrap_or_else(|e| panic!("cannot read {rel}: {e}"));
+            ScannedFile::new(PathBuf::from(rel), raw)
+        };
+        let mut vector_files: Vec<String> = std::fs::read_dir(root.join(config::WIRE.vectors_dir))
+            .expect("vector dir exists")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        vector_files.sort();
+        Self {
+            message: read(config::WIRE.message),
+            stats: read(config::WIRE.stats),
+            vectors_rs: read(config::WIRE.vectors_rs),
+            vector_files,
+        }
+    }
+
+    fn check(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        wire::check(
+            &wire::WireSources {
+                message: &self.message,
+                stats: &self.stats,
+                vectors_rs: &self.vectors_rs,
+                vector_files: self.vector_files.clone(),
+            },
+            &mut diags,
+        );
+        diags
+    }
+}
+
+#[test]
+fn wire_lint_is_clean_on_the_real_workspace() {
+    let real = RealWire::load();
+    let diags = real.check();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn deleting_a_tags_entry_fails_the_wire_lint() {
+    let mut real = RealWire::load();
+    let mutated = real.stats.raw.replacen("    \"barrier\",\n", "", 1);
+    assert_ne!(
+        mutated, real.stats.raw,
+        "fixture assumption: TAGS lists \"barrier\""
+    );
+    real.stats = ScannedFile::new(PathBuf::from(config::WIRE.stats), mutated);
+    let diags = real.check();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::Wire && d.message.contains("barrier")),
+        "dropping a TAGS entry must fail the wire lint: {diags:?}"
+    );
+}
+
+#[test]
+fn deleting_a_vector_file_fails_the_wire_lint() {
+    let mut real = RealWire::load();
+    let victim = real
+        .vector_files
+        .iter()
+        .position(|f| f.starts_with("msg-"))
+        .expect("fixture assumption: message vectors exist");
+    let name = real.vector_files.remove(victim);
+    let diags = real.check();
+    assert!(
+        !diags.is_empty(),
+        "dropping vector file {name} must fail the wire lint"
+    );
+    assert!(diags.iter().all(|d| d.rule == Rule::Wire), "{diags:?}");
+}

@@ -1,0 +1,13 @@
+//! Clock-discipline fixture: every wall-clock read below must fire.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+    start.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

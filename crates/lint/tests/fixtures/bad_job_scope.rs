@@ -1,0 +1,10 @@
+//! Job-scoping fixture: `Probe` lacks a `job` field and must fire.
+
+pub enum ControllerToWorker {
+    Execute { job: JobId, task: u64 },
+    Probe { worker: WorkerId },
+}
+
+pub enum WorkerToController {
+    Done { job: JobId, task: u64 },
+}

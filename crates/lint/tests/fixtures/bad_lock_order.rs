@@ -1,0 +1,21 @@
+//! Lock-order fixture: `ab` and `ba` acquire the two locks in opposite
+//! orders — the classic AB/BA deadlock cycle the lint must report.
+
+pub struct State {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl State {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

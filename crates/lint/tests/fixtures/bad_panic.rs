@@ -1,0 +1,13 @@
+//! Panic-freedom fixture: indexing, `unwrap`, and `expect` must all fire.
+
+pub fn first_header_byte(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn parse(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn header(bytes: &[u8]) -> u8 {
+    *bytes.first().expect("nonempty")
+}

@@ -1,0 +1,6 @@
+//! Waiver fixture: an empty reason and an unused waiver must both fire.
+
+pub fn noop() {} // nimbus-lint: allow(panic) —
+
+// nimbus-lint: allow(clock) — nothing on the next line reads a clock
+pub fn also_noop() {}

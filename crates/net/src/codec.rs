@@ -35,6 +35,7 @@ pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> usize {
     // Counting cannot fail: every serializer method only adds to the counter.
     value
         .serialize(&mut counter)
+        // nimbus-lint: allow(panic) — every ByteCounter method is infallible
         .expect("byte counting serializer never fails");
     counter.bytes
 }
@@ -84,6 +85,7 @@ pub fn encode_framed_into<T: Serialize + ?Sized>(
     let payload_len = buf.len() - start - 4;
     let len = u32::try_from(payload_len)
         .map_err(|_| CodecError("frame payload length exceeds u32".to_string()))?;
+    // nimbus-lint: allow(panic) — patches the 4 header bytes appended above
     buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
     Ok(payload_len)
 }
@@ -707,20 +709,25 @@ impl<'b> Decoder<'b> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'b [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError(format!(
-                "truncated input: need {n} bytes at offset {}, {} remain",
-                self.pos,
-                self.remaining()
-            )));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end))
+            .ok_or_else(|| {
+                CodecError(format!(
+                    "truncated input: need {n} bytes at offset {}, {} remain",
+                    self.pos,
+                    self.remaining()
+                ))
+            })?;
         self.pos += n;
         Ok(slice)
     }
 
     fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
-        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+        self.take(N)?
+            .try_into()
+            .map_err(|_| CodecError("internal: take() returned a wrong-sized slice".to_string()))
     }
 
     /// Reads a 4-byte length prefix, rejecting lengths that cannot possibly

@@ -74,6 +74,7 @@ pub fn append_batch_frame(buf: &mut Vec<u8>, envelopes: &[Envelope]) -> NetResul
         )));
     }
     let header = BATCH_FLAG | payload_len as u32;
+    // nimbus-lint: allow(panic) — patches the 4 header bytes appended above
     buf[start..start + 4].copy_from_slice(&header.to_le_bytes());
     Ok(())
 }
@@ -86,7 +87,10 @@ pub fn parse_batch(payload: &[u8]) -> Result<Vec<Envelope>, CodecError> {
     let Some(count) = payload.get(..4) else {
         return Err(CodecError::msg("batch frame shorter than its count"));
     };
-    let count = u32::from_le_bytes(count.try_into().expect("4-byte slice")) as usize;
+    let count = count
+        .try_into()
+        .map(|b| u32::from_le_bytes(b) as usize)
+        .map_err(|_| CodecError::msg("internal: batch count slice is not 4 bytes"))?;
     // Every sub-frame occupies at least its 4-byte header, so a count that
     // cannot fit the remaining bytes is rejected up front...
     if count.saturating_mul(4) > payload.len() - 4 {
@@ -104,7 +108,10 @@ pub fn parse_batch(payload: &[u8]) -> Result<Vec<Envelope>, CodecError> {
         let Some(header) = payload.get(pos..pos + 4) else {
             return Err(CodecError::msg("truncated sub-frame header in batch"));
         };
-        let header = u32::from_le_bytes(header.try_into().expect("4-byte slice"));
+        let header = header
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| CodecError::msg("internal: sub-frame header slice is not 4 bytes"))?;
         if header & BATCH_FLAG != 0 {
             return Err(CodecError::msg("nested batch frame"));
         }

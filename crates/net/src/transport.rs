@@ -333,6 +333,9 @@ impl Network {
                 if state.shutdown {
                     return;
                 }
+                // Virtual-time networks drain the queue inline, so the delayer
+                // thread only ever runs against real wall time.
+                // nimbus-lint: allow(clock) — delayer thread is real-time only
                 let now = Instant::now();
                 match state.heap.peek() {
                     Some(d) if d.due <= now => {
@@ -438,6 +441,8 @@ impl Network {
                 };
                 let mut state = self.inner.delay_queue.state.lock();
                 state.heap.push(Delayed {
+                    // Under virtual time the heap is drained immediately below.
+                    // nimbus-lint: allow(clock) — real-time delivery due date
                     due: Instant::now() + delay,
                     seq,
                     envelope,
@@ -689,6 +694,7 @@ mod tests {
         let net = Network::new(LatencyModel::Fixed(Duration::from_millis(20)));
         let controller = net.register(NodeId::Controller);
         let driver = net.register(NodeId::Driver);
+        // nimbus-lint: allow(clock) — this test verifies real wall-clock delay.
         let start = Instant::now();
         driver
             .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
@@ -712,6 +718,7 @@ mod tests {
         // this test never sleeps real milliseconds (and cannot flake under
         // load). `fixed_latency_delays_delivery` still covers the wall-clock
         // behavior.
+        // nimbus-lint: allow(clock) — asserts virtual time burns no real time.
         let start = Instant::now();
         let net = Network::new_virtual_time(LatencyModel::Fixed(Duration::from_millis(5)));
         let controller = net.register(NodeId::Controller);
@@ -755,6 +762,7 @@ mod tests {
             .unwrap();
         // A 30s fixed delay delivers immediately under virtual time.
         assert!(controller.try_recv().is_ok());
+        // nimbus-lint: allow(clock) — asserts drop does not block on real time.
         let start = Instant::now();
         drop(driver);
         drop(controller);
@@ -800,6 +808,7 @@ mod tests {
 
         // An empty blocking receive consults the hook (which grants a
         // virtual timeout here; no real waiting happens).
+        // nimbus-lint: allow(clock) — asserts the hook grant avoids real waits.
         let start = Instant::now();
         assert!(matches!(
             controller.recv_timeout(Duration::from_secs(60)),
@@ -825,6 +834,7 @@ mod tests {
         driver
             .send(NodeId::Controller, Message::driver0(DriverMessage::Barrier))
             .unwrap();
+        // nimbus-lint: allow(clock) — asserts shutdown beats the 30 s delay.
         let start = Instant::now();
         drop(driver);
         drop(controller);

@@ -9,9 +9,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use nimbus_core::appdata::AppData;
+use nimbus_core::clock::Clock;
 use nimbus_core::ids::{FunctionId, PhysicalObjectId, WorkerId};
 use nimbus_core::{Command, TaskParams};
 
@@ -161,6 +162,10 @@ pub struct Executor {
     /// durations across control planes, exactly as the paper does for
     /// Spark-opt and Naiad-opt.
     pub spin_wait: Option<Duration>,
+    /// Where task compute time is measured from. Real in production; the
+    /// simulation harness installs its virtual clock so task timing never
+    /// leaks wall-clock jitter into deterministic runs.
+    pub clock: Clock,
 }
 
 impl Executor {
@@ -170,6 +175,7 @@ impl Executor {
             worker,
             functions,
             spin_wait: None,
+            clock: Clock::Real,
         }
     }
 
@@ -225,18 +231,21 @@ impl Executor {
                 writes,
             };
 
-            let start = Instant::now();
+            let start = self.clock.now();
             f(&mut ctx).map_err(|message| WorkerError::TaskFailed {
                 command: command.id,
                 message,
             })?;
-            if let Some(d) = self.spin_wait {
+            // Spin-waiting against a virtual clock would spin forever (only
+            // the scheduler advances it), so artificial task durations are a
+            // real-time-only device.
+            if let (Some(d), false) = (self.spin_wait, self.clock.is_virtual()) {
                 let deadline = start + d;
-                while Instant::now() < deadline {
+                while self.clock.now() < deadline {
                     std::hint::spin_loop();
                 }
             }
-            Ok(start.elapsed())
+            Ok(self.clock.now().saturating_duration_since(start))
         })();
 
         for (id, obj) in taken {

@@ -176,14 +176,16 @@ mod tests {
     /// by its previous incarnation.
     #[test]
     fn file_backed_vault_survives_the_writing_instance() {
+        // Unique per process and per call without reading the wall clock
+        // (the clock lint bans `SystemTime::now` outside the Clock module).
+        static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "nimbus-vault-test-{}-{}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
+        // A recycled pid could collide with a crashed run's leftovers.
+        std::fs::remove_dir_all(&dir).ok();
         {
             let vault = ObjectVault::file_backed(&dir).unwrap();
             vault.put("ckpt/1/lo1/p0", Box::new(VecF64::new(vec![3.0, -4.5])));

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use nimbus_core::appdata::AppData;
+use nimbus_core::clock::Clock;
 use nimbus_core::ids::{CommandId, JobId, WorkerId};
 use nimbus_core::template::cache::WorkerTemplateCache;
 use nimbus_core::{Command, CommandKind};
@@ -49,6 +50,9 @@ pub struct WorkerConfig {
     /// to the controller — emulating a killed process in thread-based
     /// clusters (the dropped endpoint is what the controller observes).
     pub kill_switch: Option<Arc<AtomicBool>>,
+    /// Where the worker reads "now" from when timing tasks. Real by
+    /// default; the simulation harness shares its virtual clock here.
+    pub clock: Clock,
 }
 
 impl WorkerConfig {
@@ -67,6 +71,7 @@ impl WorkerConfig {
             spin_wait: None,
             completion_batch: 64,
             kill_switch: None,
+            clock: Clock::Real,
         }
     }
 }
@@ -131,6 +136,7 @@ impl<E: TransportEndpoint> Worker<E> {
     pub fn new(config: WorkerConfig, endpoint: E) -> Self {
         let mut executor = Executor::new(config.id, Arc::clone(&config.functions));
         executor.spin_wait = config.spin_wait;
+        executor.clock = config.clock;
         Self {
             id: config.id,
             endpoint,
